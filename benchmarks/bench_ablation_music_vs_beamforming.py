@@ -1,0 +1,74 @@
+"""Ablation — smoothed MUSIC versus plain Eq. 5.1 beamforming.
+
+§5.2 footnote 6: plotting |A[theta, n]| instead of A'[theta, n] "gives
+the same figure but with more noise" because MUSIC suppresses
+sidelobes.  We measure angle-tracking error and peak sharpness for both
+estimators on the same single-person trace.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table
+from repro.core.tracking import (
+    TrackingConfig,
+    compute_beamformed_spectrogram,
+    compute_spectrogram,
+)
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def expected_angle(trajectory, device_xy, time_s):
+    position = trajectory.position(time_s)
+    velocity = trajectory.velocity(time_s)
+    to_device = Point(device_xy[0] - position.x, device_xy[1] - position.y)
+    radial = velocity.dot(to_device) / max(to_device.norm(), 1e-9)
+    return float(np.degrees(np.arcsin(np.clip(radial / 1.0, -1, 1))))
+
+
+def bench_ablation_music_vs_beamforming(benchmark):
+    rng = np.random.default_rng(SEED + 12)
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.5, 1.5), Point(-0.75, -0.25), 5.0)
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(5.0)
+
+    music = compute_spectrogram(series.samples)
+    beam = compute_beamformed_spectrogram(series.samples, remove_window_mean=False)
+
+    def stats(spectrogram):
+        angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+        errors = [
+            abs(angle - expected_angle(trajectory, (0.0, 0.0), t))
+            for angle, t in zip(angles, spectrogram.times_s)
+        ]
+        db = spectrogram.normalized_db()
+        # Peak sharpness: fraction of angle bins within 3 dB of each
+        # window's peak (smaller = sharper).
+        width = float(np.mean(db >= db.max(axis=1, keepdims=True) - 3.0))
+        return float(np.median(errors)), width
+
+    music_err, music_width = stats(music)
+    beam_err, beam_width = stats(beam)
+
+    rows = [
+        ["smoothed MUSIC", f"{music_err:.1f}", f"{100 * music_width:.1f}%"],
+        ["Eq. 5.1 beamforming", f"{beam_err:.1f}", f"{100 * beam_width:.1f}%"],
+    ]
+    lines = [
+        "Angle tracking, same trace, two estimators:",
+        format_table(["estimator", "median |angle error| deg", "3 dB peak width"], rows),
+        "",
+        "Paper: both produce the same figure; MUSIC is the",
+        "super-resolution option with sharper, less noisy peaks.",
+    ]
+    emit("ablation_music_vs_beamforming", "\n".join(lines))
+
+    assert music_width <= beam_width  # MUSIC at least as sharp
+    assert music_err < 15.0
+
+    benchmark(compute_spectrogram, series.samples)

@@ -1,0 +1,72 @@
+"""Ablation — spatial smoothing and coherent-source separation.
+
+§5.2: all humans reflect the *same* transmitted signal, so their
+returns are coherent and plain MUSIC fails; smoothed MUSIC partitions
+each window into subarrays of size w' < w and sums their correlation
+matrices to decorrelate the returns.  We sweep w' and measure how well
+two coherent movers at +50 and -40 degrees are separated.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table
+from repro.constants import WAVELENGTH_M
+from repro.core.beamforming import default_theta_grid, element_spacing_m
+from repro.core.music import smoothed_music_spectrum
+
+
+def coherent_pair(num_samples: int) -> np.ndarray:
+    spacing = element_spacing_m()
+    n = np.arange(num_samples)
+
+    def mover(theta):
+        return np.exp(
+            -1j * 2 * np.pi / WAVELENGTH_M * n * spacing * np.sin(np.radians(theta))
+        )
+
+    rng = np.random.default_rng(SEED + 13)
+    noise = 1e-3 * (rng.standard_normal(num_samples) + 1j * rng.standard_normal(num_samples))
+    return mover(50.0) + mover(-40.0) + noise
+
+
+def separation_error(window, subarray_size):
+    grid = default_theta_grid(0.5)
+    result = smoothed_music_spectrum(
+        window,
+        grid,
+        element_spacing_m(),
+        subarray_size=subarray_size,
+        num_sources=2,
+        forward_backward=False,
+    )
+    peaks = sorted(result.peak_angles_deg(2))
+    return abs(peaks[0] - (-40.0)) + abs(peaks[1] - 50.0)
+
+
+def bench_ablation_smoothing(benchmark):
+    window = coherent_pair(100)
+    rows = []
+    errors = {}
+    for subarray in (8, 16, 32, 50, 80, 100):
+        error = separation_error(window, subarray)
+        errors[subarray] = error
+        smoothing = "none (plain MUSIC)" if subarray == 100 else f"{100 - subarray + 1} subarrays"
+        rows.append([str(subarray), smoothing, f"{error:.1f}"])
+    table = format_table(
+        ["subarray w'", "smoothing", "sum |angle error| deg"], rows
+    )
+    lines = [
+        "Two coherent movers at +50 and -40 deg, window w = 100:",
+        table,
+        "",
+        "Plain MUSIC (w' = w) sees a rank-1 correlation matrix and",
+        "cannot place both peaks; smoothing with w' around w/2-w/3",
+        "recovers them — the paper's multi-human enabler (§5.2).",
+    ]
+    emit("ablation_smoothing", "\n".join(lines))
+
+    best_smoothed = min(errors[s] for s in (16, 32, 50))
+    assert best_smoothed < 5.0
+    assert errors[100] > best_smoothed
+
+    benchmark(separation_error, window, 32)

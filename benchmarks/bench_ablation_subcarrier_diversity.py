@@ -1,0 +1,76 @@
+"""Ablation — combining channel measurements across subcarriers (§7.1).
+
+"The channel measurements across the different subcarriers are
+combined to improve the SNR."  This bench quantifies *what kind* of SNR
+the combining buys.  Within a 5 MHz band the coherence bandwidth of an
+indoor scene (hundreds of MHz for metre-scale path differences) makes
+all subcarriers fade together, so combining cannot fight multipath
+fading; what it does fight is noise — but only the *independent* kind:
+
+* thermal-limited regime: combined noise power falls ~1/K;
+* clock-jitter-limited regime (the deployed default): the jitter rides
+  the whole band coherently and combining buys almost nothing.
+
+Both regimes are measured on an empty (motion-free) room so the
+residual after DC removal is pure noise.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table
+from repro.environment.scene import Scene
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator, TimeSeriesConfig
+
+STREAM_COUNTS = (1, 2, 4, 8)
+
+
+def combined_noise_power(num_streams: int, clutter_jitter: float, seed: int) -> float:
+    scene = Scene(room=stata_conference_room_small())
+    config = TimeSeriesConfig(
+        num_subcarrier_streams=num_streams,
+        clutter_jitter=clutter_jitter,
+        quantization_floor=0.0,
+    )
+    simulator = ChannelSeriesSimulator(scene, config, np.random.default_rng(seed))
+    streams = simulator.simulate_diversity(2.0, nulling_db=42.0)
+    combined = ChannelSeriesSimulator.combine_diversity_series(streams)
+    residual = combined.samples - combined.samples.mean()
+    return float(np.mean(np.abs(residual) ** 2))
+
+
+def bench_ablation_subcarrier_diversity(benchmark):
+    rows = []
+    gains = {}
+    for regime, jitter in (("thermal-limited", 0.0), ("jitter-limited", 2.6e-3)):
+        baseline = np.mean(
+            [combined_noise_power(1, jitter, SEED + s) for s in range(3)]
+        )
+        for streams in STREAM_COUNTS:
+            power = np.mean(
+                [combined_noise_power(streams, jitter, SEED + s) for s in range(3)]
+            )
+            gain_db = 10.0 * np.log10(baseline / power)
+            gains[(regime, streams)] = gain_db
+            rows.append([regime, str(streams), f"{gain_db:+.1f}"])
+    table = format_table(
+        ["regime", "subcarrier streams", "noise reduction (dB)"], rows
+    )
+    lines = [
+        "Noise power of the coherently-combined capture, relative to a",
+        "single subcarrier (empty room, pure post-nulling noise):",
+        table,
+        "",
+        "Thermal noise is independent per subcarrier and averages down",
+        "(~10 log10 K); clock-jitter clutter rides the whole band",
+        "coherently and combining cannot touch it.  Within 5 MHz the",
+        "coherence bandwidth also keeps multipath fades common to all",
+        "subcarriers — the combining of §7.1 is a noise-averaging tool,",
+        "not a fading-diversity one.",
+    ]
+    emit("ablation_subcarrier_diversity", "\n".join(lines))
+
+    assert gains[("thermal-limited", 8)] > 7.0  # ~9 dB ideal
+    assert gains[("jitter-limited", 8)] < 3.0   # jitter floor holds
+
+    benchmark(combined_noise_power, 4, 0.0, SEED)

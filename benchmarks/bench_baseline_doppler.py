@@ -1,0 +1,80 @@
+"""Baseline — narrowband Doppler without nulling (§2.1).
+
+The narrowband alternatives "ignore the flash effect ... However, the
+flash effect limits their detection capabilities.  Hence, most of these
+systems are demonstrated either in simulation, or in free space".
+
+This bench runs the Doppler detector in free space, through the 6"
+hollow wall, and through 8" concrete, and contrasts it with Wi-Vi's
+nulled pipeline on the same through-wall scene.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table
+from repro.baselines.doppler import DopplerDetector
+from repro.core.detection import motion_energy_db
+from repro.core.tracking import compute_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import Room, Wall, stata_conference_room_small
+from repro.rf.materials import CONCRETE_8IN
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def mover():
+    return Human(
+        LinearTrajectory(Point(5.0, 0.7), Point(-0.9, 0.0), 4.0),
+        BodyModel(limb_count=0),
+    )
+
+
+def bench_baseline_doppler(benchmark):
+    rng = np.random.default_rng(SEED + 21)
+    scenes = {
+        "free space": Scene(room=None, humans=[mover()]),
+        '6" hollow wall': Scene(room=stata_conference_room_small(), humans=[mover()]),
+        '8" concrete wall': Scene(
+            room=Room(Wall(CONCRETE_8IN), depth_m=7.0, width_m=4.0),
+            humans=[mover()],
+        ),
+    }
+    detector = DopplerDetector()
+    rows = []
+    snrs = {}
+    for name, scene in scenes.items():
+        result = detector.detect(scene, 4.0, rng)
+        snrs[name] = result.band_snr_db
+        rows.append(
+            [name, f"{result.band_snr_db:.1f}", "yes" if result.detected else "NO"]
+        )
+    table = format_table(["environment", "Doppler SNR dB", "detected"], rows)
+
+    # Wi-Vi on the hardest case for comparison.
+    concrete_scene = scenes['8" concrete wall']
+    series = ChannelSeriesSimulator(concrete_scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    empty = Scene(room=Room(Wall(CONCRETE_8IN), depth_m=7.0, width_m=4.0))
+    empty_series = ChannelSeriesSimulator(empty, rng=rng).simulate(4.0)
+    empty_spec = compute_spectrogram(empty_series.samples)
+    wivi_margin = motion_energy_db(spectrogram) - motion_energy_db(empty_spec)
+
+    lines = [
+        "Narrowband Doppler baseline (no nulling), same CW power:",
+        table,
+        "",
+        f"Wi-Vi (nulled) off-DC motion margin through 8\" concrete: "
+        f"{wivi_margin:.1f} dB over the empty room",
+        "",
+        "The paper's critique reproduced: Doppler-only sensing works in",
+        "free space but loses its margin behind walls, because the",
+        "un-nulled flash forces the ADC range up (§2.1).",
+    ]
+    emit("baseline_doppler", "\n".join(lines))
+
+    assert snrs["free space"] > snrs['6" hollow wall'] > snrs['8" concrete wall']
+    assert wivi_margin > 1.0
+
+    benchmark(detector.detect, scenes["free space"], 2.0, rng)

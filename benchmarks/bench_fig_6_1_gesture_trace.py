@@ -1,0 +1,68 @@
+"""Fig. 6-1 — gestures as detected by Wi-Vi.
+
+A sequence of four steps — forward, backward, backward, forward —
+encodes bit '0' then bit '1'.  Forward steps must appear as bumps above
+the zero line of the angle-signed signal (triangles in the paper's
+heatmap) and backward steps below it.
+"""
+
+import numpy as np
+
+from common import SEED, emit
+from repro.analysis.plots import render_heatmap, render_series
+from repro.core.gestures import angle_signed_signal
+from repro.core.tracking import compute_beamformed_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import GestureTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def run_trial():
+    rng = np.random.default_rng(SEED + 2)
+    room = stata_conference_room_small()
+    trajectory = GestureTrajectory(
+        base_position=Point(room.wall.far_face_x_m + 3.0, 0.2),
+        bits=[0, 1],  # forward-backward, backward-forward
+    )
+    human = Human(trajectory, BodyModel(limb_count=0))
+    scene = Scene(room=room, humans=[human])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(trajectory.duration_s())
+    spectrogram = compute_beamformed_spectrogram(series.samples)
+    return trajectory, series, spectrogram
+
+
+def bench_fig_6_1(benchmark):
+    trajectory, series, spectrogram = run_trial()
+    signal = angle_signed_signal(spectrogram)
+    times = spectrogram.times_s
+
+    lines = [
+        "|A[theta, n]| during the gesture sequence fwd/back/back/fwd "
+        "(compare Fig. 6-1):",
+        render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg),
+        "",
+        "Angle-signed gesture signal (positive = forward step):",
+        render_series(signal, times=times),
+    ]
+
+    # Step polarity checks against the known step schedule.
+    checks = []
+    for index, step in enumerate(trajectory.steps):
+        mask = (times >= step.start_s) & (times <= step.start_s + step.duration_s)
+        extremum = signal[mask].max() if step.displacement_m > 0 else signal[mask].min()
+        direction = "forward" if step.displacement_m > 0 else "backward"
+        checks.append(
+            f"  step {index} ({direction:>8}): signed extremum {extremum:+.3e}"
+        )
+        if step.displacement_m > 0:
+            assert extremum > 0
+        else:
+            assert extremum < 0
+    lines += ["", "Per-step polarity:"] + checks
+    emit("fig_6_1_gesture_trace", "\n".join(lines))
+
+    result = benchmark(compute_beamformed_spectrogram, series.samples)
+    assert result.num_windows == spectrogram.num_windows

@@ -1,0 +1,107 @@
+"""Fig. 7-6 — gesture detection through different building structures.
+
+The §7.6 sweep: a subject performs the '0' gesture 3 m behind free
+space, tinted glass, a 1.75" solid wood door, a 6" hollow wall, and an
+8" concrete wall (8 trials per material in the paper).  Detection is
+near-perfect for everything up to the hollow wall and degrades for
+concrete; mean SNR decreases monotonically with material density.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table, trial_count
+from repro.core.gestures import GestureDecoder
+from repro.rf.materials import material_by_name
+from repro.simulator.experiment import (
+    gesture_trial,
+    make_subject_pool,
+    room_for_material,
+)
+
+MATERIALS = [
+    "free space",
+    "tinted glass",
+    '1.75" solid wood door',
+    '6" hollow wall',
+    '8" concrete wall',
+]
+PAPER_DETECTION = {
+    "free space": 100,
+    "tinted glass": 100,
+    '1.75" solid wood door': 100,
+    '6" hollow wall': 100,
+    '8" concrete wall': 87.5,
+}
+
+
+def run_sweep(trials_per_material: int):
+    rng = np.random.default_rng(SEED + 9)
+    pool = make_subject_pool(rng)
+    results = {}
+    for name in MATERIALS:
+        room = room_for_material(material_by_name(name))
+        detected = 0
+        snrs = []
+        for index in range(trials_per_material):
+            subject = pool[index % len(pool)]
+            trial, _ = gesture_trial(room, 3.0, [0], subject, rng)
+            decoder = GestureDecoder(step_duration_s=subject.step_duration_s)
+            result = decoder.decode(trial.spectrogram)
+            if result.bits[:1] == [0]:
+                detected += 1
+            snrs.append(decoder.measure_snr_db(trial.spectrogram))
+        results[name] = {
+            "detection": 100.0 * detected / trials_per_material,
+            "snr_mean": float(np.mean(snrs)),
+            "snr_min": float(np.min(snrs)),
+            "snr_max": float(np.max(snrs)),
+        }
+    return results
+
+
+def bench_fig_7_6(benchmark):
+    trials = trial_count(quick=6, full=8)
+    results = run_sweep(trials)
+
+    rows = []
+    for name in MATERIALS:
+        r = results[name]
+        rows.append(
+            [
+                name,
+                f"{PAPER_DETECTION[name]:.1f}%",
+                f"{r['detection']:.0f}%",
+                f"{r['snr_mean']:.1f}",
+                f"[{r['snr_min']:.1f}, {r['snr_max']:.1f}]",
+            ]
+        )
+    table = format_table(
+        ["material", "paper det.", "ours det.", "mean SNR dB", "SNR range"], rows
+    )
+    lines = [
+        f"'0' gesture at 3 m through each obstruction "
+        f"({trials} trials per material):",
+        table,
+        "",
+        "Paper shape: 100% detection through everything up to the 6\"",
+        "hollow wall, 87.5% through 8\" concrete; SNR falls with density.",
+    ]
+    emit("fig_7_6_materials", "\n".join(lines))
+
+    snr_order = [results[name]["snr_mean"] for name in MATERIALS]
+    # SNR decreases with material density (allow small inversions only
+    # between adjacent light materials at quick trial counts).
+    assert snr_order[0] == max(snr_order)
+    assert snr_order[-1] == min(snr_order)
+    assert results["free space"]["detection"] == 100.0
+    assert results['8" concrete wall']["detection"] <= results['6" hollow wall']["detection"]
+
+    # Timed kernel: one through-concrete trial pipeline.
+    rng = np.random.default_rng(SEED)
+    pool = make_subject_pool(rng, 1)
+    room = room_for_material(material_by_name('8" concrete wall'))
+
+    def one_trial():
+        return gesture_trial(room, 3.0, [0], pool[0], rng)
+
+    benchmark(one_trial)

@@ -1,0 +1,70 @@
+"""Lemma 4.1.1 — iterative nulling converges geometrically.
+
+The appendix proves |h_res^(i)| = |h_res^(0)| * |(h2_hat - h2)/h2|^i.
+This bench runs the exact Algorithm 1 updates on controlled channels
+and prints measured-vs-predicted residuals per iteration, then times
+a full iterative-nulling run over the waveform link.
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table
+from repro.core.nulling import iterative_nulling_residuals, run_nulling
+from repro.environment.scene import Scene
+from repro.environment.walls import stata_conference_room_small
+from repro.rf.channel import ChannelModel
+from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+
+
+def build_report() -> str:
+    h1, h2 = 1.0 + 0.4j, 0.85 - 0.15j
+    h1_error, h2_error = 0.012 + 0.02j, 0.018 - 0.008j
+    iterations = 8
+    measured = iterative_nulling_residuals(h1, h2, h1_error, h2_error, iterations)
+    rho = abs(h2_error / h2)
+    rows = []
+    for i, value in enumerate(measured):
+        predicted = measured[0] * rho**i
+        rows.append(
+            [
+                str(i),
+                f"{value:.3e}",
+                f"{predicted:.3e}",
+                f"{value / predicted:.3f}" if predicted > 0 else "-",
+            ]
+        )
+    table = format_table(
+        ["iteration", "measured |h_res|", "lemma prediction", "ratio"], rows
+    )
+    footer = (
+        f"\ncontraction ratio rho = |delta2 / h2| = {rho:.4f}\n"
+        "The measured residual tracks the lemma's geometric decay."
+    )
+    return table + footer
+
+
+def bench_lemma_4_1_1(benchmark):
+    emit("lemma_4_1_1_convergence", build_report())
+
+    # Sanity: decay really is geometric within 2x over 8 iterations.
+    measured = iterative_nulling_residuals(
+        1.0 + 0.4j, 0.85 - 0.15j, 0.012 + 0.02j, 0.018 - 0.008j, 8
+    )
+    rho = abs((0.018 - 0.008j) / (0.85 - 0.15j))
+    for i, value in enumerate(measured):
+        assert value <= 2.0 * measured[0] * rho**i + 1e-15
+
+    # Timed kernel: a full Algorithm 1 run on the simulated link.
+    room = stata_conference_room_small()
+    scene = Scene(room=room)
+    ch1 = ChannelModel(scene.paths(scene.device.tx1, 0.0))
+    ch2 = ChannelModel(scene.paths(scene.device.tx2, 0.0))
+
+    def run_once():
+        link = SimulatedNullingLink(
+            ch1, ch2, np.random.default_rng(SEED), WaveformLinkConfig()
+        )
+        return run_nulling(link)
+
+    result = benchmark(run_once)
+    assert result.nulling_db > 20.0

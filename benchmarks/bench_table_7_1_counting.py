@@ -1,0 +1,101 @@
+"""Table 7.1 — automatic detection of the number of moving humans.
+
+The §7.4 protocol: 25 s trials with 0-3 subjects; spatial-variance
+thresholds are learned on trials from one conference room and tested on
+trials from the other, then cross-validated (train and test swapped).
+The paper reports diagonal precisions of 100 / 100 / 85 / 90 %, with
+confusion only between adjacent classes.
+
+Quick mode runs 5 trials per class per room; REPRO_FULL=1 runs the
+paper's 10 (80 experiments total).
+"""
+
+import numpy as np
+
+from common import SEED, emit, format_table, trial_count
+from repro.analysis.metrics import precision_per_class
+from repro.core.counting import SpatialVarianceClassifier, trace_spatial_variance
+from repro.environment.walls import (
+    stata_conference_room_large,
+    stata_conference_room_small,
+)
+from repro.simulator.experiment import counting_trial, make_subject_pool
+
+
+def collect(trials_per_class: int, duration_s: float):
+    rng = np.random.default_rng(SEED + 6)
+    pool = make_subject_pool(rng)
+    data = {}
+    for tag, room in (
+        ("small", stata_conference_room_small()),
+        ("large", stata_conference_room_large()),
+    ):
+        data[tag] = {
+            n: np.array(
+                [
+                    trace_spatial_variance(
+                        counting_trial(room, n, duration_s, rng, pool).spectrogram
+                    )
+                    for _ in range(trials_per_class)
+                ]
+            )
+            for n in range(4)
+        }
+    return data
+
+
+def cross_validate(data):
+    """Train on one room, test on the other, both directions; pool the
+    predictions — the paper's cross-validation."""
+    all_true, all_pred = [], []
+    for train, test in (("small", "large"), ("large", "small")):
+        classifier = SpatialVarianceClassifier().fit(data[train])
+        for n in range(4):
+            for value in data[test][n]:
+                all_true.append(n)
+                all_pred.append(classifier.predict(float(value)))
+    return np.array(all_true), np.array(all_pred)
+
+
+def bench_table_7_1(benchmark):
+    trials = trial_count(quick=5, full=10)
+    data = collect(trials, duration_s=25.0)
+    true_labels, predicted = cross_validate(data)
+
+    counts = np.zeros((4, 4), dtype=int)
+    for t, p in zip(true_labels, predicted):
+        counts[t, p] += 1
+    rows = []
+    for n in range(4):
+        total = counts[n].sum()
+        rows.append(
+            [f"actual {n}"]
+            + [f"{100 * counts[n, m] / total:.0f}%" for m in range(4)]
+        )
+    table = format_table(["", "det 0", "det 1", "det 2", "det 3"], rows)
+
+    precision = precision_per_class(true_labels, predicted, [0, 1, 2, 3])
+    lines = [
+        f"Counting confusion matrix, cross-room cross-validated "
+        f"({2 * 4 * trials} trials):",
+        table,
+        "",
+        "Paper's diagonal: 100% / 100% / 85% / 90%",
+        "Ours:            "
+        + " / ".join(f"{100 * precision[n]:.0f}%" for n in range(4)),
+        "",
+        "Note (see EXPERIMENTS.md): our simulated rooms differ more in",
+        "effective signal strength than the paper's, so cross-room",
+        "transfer is harder; confusion stays between adjacent classes.",
+    ]
+    emit("table_7_1_counting", "\n".join(lines))
+
+    # Shape requirements: empty room is never confused with occupancy,
+    # and the 0/1 classes are solid.
+    assert precision[0] == 1.0
+    assert counts[0, 2] == counts[0, 3] == 0
+
+    # Timed kernel: classifier training.
+    benchmark(
+        lambda: SpatialVarianceClassifier().fit(data["small"])
+    )

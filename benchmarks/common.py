@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and both
+prints it (visible with ``pytest benchmarks/ -s``) and writes it to
+``benchmarks/output/<name>.txt`` so results survive pytest's output
+capture.
+
+Trial counts default to a scale that keeps the whole harness tractable
+on a laptop; set ``REPRO_FULL=1`` in the environment to run the paper's
+full trial counts (e.g. the 80-trial counting study of §7.4).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Global seed base so every bench is reproducible.
+SEED = 20130812  # SIGCOMM'13 presentation week
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale trial counts."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def trial_count(quick: int, full: int) -> int:
+    """Pick the per-point trial count for the current scale."""
+    return full if full_scale() else quick
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's result block and persist it to disk."""
+    banner = f"\n===== {name} ====="
+    print(banner)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Simple aligned text table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Through-wall gesture messaging (Chapter 6 of the thesis).
+
+A person standing behind a closed wall — carrying no device — sends a
+short binary message to the Wi-Vi receiver using body gestures:
+a '0' bit is a step forward then a step backward; a '1' bit is a step
+backward then a step forward.  The receiver decodes them from the RF
+reflections alone with matched filters, exactly as a communication
+receiver would decode Manchester-coded BPSK.
+
+The demo encodes an ASCII character, walks it through the simulated
+wall, and prints the decoded bits, the matched-filter waveform
+(Fig. 6-3a), and the recovered character.
+
+Run:
+    python examples/gesture_messaging.py [character]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GestureDecoder, make_subject_pool
+from repro.analysis.plots import render_series
+from repro.simulator.experiment import gesture_trial, pick_room_for_distance
+
+
+def char_to_bits(character: str) -> list[int]:
+    """ASCII character -> 8 bits, most significant first."""
+    code = ord(character)
+    if code > 127:
+        raise ValueError("only 7-bit ASCII can be gestured")
+    return [(code >> shift) & 1 for shift in range(7, -1, -1)]
+
+
+def bits_to_char(bits: list[int | None]) -> str:
+    """Bits -> character; erasures render as '?'."""
+    if len(bits) < 8 or any(bit is None for bit in bits[:8]):
+        return "?"
+    value = 0
+    for bit in bits[:8]:
+        value = (value << 1) | bit
+    return chr(value)
+
+
+def main() -> None:
+    character = sys.argv[1][0] if len(sys.argv) > 1 else "W"
+    bits = char_to_bits(character)
+    rng = np.random.default_rng(42)
+
+    subject = make_subject_pool(rng, count=1)[0]
+    distance_m = 4.0
+    room = pick_room_for_distance(distance_m)
+
+    print(f"Subject stands {distance_m:.0f} m behind a "
+          f"{room.wall.material.name} and gestures {character!r} = {bits}")
+    gesture_seconds = 2 * subject.step_duration_s
+    print(f"(each gesture takes this subject {gesture_seconds:.1f} s; the paper's "
+          f"average was 2.2 s)\n")
+
+    trial, trajectory = gesture_trial(room, distance_m, bits, subject, rng)
+    decoder = GestureDecoder(step_duration_s=subject.step_duration_s)
+    result = decoder.decode(trial.spectrogram)
+
+    print("Step-level matched-filter output (Fig. 6-3a: peaks = forward "
+          "steps, troughs = backward steps):")
+    print(render_series(result.matched_output, times=trial.spectrogram.times_s))
+    print()
+
+    print(f"{'sent':>6} {'decoded':>8} {'SNR (dB)':>9}")
+    for index, sent_bit in enumerate(bits):
+        decoded = result.bits[index] if index < len(result.bits) else None
+        snr = result.snr_db_per_bit[index] if index < len(result.snr_db_per_bit) else float("nan")
+        shown = "erased" if decoded is None else str(decoded)
+        print(f"{sent_bit:>6} {shown:>8} {snr:>9.1f}")
+
+    recovered = bits_to_char(result.bits)
+    print(f"\nRecovered character: {recovered!r}")
+    print(f"Erasures: {result.erasure_count} "
+          "(Wi-Vi's errors are erasures, never flips — §7.5)")
+
+
+if __name__ == "__main__":
+    main()

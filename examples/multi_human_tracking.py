@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Tracking multiple people through a wall (§5.2, Figs. 5-3 and 7-2).
+
+Two people move in a closed conference room: one walks toward the
+device while the other walks away, then both turn around.  The smoothed
+MUSIC spectrogram shows two curved lines of opposite sign plus the DC
+stripe — the signature the paper uses to explain multi-human tracking.
+
+Run:
+    python examples/multi_human_tracking.py
+"""
+
+import numpy as np
+
+from repro import (
+    BodyModel,
+    ChannelSeriesSimulator,
+    Human,
+    Point,
+    Scene,
+    WaypointTrajectory,
+    compute_spectrogram,
+    stata_conference_room_small,
+)
+from repro.analysis.plots import render_heatmap
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    room = stata_conference_room_small()
+
+    approaching = Human(
+        trajectory=WaypointTrajectory(
+            [Point(7.0, 1.3), Point(2.3, 1.0), Point(6.5, 1.4)], speed_mps=1.1
+        ),
+        body=BodyModel.sample(rng),
+        name="approaching",
+    )
+    departing = Human(
+        trajectory=WaypointTrajectory(
+            [Point(2.4, -1.2), Point(7.0, -0.9), Point(2.6, -1.3)], speed_mps=1.0
+        ),
+        body=BodyModel.sample(rng),
+        gait_phase=0.37,
+        name="departing",
+    )
+    scene = Scene(room=room, humans=[approaching, departing])
+
+    duration = min(
+        approaching.trajectory.duration_s(), departing.trajectory.duration_s()
+    )
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(duration)
+    spectrogram = compute_spectrogram(series.samples)
+
+    print("Two humans behind the wall: expect two curved lines of "
+          "opposite sign plus the straight DC stripe (Fig. 5-3).\n")
+    print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+
+    # Where is the energy, per third of the trace?
+    db = spectrogram.normalized_db()
+    grid = spectrogram.theta_grid_deg
+    thirds = np.array_split(np.arange(spectrogram.num_windows), 3)
+    print("\nMean energy by hemisphere (dB over floor):")
+    print(f"{'segment':>9} {'toward (+)':>12} {'away (-)':>10}")
+    for index, rows in enumerate(thirds):
+        toward = db[np.ix_(rows, grid > 15)].mean()
+        away = db[np.ix_(rows, grid < -15)].mean()
+        print(f"{index:>9} {toward:>12.2f} {away:>10.2f}")
+
+    print("\nPer-window MUSIC source estimates (signal subspace size, "
+          "includes the DC):")
+    counts = spectrogram.source_counts
+    print(f"  median {int(np.median(counts))}, "
+          f"range {counts.min()}-{counts.max()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Tracking an iRobot Create through the wall.
+
+The thesis notes in §5 footnote 1 that the system "can capture other
+moving bodies.  For example, we have successfully experimented with
+tracking an iRobot Create robot."  This demo drives a simulated Create
+on a patrol loop inside the closed room and tracks it: with no limbs
+and a steady 0.5 m/s drive, the robot's angle trace is cleaner than a
+human's — and slower, so its apparent angles are smaller (the tracker
+assumes 1 m/s, §5.1).
+
+Run:
+    python examples/robot_tracking.py
+"""
+
+import numpy as np
+
+from repro import Point, Scene, WiViDevice, stata_conference_room_small
+from repro.analysis.plots import render_heatmap
+from repro.environment.robots import CREATE_SPEED_MPS, create_robot, patrol_loop
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    room = stata_conference_room_small()
+    loop = patrol_loop(room.center(), radius_m=1.3, laps=0.6)
+    robot = create_robot(loop)
+    scene = Scene(room=room, humans=[robot])
+
+    device = WiViDevice(scene, rng)
+    nulling = device.calibrate()
+    print(f"Calibrated: {nulling.nulling_db:.1f} dB of nulling\n")
+
+    spectrogram = device.image(loop.duration_s())
+    print("A'[theta, n] for the patrolling Create:")
+    print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=5.0)
+    expected_max = np.degrees(np.arcsin(CREATE_SPEED_MPS / 1.0))
+    print(f"\nDominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg")
+    print(f"(a {CREATE_SPEED_MPS} m/s robot against the tracker's assumed "
+          f"1 m/s can only reach +/-{expected_max:.0f} deg — slow movers "
+          "read as small angles, §5.1)")
+
+    smoothness = float(np.std(np.diff(angles)))
+    print(f"Angle-track jitter: {smoothness:.1f} deg/step "
+          "(no limbs, steady drive: cleaner than a human's fuzzy line)")
+
+
+if __name__ == "__main__":
+    main()

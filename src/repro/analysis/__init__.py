@@ -1,0 +1,19 @@
+"""Analysis helpers used by the benchmark harness: empirical CDFs,
+accuracy metrics, and text renderers for spectrograms and series."""
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.metrics import accuracy, precision_per_class
+from repro.analysis.plots import (
+    render_cdf_table,
+    render_heatmap,
+    render_series,
+)
+
+__all__ = [
+    "EmpiricalCdf",
+    "accuracy",
+    "precision_per_class",
+    "render_cdf_table",
+    "render_heatmap",
+    "render_series",
+]

@@ -1,0 +1,128 @@
+"""Experiment campaign management.
+
+The paper's evaluation is a set of structured campaigns: N trials per
+condition, conditions swept over rooms / distances / materials /
+occupancy, then summarized into a table or CDF.  This module gives that
+structure a reusable shape: declare the conditions, hand over a trial
+function, collect per-condition statistics — used by scripts and handy
+for extending the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One experimental condition: a label and trial parameters."""
+
+    label: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ConditionResult:
+    """Collected outcomes for one condition."""
+
+    condition: Condition
+    values: list[float]
+    failures: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"no successful trials for {self.condition.label!r}")
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        if not self.values:
+            raise ValueError(f"no successful trials for {self.condition.label!r}")
+        return float(np.std(self.values))
+
+    @property
+    def median(self) -> float:
+        if not self.values:
+            raise ValueError(f"no successful trials for {self.condition.label!r}")
+        return float(np.median(self.values))
+
+
+class TrialError(RuntimeError):
+    """Raised by trial functions to signal a recoverable trial failure."""
+
+
+@dataclass
+class Campaign:
+    """A sweep of conditions, each run ``trials_per_condition`` times.
+
+    Args:
+        trial: callable ``(rng, **parameters) -> float`` producing one
+            scalar outcome per trial.  May raise :class:`TrialError`
+            for a failed trial (counted, not fatal).
+        conditions: the sweep.
+        trials_per_condition: repetitions per condition.
+        seed: base seed; each (condition, trial) pair gets its own
+            deterministic stream, so adding conditions does not change
+            the draws of existing ones.
+    """
+
+    trial: Callable[..., float]
+    conditions: list[Condition]
+    trials_per_condition: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trials_per_condition < 1:
+            raise ValueError("need at least one trial per condition")
+        if not self.conditions:
+            raise ValueError("need at least one condition")
+        labels = [c.label for c in self.conditions]
+        if len(set(labels)) != len(labels):
+            raise ValueError("condition labels must be unique")
+
+    def run(self) -> dict[str, ConditionResult]:
+        """Execute the whole sweep; returns results keyed by label."""
+        results: dict[str, ConditionResult] = {}
+        for c_index, condition in enumerate(self.conditions):
+            values: list[float] = []
+            failures = 0
+            for t_index in range(self.trials_per_condition):
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([self.seed, c_index, t_index])
+                )
+                try:
+                    values.append(float(self.trial(rng, **condition.parameters)))
+                except TrialError:
+                    failures += 1
+            results[condition.label] = ConditionResult(
+                condition=condition, values=values, failures=failures
+            )
+        return results
+
+
+def summary_table(results: dict[str, ConditionResult]) -> str:
+    """Render campaign results as an aligned text table."""
+    if not results:
+        raise ValueError("no results to summarize")
+    header = f"{'condition':>24}  {'n':>3}  {'mean':>10}  {'std':>9}  {'fail':>4}"
+    lines = [header, "-" * len(header)]
+    for label, result in results.items():
+        if result.values:
+            lines.append(
+                f"{label:>24}  {result.count:>3}  {result.mean:>10.3f}  "
+                f"{result.std:>9.3f}  {result.failures:>4}"
+            )
+        else:
+            lines.append(
+                f"{label:>24}  {result.count:>3}  {'-':>10}  {'-':>9}  "
+                f"{result.failures:>4}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Empirical cumulative distribution functions.
+
+Several of the paper's figures are CDFs over trials: spatial variance
+(Fig. 7-3), gesture SNR (Fig. 7-5), and achieved nulling (Fig. 7-7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmpiricalCdf:
+    """The empirical CDF of a sample."""
+
+    def __init__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("cannot build a CDF from an empty sample")
+        if np.any(~np.isfinite(values)):
+            raise ValueError("CDF values must be finite")
+        self._sorted = np.sort(values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted sample."""
+        return self._sorted.copy()
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def evaluate(self, x: float | np.ndarray) -> np.ndarray | float:
+        """P(X <= x)."""
+        result = np.searchsorted(self._sorted, np.asarray(x, dtype=float), side="right")
+        fractions = result / len(self._sorted)
+        return float(fractions) if np.ndim(x) == 0 else fractions
+
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Inverse CDF by linear interpolation."""
+        q_array = np.asarray(q, dtype=float)
+        if np.any((q_array < 0) | (q_array > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        result = np.quantile(self._sorted, q_array)
+        return float(result) if np.ndim(q) == 0 else result
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def table(self, points: int = 11) -> list[tuple[float, float]]:
+        """(value, cumulative fraction) rows for printing."""
+        if points < 2:
+            raise ValueError("need at least two points")
+        fractions = np.linspace(0.0, 1.0, points)
+        return [(float(self.quantile(f)), float(f)) for f in fractions]
+
+    def stochastically_dominates(self, other: "EmpiricalCdf", margin: float = 0.0) -> bool:
+        """Whether this distribution sits to the right of ``other`` at
+        every decile (first-order dominance check used by tests)."""
+        deciles = np.linspace(0.1, 0.9, 9)
+        mine = np.asarray(self.quantile(deciles))
+        theirs = np.asarray(other.quantile(deciles))
+        return bool(np.all(mine >= theirs + margin))

@@ -1,0 +1,104 @@
+"""Image export for spectrograms — no plotting stack required.
+
+The paper's figures are heatmaps of A'[theta, n].  This module writes
+them as portable graymap/pixmap files (PGM/PPM, the simplest image
+formats there are) so results can leave the terminal without
+matplotlib: every image viewer and converter understands them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tracking import MotionSpectrogram
+
+#: A perceptually-reasonable heat ramp (black -> red -> yellow -> white).
+_HEAT_STOPS = np.array(
+    [
+        (0.00, (0, 0, 0)),
+        (0.35, (128, 0, 0)),
+        (0.65, (255, 64, 0)),
+        (0.85, (255, 200, 0)),
+        (1.00, (255, 255, 255)),
+    ],
+    dtype=object,
+)
+
+
+def _normalize(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=float)
+    low, high = float(image.min()), float(image.max())
+    span = (high - low) or 1.0
+    return (image - low) / span
+
+
+def write_pgm(image: np.ndarray, path: str | Path) -> Path:
+    """Write a 2-D array as an 8-bit binary PGM (grayscale).
+
+    The array is min-max normalized; row 0 is the top of the image.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2 or image.size == 0:
+        raise ValueError("need a non-empty 2-D array")
+    levels = np.round(_normalize(image) * 255).astype(np.uint8)
+    path = Path(path)
+    height, width = levels.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P5\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(levels.tobytes())
+    return path
+
+
+def _heat_rgb(values: np.ndarray) -> np.ndarray:
+    """Map normalized values (0..1) onto the heat ramp, shape (..., 3)."""
+    positions = np.array([stop[0] for stop in _HEAT_STOPS], dtype=float)
+    colors = np.array([stop[1] for stop in _HEAT_STOPS], dtype=float)
+    rgb = np.empty(values.shape + (3,), dtype=float)
+    for channel in range(3):
+        rgb[..., channel] = np.interp(values, positions, colors[:, channel])
+    return np.round(rgb).astype(np.uint8)
+
+
+def write_ppm(image: np.ndarray, path: str | Path) -> Path:
+    """Write a 2-D array as a heat-mapped 8-bit binary PPM (colour)."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2 or image.size == 0:
+        raise ValueError("need a non-empty 2-D array")
+    rgb = _heat_rgb(_normalize(image))
+    path = Path(path)
+    height, width = image.shape
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(rgb.tobytes())
+    return path
+
+
+def export_spectrogram(
+    spectrogram: MotionSpectrogram,
+    path: str | Path,
+    color: bool = True,
+) -> Path:
+    """Export A'[theta, n] in the paper's orientation.
+
+    Rows run from +90 degrees (top) to -90 (bottom), columns are time —
+    matching Figs. 5-2/5-3/7-2.  The extension does not need to match;
+    the format is chosen by ``color``.
+    """
+    db_image = spectrogram.normalized_db()
+    oriented = db_image.T[::-1]  # theta on rows, +90 on top
+    writer = write_ppm if color else write_pgm
+    return writer(oriented, path)
+
+
+def read_pnm_header(path: str | Path) -> tuple[str, int, int]:
+    """Parse a PGM/PPM header: (magic, width, height).  For tests and
+    sanity checks."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip().decode("ascii")
+        if magic not in ("P5", "P6"):
+            raise ValueError(f"not a binary PGM/PPM file: magic {magic!r}")
+        dimensions = handle.readline().split()
+        width, height = int(dimensions[0]), int(dimensions[1])
+    return magic, width, height

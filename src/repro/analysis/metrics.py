@@ -1,0 +1,76 @@
+"""Classification metrics for the counting and gesture experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    true_array = np.asarray(true_labels)
+    predicted_array = np.asarray(predicted_labels)
+    if true_array.shape != predicted_array.shape:
+        raise ValueError("label arrays must align")
+    if true_array.size == 0:
+        raise ValueError("no labels to score")
+    return float(np.mean(true_array == predicted_array))
+
+
+def precision_per_class(
+    true_labels: np.ndarray, predicted_labels: np.ndarray, labels: list[int]
+) -> dict[int, float]:
+    """Per-class recall as the paper reports it: of the trials with
+    truly k humans, the fraction identified as k ("the precisions with
+    which Wi-Vi identifies each case", §1.2)."""
+    true_array = np.asarray(true_labels)
+    predicted_array = np.asarray(predicted_labels)
+    result = {}
+    for label in labels:
+        mask = true_array == label
+        if not np.any(mask):
+            raise ValueError(f"no trials with true label {label}")
+        result[label] = float(np.mean(predicted_array[mask] == label))
+    return result
+
+
+def erasure_rate(bits: list[int | None]) -> float:
+    """Fraction of gesture bits that were erased (not decoded)."""
+    if not bits:
+        raise ValueError("no bits")
+    return sum(1 for bit in bits if bit is None) / len(bits)
+
+
+def bit_error_events(sent: list[int], decoded: list[int | None]) -> tuple[int, int, int]:
+    """(correct, erased, flipped) counts.
+
+    Decoded bits are aligned to sent slots as an order-preserving
+    subsequence chosen to minimise flips: when gestures are erased
+    outright the receiver has no slot reference, so blaming a
+    mis-*position* on a bit *flip* would overstate the error class the
+    paper says never occurs (§7.5).  Unmatched sent slots count as
+    erasures.
+    """
+    if len(decoded) > len(sent):
+        decoded = decoded[: len(sent)]
+    observed = [bit for bit in decoded if bit is not None]
+    erased_markers = sum(1 for bit in decoded if bit is None)
+
+    # Dynamic program over (sent index, observed index): maximise the
+    # number of matching assignments of the observed subsequence.
+    n, m = len(sent), len(observed)
+    best = [[-1] * (m + 1) for _ in range(n + 1)]
+    best[0][0] = 0
+    for i in range(n + 1):
+        for j in range(min(i, m) + 1):
+            if best[i][j] < 0:
+                continue
+            if i < n:
+                # Leave sent[i] unmatched (erasure).
+                best[i + 1][j] = max(best[i + 1][j], best[i][j])
+                if j < m:
+                    gain = 1 if sent[i] == observed[j] else 0
+                    best[i + 1][j + 1] = max(best[i + 1][j + 1], best[i][j] + gain)
+    correct = best[n][m] if best[n][m] >= 0 else 0
+    flipped = m - correct
+    erased = n - m
+    return correct, erased, flipped

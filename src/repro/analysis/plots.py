@@ -1,0 +1,107 @@
+"""Text renderers: ASCII heatmaps and series for the bench harness.
+
+The paper's figures are heatmaps of A'[theta, n] and CDF curves; with
+no plotting stack available offline, the benches print compact ASCII
+versions plus the underlying numeric rows, which is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Intensity ramp from quiet to loud.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    image: np.ndarray,
+    y_labels: np.ndarray,
+    x_label: str = "time",
+    y_label: str = "theta",
+    max_rows: int = 19,
+    max_cols: int = 72,
+) -> str:
+    """Render a (rows=y, cols=x) image as ASCII art.
+
+    The image is downsampled by averaging to at most ``max_rows`` x
+    ``max_cols`` and mapped onto a 10-level intensity ramp.  Rows print
+    top-to-bottom from the largest y label (matching the paper's
+    +90 degrees on top).
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError("heatmap needs a 2-D image")
+    y_labels = np.asarray(y_labels, dtype=float)
+    if len(y_labels) != image.shape[0]:
+        raise ValueError("one y label per image row required")
+
+    def _downsample(array: np.ndarray, target: int, axis: int) -> np.ndarray:
+        length = array.shape[axis]
+        if length <= target:
+            return array
+        edges = np.linspace(0, length, target + 1).astype(int)
+        chunks = [
+            array.take(range(edges[i], max(edges[i + 1], edges[i] + 1)), axis=axis).mean(
+                axis=axis, keepdims=True
+            )
+            for i in range(target)
+        ]
+        return np.concatenate(chunks, axis=axis)
+
+    small = _downsample(_downsample(image, max_rows, 0), max_cols, 1)
+    small_y = _downsample(y_labels.reshape(-1, 1), max_rows, 0).ravel()
+    low, high = float(small.min()), float(small.max())
+    span = (high - low) or 1.0
+    levels = ((small - low) / span * (len(_RAMP) - 1)).astype(int)
+
+    lines = [f"{y_label} (deg)  |{x_label} ->"]
+    for row_index in range(small.shape[0] - 1, -1, -1):
+        row = "".join(_RAMP[level] for level in levels[row_index])
+        lines.append(f"{small_y[row_index]:+7.1f}  |{row}|")
+    return "\n".join(lines)
+
+
+def render_series(
+    values: np.ndarray,
+    times: np.ndarray | None = None,
+    height: int = 9,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render a 1-D signed series as an ASCII line chart around zero."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("series must be a non-empty 1-D array")
+    if height < 3 or height % 2 == 0:
+        raise ValueError("height must be an odd number >= 3")
+    # Downsample to width columns.
+    edges = np.linspace(0, len(values), min(width, len(values)) + 1).astype(int)
+    columns = np.array(
+        [values[edges[i] : max(edges[i + 1], edges[i] + 1)].mean() for i in range(len(edges) - 1)]
+    )
+    peak = max(float(np.max(np.abs(columns))), np.finfo(float).tiny)
+    half = height // 2
+    rows = np.clip(np.round(columns / peak * half).astype(int), -half, half)
+    grid = [[" "] * len(columns) for _ in range(height)]
+    for col, row in enumerate(rows):
+        grid[half - row][col] = "*"
+        grid[half][col] = grid[half][col] if grid[half][col] == "*" else "-"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("".join(row) for row in grid)
+    if times is not None and len(times) > 1:
+        lines.append(f"t = {float(times[0]):.1f}s ... {float(times[-1]):.1f}s, peak |y| = {peak:.3g}")
+    return "\n".join(lines)
+
+
+def render_cdf_table(
+    rows: list[tuple[float, float]], value_name: str, unit: str = ""
+) -> str:
+    """Print (value, fraction) CDF rows as an aligned table."""
+    header = f"{value_name}{f' ({unit})' if unit else ''}"
+    lines = [f"{header:>24}  cumulative fraction"]
+    for value, fraction in rows:
+        lines.append(f"{value:>24.3f}  {fraction:>18.2f}")
+    return "\n".join(lines)

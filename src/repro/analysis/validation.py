@@ -1,0 +1,100 @@
+"""Statistical validation helpers for reproduction claims.
+
+Benchmarks report point estimates; whether a reproduction "matches" the
+paper needs uncertainty attached.  This module provides the two tools
+the harness uses: bootstrap confidence intervals for any statistic of a
+trial sample, and a two-sample Kolmogorov-Smirnov distance for
+comparing CDFs (e.g. our Fig. 7-7 nulling distribution across runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap interval for a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.3g} "
+            f"[{self.low:.3g}, {self.high:.3g}] @ {100 * self.confidence:.0f}%"
+        )
+
+
+def bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for ``statistic``.
+
+    Args:
+        values: the trial sample.
+        statistic: reducer applied to each resample (default mean).
+        confidence: interval mass, e.g. 0.95.
+        num_resamples: bootstrap iterations.
+        rng: generator (defaults to a fixed-seed one so bench reports
+            are reproducible).
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size < 2:
+        raise ValueError("need at least two values to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 100:
+        raise ValueError("use at least 100 resamples")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    estimates = np.empty(num_resamples)
+    n = len(values)
+    for index in range(num_resamples):
+        resample = values[rng.integers(0, n, n)]
+        estimates[index] = statistic(resample)
+    tail = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(values)),
+        low=float(np.quantile(estimates, tail)),
+        high=float(np.quantile(estimates, 1.0 - tail)),
+        confidence=confidence,
+    )
+
+
+def ks_distance(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic: max CDF gap in [0, 1]."""
+    a = np.sort(np.asarray(sample_a, dtype=float).ravel())
+    b = np.sort(np.asarray(sample_b, dtype=float).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid, side="right") / len(b)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def samples_compatible(
+    sample_a: np.ndarray,
+    sample_b: np.ndarray,
+    max_ks_distance: float = 0.35,
+) -> bool:
+    """Loose compatibility check between two trial distributions.
+
+    A deliberately generous bar: reproduction targets *shape*, so we
+    flag only gross distributional mismatch.
+    """
+    if not 0.0 < max_ks_distance <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    return ks_distance(sample_a, sample_b) <= max_ks_distance

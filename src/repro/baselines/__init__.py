@@ -1,0 +1,23 @@
+"""Baseline through-wall sensing systems the paper positions against.
+
+§2.1 describes two families:
+
+* **Ultra-wideband pulse radars** (Ralston et al., Yang & Fathy) that
+  isolate the wall's flash *in time*: with 2 GHz of bandwidth, the
+  wall's reflection arrives in an earlier range bin than the human's
+  and can be gated out.  :mod:`repro.baselines.uwb` implements the
+  time-gating pipeline and shows exactly why it needs GHz of
+  bandwidth — at Wi-Fi's 20 MHz the wall and the human land in the
+  same range bin.
+* **Narrowband Doppler radars** (Ram et al., Kim & Ling) that ignore
+  the flash and look for Doppler shifts.  :mod:`repro.baselines.doppler`
+  implements the Doppler detector and reproduces the paper's critique:
+  it works in free space but "the flash effect limits their detection
+  capabilities" through real walls (§2.1) because the un-nulled static
+  signal saturates the receiver.
+"""
+
+from repro.baselines.doppler import DopplerDetector, DopplerResult
+from repro.baselines.uwb import UwbRadar, UwbScanResult
+
+__all__ = ["DopplerDetector", "DopplerResult", "UwbRadar", "UwbScanResult"]

@@ -1,0 +1,116 @@
+"""Physical and system constants used throughout the Wi-Vi reproduction.
+
+Wi-Vi operates in the 2.4 GHz ISM band (thesis §3) with a wavelength of
+12.5 cm, and the prototype transmits 5 MHz-wide Wi-Fi OFDM signals
+because the USRP N210 cannot stream 20 MHz in real time (§7.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Wi-Vi carrier frequency: centre of the 2.4 GHz ISM band (Hz).
+CARRIER_FREQUENCY_HZ = 2.4e9
+
+#: Carrier wavelength (m).  The thesis quotes 12.5 cm (§2.3).
+WAVELENGTH_M = SPEED_OF_LIGHT / CARRIER_FREQUENCY_HZ
+
+#: Signal bandwidth used by the prototype (§7.1): 5 MHz, down from the
+#: 20 MHz Wi-Fi channel so nulling can run in real time on USRPs.
+BANDWIDTH_HZ = 5e6
+
+#: Number of OFDM subcarriers per symbol, including DC (§7.1).
+NUM_SUBCARRIERS = 64
+
+#: Complex baseband sample rate of the prototype (samples/s).
+SAMPLE_RATE_HZ = BANDWIDTH_HZ
+
+#: ISAR emulated-array duration: samples spanning 0.32 s are averaged
+#: into an array of w = 100 elements (§7.1).
+ISAR_WINDOW_SECONDS = 0.32
+
+#: Emulated antenna-array size w (§7.1).
+ISAR_ARRAY_SIZE = 100
+
+#: Effective channel-measurement period of one emulated array element:
+#: 0.32 s / 100 elements = 3.2 ms.
+CHANNEL_SAMPLE_PERIOD_S = ISAR_WINDOW_SECONDS / ISAR_ARRAY_SIZE
+
+#: Effective channel-measurement rate (Hz).
+CHANNEL_SAMPLE_RATE_HZ = 1.0 / CHANNEL_SAMPLE_PERIOD_S
+
+#: Default assumed human walking speed (m/s); the thesis substitutes a
+#: comfortable walking speed because the true speed is unknown (§5.1).
+DEFAULT_HUMAN_SPEED_MPS = 1.0
+
+#: Power-boost applied after initial nulling, limited by the USRP
+#: transmitter's linear range (§4.1.2 footnote): 12 dB.
+POWER_BOOST_DB = 12.0
+
+#: Linear transmit-power range of the USRP N210 (§7.5): about 20 mW.
+USRP_LINEAR_TX_POWER_W = 0.020
+
+#: Wi-Fi regulatory power limit quoted for comparison (§7.5): 100 mW.
+WIFI_TX_POWER_LIMIT_W = 0.100
+
+#: Gain of the LP0965 directional antennas used by the prototype (§7.1).
+ANTENNA_GAIN_DBI = 6.0
+
+#: Matched-filter SNR threshold below which Wi-Vi refuses to decode a
+#: gesture (Fig. 7-4 caption): 3 dB.
+GESTURE_SNR_THRESHOLD_DB = 3.0
+
+#: Boltzmann constant (J/K) for thermal-noise computations.
+BOLTZMANN_CONSTANT = 1.380649e-23
+
+#: Reference temperature for noise figures (K).
+REFERENCE_TEMPERATURE_K = 290.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises ``ValueError`` for non-positive ratios, for which dB is
+    undefined.
+    """
+    if ratio <= 0:
+        raise ValueError(f"cannot express non-positive power ratio {ratio!r} in dB")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 1e-3 * db_to_linear(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0:
+        raise ValueError(f"cannot express non-positive power {watts!r} in dBm")
+    return linear_to_db(watts / 1e-3)
+
+
+def amplitude_db(amplitude: float) -> float:
+    """Convert a linear *amplitude* ratio to dB (20 log10)."""
+    if amplitude <= 0:
+        raise ValueError(f"cannot express non-positive amplitude {amplitude!r} in dB")
+    return 20.0 * math.log10(amplitude)
+
+
+def thermal_noise_power_w(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power kTB over ``bandwidth_hz``, in watts.
+
+    ``noise_figure_db`` adds receiver noise on top of the thermal floor.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    floor = BOLTZMANN_CONSTANT * REFERENCE_TEMPERATURE_K * bandwidth_hz
+    return floor * db_to_linear(noise_figure_db)

@@ -1,0 +1,70 @@
+"""Wi-Vi core: the paper's primary contribution.
+
+* :mod:`repro.core.nulling` — MIMO interference nulling that removes
+  the flash (Chapter 4, Algorithm 1, Lemma 4.1.1).
+* :mod:`repro.core.beamforming` — emulated-antenna-array (ISAR)
+  beamforming, Eq. 5.1.
+* :mod:`repro.core.music` — smoothed MUSIC, Eqs. 5.2-5.3.
+* :mod:`repro.core.tracking` — the A'[theta, n] spectrogram pipeline
+  (Figs. 5-2, 5-3, 7-2).
+* :mod:`repro.core.counting` — spatial-variance human counting,
+  Eqs. 5.4-5.5 and the §7.4 classifier.
+* :mod:`repro.core.gestures` — the through-wall gesture channel
+  (Chapter 6).
+* :mod:`repro.core.detection` — moving-target presence detection and
+  SNR measurement.
+"""
+
+from repro.core.beamforming import inverse_aoa_spectrum, steering_vector
+from repro.core.counting import (
+    SpatialVarianceClassifier,
+    spatial_centroid,
+    spatial_variance,
+    trace_spatial_variance,
+)
+from repro.core.detection import motion_energy_db, motion_present
+from repro.core.gestures import (
+    GestureDecoder,
+    GestureDecodeResult,
+    angle_signed_signal,
+    matched_filter_bank,
+)
+from repro.core.music import (
+    MusicResult,
+    estimate_source_count,
+    smoothed_correlation_matrix,
+    smoothed_music_spectrum,
+)
+from repro.core.nulling import (
+    NullingResult,
+    NullingTransceiver,
+    iterative_nulling_residuals,
+    run_nulling,
+)
+from repro.core.tracking import MotionSpectrogram, TrackingConfig, compute_spectrogram
+
+__all__ = [
+    "GestureDecodeResult",
+    "GestureDecoder",
+    "MotionSpectrogram",
+    "MusicResult",
+    "NullingResult",
+    "NullingTransceiver",
+    "SpatialVarianceClassifier",
+    "TrackingConfig",
+    "angle_signed_signal",
+    "compute_spectrogram",
+    "estimate_source_count",
+    "inverse_aoa_spectrum",
+    "iterative_nulling_residuals",
+    "matched_filter_bank",
+    "motion_energy_db",
+    "motion_present",
+    "run_nulling",
+    "smoothed_correlation_matrix",
+    "smoothed_music_spectrum",
+    "spatial_centroid",
+    "spatial_variance",
+    "steering_vector",
+    "trace_spatial_variance",
+]

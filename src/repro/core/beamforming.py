@@ -1,0 +1,135 @@
+"""Emulated antenna-array (ISAR) beamforming: Eq. 5.1.
+
+Wi-Vi groups consecutive channel measurements ``h[n] .. h[n + w]`` into
+an emulated antenna array (Fig. 5-1) and computes
+
+    A[theta, n] = sum_i h[n + i] * exp(+j * 2*pi/lambda * i * delta * sin(theta))
+
+where ``delta = 2 * v * T`` is the emulated element spacing: the
+assumed target speed times the channel sampling period, doubled to
+account for the round trip (§5.1, footnote 2).
+
+theta follows the paper's convention: the angle between the
+human-to-device line and the normal to the motion, positive when the
+subject moves toward the device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    CHANNEL_SAMPLE_PERIOD_S,
+    DEFAULT_HUMAN_SPEED_MPS,
+    WAVELENGTH_M,
+)
+
+
+def element_spacing_m(
+    assumed_speed_mps: float = DEFAULT_HUMAN_SPEED_MPS,
+    sample_period_s: float = CHANNEL_SAMPLE_PERIOD_S,
+) -> float:
+    """Emulated element spacing delta = 2 v T (round trip, §5.1)."""
+    if assumed_speed_mps <= 0 or sample_period_s <= 0:
+        raise ValueError("speed and sample period must be positive")
+    return 2.0 * assumed_speed_mps * sample_period_s
+
+
+def default_theta_grid(step_deg: float = 1.0) -> np.ndarray:
+    """The paper's angle grid: theta in [-90, 90] degrees."""
+    if step_deg <= 0:
+        raise ValueError("step must be positive")
+    return np.arange(-90.0, 90.0 + step_deg / 2.0, step_deg)
+
+
+def steering_vector(
+    theta_deg: float | np.ndarray,
+    array_size: int,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> np.ndarray:
+    """Steering vector(s) a(theta) of the emulated array.
+
+    ``a_i(theta) = exp(-j * 2*pi/lambda * i * delta * sin(theta))`` —
+    the phase history a scatterer at angle theta actually induces under
+    the ``exp(+j k d)`` channel convention (motion toward the device
+    shortens the path, retarding the phase).  Eq. 5.1's sum
+    ``sum_i h[n+i] * exp(+j * 2*pi/lambda * i * delta * sin(theta))``
+    is then exactly ``a(theta)^H h``, and the MUSIC projection uses the
+    same vectors, so both methods peak at the same, correctly-signed
+    angle.
+
+    Returns shape (array_size,) for a scalar angle or
+    (num_angles, array_size) for a grid.
+    """
+    if array_size < 1:
+        raise ValueError("array size must be positive")
+    thetas = np.atleast_1d(np.asarray(theta_deg, dtype=float))
+    indices = np.arange(array_size)
+    phase = (
+        2.0
+        * np.pi
+        / wavelength_m
+        * np.outer(np.sin(np.radians(thetas)), indices)
+        * spacing_m
+    )
+    vectors = np.exp(-1j * phase)
+    return vectors if np.ndim(theta_deg) > 0 else vectors[0]
+
+
+def inverse_aoa_spectrum(
+    window: np.ndarray,
+    theta_grid_deg: np.ndarray,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> np.ndarray:
+    """A[theta] for one emulated-array window (Eq. 5.1), as |A|.
+
+    ``window`` is the w consecutive channel measurements; the output
+    has one magnitude per angle in ``theta_grid_deg``.
+    """
+    window = np.asarray(window, dtype=complex)
+    if window.ndim != 1:
+        raise ValueError("window must be one-dimensional")
+    steering = steering_vector(theta_grid_deg, len(window), spacing_m, wavelength_m)
+    return np.abs(steering.conj() @ window)
+
+
+def beamformed_spectrogram(
+    channel_series: np.ndarray,
+    window_size: int,
+    hop: int,
+    theta_grid_deg: np.ndarray,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+    remove_window_mean: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eq. 5.1 applied over sliding windows.
+
+    Returns ``(window_starts, magnitudes)`` with magnitudes of shape
+    (num_windows, num_angles).  This is the plain-beamforming
+    alternative to smoothed MUSIC; the paper notes it produces the same
+    figures "but with more noise" (§5.2 footnote 6).
+
+    ``remove_window_mean`` subtracts each window's mean before
+    beamforming, suppressing the DC residual and — more importantly for
+    weak gestures — the DC x signal cross terms in |A|^2.  Legitimate
+    because "additive constants do not prevent tracking" (§4.1).
+    """
+    series = np.asarray(channel_series, dtype=complex)
+    if window_size < 2:
+        raise ValueError("window must contain at least 2 samples")
+    if hop < 1:
+        raise ValueError("hop must be positive")
+    if len(series) < window_size:
+        raise ValueError("series shorter than one window")
+    starts = np.arange(0, len(series) - window_size + 1, hop)
+    steering = steering_vector(theta_grid_deg, window_size, spacing_m, wavelength_m)
+    conjugate = steering.conj()
+    spectra = np.empty((len(starts), len(theta_grid_deg)))
+    for row, start in enumerate(starts):
+        window = series[start : start + window_size]
+        if remove_window_mean:
+            window = window - window.mean()
+        spectra[row] = np.abs(conjugate @ window)
+    return starts, spectra

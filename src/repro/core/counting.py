@@ -1,0 +1,175 @@
+"""Counting moving humans via spatial variance: §5.2, Eqs. 5.4-5.5.
+
+"At any point in time, the larger the number of humans, the higher the
+spatial variance."  The metric computes dB-weighted angular moments of
+the MUSIC image:
+
+    C[n]   = sum_theta theta   * 20 log10 A'[theta, n]        (Eq. 5.4)
+    VAR[n] = sum_theta theta^2 * 20 log10 A'[theta, n] - C[n]^2  (Eq. 5.5)
+
+averaged over the trace.  With 181 one-degree angle bins and dB values
+in the tens, VAR lands in the tens of millions — matching the x-axis of
+Fig. 7-3 ("in tens of millions").
+
+Thresholds between 0/1/2/3 humans are learned from a training set and
+applied to a held-out set from a *different room*, then
+cross-validated, exactly the §7.4 protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tracking import MotionSpectrogram
+
+
+def spatial_centroid(db_image_row: np.ndarray, theta_grid_deg: np.ndarray) -> float:
+    """C[n] of one spectrogram row (Eq. 5.4), in degrees.
+
+    The centroid is the dB-weighted mean angle.  (Eq. 5.4 omits the
+    weight normalisation; without it C^2 would dwarf the second moment
+    in Eq. 5.5 and the variance would go negative, while Fig. 7-3's
+    axis — "tens of millions" — matches the unnormalised second moment.
+    We therefore read Eq. 5.4 as the weighted-mean angle.)
+    """
+    row = np.asarray(db_image_row, dtype=float)
+    thetas = np.asarray(theta_grid_deg, dtype=float)
+    if row.shape != thetas.shape:
+        raise ValueError("row and angle grid must align")
+    total = float(np.sum(row))
+    if total <= 0:
+        return 0.0
+    return float(np.sum(thetas * row) / total)
+
+
+def spatial_variance(
+    db_image_row: np.ndarray, theta_grid_deg: np.ndarray, normalize: bool = False
+) -> float:
+    """VAR[n] of one spectrogram row (Eq. 5.5).
+
+    With ``normalize=False`` (the literal paper form) this is the
+    unnormalised dB-weighted second moment about the centroid:
+    ``sum_theta theta^2 * 20 log10 A' - C^2``.  With 181 one-degree
+    bins and dB values in the tens this lands in the tens of millions,
+    matching Fig. 7-3's axis; it grows both with how *spread out* the
+    energy is in angle and with how much moving energy there is.
+
+    With ``normalize=True`` the weights are normalised to unit sum, so
+    the result is a pure angular spread in degrees^2 — invariant to the
+    received signal level, which makes it transfer between rooms of
+    different size (the classifier feature; see §7.4 and
+    EXPERIMENTS.md).
+    """
+    row = np.asarray(db_image_row, dtype=float)
+    thetas = np.asarray(theta_grid_deg, dtype=float)
+    if row.shape != thetas.shape:
+        raise ValueError("row and angle grid must align")
+    if normalize:
+        total = float(np.sum(row))
+        if total <= 0:
+            return 0.0
+        weights = row / total
+        centroid = float(np.sum(thetas * weights))
+        return float(np.sum(thetas**2 * weights) - centroid**2)
+    centroid = spatial_centroid(row, thetas)
+    return float(np.sum(thetas**2 * row) - centroid**2)
+
+
+def trace_spatial_variance(
+    spectrogram: MotionSpectrogram,
+    normalize: bool = True,
+    aggregate: str = "median",
+) -> float:
+    """The per-trace number §7.4 classifies on: VAR[n] aggregated over
+    the duration of the measurement.
+
+    Defaults to the *normalised* per-window variance (pure angular
+    spread, invariant to signal level) aggregated by the median (robust
+    to bright outlier windows) — the variant that transfers between
+    training and testing rooms in our simulator.  Pass
+    ``normalize=False, aggregate="mean"`` for the literal Eq. 5.5
+    quantity plotted on Fig. 7-3's tens-of-millions axis.
+    """
+    if aggregate not in ("mean", "median"):
+        raise ValueError("aggregate must be 'mean' or 'median'")
+    db_image = spectrogram.normalized_db()
+    thetas = spectrogram.theta_grid_deg
+    variances = [spatial_variance(row, thetas, normalize) for row in db_image]
+    reducer = np.median if aggregate == "median" else np.mean
+    return float(reducer(variances))
+
+
+@dataclass
+class SpatialVarianceClassifier:
+    """Threshold classifier over per-trace spatial variances.
+
+    Learns one threshold between each pair of adjacent classes as the
+    midpoint of the class means (the "simple heuristic" the paper found
+    works well in practice, §5.2).
+    """
+
+    class_labels: list[int] = field(default_factory=list)
+    thresholds: list[float] = field(default_factory=list)
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.class_labels)
+
+    def fit(self, variances_by_label: dict[int, np.ndarray]) -> "SpatialVarianceClassifier":
+        """Learn thresholds from training traces.
+
+        Args:
+            variances_by_label: per-trace variance arrays keyed by the
+                true number of moving humans.
+        """
+        if len(variances_by_label) < 2:
+            raise ValueError("need at least two classes to learn thresholds")
+        labels = sorted(variances_by_label)
+        means = []
+        for label in labels:
+            values = np.asarray(variances_by_label[label], dtype=float)
+            if values.size == 0:
+                raise ValueError(f"class {label} has no training traces")
+            means.append(float(values.mean()))
+        if any(b <= a for a, b in zip(means, means[1:])):
+            raise ValueError(
+                "training class means are not increasing with the human "
+                "count; the variance metric failed on this training set"
+            )
+        self.class_labels = labels
+        self.thresholds = [(a + b) / 2.0 for a, b in zip(means, means[1:])]
+        return self
+
+    def predict(self, variance: float) -> int:
+        """Classify one trace's spatial variance."""
+        if not self.is_fitted:
+            raise RuntimeError("classifier has not been fitted")
+        for label, threshold in zip(self.class_labels, self.thresholds):
+            if variance < threshold:
+                return label
+        return self.class_labels[-1]
+
+    def predict_many(self, variances: np.ndarray) -> np.ndarray:
+        return np.array([self.predict(float(v)) for v in np.asarray(variances)])
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predicted_labels: np.ndarray, labels: list[int]
+) -> np.ndarray:
+    """Row-normalized confusion matrix (fractions), rows = true class.
+
+    This is the layout of Table 7.1.
+    """
+    true_array = np.asarray(true_labels)
+    predicted_array = np.asarray(predicted_labels)
+    if true_array.shape != predicted_array.shape:
+        raise ValueError("label arrays must align")
+    matrix = np.zeros((len(labels), len(labels)))
+    index = {label: i for i, label in enumerate(labels)}
+    for truth, prediction in zip(true_array, predicted_array):
+        matrix[index[int(truth)], index[int(prediction)]] += 1
+    row_sums = matrix.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    return matrix / row_sums

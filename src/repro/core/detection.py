@@ -1,0 +1,65 @@
+"""Moving-target presence detection.
+
+A small utility layer over the spectrogram: measures how much energy
+lives away from the DC stripe and decides whether anything is moving —
+the 0-human case of §7.4, and the basis for the intrusion-detection
+example application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tracking import MotionSpectrogram
+
+
+def motion_energy_db(
+    spectrogram: MotionSpectrogram, dc_guard_deg: float = 10.0
+) -> float:
+    """Mean off-DC energy of the normalized dB image.
+
+    The DC stripe (|theta| < ``dc_guard_deg``) is excluded; what
+    remains is energy attributable to motion (plus noise).
+    """
+    db_image = spectrogram.normalized_db()
+    mask = np.abs(spectrogram.theta_grid_deg) >= dc_guard_deg
+    if not np.any(mask):
+        raise ValueError("DC guard masks every angle")
+    return float(db_image[:, mask].mean())
+
+
+def motion_present(
+    spectrogram: MotionSpectrogram,
+    dc_guard_deg: float = 10.0,
+    threshold_db: float | None = None,
+    empty_room_reference_db: float | None = None,
+) -> bool:
+    """Decide whether the trace contains motion.
+
+    Either pass an absolute ``threshold_db`` or an
+    ``empty_room_reference_db`` measured on a known-empty trace, in
+    which case the threshold sits 25% above the reference.
+    """
+    if (threshold_db is None) == (empty_room_reference_db is None):
+        raise ValueError("pass exactly one of threshold_db or empty-room reference")
+    energy = motion_energy_db(spectrogram, dc_guard_deg)
+    if threshold_db is None:
+        threshold_db = 1.25 * empty_room_reference_db
+    return energy > threshold_db
+
+
+def peak_to_dc_ratio_db(
+    spectrogram: MotionSpectrogram, dc_guard_deg: float = 10.0
+) -> float:
+    """How strongly the best off-DC peak stands against the DC stripe.
+
+    Positive values mean a moving target outshines the static residual.
+    """
+    db_image = spectrogram.normalized_db()
+    off_dc = np.abs(spectrogram.theta_grid_deg) >= dc_guard_deg
+    on_dc = ~off_dc
+    if not np.any(off_dc) or not np.any(on_dc):
+        raise ValueError("DC guard leaves an empty region")
+    peak_off = float(db_image[:, off_dc].max())
+    peak_dc = float(db_image[:, on_dc].max())
+    return peak_off - peak_dc

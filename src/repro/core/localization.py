@@ -1,0 +1,117 @@
+"""Relative-motion reconstruction from angle tracks.
+
+§5.1: "because we do not know the exact v, we cannot pinpoint the
+location of the human, but we can track her/his relative movements."
+This module makes that statement executable: given an angle track
+theta(t) and the assumed speed, it integrates the implied radial
+velocity ``v * sin(theta)`` into a cumulative radial displacement —
+how far the subject net-approached or net-retreated — and summarizes a
+trace as motion statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_HUMAN_SPEED_MPS
+from repro.core.association import Track
+
+
+@dataclass
+class RelativeMotion:
+    """Reconstructed radial motion of one track.
+
+    Attributes:
+        times_s: sample instants.
+        radial_displacement_m: cumulative displacement toward the
+            device (positive = net approach), starting at 0.
+        closest_approach_m: most-approached displacement relative to
+            the start.
+        net_displacement_m: final displacement relative to the start.
+        turnarounds: number of approach/retreat direction changes.
+    """
+
+    times_s: np.ndarray
+    radial_displacement_m: np.ndarray
+
+    @property
+    def closest_approach_m(self) -> float:
+        return float(self.radial_displacement_m.max())
+
+    @property
+    def net_displacement_m(self) -> float:
+        return float(self.radial_displacement_m[-1])
+
+    @property
+    def turnarounds(self) -> int:
+        velocity_sign = np.sign(np.diff(self.radial_displacement_m))
+        nonzero = velocity_sign[velocity_sign != 0]
+        if len(nonzero) < 2:
+            return 0
+        return int(np.sum(np.diff(nonzero) != 0))
+
+
+def integrate_track(
+    track: Track, assumed_speed_mps: float = DEFAULT_HUMAN_SPEED_MPS
+) -> RelativeMotion:
+    """Integrate an angle track into radial displacement.
+
+    The radial velocity toward the device is ``v * sin(theta)`` by the
+    paper's angle definition (§5.1); errors in the assumed ``v`` scale
+    the displacement but preserve its sign structure.
+    """
+    if assumed_speed_mps <= 0:
+        raise ValueError("assumed speed must be positive")
+    if len(track.times_s) < 2:
+        raise ValueError("track too short to integrate")
+    times = np.asarray(track.times_s, dtype=float)
+    thetas = np.radians(np.asarray(track.thetas_deg, dtype=float))
+    radial_velocity = assumed_speed_mps * np.sin(thetas)
+    dt = np.diff(times)
+    displacement = np.concatenate(
+        [[0.0], np.cumsum(0.5 * (radial_velocity[1:] + radial_velocity[:-1]) * dt)]
+    )
+    return RelativeMotion(times_s=times, radial_displacement_m=displacement)
+
+
+@dataclass
+class MotionSummary:
+    """One-line answer to "what happened behind that wall?"."""
+
+    num_tracks: int
+    total_observed_s: float
+    max_approach_m: float
+    max_retreat_m: float
+    total_turnarounds: int
+
+    def describe(self) -> str:
+        if self.num_tracks == 0:
+            return "no motion observed"
+        return (
+            f"{self.num_tracks} mover(s) over {self.total_observed_s:.1f} s; "
+            f"max approach {self.max_approach_m:.1f} m, "
+            f"max retreat {self.max_retreat_m:.1f} m, "
+            f"{self.total_turnarounds} turnaround(s)"
+        )
+
+
+def summarize_tracks(
+    tracks: list[Track], assumed_speed_mps: float = DEFAULT_HUMAN_SPEED_MPS
+) -> MotionSummary:
+    """Summarize a set of confirmed tracks as relative-motion facts."""
+    if not tracks:
+        return MotionSummary(0, 0.0, 0.0, 0.0, 0)
+    motions = [
+        integrate_track(t, assumed_speed_mps) for t in tracks if len(t.times_s) >= 2
+    ]
+    if not motions:
+        return MotionSummary(len(tracks), 0.0, 0.0, 0.0, 0)
+    return MotionSummary(
+        num_tracks=len(tracks),
+        total_observed_s=float(sum(t.duration_s for t in tracks)),
+        max_approach_m=float(max(m.closest_approach_m for m in motions)),
+        max_retreat_m=float(-min(m.radial_displacement_m.min() for m in motions)),
+        total_turnarounds=int(sum(m.turnarounds for m in motions)),
+    )

@@ -1,0 +1,237 @@
+"""A message layer over the gesture channel.
+
+Chapter 6 closes by noting Wi-Vi "can evolve by borrowing other
+existing principles and practices from today's communication systems,
+such as adding a simple code to ensure reliability, or reserving a
+certain pattern of '0's and '1's for packet preambles".  This module
+builds that layer:
+
+* **Framing** — a preamble bit pattern marks the start of a message and
+  carries the payload length, so the receiver can tell a deliberate
+  message from stray motion.
+* **Erasure coding** — Wi-Vi's gesture errors are erasures, never bit
+  flips (§7.5), which is exactly the channel a simple parity-based
+  erasure code handles optimally: any single erased bit per block is
+  recoverable.
+* **Text codec** — 7-bit ASCII packing so humans can gesture short
+  words.
+
+The layer is deliberately simple (the paper's interface "is still very
+basic") but complete: encode -> gesture -> decode round-trips through
+the simulated wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Start-of-frame pattern.  Five gestures (~11 s of preamble at the
+#: paper's 2.2 s/gesture) is the compromise between sync robustness and
+#: the human's patience; the pattern has no period-1 or period-2
+#: structure, so casual shuffling cannot fake it.
+PREAMBLE_BITS: tuple[int, ...] = (1, 1, 0, 1, 0)
+
+#: Number of bits in the length field (messages up to 15 payload bits;
+#: gesturing is slow — the paper's subjects needed 8.8 s for 4 bits).
+LENGTH_FIELD_BITS = 4
+
+#: Data bits per parity block.
+BLOCK_DATA_BITS = 3
+
+
+class FramingError(ValueError):
+    """The received bit stream does not contain a valid frame."""
+
+
+def _to_bit_list(bits) -> list[int]:
+    result = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+        result.append(int(bit))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Erasure coding
+# ----------------------------------------------------------------------
+
+def add_parity(data_bits: list[int], block_size: int = BLOCK_DATA_BITS) -> list[int]:
+    """Append one even-parity bit to each block of ``block_size`` bits.
+
+    On an erasure channel a single missing bit per block is exactly
+    recoverable: the parity pins down the erased value.  (A flipped bit
+    would corrupt silently — but Wi-Vi does not flip bits, §7.5.)
+    """
+    if block_size < 1:
+        raise ValueError("block size must be positive")
+    data = _to_bit_list(data_bits)
+    encoded: list[int] = []
+    for start in range(0, len(data), block_size):
+        block = data[start : start + block_size]
+        encoded.extend(block)
+        encoded.append(sum(block) % 2)
+    return encoded
+
+
+def recover_erasures(
+    coded_bits: list[int | None], block_size: int = BLOCK_DATA_BITS
+) -> list[int | None]:
+    """Recover single erasures per parity block; strip the parity bits.
+
+    The block structure (including a shorter trailing block) is
+    inferred from the coded length: ``add_parity`` maps d data bits to
+    ``d + ceil(d / block_size)`` coded bits.  Returns the data bits,
+    with ``None`` where a block had more than one erasure
+    (unrecoverable).
+    """
+    if block_size < 1:
+        raise ValueError("block size must be positive")
+    stride = block_size + 1
+    total = len(coded_bits)
+    full_blocks, remainder = divmod(total, stride)
+    # A trailing partial block holds remainder-1 data bits + 1 parity.
+    block_lengths = [stride] * full_blocks
+    if remainder:
+        block_lengths.append(remainder)
+
+    data: list[int | None] = []
+    start = 0
+    for length in block_lengths:
+        block = list(coded_bits[start : start + length])
+        start += length
+        erased = [i for i, bit in enumerate(block) if bit is None]
+        if len(erased) == 1:
+            known_sum = sum(bit for bit in block if bit is not None)
+            block[erased[0]] = known_sum % 2
+        # The last element of every block is the parity bit.
+        data.extend(block[:-1])
+    return data
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def frame_message(payload_bits) -> list[int]:
+    """Wrap payload bits in a frame: preamble, length, parity-coded body."""
+    payload = _to_bit_list(payload_bits)
+    if len(payload) >= 2**LENGTH_FIELD_BITS:
+        raise ValueError(
+            f"payload of {len(payload)} bits exceeds the "
+            f"{2**LENGTH_FIELD_BITS - 1}-bit frame limit"
+        )
+    length_bits = [
+        (len(payload) >> shift) & 1 for shift in range(LENGTH_FIELD_BITS - 1, -1, -1)
+    ]
+    return list(PREAMBLE_BITS) + add_parity(length_bits) + add_parity(payload)
+
+
+def _coded_length(data_bits: int, block_size: int = BLOCK_DATA_BITS) -> int:
+    full, rem = divmod(data_bits, block_size)
+    return data_bits + full + (1 if rem else 0)
+
+
+def deframe_message(received_bits: list[int | None]) -> list[int | None]:
+    """Locate the frame in a received bit stream and return the payload.
+
+    The preamble may not contain erasures (it is the synchronization
+    anchor); the length field and payload tolerate one erasure per
+    parity block.
+
+    Raises :class:`FramingError` when no frame is found or the length
+    field is unrecoverable.
+    """
+    preamble = list(PREAMBLE_BITS)
+    length_coded = _coded_length(LENGTH_FIELD_BITS)
+    failure: str | None = None
+    for offset in range(0, max(len(received_bits) - len(preamble) + 1, 0)):
+        window = list(received_bits[offset : offset + len(preamble)])
+        # Erasure-tolerant sync: a None matches anything, but at most
+        # one — two unknowns make the anchor too ambiguous.
+        erased = sum(1 for bit in window if bit is None)
+        matches = all(bit is None or bit == p for bit, p in zip(window, preamble))
+        if not matches or erased > 1:
+            continue
+        cursor = offset + len(preamble)
+        length_block = list(received_bits[cursor : cursor + length_coded])
+        if len(length_block) < length_coded:
+            failure = "frame truncated inside the length field"
+            continue  # possibly a false sync; keep scanning
+        length_bits = recover_erasures(length_block)
+        if any(bit is None for bit in length_bits):
+            failure = "length field unrecoverable"
+            continue
+        payload_length = 0
+        for bit in length_bits:
+            payload_length = (payload_length << 1) | bit
+        cursor += length_coded
+        payload_coded_length = _coded_length(payload_length)
+        payload_block = list(received_bits[cursor : cursor + payload_coded_length])
+        if len(payload_block) < payload_coded_length:
+            payload_block += [None] * (payload_coded_length - len(payload_block))
+        payload = recover_erasures(payload_block)
+        return payload[:payload_length]
+    raise FramingError(failure or "no preamble found in the received bits")
+
+
+# ----------------------------------------------------------------------
+# Text codec
+# ----------------------------------------------------------------------
+
+def text_to_bits(text: str) -> list[int]:
+    """Pack ASCII text as 7 bits per character, MSB first."""
+    bits: list[int] = []
+    for character in text:
+        code = ord(character)
+        if code > 127:
+            raise ValueError(f"non-ASCII character {character!r}")
+        bits.extend((code >> shift) & 1 for shift in range(6, -1, -1))
+    return bits
+
+
+def bits_to_text(bits: list[int | None]) -> str:
+    """Unpack 7-bit ASCII; characters containing erasures render '?'."""
+    characters = []
+    for start in range(0, len(bits) - 6, 7):
+        group = bits[start : start + 7]
+        if any(bit is None for bit in group):
+            characters.append("?")
+            continue
+        value = 0
+        for bit in group:
+            value = (value << 1) | bit
+        characters.append(chr(value))
+    return "".join(characters)
+
+
+# ----------------------------------------------------------------------
+# End-to-end message API
+# ----------------------------------------------------------------------
+
+@dataclass
+class MessageReport:
+    """Outcome of decoding one gestured message."""
+
+    payload_bits: list[int | None]
+    erasures_on_air: int
+    erasures_after_code: int
+    recovered: bool
+
+
+def encode_message(payload_bits) -> list[int]:
+    """Payload -> gesture bit sequence (preamble + length + coded body)."""
+    return frame_message(payload_bits)
+
+
+def decode_message(received_bits: list[int | None]) -> MessageReport:
+    """Received gesture bits -> payload, correcting single erasures."""
+    on_air = sum(1 for bit in received_bits if bit is None)
+    payload = deframe_message(received_bits)
+    remaining = sum(1 for bit in payload if bit is None)
+    return MessageReport(
+        payload_bits=payload,
+        erasures_on_air=on_air,
+        erasures_after_code=remaining,
+        recovered=remaining == 0,
+    )

@@ -1,0 +1,102 @@
+"""Nulling-health monitoring and recalibration policy.
+
+Nulling is a snapshot: the precoder cancels the static channel *as it
+was measured*.  When the static environment drifts — a door opens, the
+radio's cart is nudged, temperature shifts the cables — the residual DC
+grows and the flash starts leaking back.  A deployed device needs a
+policy for noticing and re-running Algorithm 1.
+
+`NullingMonitor` watches the DC level of captured traces against the
+level recorded at calibration and flags when the achieved suppression
+has eroded by more than a budget; `AutoCalibratingDevice` wraps a
+`WiViDevice` with that policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.nulling import NullingResult
+from repro.simulator.device import WiViDevice
+from repro.simulator.timeseries import ChannelSeries
+
+
+def dc_level(series: ChannelSeries) -> float:
+    """The trace's static-residual magnitude: |mean of the samples|.
+
+    Moving returns and noise average toward zero over a trace; the DC
+    survives.
+    """
+    return float(np.abs(np.mean(series.samples)))
+
+
+@dataclass
+class NullingMonitor:
+    """Tracks residual growth against the calibration-time baseline.
+
+    Attributes:
+        erosion_budget_db: how much the suppression may erode before
+            recalibration is demanded.  10 dB keeps the residual well
+            clear of the ADC ceiling headroom the power boost consumed.
+    """
+
+    erosion_budget_db: float = 10.0
+    baseline_level: float | None = None
+    history_db: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.erosion_budget_db <= 0:
+            raise ValueError("erosion budget must be positive")
+
+    def set_baseline(self, series: ChannelSeries) -> None:
+        """Record the post-calibration DC level."""
+        level = dc_level(series)
+        self.baseline_level = max(level, 1e-30)
+        self.history_db.clear()
+
+    def erosion_db(self, series: ChannelSeries) -> float:
+        """How far the residual has grown over the baseline (dB)."""
+        if self.baseline_level is None:
+            raise RuntimeError("set_baseline() first")
+        level = max(dc_level(series), 1e-30)
+        value = 20.0 * np.log10(level / self.baseline_level)
+        self.history_db.append(float(value))
+        return float(value)
+
+    def needs_recalibration(self, series: ChannelSeries) -> bool:
+        """Whether this trace's residual exceeds the budget."""
+        return self.erosion_db(series) > self.erosion_budget_db
+
+
+@dataclass
+class AutoCalibratingDevice:
+    """A `WiViDevice` that re-runs Algorithm 1 when nulling erodes.
+
+    Usage::
+
+        auto = AutoCalibratingDevice(device)
+        series = auto.capture(10.0)   # recalibrates transparently
+    """
+
+    device: WiViDevice
+    monitor: NullingMonitor = field(default_factory=NullingMonitor)
+    recalibration_count: int = 0
+
+    def _calibrate_and_baseline(self) -> NullingResult:
+        result = self.device.calibrate()
+        baseline = self.device.capture(1.0)
+        self.monitor.set_baseline(baseline)
+        return result
+
+    def capture(self, duration_s: float) -> ChannelSeries:
+        """Capture a trace, recalibrating first if the last one eroded."""
+        if not self.device.is_calibrated:
+            self._calibrate_and_baseline()
+        series = self.device.capture(duration_s)
+        if self.monitor.needs_recalibration(series):
+            self.recalibration_count += 1
+            self._calibrate_and_baseline()
+            series = self.device.capture(duration_s)
+        return series

@@ -1,0 +1,219 @@
+"""MIMO interference nulling: Algorithm 1 of the thesis.
+
+Three phases (§4.1):
+
+1. **Initial nulling** — sound each transmit antenna alone to estimate
+   h1 and h2 per subcarrier, then precode the second antenna with
+   ``p = -h1_hat / h2_hat`` so the two copies cancel at the receiver.
+2. **Power boosting** — with the channel nulled the ADC no longer
+   saturates, so transmit power rises (12 dB in the prototype) to lift
+   reflections from behind the wall out of the noise.
+3. **Iterative nulling** — the boost makes residual static reflections
+   (previously below the ADC quantization level) measurable; the
+   residual is folded back into alternating refinements of h1_hat and
+   h2_hat.  Lemma 4.1.1 shows the residual decays geometrically with
+   ratio ``|(h2_hat - h2) / h2|``.
+
+The algorithm talks to hardware through the :class:`NullingTransceiver`
+protocol, implemented by the waveform simulator (and, in the original
+system, by the UHD driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.constants import POWER_BOOST_DB
+
+
+class NullingTransceiver(Protocol):
+    """What the nulling controller needs from the radio front end."""
+
+    def sound_antenna(self, antenna_index: int) -> np.ndarray:
+        """Transmit the preamble on one antenna alone; return the
+        per-subcarrier least-squares channel estimate y / x."""
+
+    def measure_residual(self, precoder: np.ndarray) -> np.ndarray:
+        """Transmit concurrently (antenna 1 sends x, antenna 2 sends
+        p*x); return the per-subcarrier residual channel y / x."""
+
+    def boost_power(self, boost_db: float) -> None:
+        """Raise transmit power after the channel has been nulled."""
+
+
+@dataclass
+class NullingResult:
+    """Outcome of a nulling run.
+
+    Attributes:
+        precoder: final per-subcarrier precoding vector p.
+        h1_estimate, h2_estimate: final channel estimates.
+        residual_history: mean residual power (linear) after each
+            measurement, starting with the initial-nulling residual.
+        pre_null_power: received power before any nulling (the flash).
+        iterations: iterative-nulling iterations executed.
+        converged: whether the stop criterion was met before the
+            iteration cap.
+    """
+
+    precoder: np.ndarray
+    h1_estimate: np.ndarray
+    h2_estimate: np.ndarray
+    residual_history: list[float]
+    pre_null_power: float
+    iterations: int
+    converged: bool
+
+    @property
+    def final_residual_power(self) -> float:
+        return self.residual_history[-1]
+
+    @property
+    def nulling_db(self) -> float:
+        """Reduction of static power achieved by nulling, in dB
+        (the quantity whose CDF is Fig. 7-7)."""
+        if self.final_residual_power <= 0:
+            return float("inf")
+        return 10.0 * np.log10(self.pre_null_power / self.final_residual_power)
+
+
+def compute_precoder(h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+    """The nulling precoder p = -h1 / h2 (Algorithm 1), per subcarrier."""
+    h1 = np.asarray(h1, dtype=complex)
+    h2 = np.asarray(h2, dtype=complex)
+    if np.any(np.abs(h2) == 0):
+        raise ValueError("cannot precode against a zero channel on antenna 2")
+    return -h1 / h2
+
+
+def run_nulling(
+    transceiver: NullingTransceiver,
+    max_iterations: int = 12,
+    convergence_ratio: float | None = 0.98,
+    boost_db: float = POWER_BOOST_DB,
+) -> NullingResult:
+    """Execute Algorithm 1 end to end.
+
+    Args:
+        transceiver: radio front end (real or simulated).
+        max_iterations: cap on iterative-nulling steps.
+        convergence_ratio: stop when a step fails to shrink the mean
+            residual power below ``convergence_ratio`` times the
+            previous one ("until Converges" in Algorithm 1).  Pass
+            ``None`` to always run ``max_iterations`` steps.
+        boost_db: power boost applied between initial and iterative
+            nulling (12 dB in the prototype, §4.1.2).
+    """
+    # --- Initial nulling: sound each antenna alone. ---
+    h1_hat = np.array(transceiver.sound_antenna(0), dtype=complex)
+    h2_hat = np.array(transceiver.sound_antenna(1), dtype=complex)
+    pre_null_power = float(np.mean(np.abs(h1_hat) ** 2 + np.abs(h2_hat) ** 2) / 2.0)
+    precoder = compute_precoder(h1_hat, h2_hat)
+
+    # --- Power boosting: safe now that the channel is nulled. ---
+    transceiver.boost_power(boost_db)
+
+    # --- Iterative nulling. ---
+    residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
+    residual_history = [float(np.mean(np.abs(residual) ** 2))]
+    converged = False
+    iterations = 0
+    for iteration in range(max_iterations):
+        if iteration % 2 == 0:
+            # Assume h2_hat exact; solve Eq. 4.2: h1_hat' = h_res + h1_hat.
+            h1_hat = residual + h1_hat
+        else:
+            # Assume h1_hat exact; solve Eq. 4.3:
+            # h2_hat' = (1 - h_res / h1_hat) * h2_hat.
+            h2_hat = (1.0 - residual / h1_hat) * h2_hat
+        precoder = compute_precoder(h1_hat, h2_hat)
+        residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
+        residual_history.append(float(np.mean(np.abs(residual) ** 2)))
+        iterations = iteration + 1
+        if (
+            convergence_ratio is not None
+            and residual_history[-1] >= convergence_ratio * residual_history[-2]
+        ):
+            converged = True
+            break
+
+    return NullingResult(
+        precoder=precoder,
+        h1_estimate=h1_hat,
+        h2_estimate=h2_hat,
+        residual_history=residual_history,
+        pre_null_power=pre_null_power,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def iterative_nulling_residuals(
+    h1: complex,
+    h2: complex,
+    h1_error: complex,
+    h2_error: complex,
+    iterations: int,
+) -> list[float]:
+    """Noise-free iterative nulling on scalar channels, for Lemma 4.1.1.
+
+    Starting from estimates ``h1 + h1_error`` and ``h2 + h2_error``,
+    runs the exact Algorithm 1 updates against the true channels and
+    returns ``|h_res|`` after the initial nulling and after each
+    iteration.  Lemma 4.1.1 predicts
+    ``|h_res^(i)| = |h_res^(0)| * |h2_error / h2| ** i``.
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    if h2 == 0:
+        raise ValueError("h2 must be non-zero")
+    h1_hat = h1 + h1_error
+    h2_hat = h2 + h2_error
+
+    def residual() -> complex:
+        return h1 + h2 * (-h1_hat / h2_hat)
+
+    magnitudes = [abs(residual())]
+    for iteration in range(iterations):
+        h_res = residual()
+        if iteration % 2 == 0:
+            h1_hat = h_res + h1_hat
+        else:
+            h2_hat = (1.0 - h_res / h1_hat) * h2_hat
+        magnitudes.append(abs(residual()))
+    return magnitudes
+
+
+@dataclass
+class NullingBudget:
+    """Static back-of-envelope nulling bookkeeping used by examples.
+
+    Tracks how deep the flash sits relative to the moving-target
+    return, and whether a given nulling depth suffices to unmask it.
+    """
+
+    flash_power_db: float
+    target_power_db: float
+    noise_floor_db: float
+    nulling_db: float = 0.0
+    boost_db: float = field(default=POWER_BOOST_DB)
+
+    @property
+    def residual_flash_db(self) -> float:
+        return self.flash_power_db - self.nulling_db + self.boost_db
+
+    @property
+    def boosted_target_db(self) -> float:
+        return self.target_power_db + self.boost_db
+
+    @property
+    def target_visible(self) -> bool:
+        """Whether the target return rises above both the residual
+        flash and the noise floor."""
+        return (
+            self.boosted_target_db > self.noise_floor_db
+            and self.boosted_target_db > self.residual_flash_db - 10.0
+        )

@@ -1,0 +1,232 @@
+"""The tracking pipeline: channel series -> A'[theta, n] spectrogram.
+
+This reproduces the processing behind Figs. 5-2, 5-3, and 7-2: group
+the nulled channel measurements into overlapping emulated-array windows
+of w = 100 samples spanning 0.32 s (§7.1), run smoothed MUSIC on each
+window, and stack the spectra over time.
+
+The DC line at theta = 0 — "the average energy from static elements"
+left by minuscule nulling errors (§5.1) — appears naturally because a
+constant residual has a flat phase history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    CHANNEL_SAMPLE_PERIOD_S,
+    DEFAULT_HUMAN_SPEED_MPS,
+    ISAR_ARRAY_SIZE,
+    WAVELENGTH_M,
+)
+from repro.core.beamforming import default_theta_grid, element_spacing_m
+from repro.core.music import smoothed_music_spectrum
+
+
+@dataclass(frozen=True)
+class TrackingConfig:
+    """Parameters of the spectrogram pipeline.
+
+    Defaults follow §7.1: w = 100 elements per 0.32 s window, an
+    assumed speed of 1 m/s, angles [-90, 90] at 1 degree.
+    """
+
+    window_size: int = ISAR_ARRAY_SIZE
+    hop: int = 25
+    assumed_speed_mps: float = DEFAULT_HUMAN_SPEED_MPS
+    sample_period_s: float = CHANNEL_SAMPLE_PERIOD_S
+    subarray_size: int = 32
+    max_sources: int = 5
+    theta_step_deg: float = 1.0
+    wavelength_m: float = WAVELENGTH_M
+
+    def __post_init__(self) -> None:
+        if self.window_size < 4:
+            raise ValueError("window too small to beamform")
+        if not 1 < self.subarray_size < self.window_size:
+            raise ValueError("subarray size must be in (1, window size)")
+        if self.hop < 1:
+            raise ValueError("hop must be positive")
+
+    @property
+    def spacing_m(self) -> float:
+        return element_spacing_m(self.assumed_speed_mps, self.sample_period_s)
+
+    @property
+    def theta_grid_deg(self) -> np.ndarray:
+        return default_theta_grid(self.theta_step_deg)
+
+
+@dataclass
+class MotionSpectrogram:
+    """A'[theta, n] over a trace.
+
+    Attributes:
+        times_s: centre time of each window.
+        theta_grid_deg: angle axis.
+        power: linear pseudospectrum magnitudes, shape
+            (num_windows, num_angles).
+        source_counts: signal-subspace size per window.
+        window_overlap: how many consecutive rows share samples
+            (window_size / hop); consumers that whiten noise across
+            rows (the gesture decoder) need this.
+    """
+
+    times_s: np.ndarray
+    theta_grid_deg: np.ndarray
+    power: np.ndarray
+    source_counts: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
+    window_overlap: int = 4
+
+    @property
+    def num_windows(self) -> int:
+        return self.power.shape[0]
+
+    def normalized_db(self, floor_db: float = 0.0) -> np.ndarray:
+        """Per-window dB image with the minimum pinned to ``floor_db``.
+
+        This is the image the spatial-variance metric integrates and
+        the benches render.
+        """
+        magnitudes = np.maximum(self.power, np.finfo(float).tiny)
+        db = 20.0 * np.log10(magnitudes)
+        db -= db.min(axis=1, keepdims=True)
+        return db + floor_db
+
+    def dominant_angles_deg(self, exclude_dc_deg: float = 0.0) -> np.ndarray:
+        """Strongest angle per window, optionally masking the DC stripe.
+
+        ``exclude_dc_deg`` masks angles with |theta| below the value,
+        so the moving target dominates rather than the DC line.
+        """
+        mask = np.abs(self.theta_grid_deg) >= exclude_dc_deg
+        if not np.any(mask):
+            raise ValueError("DC exclusion masks every angle")
+        masked = np.where(mask, self.power, -np.inf)
+        return self.theta_grid_deg[np.argmax(masked, axis=1)]
+
+
+def compute_beamformed_spectrogram(
+    channel_series: np.ndarray,
+    config: TrackingConfig | None = None,
+    start_time_s: float = 0.0,
+    remove_window_mean: bool = True,
+) -> MotionSpectrogram:
+    """Plain Eq. 5.1 beamforming over sliding windows.
+
+    Unlike the MUSIC pseudospectrum, |A[theta, n]| is *physical*: it
+    scales with the received reflection amplitude.  The gesture decoder
+    uses this spectrogram so that its matched-filter SNR falls off with
+    distance the way the paper measures (Figs. 7-4, 7-5); the paper
+    notes the two representations produce the same figures, MUSIC just
+    being less noisy (§5.2 fn. 6).
+
+    The per-window mean (the DC residual) is removed by default so that
+    weak gestures are not masked by DC x signal cross terms.
+    """
+    from repro.core.beamforming import beamformed_spectrogram
+
+    config = config if config is not None else TrackingConfig()
+    series = np.asarray(channel_series, dtype=complex)
+    if series.ndim != 1:
+        raise ValueError("channel series must be one-dimensional")
+    if len(series) < config.window_size:
+        raise ValueError("series shorter than one window")
+    starts, magnitudes = beamformed_spectrogram(
+        series,
+        config.window_size,
+        config.hop,
+        config.theta_grid_deg,
+        config.spacing_m,
+        config.wavelength_m,
+        remove_window_mean=remove_window_mean,
+    )
+    times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
+    return MotionSpectrogram(
+        times_s=times,
+        theta_grid_deg=config.theta_grid_deg,
+        power=magnitudes,
+        source_counts=np.zeros(len(starts), dtype=int),
+        window_overlap=max(config.window_size // config.hop, 1),
+    )
+
+
+def compute_diversity_spectrogram(
+    channel_series_list: list[np.ndarray],
+    config: TrackingConfig | None = None,
+    start_time_s: float = 0.0,
+    use_music: bool = True,
+) -> MotionSpectrogram:
+    """Combine per-subcarrier captures in the power domain.
+
+    §7.1: "The channel measurements across the different subcarriers
+    are combined to improve the SNR."  This is the *non-coherent*
+    variant: each stream is processed to its own A'[theta, n] and the
+    squared magnitudes are averaged, which steadies the image against
+    independent per-stream noise.  (For the stronger coherent noise
+    averaging, combine the channel series first with
+    :meth:`repro.simulator.timeseries.ChannelSeriesSimulator.combine_diversity_series`;
+    in a 5 MHz band the subcarriers fade together, so neither variant
+    provides fading diversity — see the ablation bench.)
+    """
+    if not channel_series_list:
+        raise ValueError("need at least one subcarrier stream")
+    compute = compute_spectrogram if use_music else compute_beamformed_spectrogram
+    first = compute(channel_series_list[0], config, start_time_s)
+    combined_power = first.power.astype(float) ** 2
+    for series in channel_series_list[1:]:
+        spectrogram = compute(series, config, start_time_s)
+        if spectrogram.power.shape != combined_power.shape:
+            raise ValueError("subcarrier streams must share a time base")
+        combined_power += spectrogram.power**2
+    return MotionSpectrogram(
+        times_s=first.times_s,
+        theta_grid_deg=first.theta_grid_deg,
+        power=np.sqrt(combined_power / len(channel_series_list)),
+        source_counts=first.source_counts,
+        window_overlap=first.window_overlap,
+    )
+
+
+def compute_spectrogram(
+    channel_series: np.ndarray,
+    config: TrackingConfig | None = None,
+    start_time_s: float = 0.0,
+) -> MotionSpectrogram:
+    """Run the full pipeline on a nulled channel time series."""
+    config = config if config is not None else TrackingConfig()
+    series = np.asarray(channel_series, dtype=complex)
+    if series.ndim != 1:
+        raise ValueError("channel series must be one-dimensional")
+    if len(series) < config.window_size:
+        raise ValueError(
+            f"series of {len(series)} samples is shorter than one "
+            f"window ({config.window_size})"
+        )
+    starts = np.arange(0, len(series) - config.window_size + 1, config.hop)
+    theta_grid = config.theta_grid_deg
+    power = np.empty((len(starts), len(theta_grid)))
+    counts = np.empty(len(starts), dtype=int)
+    for row, start in enumerate(starts):
+        window = series[start : start + config.window_size]
+        result = smoothed_music_spectrum(
+            window,
+            theta_grid,
+            config.spacing_m,
+            subarray_size=config.subarray_size,
+            max_sources=config.max_sources,
+            wavelength_m=config.wavelength_m,
+        )
+        power[row] = result.pseudospectrum
+        counts[row] = result.num_sources
+    times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
+    return MotionSpectrogram(
+        times_s=times,
+        theta_grid_deg=theta_grid,
+        power=power,
+        source_counts=counts,
+        window_overlap=max(config.window_size // config.hop, 1),
+    )

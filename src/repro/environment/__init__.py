@@ -1,0 +1,43 @@
+"""Environment substrate: rooms, walls, clutter, and moving humans.
+
+Everything Wi-Vi senses lives here.  The geometry is 2-D (plan view),
+which is the view the paper's A'[theta, n] spectrograms take: the
+device resolves azimuth angles, not elevation.
+"""
+
+from repro.environment.geometry import Point, distance, unit_vector
+from repro.environment.human import BodyModel, Human, Scatterer
+from repro.environment.objects import (
+    StaticReflector,
+    conference_room_furniture,
+)
+from repro.environment.scene import Scene
+from repro.environment.trajectories import (
+    GestureTrajectory,
+    LinearTrajectory,
+    RandomWaypointTrajectory,
+    StationaryTrajectory,
+    Trajectory,
+    WaypointTrajectory,
+)
+from repro.environment.walls import Room, Wall
+
+__all__ = [
+    "BodyModel",
+    "GestureTrajectory",
+    "Human",
+    "LinearTrajectory",
+    "Point",
+    "RandomWaypointTrajectory",
+    "Room",
+    "Scatterer",
+    "Scene",
+    "StaticReflector",
+    "StationaryTrajectory",
+    "Trajectory",
+    "Wall",
+    "WaypointTrajectory",
+    "conference_room_furniture",
+    "distance",
+    "unit_vector",
+]

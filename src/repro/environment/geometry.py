@@ -1,0 +1,70 @@
+"""2-D plan-view geometry primitives.
+
+Coordinate convention: the Wi-Vi device sits near the origin and faces
+the +x direction; the wall of the imaged room is a plane of constant x;
+the room extends beyond it.  Angles off boresight are measured from the
++x axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the plan view, in metres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def norm(self) -> float:
+        """Euclidean length when treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with another vector."""
+        return self.x * other.x + self.y * other.y
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return (a - b).norm()
+
+
+def unit_vector(from_point: Point, to_point: Point) -> Point:
+    """Unit vector pointing from ``from_point`` toward ``to_point``.
+
+    Raises ``ValueError`` when the points coincide (direction
+    undefined).
+    """
+    delta = to_point - from_point
+    length = delta.norm()
+    if length == 0.0:
+        raise ValueError("direction between coincident points is undefined")
+    return Point(delta.x / length, delta.y / length)
+
+
+def angle_from_x_axis(vector: Point) -> float:
+    """Angle of a vector from the +x axis, in radians, in (-pi, pi]."""
+    return math.atan2(vector.y, vector.x)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """Linear interpolation between ``a`` (fraction 0) and ``b`` (fraction 1)."""
+    return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)

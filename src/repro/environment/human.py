@@ -1,0 +1,135 @@
+"""Human body model: a cluster of moving scatterers.
+
+§7.3 observes that "a human is not just one object because of different
+body parts moving in a loosely coupled way", which makes the tracked
+lines fuzzy and the returns from multiple humans correlated.  We model
+a human as a dominant torso scatterer plus limb scatterers that swing
+at the gait frequency while the person walks.
+
+A standing adult has a radar cross-section on the order of 0.5-1 m^2
+in the low-GHz range; the torso carries most of it.  Limb RCS values
+are kept small relative to the torso — limbs are thin and partially
+shadowed by the body — so the torso's line dominates the spectrogram
+and the limbs contribute the fuzz the paper describes (§7.3), rather
+than mirrored micro-Doppler ghosts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.environment.trajectories import Trajectory
+
+#: Gait cycle length: roughly one full limb cycle per 1.1 m travelled.
+_STRIDE_LENGTH_M = 1.1
+
+
+@dataclass(frozen=True)
+class Scatterer:
+    """One reflecting body part at a moment in time."""
+
+    position: Point
+    rcs_m2: float
+
+
+@dataclass(frozen=True)
+class BodyModel:
+    """Scatterer layout of a body.
+
+    Attributes:
+        torso_rcs_m2: RCS of the torso (dominant return).
+        limb_rcs_m2: RCS of each limb scatterer.
+        limb_count: number of limb scatterers (arms + legs).
+        limb_swing_m: peak limb displacement from the body centre while
+            walking at 1 m/s; scales with speed.
+        height_factor: multiplies all RCS values, capturing the
+            different "heights and builds" of the 8 subjects (§7.2).
+    """
+
+    torso_rcs_m2: float = 0.55
+    limb_rcs_m2: float = 0.035
+    limb_count: int = 4
+    limb_swing_m: float = 0.15
+    height_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.torso_rcs_m2 <= 0 or self.limb_rcs_m2 < 0:
+            raise ValueError("RCS values must be positive")
+        if self.limb_count < 0:
+            raise ValueError("limb count must be non-negative")
+        if not 0.5 <= self.height_factor <= 2.0:
+            raise ValueError("height factor outside plausible range [0.5, 2]")
+
+    @property
+    def total_rcs_m2(self) -> float:
+        return self.height_factor * (self.torso_rcs_m2 + self.limb_count * self.limb_rcs_m2)
+
+    @staticmethod
+    def sample(rng: np.random.Generator) -> "BodyModel":
+        """Draw a subject of random build, as in the 8-subject pool."""
+        return BodyModel(
+            torso_rcs_m2=rng.uniform(0.45, 0.7),
+            limb_rcs_m2=rng.uniform(0.02, 0.05),
+            limb_swing_m=rng.uniform(0.1, 0.2),
+            height_factor=rng.uniform(0.85, 1.15),
+        )
+
+
+@dataclass
+class Human:
+    """A moving person: a trajectory plus a body of scatterers.
+
+    ``gait_phase`` randomises where in the stride the subject starts so
+    repeated trials decorrelate.
+    """
+
+    trajectory: Trajectory
+    body: BodyModel = field(default_factory=BodyModel)
+    gait_phase: float = 0.0
+    name: str = "subject"
+
+    def scatterers(self, time_s: float) -> list[Scatterer]:
+        """Scatterer snapshot at ``time_s``.
+
+        The torso sits at the trajectory position.  Limbs are displaced
+        along and across the direction of motion, oscillating at the
+        gait frequency; their swing amplitude scales with instantaneous
+        speed, so a stationary subject collapses to a nearly static
+        cluster (which nulling would have removed had it been static
+        from the start).
+        """
+        center = self.trajectory.position(time_s)
+        velocity = self.trajectory.velocity(time_s)
+        speed = velocity.norm()
+        result = [Scatterer(center, self.body.torso_rcs_m2 * self.body.height_factor)]
+        if self.body.limb_count == 0:
+            return result
+
+        if speed > 1e-6:
+            heading = Point(velocity.x / speed, velocity.y / speed)
+        else:
+            heading = Point(1.0, 0.0)
+        across = Point(-heading.y, heading.x)
+        gait_rate_hz = speed / _STRIDE_LENGTH_M
+        phase = 2.0 * math.pi * (gait_rate_hz * time_s + self.gait_phase)
+        swing = self.body.limb_swing_m * min(speed, 1.5)
+
+        for limb_index in range(self.body.limb_count):
+            # Alternate limbs half a cycle apart; arms and legs offset
+            # across the body.
+            limb_phase = phase + math.pi * (limb_index % 2)
+            along = swing * math.sin(limb_phase)
+            side = 0.18 * (1 if limb_index < 2 else -1)
+            position = center + heading * along + across * side
+            result.append(
+                Scatterer(position, self.body.limb_rcs_m2 * self.body.height_factor)
+            )
+        return result
+
+    def position(self, time_s: float) -> Point:
+        """Torso position at ``time_s``."""
+        return self.trajectory.position(time_s)

@@ -1,0 +1,76 @@
+"""Static clutter: furniture and other stationary reflectors.
+
+The paper emphasises that its experiments run in "standard office
+buildings with the imaged humans inside closed fully-furnished rooms"
+(§1.2) — static clutter everywhere, inside and outside the room.
+Nulling removes all of it (§4.1); these reflectors exist so that the
+simulation actually has something for nulling to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.environment.walls import Room
+
+
+@dataclass(frozen=True)
+class StaticReflector:
+    """A stationary point scatterer (table edge, chair, radiator, ...).
+
+    Attributes:
+        position: plan-view location.
+        rcs_m2: radar cross-section in square metres.
+        name: label for reporting.
+    """
+
+    position: Point
+    rcs_m2: float
+    name: str = "reflector"
+
+    def __post_init__(self) -> None:
+        if self.rcs_m2 <= 0:
+            raise ValueError("radar cross-section must be positive")
+
+
+def conference_room_furniture(
+    room: Room, rng: np.random.Generator, count: int = 8
+) -> list[StaticReflector]:
+    """Scatter typical conference-room furniture inside ``room``.
+
+    Returns ``count`` reflectors with RCS between 0.05 and 0.8 m^2 at
+    uniformly random positions (a central table cluster plus wall-side
+    chairs), drawn from ``rng`` for reproducibility.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    x_low, x_high = room.x_range
+    y_low, y_high = room.y_range
+    reflectors = []
+    for index in range(count):
+        position = Point(
+            rng.uniform(x_low + 0.3, x_high - 0.3),
+            rng.uniform(y_low + 0.3, y_high - 0.3),
+        )
+        rcs = rng.uniform(0.05, 0.8)
+        reflectors.append(StaticReflector(position, rcs, name=f"furniture-{index}"))
+    return reflectors
+
+
+def outside_clutter(rng: np.random.Generator, count: int = 4) -> list[StaticReflector]:
+    """Static reflectors on the device's side of the wall.
+
+    The paper notes nulling also removes "the table on which the radio
+    is mounted, the floor, the radio case itself" (§4.1).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    reflectors = []
+    for index in range(count):
+        position = Point(rng.uniform(0.2, 0.9), rng.uniform(-1.5, 1.5))
+        rcs = rng.uniform(0.02, 0.3)
+        reflectors.append(StaticReflector(position, rcs, name=f"near-clutter-{index}"))
+    return reflectors

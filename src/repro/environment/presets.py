@@ -1,0 +1,174 @@
+"""Scenario presets: the use cases the paper's introduction motivates.
+
+§1: "Law enforcement personnel can use the device to avoid walking into
+an ambush ... Emergency responders can use it to see through rubble and
+collapsed structures.  Ordinary users can leverage the device for
+gaming, intrusion detection, privacy-enhanced monitoring of children
+and elderly, or personal security."
+
+Each preset returns a fully-composed :class:`~repro.environment.scene.Scene`
+(and the ground truth needed to score it), so examples and tests can
+exercise application-level stories without scene-building boilerplate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.objects import conference_room_furniture, outside_clutter
+from repro.environment.scene import Scene
+from repro.environment.trajectories import (
+    GestureTrajectory,
+    RandomWaypointTrajectory,
+    StationaryTrajectory,
+    WaypointTrajectory,
+)
+from repro.environment.walls import Room, Wall
+from repro.rf.materials import (
+    CONCRETE_8IN,
+    HOLLOW_WALL_6IN,
+    SOLID_WOOD_DOOR,
+    material_by_name,
+)
+
+
+@dataclass
+class Scenario:
+    """A preset scene plus what a detector should conclude about it."""
+
+    name: str
+    scene: Scene
+    expected_occupants: int
+    duration_s: float
+    notes: str = ""
+
+
+def standoff(rng: np.random.Generator, num_suspects: int = 2) -> Scenario:
+    """Law-enforcement standoff: suspects pacing behind a concrete wall.
+
+    The §1 motivating case — know how many people are inside, and
+    where they are moving, before entering.
+    """
+    if num_suspects < 0:
+        raise ValueError("suspect count must be non-negative")
+    room = Room(Wall(CONCRETE_8IN, position_x_m=1.0), depth_m=6.0, width_m=5.0)
+    duration = 20.0
+    suspects = [
+        Human(
+            RandomWaypointTrajectory(room, rng, duration),
+            BodyModel.sample(rng),
+            gait_phase=float(rng.uniform(0, 1)),
+            name=f"suspect-{index}",
+        )
+        for index in range(num_suspects)
+    ]
+    scene = Scene(
+        room=room,
+        humans=suspects,
+        static_reflectors=conference_room_furniture(room, rng, 6)
+        + outside_clutter(rng, 3),
+    )
+    return Scenario(
+        name="standoff",
+        scene=scene,
+        expected_occupants=num_suspects,
+        duration_s=duration,
+        notes="8\" concrete wall; count before entry",
+    )
+
+
+def child_monitoring(rng: np.random.Generator, child_awake: bool = True) -> Scenario:
+    """Privacy-preserving monitoring through a closed wooden door (§1).
+
+    No camera: the device only learns whether the child is up and
+    moving.  ``child_awake=False`` models a sleeping child (still) —
+    nulling leaves nothing but the DC.
+    """
+    room = Room(Wall(SOLID_WOOD_DOOR, position_x_m=1.0), depth_m=4.0, width_m=3.5)
+    duration = 15.0
+    child_body = BodyModel(
+        torso_rcs_m2=0.3, limb_rcs_m2=0.02, limb_swing_m=0.12, height_factor=0.85
+    )
+    if child_awake:
+        trajectory = RandomWaypointTrajectory(room, rng, duration, speed_mps=0.8)
+        occupants = 1
+    else:
+        trajectory = StationaryTrajectory(room.center())
+        occupants = 0  # no *moving* humans: what Wi-Vi counts (§7.4)
+    scene = Scene(
+        room=room,
+        humans=[Human(trajectory, child_body, name="child")],
+        static_reflectors=conference_room_furniture(room, rng, 4),
+    )
+    return Scenario(
+        name="child-monitoring",
+        scene=scene,
+        expected_occupants=occupants,
+        duration_s=duration,
+        notes="solid wood door; motion-only, no imaging of a still child",
+    )
+
+
+def trapped_survivor(rng: np.random.Generator) -> Scenario:
+    """Emergency response: a survivor moving weakly behind dense rubble.
+
+    Rubble is modelled as a thick high-attenuation obstruction with
+    heavy interior clutter — the hardest §1 case; expect a dim but
+    present signature.
+    """
+    rubble = material_by_name('18" concrete wall')
+    room = Room(Wall(rubble, position_x_m=1.0), depth_m=4.0, width_m=4.0)
+    duration = 20.0
+    # Weak, repetitive motion: waving/rocking in place.
+    survivor = Human(
+        WaypointTrajectory(
+            [Point(2.5, 0.5), Point(3.1, 0.3), Point(2.5, 0.5)] * 4, speed_mps=0.5
+        ),
+        BodyModel(torso_rcs_m2=0.5, limb_count=2, limb_rcs_m2=0.03),
+        name="survivor",
+    )
+    scene = Scene(
+        room=room,
+        humans=[survivor],
+        static_reflectors=conference_room_furniture(room, rng, 10),
+        interior_absorption_db_per_m=1.0,  # debris-dense interior
+    )
+    return Scenario(
+        name="trapped-survivor",
+        scene=scene,
+        expected_occupants=1,
+        duration_s=duration,
+        notes="18\" concrete + dense debris; marginal detection expected",
+    )
+
+
+def covert_messenger(
+    rng: np.random.Generator, bits: list[int] | None = None
+) -> tuple[Scenario, GestureTrajectory]:
+    """A device-less team member gestures a message across a wall (§1.1:
+    "even if their communication devices are confiscated")."""
+    room = Room(Wall(HOLLOW_WALL_6IN, position_x_m=1.0), depth_m=7.0, width_m=4.0)
+    message = bits if bits is not None else [1, 0, 1, 1]
+    trajectory = GestureTrajectory(
+        base_position=Point(room.wall.far_face_x_m + 3.0, 0.3), bits=message
+    )
+    scene = Scene(
+        room=room,
+        humans=[Human(trajectory, BodyModel(limb_count=0), name="messenger")],
+        static_reflectors=conference_room_furniture(room, rng, 5),
+    )
+    scenario = Scenario(
+        name="covert-messenger",
+        scene=scene,
+        expected_occupants=1,
+        duration_s=trajectory.duration_s(),
+        notes="gesture channel through a hollow wall",
+    )
+    return scenario, trajectory
+
+
+ALL_SCENARIOS = ("standoff", "child-monitoring", "trapped-survivor", "covert-messenger")

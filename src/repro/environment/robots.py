@@ -1,0 +1,131 @@
+"""Robot motion models.
+
+§5 footnote 1: "our system is general, and can capture other moving
+bodies.  For example, we have successfully experimented with tracking
+an iRobot Create robot."  An iRobot Create is a differential-drive
+disc: it moves in straight segments and circular arcs at a constant,
+much steadier speed than a human, and it has a small, stable radar
+cross-section (no limbs, no gait) — which makes its tracks *cleaner*
+than human tracks, a property the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.trajectories import Trajectory
+
+#: The iRobot Create's cruising speed (m/s).
+CREATE_SPEED_MPS = 0.5
+
+#: A flat plastic disc reflects weakly compared to a human.
+CREATE_RCS_M2 = 0.08
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """One drive primitive: straight line or arc."""
+
+    start_s: float
+    duration_s: float
+    start: Point
+    heading_rad: float
+    speed_mps: float
+    turn_rate_rad_s: float  # 0 for straight segments
+
+    def position(self, elapsed_s: float) -> Point:
+        t = min(max(elapsed_s, 0.0), self.duration_s)
+        if abs(self.turn_rate_rad_s) < 1e-9:
+            return Point(
+                self.start.x + self.speed_mps * t * math.cos(self.heading_rad),
+                self.start.y + self.speed_mps * t * math.sin(self.heading_rad),
+            )
+        radius = self.speed_mps / self.turn_rate_rad_s
+        delta = self.turn_rate_rad_s * t
+        # Circular arc about the instantaneous centre of rotation.
+        cx = self.start.x - radius * math.sin(self.heading_rad)
+        cy = self.start.y + radius * math.cos(self.heading_rad)
+        return Point(
+            cx + radius * math.sin(self.heading_rad + delta),
+            cy - radius * math.cos(self.heading_rad + delta),
+        )
+
+    def end_heading(self) -> float:
+        return self.heading_rad + self.turn_rate_rad_s * self.duration_s
+
+
+class RobotTrajectory(Trajectory):
+    """Differential-drive motion built from (duration, turn-rate) legs.
+
+    Args:
+        start: initial position.
+        heading_rad: initial heading (0 = +x, toward the wall normal).
+        legs: sequence of ``(duration_s, turn_rate_rad_s)`` commands
+            executed at constant ``speed_mps``.
+        speed_mps: drive speed (Create default 0.5 m/s).
+    """
+
+    def __init__(
+        self,
+        start: Point,
+        heading_rad: float,
+        legs: list[tuple[float, float]],
+        speed_mps: float = CREATE_SPEED_MPS,
+    ):
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        if not legs:
+            raise ValueError("need at least one drive leg")
+        self._segments: list[_Segment] = []
+        clock = 0.0
+        position = start
+        heading = heading_rad
+        for duration, turn_rate in legs:
+            if duration <= 0:
+                raise ValueError("leg durations must be positive")
+            segment = _Segment(clock, duration, position, heading, speed_mps, turn_rate)
+            self._segments.append(segment)
+            position = segment.position(duration)
+            heading = segment.end_heading()
+            clock += duration
+        self._total = clock
+
+    def position(self, time_s: float) -> Point:
+        clamped = min(max(time_s, 0.0), self._total)
+        for segment in self._segments:
+            if clamped <= segment.start_s + segment.duration_s:
+                return segment.position(clamped - segment.start_s)
+        last = self._segments[-1]
+        return last.position(last.duration_s)
+
+    def duration_s(self) -> float:
+        return self._total
+
+
+def create_robot(trajectory: RobotTrajectory, name: str = "irobot-create") -> Human:
+    """Wrap a robot trajectory in the scatterer container.
+
+    The robot is a single stable scatterer: ``limb_count=0`` and a
+    small RCS.  (The container class is named for the primary subjects;
+    the paper makes the same simplification in reverse.)
+    """
+    body = BodyModel(torso_rcs_m2=CREATE_RCS_M2, limb_count=0, limb_rcs_m2=0.0)
+    return Human(trajectory=trajectory, body=body, name=name)
+
+
+def patrol_loop(
+    room_center: Point, radius_m: float = 1.5, laps: float = 1.0
+) -> RobotTrajectory:
+    """A circular patrol: the Create's 'dock-seeking spiral' flattened
+    into a loop of the given radius."""
+    if radius_m <= 0 or laps <= 0:
+        raise ValueError("radius and laps must be positive")
+    turn_rate = CREATE_SPEED_MPS / radius_m
+    duration = laps * 2.0 * math.pi / turn_rate
+    start = Point(room_center.x, room_center.y - radius_m)
+    return RobotTrajectory(start, 0.0, [(duration, turn_rate)])

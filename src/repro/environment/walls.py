@@ -1,0 +1,125 @@
+"""Walls and rooms.
+
+A :class:`Wall` is the obstruction between the Wi-Vi device and the
+imaged room: a plane of constant x with a :class:`~repro.rf.materials.Material`.
+A :class:`Room` is the rectangular region behind it in which humans move.
+
+The two conference rooms of the evaluation (§7.2) are provided as
+constructors: the Stata rooms are 7 x 4 m and 11 x 7 m with 6" hollow
+walls; the Fairchild experiments go through an 8" concrete wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.environment.geometry import Point
+from repro.rf.materials import CONCRETE_8IN, HOLLOW_WALL_6IN, Material
+
+
+@dataclass(frozen=True)
+class Wall:
+    """The obstruction plane at ``x = position_x_m``.
+
+    Attributes:
+        material: RF properties of the obstruction.
+        position_x_m: distance of the wall's near face from the origin
+            (the device sits near the origin facing +x).  The paper
+            places Wi-Vi one metre from the wall (§7.3).
+    """
+
+    material: Material
+    position_x_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.position_x_m <= 0:
+            raise ValueError("the wall must be in front of the device")
+
+    @property
+    def far_face_x_m(self) -> float:
+        """x coordinate of the wall face inside the room."""
+        return self.position_x_m + self.material.thickness_m
+
+    def blocks(self, point: Point) -> bool:
+        """Whether ``point`` lies beyond the wall (inside the room side)."""
+        return point.x > self.position_x_m
+
+
+@dataclass(frozen=True)
+class Room:
+    """A rectangular room behind the wall.
+
+    The room spans ``[wall.far_face_x_m, wall.far_face_x_m + depth_m]``
+    in x and ``[-width_m / 2, width_m / 2]`` in y.
+    """
+
+    wall: Wall
+    depth_m: float
+    width_m: float
+
+    def __post_init__(self) -> None:
+        if self.depth_m <= 0 or self.width_m <= 0:
+            raise ValueError("room dimensions must be positive")
+
+    @property
+    def x_range(self) -> tuple[float, float]:
+        near = self.wall.far_face_x_m
+        return (near, near + self.depth_m)
+
+    @property
+    def y_range(self) -> tuple[float, float]:
+        half = self.width_m / 2.0
+        return (-half, half)
+
+    @property
+    def area_m2(self) -> float:
+        return self.depth_m * self.width_m
+
+    def contains(self, point: Point, margin_m: float = 0.0) -> bool:
+        """Whether ``point`` is inside the room, ``margin_m`` from walls."""
+        x_low, x_high = self.x_range
+        y_low, y_high = self.y_range
+        return (
+            x_low + margin_m <= point.x <= x_high - margin_m
+            and y_low + margin_m <= point.y <= y_high - margin_m
+        )
+
+    def clamp(self, point: Point, margin_m: float = 0.3) -> Point:
+        """Project ``point`` back inside the room with a safety margin."""
+        x_low, x_high = self.x_range
+        y_low, y_high = self.y_range
+        return Point(
+            min(max(point.x, x_low + margin_m), x_high - margin_m),
+            min(max(point.y, y_low + margin_m), y_high - margin_m),
+        )
+
+    def center(self) -> Point:
+        x_low, x_high = self.x_range
+        return Point((x_low + x_high) / 2.0, 0.0)
+
+
+def stata_conference_room_small(device_standoff_m: float = 1.0) -> Room:
+    """The 7 x 4 m Stata conference room (§7.2), 6" hollow wall."""
+    return Room(
+        wall=Wall(HOLLOW_WALL_6IN, position_x_m=device_standoff_m),
+        depth_m=7.0,
+        width_m=4.0,
+    )
+
+
+def stata_conference_room_large(device_standoff_m: float = 1.0) -> Room:
+    """The 11 x 7 m Stata conference room (§7.2), 6" hollow wall."""
+    return Room(
+        wall=Wall(HOLLOW_WALL_6IN, position_x_m=device_standoff_m),
+        depth_m=11.0,
+        width_m=7.0,
+    )
+
+
+def fairchild_room(device_standoff_m: float = 1.0) -> Room:
+    """A room behind the Fairchild building's 8" concrete wall (§7.2)."""
+    return Room(
+        wall=Wall(CONCRETE_8IN, position_x_m=device_standoff_m),
+        depth_m=8.0,
+        width_m=5.0,
+    )

@@ -1,0 +1,27 @@
+"""SDR hardware substrate: the USRP-like front end Wi-Vi runs on.
+
+The flash effect is fundamentally an analog-to-digital conversion
+problem: reflections off the wall "overwhelm the receiver's ADC,
+preventing it from registering the minute variations due to reflections
+from objects behind the wall" (§1).  This package models the parts of
+the radio that create and constrain that problem: a saturating
+quantizing ADC, a DAC, transmit chains with a finite linear power
+range, receive gain, and a 2-TX + 1-RX MIMO front end on a shared
+clock (§7.1).
+"""
+
+from repro.hardware.adc import SaturatingAdc
+from repro.hardware.clock import SharedClock
+from repro.hardware.dac import Dac
+from repro.hardware.mimo import MimoFrontEnd
+from repro.hardware.radio import ReceiveChain, TransmitChain, UsrpN210
+
+__all__ = [
+    "Dac",
+    "MimoFrontEnd",
+    "ReceiveChain",
+    "SaturatingAdc",
+    "SharedClock",
+    "TransmitChain",
+    "UsrpN210",
+]

@@ -1,0 +1,71 @@
+"""Saturating, quantizing analog-to-digital converter.
+
+Two ADC behaviours drive the Wi-Vi design:
+
+* **Saturation** — a strong flash clips the converter and destroys the
+  weak superimposed target signal (§1); this is why the flash must be
+  nulled *before* boosting power (§4.1.2).
+* **Quantization** — after initial nulling, "residual reflections which
+  were below the ADC quantization level become measurable" once power
+  is boosted (§4.1.3), motivating iterative nulling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SaturatingAdc:
+    """An ideal mid-rise quantizer with hard saturation.
+
+    I and Q rails are converted independently, as in a real IQ
+    receiver.
+
+    Attributes:
+        bits: resolution per rail.  The USRP N210 digitizes at 14 bits.
+        full_scale: input amplitude at which a rail saturates, in the
+            same (linear voltage) units as the samples.
+    """
+
+    bits: int = 14
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("ADC needs at least 1 bit")
+        if self.full_scale <= 0:
+            raise ValueError("full scale must be positive")
+
+    @property
+    def step(self) -> float:
+        """Quantization step size (LSB voltage)."""
+        return 2.0 * self.full_scale / (2**self.bits)
+
+    @property
+    def quantization_noise_power(self) -> float:
+        """Complex quantization noise power (both rails): 2 * step^2 / 12."""
+        return 2.0 * self.step**2 / 12.0
+
+    def _convert_rail(self, rail: np.ndarray) -> np.ndarray:
+        clipped = np.clip(rail, -self.full_scale, self.full_scale - self.step)
+        levels = np.floor(clipped / self.step) + 0.5
+        return levels * self.step
+
+    def convert(self, samples: np.ndarray) -> np.ndarray:
+        """Digitize complex baseband samples."""
+        samples = np.asarray(samples, dtype=complex)
+        return self._convert_rail(samples.real) + 1j * self._convert_rail(samples.imag)
+
+    def saturation_fraction(self, samples: np.ndarray) -> float:
+        """Fraction of samples with at least one clipped rail."""
+        samples = np.asarray(samples, dtype=complex)
+        limit = self.full_scale - self.step
+        clipped = (np.abs(samples.real) > limit) | (np.abs(samples.imag) > limit)
+        return float(np.mean(clipped))
+
+    def saturates(self, samples: np.ndarray, tolerance: float = 0.001) -> bool:
+        """Whether more than ``tolerance`` of the samples clip."""
+        return self.saturation_fraction(samples) > tolerance

@@ -1,0 +1,90 @@
+"""Automatic gain control.
+
+The waveform link ranges its ADC in two discrete jumps (sound at full
+flash, tighten after nulling); a deployed receiver does it continuously.
+This module provides that controller: a peak-tracking AGC with
+asymmetric attack/decay — fast to back off when the input grows (to
+avoid clipping), slow to recover gain (to avoid pumping) — plus the
+headroom bookkeeping the nulling story depends on: how many effective
+bits remain for a signal far below full scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AgcController:
+    """Peak-tracking AGC over block-wise complex baseband input.
+
+    Attributes:
+        target_level: desired peak amplitude after gain, relative to
+            ADC full scale (leave headroom below 1.0).
+        attack: log-domain step when the level must *drop* (1 =
+            immediate back-off — a clipping receiver cannot wait).
+        decay: log-domain step when gain may recover; small values
+            recover over many blocks without pumping.
+        min_gain, max_gain: hard gain range (linear amplitude).
+    """
+
+    target_level: float = 0.7
+    attack: float = 1.0
+    decay: float = 0.05
+    min_gain: float = 1e-6
+    max_gain: float = 1e6
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_level <= 1.0:
+            raise ValueError("target level must be in (0, 1]")
+        for name in ("attack", "decay"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if not 0 < self.min_gain <= self.max_gain:
+            raise ValueError("need 0 < min_gain <= max_gain")
+
+    def process(self, block: np.ndarray) -> np.ndarray:
+        """Apply the current gain to a block and adapt for the next."""
+        block = np.asarray(block, dtype=complex)
+        if block.size == 0:
+            raise ValueError("empty block")
+        output = self.gain * block
+        peak = float(np.max(np.abs(output)))
+        if peak > 0:
+            desired = self.gain * self.target_level / peak
+            rate = self.attack if desired < self.gain else self.decay
+            # Log-domain (multiplicative) step: symmetric over the
+            # decades of dynamic range an AGC spans.
+            self.gain *= (desired / self.gain) ** rate
+            self.gain = float(np.clip(self.gain, self.min_gain, self.max_gain))
+        return output
+
+    def settle(self, block: np.ndarray, iterations: int = 200) -> float:
+        """Run repeated adaptation on a stationary block; return the
+        settled gain."""
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        for _ in range(iterations):
+            self.process(block)
+        return self.gain
+
+
+def effective_bits(signal_amplitude: float, full_scale: float, adc_bits: int) -> float:
+    """How many quantizer bits actually resolve a signal of the given
+    amplitude when the converter is ranged to ``full_scale``.
+
+    The flash-effect arithmetic in one formula: a target 40 dB below
+    the flash-set full scale loses ~6.6 bits of resolution —
+    ``bits - log2(full_scale / amplitude)``.
+    """
+    if signal_amplitude <= 0 or full_scale <= 0:
+        raise ValueError("amplitudes must be positive")
+    if adc_bits < 1:
+        raise ValueError("need at least one bit")
+    lost = math.log2(full_scale / signal_amplitude) if full_scale > signal_amplitude else 0.0
+    return adc_bits - lost

@@ -1,0 +1,58 @@
+"""Clocking.
+
+The prototype "consists of three USRPs connected to an external clock
+so that they act as one MIMO system" (§7.1).  Phase coherence between
+the two transmitters and the receiver is what makes nulling possible at
+all: the precoding ratio ``p = -h1/h2`` is only meaningful if all
+radios share a carrier phase reference.
+
+:class:`SharedClock` distributes a common carrier phase with optional
+slow phase drift, letting tests show that nulling survives a shared
+reference and degrades without one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SharedClock:
+    """A common frequency/phase reference for all radios.
+
+    Attributes:
+        phase_drift_std_rad: standard deviation of the random-walk
+            carrier phase increment per query.  Zero (default) models
+            the wired external clock of the prototype.
+    """
+
+    phase_drift_std_rad: float = 0.0
+    _phase_rad: float = 0.0
+
+    def carrier_phase(self, rng: np.random.Generator | None = None) -> float:
+        """Current common carrier phase, advancing the drift walk."""
+        if self.phase_drift_std_rad > 0.0:
+            if rng is None:
+                raise ValueError("phase drift requires an rng")
+            self._phase_rad += float(rng.normal(0.0, self.phase_drift_std_rad))
+        return self._phase_rad
+
+    def rotation(self, rng: np.random.Generator | None = None) -> complex:
+        """Complex rotation applied by the current carrier phase."""
+        phase = self.carrier_phase(rng)
+        return complex(np.cos(phase), np.sin(phase))
+
+
+@dataclass(frozen=True)
+class IndependentClocks:
+    """Unsynchronized radios: each query returns an unrelated phase.
+
+    Used by tests to demonstrate that nulling collapses without the
+    external clock the prototype requires.
+    """
+
+    def rotation(self, rng: np.random.Generator) -> complex:
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        return complex(np.cos(phase), np.sin(phase))

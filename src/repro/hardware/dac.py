@@ -1,0 +1,44 @@
+"""Digital-to-analog converter for the transmit path.
+
+Transmit-side quantization is far less consequential than receive-side
+(the USRP N210 DACs are 16-bit), but it is modelled so that the
+waveform simulator is honest end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dac:
+    """An ideal quantizing DAC with hard clipping at full scale.
+
+    Attributes:
+        bits: resolution per rail (USRP N210: 16).
+        full_scale: output amplitude ceiling per rail.
+    """
+
+    bits: int = 16
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("DAC needs at least 1 bit")
+        if self.full_scale <= 0:
+            raise ValueError("full scale must be positive")
+
+    @property
+    def step(self) -> float:
+        return 2.0 * self.full_scale / (2**self.bits)
+
+    def _convert_rail(self, rail: np.ndarray) -> np.ndarray:
+        clipped = np.clip(rail, -self.full_scale, self.full_scale - self.step)
+        return np.round(clipped / self.step) * self.step
+
+    def convert(self, samples: np.ndarray) -> np.ndarray:
+        """Produce the analog waveform for digital ``samples``."""
+        samples = np.asarray(samples, dtype=complex)
+        return self._convert_rail(samples.real) + 1j * self._convert_rail(samples.imag)

@@ -1,0 +1,57 @@
+"""The 3-antenna MIMO front end: two transmitters, one receiver.
+
+"Wi-Vi is essentially a 3-antenna MIMO device: two of the antennas are
+used for transmitting and one is used for receiving" (§3.1).  The
+front end owns the three radio chains and the precoding step: the
+second transmitter sends ``p * x`` while the first sends ``x``
+(Algorithm 1), so the two flight paths cancel at the receive antenna.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.clock import SharedClock
+from repro.hardware.radio import ReceiveChain, TransmitChain
+
+
+@dataclass
+class MimoFrontEnd:
+    """Two transmit chains and one receive chain on a shared clock."""
+
+    tx1: TransmitChain = field(default_factory=TransmitChain)
+    tx2: TransmitChain = field(default_factory=TransmitChain)
+    rx: ReceiveChain = field(default_factory=ReceiveChain)
+    clock: SharedClock = field(default_factory=SharedClock)
+
+    def precode(
+        self, samples: np.ndarray, precoder: complex | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split one stream into the two antenna streams (x, p * x).
+
+        ``precoder`` may be a scalar or a per-sample / per-subcarrier
+        array (nulling is performed on a subcarrier basis, §7.1).
+        """
+        samples = np.asarray(samples, dtype=complex)
+        return samples, samples * precoder
+
+    def transmit(
+        self, samples1: np.ndarray, samples2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run both digital streams through their transmit chains."""
+        return self.tx1.transmit(samples1), self.tx2.transmit(samples2)
+
+    def boost_power_db(self, boost_db: float) -> None:
+        """Boost both transmitters together (§4.1.2)."""
+        self.tx1.boost_db(boost_db)
+        self.tx2.boost_db(boost_db)
+
+    def receive(self, waveform: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Digitize the superimposed incident waveform."""
+        return self.rx.receive(waveform, rng)
+
+    @property
+    def total_tx_power_w(self) -> float:
+        return self.tx1.power_w + self.tx2.power_w

@@ -1,0 +1,123 @@
+"""Transmit and receive chains of a USRP-like software radio.
+
+The transmit chain enforces the USRP's limited linear range: "the
+linear transmit power range for USRPs is around 20 mW (i.e., beyond
+this power the signal starts being clipped)" (§7.5).  The receive chain
+applies gain ahead of a saturating ADC and injects thermal noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import (
+    BANDWIDTH_HZ,
+    USRP_LINEAR_TX_POWER_W,
+    db_to_linear,
+)
+from repro.hardware.adc import SaturatingAdc
+from repro.hardware.dac import Dac
+from repro.rf.noise import NoiseModel
+
+
+@dataclass
+class TransmitChain:
+    """DAC plus power amplifier with a finite linear range.
+
+    Digital samples are assumed normalized so that unit mean-square
+    amplitude maps to ``power_w`` at the antenna.  Samples that would
+    exceed the amplifier's linear range are soft-limited, which is the
+    distortion the paper's 12 dB boost ceiling avoids (§4.1.2).
+    """
+
+    power_w: float = 0.00125
+    linear_range_w: float = USRP_LINEAR_TX_POWER_W
+    # OFDM has ~10 dB of peak-to-average ratio; give the DAC headroom
+    # so it is the PA, not the DAC, that sets the clipping point.
+    dac: Dac = field(default_factory=lambda: Dac(full_scale=8.0))
+
+    def __post_init__(self) -> None:
+        if self.power_w <= 0:
+            raise ValueError("transmit power must be positive")
+        if self.linear_range_w <= 0:
+            raise ValueError("linear range must be positive")
+
+    def set_power_w(self, power_w: float) -> None:
+        if power_w <= 0:
+            raise ValueError("transmit power must be positive")
+        self.power_w = power_w
+
+    def boost_db(self, boost_db: float) -> None:
+        """Raise transmit power by ``boost_db`` (the §4.1.2 step)."""
+        self.power_w *= db_to_linear(boost_db)
+
+    @property
+    def exceeds_linear_range(self) -> bool:
+        """Whether the current power setting drives the PA nonlinear."""
+        return self.power_w > self.linear_range_w
+
+    def transmit(self, samples: np.ndarray) -> np.ndarray:
+        """Produce the over-the-air waveform for digital ``samples``.
+
+        Returns amplitude-scaled samples (sqrt(power) scaling); if the
+        configured power exceeds the PA's linear range the excursion is
+        clipped, distorting the waveform.
+        """
+        analog = self.dac.convert(np.asarray(samples, dtype=complex))
+        amplitude = math.sqrt(self.power_w)
+        waveform = amplitude * analog
+        # The PA stays linear up to the linear-range average power plus
+        # ~12 dB of peak headroom; excursions beyond that clip.
+        clip_amplitude = math.sqrt(self.linear_range_w) * 4.0
+        magnitude = np.abs(waveform)
+        over = magnitude > clip_amplitude
+        if np.any(over):
+            waveform = np.where(
+                over, waveform * (clip_amplitude / np.maximum(magnitude, 1e-30)), waveform
+            )
+        return waveform
+
+
+@dataclass
+class ReceiveChain:
+    """Low-noise amplifier, thermal noise, and a saturating ADC.
+
+    ``gain_db`` is the adjustable receive gain; the paper notes that
+    after nulling "we can also boost the receive gain without
+    saturating the receiver's ADC" (§4.1.2).
+    """
+
+    gain_db: float = 0.0
+    adc: SaturatingAdc = field(default_factory=lambda: SaturatingAdc(bits=14, full_scale=1.0))
+    noise: NoiseModel = field(default_factory=lambda: NoiseModel(BANDWIDTH_HZ))
+
+    def receive(self, waveform: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Digitize an incident waveform: add noise, apply gain, convert."""
+        waveform = np.asarray(waveform, dtype=complex)
+        noisy = waveform + self.noise.sample(waveform.shape, rng)
+        amplified = noisy * math.sqrt(db_to_linear(self.gain_db))
+        return self.adc.convert(amplified)
+
+    def saturates(self, waveform: np.ndarray) -> bool:
+        """Whether ``waveform`` (pre-noise) would clip the ADC at the
+        current gain."""
+        amplified = np.asarray(waveform, dtype=complex) * math.sqrt(
+            db_to_linear(self.gain_db)
+        )
+        return self.adc.saturates(amplified)
+
+
+@dataclass
+class UsrpN210:
+    """One software radio: a transmit chain and a receive chain.
+
+    The Wi-Vi prototype uses three of these — two transmitting, one
+    receiving — on a shared clock (§7.1).
+    """
+
+    tx: TransmitChain = field(default_factory=TransmitChain)
+    rx: ReceiveChain = field(default_factory=ReceiveChain)
+    name: str = "usrp"

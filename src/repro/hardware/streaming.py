@@ -1,0 +1,160 @@
+"""A UHD-style streaming interface over the simulated radios.
+
+The prototype implements "MIMO nulling ... directly into the UHD
+driver, so that it is performed in real-time" (§7.1).  This module
+provides the driver-shaped surface that such an implementation talks
+to: timestamped sample buffers, receive/transmit streamers with
+bounded buffering, and overflow accounting — so the nulling controller
+can be exercised the way it runs on hardware, burst by burst, instead
+of against whole-trace arrays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StreamMetadata:
+    """Metadata attached to every streamed buffer (UHD's rx_metadata)."""
+
+    timestamp_s: float
+    num_samples: int
+    overflow: bool = False
+    end_of_burst: bool = False
+
+
+@dataclass
+class StreamBuffer:
+    """One timestamped chunk of complex baseband samples."""
+
+    samples: np.ndarray
+    metadata: StreamMetadata
+
+
+class RxStreamer:
+    """A bounded receive stream.
+
+    A producer (the channel simulator) pushes buffers; the consumer
+    (signal processing) pulls them.  When the consumer falls behind and
+    the queue overflows, the oldest buffer is dropped and the next
+    delivered buffer is flagged ``overflow=True`` — the UHD 'O' you see
+    on a struggling host (the reason the prototype runs at 5 MHz
+    rather than 20 MHz, §7.1).
+    """
+
+    def __init__(self, max_buffers: int = 16):
+        if max_buffers < 1:
+            raise ValueError("need at least one buffer slot")
+        self._queue: deque[StreamBuffer] = deque()
+        self._max_buffers = max_buffers
+        self._overflowed = False
+        self._clock_s = 0.0
+        self.overflow_count = 0
+
+    def push(self, samples: np.ndarray, sample_rate_hz: float) -> None:
+        """Producer side: append a chunk at the stream clock."""
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim != 1 or len(samples) == 0:
+            raise ValueError("samples must be a non-empty 1-D array")
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        if len(self._queue) >= self._max_buffers:
+            self._queue.popleft()
+            self._overflowed = True
+            self.overflow_count += 1
+        metadata = StreamMetadata(
+            timestamp_s=self._clock_s,
+            num_samples=len(samples),
+            overflow=self._overflowed,
+        )
+        self._overflowed = False
+        self._queue.append(StreamBuffer(samples=samples, metadata=metadata))
+        self._clock_s += len(samples) / sample_rate_hz
+
+    def recv(self) -> StreamBuffer | None:
+        """Consumer side: pop the oldest buffer (None when starved)."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class TxStreamer:
+    """A transmit stream: buffers queued for radiation, with a hook the
+    simulator uses to pick them up."""
+
+    def __init__(self):
+        self._queue: deque[StreamBuffer] = deque()
+        self._clock_s = 0.0
+        self.sent_sample_count = 0
+
+    def send(
+        self, samples: np.ndarray, sample_rate_hz: float, end_of_burst: bool = False
+    ) -> None:
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim != 1 or len(samples) == 0:
+            raise ValueError("samples must be a non-empty 1-D array")
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        metadata = StreamMetadata(
+            timestamp_s=self._clock_s,
+            num_samples=len(samples),
+            end_of_burst=end_of_burst,
+        )
+        self._queue.append(StreamBuffer(samples=samples, metadata=metadata))
+        self._clock_s += len(samples) / sample_rate_hz
+        self.sent_sample_count += len(samples)
+
+    def pop_burst(self) -> list[StreamBuffer]:
+        """Simulator side: drain buffers up to (and including) the next
+        end-of-burst marker."""
+        burst: list[StreamBuffer] = []
+        while self._queue:
+            buffer = self._queue.popleft()
+            burst.append(buffer)
+            if buffer.metadata.end_of_burst:
+                break
+        return burst
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class StreamProcessor:
+    """Pulls RX buffers and feeds a per-chunk callback — the shape of
+    the real-time processing loop in the UHD driver.
+
+    Attributes:
+        callback: called with (samples, metadata) per buffer.
+        drop_on_overflow: when True, a buffer flagged ``overflow`` also
+            resets any state via the optional ``on_overflow`` hook
+            (phase-continuous processing cannot survive a gap).
+    """
+
+    callback: Callable[[np.ndarray, StreamMetadata], None]
+    on_overflow: Callable[[], None] | None = None
+    processed_samples: int = 0
+    seen_overflows: int = 0
+
+    def drain(self, streamer: RxStreamer) -> int:
+        """Process everything currently queued; returns buffers handled."""
+        handled = 0
+        while True:
+            buffer = streamer.recv()
+            if buffer is None:
+                return handled
+            if buffer.metadata.overflow:
+                self.seen_overflows += 1
+                if self.on_overflow is not None:
+                    self.on_overflow()
+            self.callback(buffer.samples, buffer.metadata)
+            self.processed_samples += buffer.metadata.num_samples
+            handled += 1

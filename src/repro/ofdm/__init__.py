@@ -1,0 +1,45 @@
+"""Wi-Fi-style OFDM physical layer.
+
+"We implement standard Wi-Fi OFDM modulation in the UHD code; each
+OFDM symbol consists of 64 subcarriers including the DC.  The nulling
+procedure ... is performed on a subcarrier basis.  The channel
+measurements across the different subcarriers are combined to improve
+the SNR." (§7.1)
+"""
+
+from repro.ofdm.coding import (
+    append_crc,
+    check_crc,
+    convolutional_encode,
+    viterbi_decode,
+)
+from repro.ofdm.estimation import (
+    average_symbol_estimates,
+    combine_subcarriers,
+    ls_channel_estimate,
+)
+from repro.ofdm.mapping import demap_symbols, map_bits
+from repro.ofdm.modulation import OfdmConfig, OfdmModem
+from repro.ofdm.phy import OfdmPhy, PhyConfig
+from repro.ofdm.preamble import training_symbol
+from repro.ofdm.sync import build_stf, correct_cfo, schmidl_cox
+
+__all__ = [
+    "OfdmConfig",
+    "OfdmModem",
+    "OfdmPhy",
+    "PhyConfig",
+    "append_crc",
+    "average_symbol_estimates",
+    "build_stf",
+    "check_crc",
+    "combine_subcarriers",
+    "convolutional_encode",
+    "correct_cfo",
+    "demap_symbols",
+    "ls_channel_estimate",
+    "map_bits",
+    "schmidl_cox",
+    "training_symbol",
+    "viterbi_decode",
+]

@@ -1,0 +1,181 @@
+"""Convolutional coding for the Wi-Fi OFDM data plane.
+
+The industry-standard K = 7, rate-1/2 convolutional code used by
+802.11a/g (generators 133 and 171 octal) with a hard-decision Viterbi
+decoder, plus the 802.11 frame check sequence (CRC-32).
+
+Wi-Vi transmits "standard Wi-Fi OFDM" (§3, §7.1); while the sensing
+pipeline never decodes payloads, the substrate is a real communication
+PHY, and this module completes it — the device built here can carry
+data with the same waveform it senses with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 802.11 convolutional code: constraint length 7, generators (octal).
+CONSTRAINT_LENGTH = 7
+GENERATOR_POLYNOMIALS = (0o133, 0o171)
+
+_NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+
+def _output_bits(state: int, input_bit: int) -> tuple[int, int]:
+    """Encoder outputs for a register state and incoming bit.
+
+    The register holds the most recent bit in the MSB.
+    """
+    register = (input_bit << (CONSTRAINT_LENGTH - 1)) | state
+    outputs = []
+    for polynomial in GENERATOR_POLYNOMIALS:
+        tapped = register & polynomial
+        outputs.append(bin(tapped).count("1") % 2)
+    return outputs[0], outputs[1]
+
+
+def _next_state(state: int, input_bit: int) -> int:
+    return ((input_bit << (CONSTRAINT_LENGTH - 1)) | state) >> 1
+
+
+def convolutional_encode(bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+    """Rate-1/2 convolutional encoding.
+
+    ``terminate`` appends K-1 zero tail bits so the trellis ends in the
+    zero state, as 802.11 does.
+    """
+    bits = np.asarray(bits, dtype=int)
+    if bits.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0 or 1")
+    stream = list(bits)
+    if terminate:
+        stream += [0] * (CONSTRAINT_LENGTH - 1)
+    state = 0
+    encoded = np.empty(2 * len(stream), dtype=int)
+    for index, bit in enumerate(stream):
+        first, second = _output_bits(state, int(bit))
+        encoded[2 * index] = first
+        encoded[2 * index + 1] = second
+        state = _next_state(state, int(bit))
+    return encoded
+
+
+def _build_trellis():
+    """Precompute (next_state, output pair) for every (state, bit)."""
+    next_states = np.empty((_NUM_STATES, 2), dtype=int)
+    outputs = np.empty((_NUM_STATES, 2, 2), dtype=int)
+    for state in range(_NUM_STATES):
+        for bit in (0, 1):
+            next_states[state, bit] = _next_state(state, bit)
+            outputs[state, bit] = _output_bits(state, bit)
+    return next_states, outputs
+
+
+_NEXT_STATES, _OUTPUTS = _build_trellis()
+
+
+def viterbi_decode(
+    encoded: np.ndarray, num_data_bits: int | None = None, terminated: bool = True
+) -> np.ndarray:
+    """Hard-decision Viterbi decoding of the rate-1/2 code.
+
+    Args:
+        encoded: received code bits (possibly corrupted), length 2N.
+        num_data_bits: number of *payload* bits to return; defaults to
+            N minus the tail.
+        terminated: whether the encoder appended the zero tail (decode
+            then ends in state 0).
+    """
+    encoded = np.asarray(encoded, dtype=int)
+    if encoded.ndim != 1 or len(encoded) % 2 != 0:
+        raise ValueError("encoded stream must have even length")
+    num_steps = len(encoded) // 2
+    tail = CONSTRAINT_LENGTH - 1 if terminated else 0
+    if num_data_bits is None:
+        num_data_bits = num_steps - tail
+    if num_data_bits < 0 or num_data_bits > num_steps - tail:
+        raise ValueError("num_data_bits inconsistent with stream length")
+
+    infinity = np.iinfo(np.int64).max // 2
+    metrics = np.full(_NUM_STATES, infinity, dtype=np.int64)
+    metrics[0] = 0
+    history = np.empty((num_steps, _NUM_STATES), dtype=np.int8)
+
+    received = encoded.reshape(num_steps, 2)
+    for step in range(num_steps):
+        new_metrics = np.full(_NUM_STATES, infinity, dtype=np.int64)
+        decisions = np.zeros(_NUM_STATES, dtype=np.int8)
+        for state in range(_NUM_STATES):
+            if metrics[state] >= infinity:
+                continue
+            for bit in (0, 1):
+                branch = int(
+                    (received[step, 0] != _OUTPUTS[state, bit, 0])
+                    + (received[step, 1] != _OUTPUTS[state, bit, 1])
+                )
+                candidate = metrics[state] + branch
+                target = _NEXT_STATES[state, bit]
+                if candidate < new_metrics[target]:
+                    new_metrics[target] = candidate
+                    # Record the *predecessor* state and bit packed
+                    # together: bit in LSB is enough because the
+                    # predecessor is recoverable from target and bit.
+                    decisions[target] = bit | (
+                        (state & ((1 << (CONSTRAINT_LENGTH - 2)) - 1)) << 1
+                    )
+        metrics = new_metrics
+        history[step] = decisions
+
+    final_state = 0 if terminated else int(np.argmin(metrics))
+    bits = np.empty(num_steps, dtype=int)
+    state = final_state
+    for step in range(num_steps - 1, -1, -1):
+        packed = int(history[step, state])
+        bit = packed & 1
+        bits[step] = bit
+        # Invert the state transition: next = (bit << 6 | prev) >> 1,
+        # so prev = ((next << 1) | lost_lsb) & 0x3f with the lost LSB
+        # recovered from the packed decision.
+        lost_lsb = (packed >> 1) & 1 if CONSTRAINT_LENGTH > 2 else 0
+        prev_high = (state << 1) & (_NUM_STATES - 1)
+        state = prev_high | lost_lsb
+        # The bit we stored is the input; the rest of prev's bits are
+        # determined by the transition.
+    return bits[:num_data_bits]
+
+
+def crc32(bits: np.ndarray) -> np.ndarray:
+    """The 802.11 frame check sequence over a bit array (MSB-first
+    bytes), returned as 32 bits."""
+    bits = np.asarray(bits, dtype=int)
+    if len(bits) % 8 != 0:
+        raise ValueError("CRC-32 operates on whole bytes")
+    import zlib
+
+    data = bytearray()
+    for start in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[start : start + 8]:
+            byte = (byte << 1) | int(bit)
+        data.append(byte)
+    checksum = zlib.crc32(bytes(data)) & 0xFFFFFFFF
+    return np.array([(checksum >> shift) & 1 for shift in range(31, -1, -1)], dtype=int)
+
+
+def append_crc(bits: np.ndarray) -> np.ndarray:
+    """Append the FCS to a byte-aligned bit array."""
+    bits = np.asarray(bits, dtype=int)
+    return np.concatenate([bits, crc32(bits)])
+
+
+def check_crc(bits_with_crc: np.ndarray) -> bool:
+    """Validate a byte-aligned bit array carrying a trailing FCS."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=int)
+    if len(bits_with_crc) < 32:
+        return False
+    payload, received = bits_with_crc[:-32], bits_with_crc[-32:]
+    if len(payload) % 8 != 0:
+        return False
+    return bool(np.array_equal(crc32(payload), received))

@@ -1,0 +1,76 @@
+"""Channel estimation from OFDM training symbols.
+
+Least-squares per subcarrier (``h-hat = y / x``), averaging across
+repeated training symbols, and combining across subcarriers "to improve
+the SNR" (§7.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ls_channel_estimate(
+    received_symbols: np.ndarray, training_symbols: np.ndarray
+) -> np.ndarray:
+    """Per-subcarrier least-squares channel estimate y / x.
+
+    Shapes broadcast: pass (num_symbols, num_used) received against a
+    (num_used,) or matching training grid.
+    """
+    received = np.asarray(received_symbols, dtype=complex)
+    training = np.asarray(training_symbols, dtype=complex)
+    if np.any(np.abs(training) == 0):
+        raise ValueError("training symbols must be non-zero on every subcarrier")
+    return received / training
+
+
+def average_symbol_estimates(estimates: np.ndarray) -> np.ndarray:
+    """Average per-symbol channel estimates over the symbol axis.
+
+    Coherent averaging of K repeated training symbols reduces the
+    estimation noise power by a factor of K.
+    """
+    estimates = np.asarray(estimates, dtype=complex)
+    if estimates.ndim == 1:
+        return estimates
+    return estimates.mean(axis=0)
+
+
+def combine_subcarriers(per_subcarrier: np.ndarray) -> complex:
+    """Combine per-subcarrier channel values into one complex gain.
+
+    Wi-Vi combines measurements across subcarriers to improve SNR
+    (§7.1).  For tracking, what matters is the common motion-induced
+    phase trajectory; the per-subcarrier static phases differ (the
+    channel is frequency-selective), so a plain mean would let
+    subcarriers cancel.  We phase-align subcarriers to the first one
+    before averaging — maximal-ratio combining against the dominant
+    component.
+    """
+    values = np.asarray(per_subcarrier, dtype=complex).ravel()
+    if values.size == 0:
+        raise ValueError("nothing to combine")
+    reference = values[np.argmax(np.abs(values))]
+    if abs(reference) == 0:
+        return 0j
+    # Rotate every subcarrier onto the reference phase, then average:
+    # magnitudes add coherently, the common phase is preserved.
+    rotations = np.exp(-1j * np.angle(values * np.conj(reference)))
+    aligned = values * rotations
+    return complex(np.mean(aligned))
+
+
+def estimation_snr_db(
+    true_channel: np.ndarray, estimated_channel: np.ndarray
+) -> float:
+    """SNR of a channel estimate: channel power over error power, dB."""
+    true = np.asarray(true_channel, dtype=complex)
+    estimate = np.asarray(estimated_channel, dtype=complex)
+    error_power = float(np.mean(np.abs(estimate - true) ** 2))
+    signal_power = float(np.mean(np.abs(true) ** 2))
+    if error_power == 0:
+        return float("inf")
+    if signal_power == 0:
+        raise ValueError("true channel has zero power")
+    return 10.0 * np.log10(signal_power / error_power)

@@ -1,0 +1,102 @@
+"""Constellation mapping and interleaving for the OFDM data plane.
+
+BPSK, QPSK, and 16-QAM with Gray labelling and unit average power, plus
+the simple block interleaver that spreads adjacent code bits across
+subcarriers (so a notch in the frequency-selective channel does not
+wipe out a run of bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_QAM16_LEVELS = np.array([-3.0, -1.0, 1.0, 3.0]) / np.sqrt(10.0)
+#: Gray-coded 2-bit labels onto amplitude levels.
+_GRAY2 = {(0, 0): 0, (0, 1): 1, (1, 1): 2, (1, 0): 3}
+_GRAY2_INVERSE = {v: k for k, v in _GRAY2.items()}
+
+MODULATIONS = ("bpsk", "qpsk", "qam16")
+
+
+def bits_per_symbol(modulation: str) -> int:
+    """Bits carried by one constellation point of ``modulation``."""
+    try:
+        return {"bpsk": 1, "qpsk": 2, "qam16": 4}[modulation]
+    except KeyError:
+        raise ValueError(
+            f"unknown modulation {modulation!r}; choose from {MODULATIONS}"
+        ) from None
+
+
+def map_bits(bits: np.ndarray, modulation: str) -> np.ndarray:
+    """Bits -> unit-average-power constellation points."""
+    bits = np.asarray(bits, dtype=int)
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0 or 1")
+    width = bits_per_symbol(modulation)
+    if len(bits) % width != 0:
+        raise ValueError(f"bit count must be a multiple of {width} for {modulation}")
+    groups = bits.reshape(-1, width)
+    if modulation == "bpsk":
+        return (2.0 * groups[:, 0] - 1.0).astype(complex)
+    if modulation == "qpsk":
+        real = (2.0 * groups[:, 0] - 1.0) / np.sqrt(2.0)
+        imag = (2.0 * groups[:, 1] - 1.0) / np.sqrt(2.0)
+        return real + 1j * imag
+    # 16-QAM: first two bits -> I level, last two -> Q level.
+    i_index = np.array([_GRAY2[(g[0], g[1])] for g in groups])
+    q_index = np.array([_GRAY2[(g[2], g[3])] for g in groups])
+    return _QAM16_LEVELS[i_index] + 1j * _QAM16_LEVELS[q_index]
+
+
+def demap_symbols(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Hard-decision demapping back to bits."""
+    symbols = np.asarray(symbols, dtype=complex)
+    if modulation == "bpsk":
+        return (symbols.real > 0).astype(int)
+    if modulation == "qpsk":
+        bits = np.empty((len(symbols), 2), dtype=int)
+        bits[:, 0] = symbols.real > 0
+        bits[:, 1] = symbols.imag > 0
+        return bits.ravel()
+    if modulation == "qam16":
+        bits = np.empty((len(symbols), 4), dtype=int)
+        for row, symbol in enumerate(symbols):
+            i_index = int(np.argmin(np.abs(symbol.real - _QAM16_LEVELS)))
+            q_index = int(np.argmin(np.abs(symbol.imag - _QAM16_LEVELS)))
+            bits[row, 0:2] = _GRAY2_INVERSE[i_index]
+            bits[row, 2:4] = _GRAY2_INVERSE[q_index]
+        return bits.ravel()
+    raise ValueError(f"unknown modulation {modulation!r}; choose from {MODULATIONS}")
+
+
+def interleave(bits: np.ndarray, depth: int) -> np.ndarray:
+    """Row-in, column-out block interleaver (pads with zeros).
+
+    ``depth`` is the number of rows; adjacent input bits land ``depth``
+    positions apart at the output.
+    """
+    bits = np.asarray(bits, dtype=int)
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    if depth == 1:
+        return bits.copy()
+    columns = int(np.ceil(len(bits) / depth))
+    padded = np.zeros(depth * columns, dtype=int)
+    padded[: len(bits)] = bits
+    return padded.reshape(depth, columns).T.ravel()
+
+
+def deinterleave(bits: np.ndarray, depth: int, original_length: int) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    bits = np.asarray(bits, dtype=int)
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    if original_length < 0 or original_length > len(bits):
+        raise ValueError("original length out of range")
+    if depth == 1:
+        return bits[:original_length].copy()
+    columns = len(bits) // depth
+    if columns * depth != len(bits):
+        raise ValueError("bit count must be a multiple of depth")
+    return bits.reshape(columns, depth).T.ravel()[:original_length]

@@ -1,0 +1,133 @@
+"""OFDM modulation and demodulation.
+
+64 subcarriers including DC (§7.1), a cyclic prefix, and the usual
+802.11-style subcarrier layout: DC and band-edge guards are left
+unused; the remaining subcarriers carry training or data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BANDWIDTH_HZ, NUM_SUBCARRIERS
+
+
+@dataclass(frozen=True)
+class OfdmConfig:
+    """OFDM numerology.
+
+    Attributes:
+        num_subcarriers: FFT size (64 including DC, §7.1).
+        cp_length: cyclic-prefix length in samples (16, the 802.11
+            quarter-symbol prefix).
+        num_guard: unused subcarriers at each band edge.
+        bandwidth_hz: occupied bandwidth (5 MHz in the prototype).
+    """
+
+    num_subcarriers: int = NUM_SUBCARRIERS
+    cp_length: int = 16
+    num_guard: int = 6
+    bandwidth_hz: float = BANDWIDTH_HZ
+
+    def __post_init__(self) -> None:
+        if self.num_subcarriers < 8:
+            raise ValueError("need at least 8 subcarriers")
+        if not 0 <= self.cp_length < self.num_subcarriers:
+            raise ValueError("cyclic prefix must be shorter than the symbol")
+        if self.num_guard * 2 + 1 >= self.num_subcarriers:
+            raise ValueError("guards leave no usable subcarriers")
+
+    @property
+    def symbol_length(self) -> int:
+        """Time-domain samples per OFDM symbol, prefix included."""
+        return self.num_subcarriers + self.cp_length
+
+    @property
+    def symbol_duration_s(self) -> float:
+        return self.symbol_length / self.bandwidth_hz
+
+    @property
+    def used_subcarriers(self) -> np.ndarray:
+        """Indices (FFT bins) that carry signal: all but DC and guards.
+
+        Bins follow numpy FFT ordering: 0 is DC, 1..N/2-1 positive
+        frequencies, N/2..N-1 negative frequencies.
+        """
+        half = self.num_subcarriers // 2
+        positive = np.arange(1, half - self.num_guard)
+        negative = np.arange(half + self.num_guard, self.num_subcarriers)
+        return np.concatenate([positive, negative])
+
+    @property
+    def num_used(self) -> int:
+        return len(self.used_subcarriers)
+
+    def subcarrier_frequencies_hz(self) -> np.ndarray:
+        """Baseband centre frequency of each used subcarrier (Hz)."""
+        spacing = self.bandwidth_hz / self.num_subcarriers
+        bins = self.used_subcarriers.astype(float)
+        half = self.num_subcarriers // 2
+        bins = np.where(bins >= half, bins - self.num_subcarriers, bins)
+        return bins * spacing
+
+
+class OfdmModem:
+    """Modulator/demodulator for one OFDM numerology."""
+
+    def __init__(self, config: OfdmConfig | None = None):
+        self.config = config if config is not None else OfdmConfig()
+
+    def modulate(self, frequency_symbols: np.ndarray) -> np.ndarray:
+        """Map used-subcarrier values to a time-domain symbol with CP.
+
+        ``frequency_symbols`` has shape (..., num_used); the output has
+        shape (..., symbol_length).  Time samples are normalized so a
+        unit-power constellation yields unit mean-square amplitude.
+        """
+        symbols = np.atleast_2d(np.asarray(frequency_symbols, dtype=complex))
+        if symbols.shape[-1] != self.config.num_used:
+            raise ValueError(
+                f"expected {self.config.num_used} used subcarriers, "
+                f"got {symbols.shape[-1]}"
+            )
+        n = self.config.num_subcarriers
+        grid = np.zeros(symbols.shape[:-1] + (n,), dtype=complex)
+        grid[..., self.config.used_subcarriers] = symbols
+        # Scale so E[|time sample|^2] == E[|constellation point|^2].
+        time_domain = np.fft.ifft(grid, axis=-1) * (n / np.sqrt(self.config.num_used))
+        with_cp = np.concatenate(
+            [time_domain[..., -self.config.cp_length :], time_domain], axis=-1
+        )
+        return with_cp if np.ndim(frequency_symbols) > 1 else with_cp[0]
+
+    def demodulate(self, time_samples: np.ndarray) -> np.ndarray:
+        """Strip the CP and return used-subcarrier values."""
+        samples = np.atleast_2d(np.asarray(time_samples, dtype=complex))
+        if samples.shape[-1] != self.config.symbol_length:
+            raise ValueError(
+                f"expected symbols of {self.config.symbol_length} samples, "
+                f"got {samples.shape[-1]}"
+            )
+        body = samples[..., self.config.cp_length :]
+        grid = np.fft.fft(body, axis=-1) / (
+            self.config.num_subcarriers / np.sqrt(self.config.num_used)
+        )
+        used = grid[..., self.config.used_subcarriers]
+        return used if np.ndim(time_samples) > 1 else used[0]
+
+    def apply_channel_frequency_domain(
+        self, frequency_symbols: np.ndarray, channel_response: np.ndarray
+    ) -> np.ndarray:
+        """Multiply used-subcarrier symbols by a channel response.
+
+        Equivalent to time-domain convolution for delay spreads shorter
+        than the cyclic prefix, which holds for the indoor scenes here
+        (CP of 16 samples at 5 MHz = 3.2 us = 960 m of excess path).
+        """
+        symbols = np.asarray(frequency_symbols, dtype=complex)
+        response = np.asarray(channel_response, dtype=complex)
+        if response.shape[-1] != self.config.num_used:
+            raise ValueError("channel response must cover the used subcarriers")
+        return symbols * response

@@ -1,0 +1,36 @@
+"""Training preambles for channel estimation.
+
+Algorithm 1 starts with each transmit antenna sending "a known
+preamble x" alone, from which the receiver estimates h-hat = y / x per
+subcarrier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ofdm.modulation import OfdmConfig
+
+
+def training_symbol(config: OfdmConfig, seed: int = 0x57495649) -> np.ndarray:
+    """A deterministic unit-power BPSK training symbol.
+
+    The default seed spells "WIVI".  Every element is +/-1, so dividing
+    the received subcarriers by the training symbol never amplifies
+    noise unevenly (constant-modulus training, as in 802.11 LTFs).
+    """
+    rng = np.random.default_rng(seed)
+    signs = rng.integers(0, 2, size=config.num_used) * 2 - 1
+    return signs.astype(complex)
+
+
+def training_burst(
+    config: OfdmConfig, num_symbols: int, seed: int = 0x57495649
+) -> np.ndarray:
+    """``num_symbols`` repetitions of the training symbol, shape
+    (num_symbols, num_used).  Repetition lets the estimator average
+    down the noise."""
+    if num_symbols < 1:
+        raise ValueError("need at least one training symbol")
+    symbol = training_symbol(config, seed)
+    return np.tile(symbol, (num_symbols, 1))

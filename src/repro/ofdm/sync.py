@@ -1,0 +1,127 @@
+"""Packet detection and synchronization for the OFDM data plane.
+
+`OfdmPhy.receive` assumes a sample-aligned waveform; a real receiver
+must first *find* the packet and correct the carrier-frequency offset
+(CFO) between the two radios' oscillators.  This module implements the
+classic Schmidl & Cox approach over a repeated short training field:
+
+* the STF is one OFDM training symbol transmitted twice;
+* a sliding autocorrelation at lag L (the symbol length) plateaus where
+  the two copies overlap, giving timing;
+* the *phase* of that autocorrelation is ``2*pi*f_cfo*L*T``, giving the
+  CFO up to ±1/(2·L·T).
+
+Wi-Vi itself sidesteps CFO by wiring all radios to one clock (§7.1) —
+the sensing pipeline needs *phase coherence*, which sync cannot
+provide — but the data plane of the Wi-Fi substrate needs this layer to
+be a real modem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ofdm.modulation import OfdmConfig, OfdmModem
+from repro.ofdm.preamble import training_symbol
+
+#: Seed distinguishing the sync preamble from the channel-estimation one.
+STF_SEED = 0x53594E43  # "SYNC"
+
+
+def build_stf(config: OfdmConfig | None = None) -> np.ndarray:
+    """The short training field: one OFDM symbol repeated twice."""
+    config = config if config is not None else OfdmConfig()
+    modem = OfdmModem(config)
+    symbol = modem.modulate(training_symbol(config, seed=STF_SEED))
+    return np.concatenate([symbol, symbol])
+
+
+@dataclass
+class SyncResult:
+    """Detector output.
+
+    Attributes:
+        detected: whether a plateau cleared the threshold.
+        start_index: estimated first sample of the STF.
+        cfo_hz: estimated carrier-frequency offset.
+        metric: the normalized autocorrelation timing metric.
+    """
+
+    detected: bool
+    start_index: int
+    cfo_hz: float
+    metric: np.ndarray
+
+
+def schmidl_cox(
+    samples: np.ndarray,
+    config: OfdmConfig | None = None,
+    threshold: float = 0.6,
+) -> SyncResult:
+    """Detect the repeated STF and estimate timing + CFO.
+
+    Args:
+        samples: received complex baseband stream.
+        config: OFDM numerology (sets the repetition lag).
+        threshold: plateau height in the normalized metric (0..1).
+    """
+    config = config if config is not None else OfdmConfig()
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    samples = np.asarray(samples, dtype=complex)
+    lag = config.symbol_length
+    if len(samples) < 2 * lag + 1:
+        raise ValueError("stream shorter than one STF")
+
+    # P[d] = sum_k conj(x[d+k]) x[d+k+L];  R[d] = mean energy of both
+    # halves.  Normalizing by one half alone lets silent stretches
+    # (tiny P over tiny R) fake a plateau, so both halves contribute
+    # and windows with negligible energy are gated out entirely.
+    products = np.conj(samples[:-lag]) * samples[lag:]
+    energy = np.abs(samples) ** 2
+    window = np.ones(lag)
+    p = np.convolve(products, window, mode="valid")
+    first_half = np.convolve(energy[:-lag], window, mode="valid")
+    second_half = np.convolve(energy[lag:], window, mode="valid")
+    r = 0.5 * (first_half + second_half)
+    metric = np.abs(p) ** 2 / np.maximum(r**2, 1e-30)
+    metric[r < 0.1 * r.max()] = 0.0
+
+    peak_index = int(np.argmax(metric))
+    if metric[peak_index] < threshold:
+        return SyncResult(False, -1, 0.0, metric)
+
+    # The metric plateaus over the CP-ambiguity region; take the
+    # centre of the region within 90% of the peak around it.
+    near = metric >= 0.9 * metric[peak_index]
+    left = peak_index
+    while left > 0 and near[left - 1]:
+        left -= 1
+    right = peak_index
+    while right < len(near) - 1 and near[right + 1]:
+        right += 1
+    start = (left + right) // 2
+
+    sample_period = 1.0 / config.bandwidth_hz
+    cfo_hz = float(np.angle(p[start]) / (2.0 * math.pi * lag * sample_period))
+    return SyncResult(True, start, cfo_hz, metric)
+
+
+def correct_cfo(
+    samples: np.ndarray, cfo_hz: float, config: OfdmConfig | None = None
+) -> np.ndarray:
+    """De-rotate a stream by the estimated CFO."""
+    config = config if config is not None else OfdmConfig()
+    samples = np.asarray(samples, dtype=complex)
+    n = np.arange(len(samples))
+    return samples * np.exp(-2j * math.pi * cfo_hz * n / config.bandwidth_hz)
+
+
+def apply_cfo(
+    samples: np.ndarray, cfo_hz: float, config: OfdmConfig | None = None
+) -> np.ndarray:
+    """Impose a CFO on a stream (channel/impairment side)."""
+    return correct_cfo(samples, -cfo_hz, config)

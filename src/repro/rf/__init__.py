@@ -1,0 +1,58 @@
+"""RF substrate: materials, propagation, antennas, noise, and channels.
+
+This package models the physical layer the Wi-Vi paper measures
+through: one-way attenuation of building materials (Table 4.1 of the
+thesis), free-space and radar-equation path gains, directional antenna
+patterns, thermal noise, and the coherent multipath channel that the
+MIMO nulling and ISAR pipelines operate on.
+"""
+
+from repro.rf.antennas import DirectionalAntenna, IsotropicAntenna
+from repro.rf.channel import ChannelModel, Path, combine_paths
+from repro.rf.materials import (
+    CONCRETE_18IN,
+    CONCRETE_8IN,
+    FREE_SPACE,
+    GLASS,
+    HOLLOW_WALL_6IN,
+    MATERIALS,
+    REINFORCED_CONCRETE,
+    SOLID_WOOD_DOOR,
+    TINTED_GLASS,
+    Material,
+    material_by_name,
+)
+from repro.rf.noise import NoiseModel, complex_awgn
+from repro.rf.propagation import (
+    free_space_amplitude,
+    free_space_path_loss_db,
+    path_phase,
+    radar_amplitude,
+    specular_reflection_amplitude,
+)
+
+__all__ = [
+    "CONCRETE_18IN",
+    "CONCRETE_8IN",
+    "ChannelModel",
+    "DirectionalAntenna",
+    "FREE_SPACE",
+    "GLASS",
+    "HOLLOW_WALL_6IN",
+    "IsotropicAntenna",
+    "MATERIALS",
+    "Material",
+    "NoiseModel",
+    "Path",
+    "REINFORCED_CONCRETE",
+    "SOLID_WOOD_DOOR",
+    "TINTED_GLASS",
+    "combine_paths",
+    "complex_awgn",
+    "free_space_amplitude",
+    "free_space_path_loss_db",
+    "material_by_name",
+    "path_phase",
+    "radar_amplitude",
+    "specular_reflection_amplitude",
+]

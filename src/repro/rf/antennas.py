@@ -1,0 +1,91 @@
+"""Antenna models.
+
+Wi-Vi uses LP0965 log-periodic directional antennas with 6 dBi of gain
+(§7.1), pointed at the wall of interest.  Directionality matters twice
+in the paper: it focuses energy through the wall, and it attenuates the
+direct transmit-to-receive path so that, after nulling, the direct
+signal "becomes negligible" (§4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.constants import ANTENNA_GAIN_DBI, db_to_linear
+
+
+@dataclass(frozen=True)
+class IsotropicAntenna:
+    """A 0 dBi reference antenna: unit gain in every direction."""
+
+    def amplitude_gain(self, angle_off_boresight_rad: float) -> float:
+        """Field-amplitude gain toward ``angle_off_boresight_rad``."""
+        return 1.0
+
+
+@dataclass(frozen=True)
+class DirectionalAntenna:
+    """A directional antenna with a raised-cosine main lobe.
+
+    The pattern is ``G(phi) = G0 * max(cos(phi), floor)^order`` in
+    power, a standard smooth stand-in for a log-periodic element like
+    the LP0965.  ``front_to_back_db`` sets the floor so that energy
+    radiated backwards (e.g. straight at the co-located receive
+    antenna) is strongly attenuated.
+
+    Attributes:
+        boresight_gain_dbi: peak gain (dBi) along boresight.
+        beamwidth_deg: half-power (-3 dB) full beamwidth in degrees.
+        front_to_back_db: suppression of the back lobe relative to
+            boresight (dB, positive).
+    """
+
+    boresight_gain_dbi: float = ANTENNA_GAIN_DBI
+    beamwidth_deg: float = 60.0
+    front_to_back_db: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beamwidth_deg < 180:
+            raise ValueError("beamwidth must be in (0, 180) degrees")
+        if self.front_to_back_db < 0:
+            raise ValueError("front-to-back ratio must be non-negative dB")
+
+    @cached_property
+    def _cosine_order(self) -> float:
+        """Exponent giving a -3 dB point at half the beamwidth.
+
+        Cached: it sits on the simulator's per-path hot loop.
+        """
+        half_beam = math.radians(self.beamwidth_deg / 2.0)
+        # Solve cos(half_beam)^order == 0.5 in power.
+        return math.log(0.5) / math.log(math.cos(half_beam))
+
+    @cached_property
+    def _peak_power(self) -> float:
+        return db_to_linear(self.boresight_gain_dbi)
+
+    @cached_property
+    def _floor_power(self) -> float:
+        return db_to_linear(-self.front_to_back_db)
+
+    def power_gain(self, angle_off_boresight_rad: float) -> float:
+        """Linear power gain toward ``angle_off_boresight_rad``."""
+        peak = self._peak_power
+        floor = self._floor_power
+        projection = math.cos(angle_off_boresight_rad)
+        if projection <= 0.0:
+            return peak * floor
+        shaped = projection**self._cosine_order
+        return peak * max(shaped, floor)
+
+    def amplitude_gain(self, angle_off_boresight_rad: float) -> float:
+        """Field-amplitude gain toward ``angle_off_boresight_rad``."""
+        return math.sqrt(self.power_gain(angle_off_boresight_rad))
+
+
+#: The prototype's antenna: LP0965-like, 6 dBi (§7.1).
+LP0965_LIKE = DirectionalAntenna(
+    boresight_gain_dbi=ANTENNA_GAIN_DBI, beamwidth_deg=65.0, front_to_back_db=25.0
+)

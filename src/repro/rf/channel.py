@@ -1,0 +1,133 @@
+"""Coherent multipath channel model.
+
+A wireless channel between one transmit and one receive antenna is a
+linear superposition of :class:`Path` objects — the single property the
+Wi-Vi nulling technique relies on: "wireless signals (including
+reflections) combine linearly over the medium" (§1.1).
+
+Each path carries a field amplitude and a total propagation distance.
+The distance sets both the carrier phase (narrowband behaviour, what
+ISAR tracks) and the delay (wideband behaviour, what makes the channel
+frequency-selective across OFDM subcarriers, which is why nulling is
+performed per subcarrier, §7.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT, WAVELENGTH_M
+
+
+class PathKind(Enum):
+    """What a propagation path bounced off, for bookkeeping and nulling
+    experiments (static paths are nulled; moving paths are the signal)."""
+
+    DIRECT = "direct"
+    FLASH = "flash"
+    STATIC = "static"
+    MOVING = "moving"
+
+
+@dataclass(frozen=True)
+class Path:
+    """One propagation path between a TX and an RX antenna.
+
+    Attributes:
+        amplitude: linear field-amplitude gain (>= 0), including
+            propagation spreading, wall traversal, reflection
+            coefficients, and antenna gains.
+        distance_m: total unfolded path length, which determines the
+            carrier phase and the group delay.
+        kind: what the path interacted with.
+    """
+
+    amplitude: float
+    distance_m: float
+    kind: PathKind = PathKind.STATIC
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError("path amplitude must be non-negative")
+        if self.distance_m <= 0:
+            raise ValueError("path distance must be positive")
+
+    @property
+    def delay_s(self) -> float:
+        """Propagation delay of the path in seconds."""
+        return self.distance_m / SPEED_OF_LIGHT
+
+    def gain(self, wavelength_m: float = WAVELENGTH_M) -> complex:
+        """Narrowband complex gain at the carrier (``exp(+j k d)``)."""
+        phase = 2.0 * math.pi * self.distance_m / wavelength_m
+        return self.amplitude * complex(math.cos(phase), math.sin(phase))
+
+
+def combine_paths(paths: Iterable[Path], wavelength_m: float = WAVELENGTH_M) -> complex:
+    """Coherent narrowband sum of a set of paths at the carrier."""
+    return sum((path.gain(wavelength_m) for path in paths), start=0j)
+
+
+class ChannelModel:
+    """A frequency-selective channel built from propagation paths.
+
+    Evaluates the complex frequency response at arbitrary baseband
+    frequency offsets (e.g. OFDM subcarrier centres), so the waveform
+    simulator can exercise the per-subcarrier nulling of §7.1.
+    """
+
+    def __init__(self, paths: Sequence[Path], wavelength_m: float = WAVELENGTH_M):
+        if not paths:
+            raise ValueError("a channel needs at least one path")
+        self._paths = tuple(paths)
+        self._wavelength_m = wavelength_m
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        return self._paths
+
+    def narrowband_gain(self) -> complex:
+        """Total complex gain at the carrier frequency."""
+        return combine_paths(self._paths, self._wavelength_m)
+
+    def frequency_response(self, baseband_frequencies_hz: np.ndarray) -> np.ndarray:
+        """Complex response at each baseband frequency offset.
+
+        ``H(f) = sum_k a_k * exp(+j * 2*pi * (d_k / lambda + f * tau_k))``
+        using the positive-exponent convention of
+        :mod:`repro.rf.propagation`.
+        """
+        frequencies = np.asarray(baseband_frequencies_hz, dtype=float)
+        response = np.zeros(frequencies.shape, dtype=complex)
+        for path in self._paths:
+            carrier_phase = 2.0 * math.pi * path.distance_m / self._wavelength_m
+            response += path.amplitude * np.exp(
+                1j * (carrier_phase + 2.0 * math.pi * frequencies * path.delay_s)
+            )
+        return response
+
+    def static_subset(self) -> "ChannelModel":
+        """The channel made of only the static paths (nulling target)."""
+        static = [p for p in self._paths if p.kind is not PathKind.MOVING]
+        if not static:
+            raise ValueError("channel has no static paths")
+        return ChannelModel(static, self._wavelength_m)
+
+    def power_w(self) -> float:
+        """Narrowband received power for unit transmit power."""
+        return abs(self.narrowband_gain()) ** 2
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __repr__(self) -> str:
+        kinds = {}
+        for path in self._paths:
+            kinds[path.kind.value] = kinds.get(path.kind.value, 0) + 1
+        summary = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"ChannelModel({summary})"

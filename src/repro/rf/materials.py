@@ -1,0 +1,136 @@
+"""Building materials and their RF properties at 2.4 GHz.
+
+The attenuation values reproduce Table 4.1 of the thesis ("One-Way RF
+Attenuation in Common Building Materials at 2.4 GHz"), extended with
+the additional obstructions used in the evaluation (§7.6): tinted
+glass, the 8" concrete wall of the Fairchild building, and free space.
+
+A :class:`Material` also carries a power reflectivity, which sizes the
+"flash" — the reflection off the wall that dominates the received
+signal before nulling (§4).  The thesis does not tabulate
+reflectivities; we use values consistent with its qualitative claims
+(walls reflect strongly; denser material reflects more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import db_to_linear
+
+
+@dataclass(frozen=True)
+class Material:
+    """An obstruction between the Wi-Vi device and the imaged room.
+
+    Attributes:
+        name: Human-readable material name as it appears in the paper.
+        one_way_attenuation_db: Power lost by a single traversal (dB).
+            Through-wall sensing pays this twice (§4: "through-wall
+            systems require traversing the obstacle twice").
+        reflectivity_db: Power reflected back by the obstruction,
+            relative to the incident power (dB, non-positive).  Drives
+            the flash effect.
+        thickness_m: Physical thickness, used for geometry and for
+            reporting.
+    """
+
+    name: str
+    one_way_attenuation_db: float
+    reflectivity_db: float
+    thickness_m: float
+
+    def __post_init__(self) -> None:
+        if self.one_way_attenuation_db < 0:
+            raise ValueError("attenuation must be non-negative dB")
+        if self.reflectivity_db > 0:
+            raise ValueError("reflectivity must be <= 0 dB")
+        if self.thickness_m < 0:
+            raise ValueError("thickness must be non-negative")
+
+    @property
+    def round_trip_attenuation_db(self) -> float:
+        """Two-way (in and out of the room) attenuation in dB."""
+        return 2.0 * self.one_way_attenuation_db
+
+    @property
+    def one_way_amplitude(self) -> float:
+        """Linear field-amplitude transmission factor for one traversal."""
+        return db_to_linear(-self.one_way_attenuation_db) ** 0.5
+
+    @property
+    def round_trip_amplitude(self) -> float:
+        """Linear field-amplitude factor for a round trip through the wall."""
+        return db_to_linear(-self.round_trip_attenuation_db) ** 0.5
+
+    @property
+    def reflection_amplitude(self) -> float:
+        """Linear field-amplitude reflection coefficient magnitude."""
+        return db_to_linear(self.reflectivity_db) ** 0.5
+
+
+#: No obstruction: the free-space baseline of Fig. 7-6.
+FREE_SPACE = Material("free space", 0.0, -90.0, 0.0)
+
+#: Plain glass (Table 4.1): 3 dB one-way.
+GLASS = Material("glass", 3.0, -12.0, 0.006)
+
+#: Tinted glass, used in the §7.6 material sweep.  Metal-oxide tinting
+#: attenuates slightly more than plain glass.
+TINTED_GLASS = Material("tinted glass", 4.0, -10.0, 0.006)
+
+#: 1.75" solid wood door (Table 4.1): 6 dB one-way.
+SOLID_WOOD_DOOR = Material('1.75" solid wood door', 6.0, -9.0, 0.0445)
+
+#: 6" interior hollow wall, steel-framed with sheet rock (Table 4.1):
+#: 9 dB one-way.  The Stata-center conference-room walls.
+HOLLOW_WALL_6IN = Material('6" hollow wall', 9.0, -7.0, 0.1524)
+
+#: 8" concrete wall of the Fairchild building (§7.2, §7.6).  Table 4.1
+#: lists 18" concrete at 18 dB; 8" scales to roughly 12 dB one-way.
+CONCRETE_8IN = Material('8" concrete wall', 12.0, -5.0, 0.2032)
+
+#: 18" concrete wall (Table 4.1): 18 dB one-way.
+CONCRETE_18IN = Material('18" concrete wall', 18.0, -4.0, 0.4572)
+
+#: Reinforced concrete (Table 4.1): 40 dB one-way.  The thesis notes
+#: Wi-Vi cannot see through it (§7.6).
+REINFORCED_CONCRETE = Material("reinforced concrete", 40.0, -3.0, 0.30)
+
+#: All materials keyed by name.
+MATERIALS: dict[str, Material] = {
+    material.name: material
+    for material in (
+        FREE_SPACE,
+        GLASS,
+        TINTED_GLASS,
+        SOLID_WOOD_DOOR,
+        HOLLOW_WALL_6IN,
+        CONCRETE_8IN,
+        CONCRETE_18IN,
+        REINFORCED_CONCRETE,
+    )
+}
+
+#: Table 4.1 of the thesis, in its original row order, for the
+#: attenuation benchmark.
+TABLE_4_1_ROWS: tuple[tuple[str, float], ...] = (
+    ("glass", 3.0),
+    ('1.75" solid wood door', 6.0),
+    ('6" hollow wall', 9.0),
+    ('18" concrete wall', 18.0),
+    ("reinforced concrete", 40.0),
+)
+
+
+def material_by_name(name: str) -> Material:
+    """Look up a material by its paper name.
+
+    Raises ``KeyError`` with the list of known names when the material
+    is unknown.
+    """
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        known = ", ".join(sorted(MATERIALS))
+        raise KeyError(f"unknown material {name!r}; known materials: {known}") from None

@@ -1,0 +1,50 @@
+"""Noise models: thermal noise and complex AWGN generation.
+
+All random draws take an explicit ``numpy.random.Generator`` so that
+every experiment in the benchmark harness is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import thermal_noise_power_w
+
+
+def complex_awgn(
+    shape: int | tuple[int, ...], power_w: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise of total power ``power_w``.
+
+    The real and imaginary parts each carry half the power.
+    """
+    if power_w < 0:
+        raise ValueError("noise power must be non-negative")
+    sigma = np.sqrt(power_w / 2.0)
+    return sigma * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Receiver noise: thermal floor plus noise figure.
+
+    Attributes:
+        bandwidth_hz: noise bandwidth of the receiver.
+        noise_figure_db: excess noise added by the receive chain.  The
+            USRP N210 with an SBX daughterboard has a noise figure of
+            roughly 5-8 dB.
+    """
+
+    bandwidth_hz: float
+    noise_figure_db: float = 7.0
+
+    @property
+    def noise_power_w(self) -> float:
+        """Total noise power referred to the receiver input (watts)."""
+        return thermal_noise_power_w(self.bandwidth_hz, self.noise_figure_db)
+
+    def sample(self, shape: int | tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Draw complex noise samples at the receiver input."""
+        return complex_awgn(shape, self.noise_power_w, rng)

@@ -1,0 +1,123 @@
+"""Propagation primitives: path gains and phases at 2.4 GHz.
+
+Three kinds of paths matter to Wi-Vi:
+
+* the **direct** path between its transmit and receive antennas
+  (free-space / Friis),
+* the **flash**: a specular reflection off the wall, modelled as an
+  image source scaled by the wall's reflection coefficient (§4), and
+* **scatterer** paths bouncing off humans or furniture, which follow
+  the bistatic radar equation.
+
+Phase convention
+----------------
+We use the ``exp(+j * 2*pi * d / lambda)`` baseband convention for a
+path of length ``d``.  A target moving *toward* the device shortens
+``d``, so the channel phase rotates as ``exp(-j * 4*pi * v_r * t /
+lambda)`` for radial speed ``v_r``; the emulated-array steering vector
+written in Eq. 5.1 of the thesis,
+``exp(+j * 2*pi/lambda * i * delta * sin(theta))``, then cancels that
+rotation exactly at the true angle — a *positive* theta for motion
+toward Wi-Vi, matching the paper's sign semantics (§5.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import WAVELENGTH_M, db_to_linear
+
+_FOUR_PI = 4.0 * math.pi
+
+
+def free_space_path_loss_db(distance_m: float, wavelength_m: float = WAVELENGTH_M) -> float:
+    """Friis free-space path loss in dB for a separation ``distance_m``.
+
+    Loss is relative to isotropic antennas; antenna gains are applied
+    separately by the antenna models.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    return 20.0 * math.log10(_FOUR_PI * distance_m / wavelength_m)
+
+
+def free_space_amplitude(distance_m: float, wavelength_m: float = WAVELENGTH_M) -> float:
+    """Linear field-amplitude gain of a free-space path (lambda / 4*pi*d)."""
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    return wavelength_m / (_FOUR_PI * distance_m)
+
+
+def radar_amplitude(
+    distance_tx_m: float,
+    distance_rx_m: float,
+    rcs_m2: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> float:
+    """Field-amplitude gain of a bistatic scatterer path.
+
+    Implements the amplitude form of the radar equation: received power
+    is ``Pt * Gt * Gr * lambda^2 * sigma / ((4 pi)^3 * d_tx^2 * d_rx^2)``
+    (antenna gains applied elsewhere); this returns the square root of
+    the gain portion.
+
+    Args:
+        distance_tx_m: transmitter-to-scatterer distance.
+        distance_rx_m: scatterer-to-receiver distance.
+        rcs_m2: radar cross-section of the scatterer in square metres.
+            A standing adult is on the order of 0.5-1 m^2 at 2.4 GHz.
+    """
+    if distance_tx_m <= 0 or distance_rx_m <= 0:
+        raise ValueError("distances must be positive")
+    if rcs_m2 < 0:
+        raise ValueError("radar cross-section must be non-negative")
+    power_gain = (wavelength_m**2 * rcs_m2) / (
+        _FOUR_PI**3 * distance_tx_m**2 * distance_rx_m**2
+    )
+    return math.sqrt(power_gain)
+
+
+def specular_reflection_amplitude(
+    distance_tx_m: float,
+    distance_rx_m: float,
+    reflection_amplitude: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> float:
+    """Field-amplitude gain of a specular (mirror) reflection.
+
+    A large flat reflector such as a wall behaves as an image source:
+    the path attenuates like free space over the *total* unfolded
+    distance, scaled by the reflection coefficient.  This is what makes
+    the flash three-to-five orders of magnitude stronger than the
+    radar-equation returns from objects behind the wall (§1).
+    """
+    if not 0.0 <= reflection_amplitude <= 1.0:
+        raise ValueError("reflection amplitude must be in [0, 1]")
+    return reflection_amplitude * free_space_amplitude(
+        distance_tx_m + distance_rx_m, wavelength_m
+    )
+
+
+def path_phase(total_distance_m: float, wavelength_m: float = WAVELENGTH_M) -> float:
+    """Baseband phase (radians) accumulated over ``total_distance_m``.
+
+    Positive-exponent convention; see the module docstring.
+    """
+    return 2.0 * math.pi * total_distance_m / wavelength_m
+
+
+def path_gain(
+    amplitude: float, total_distance_m: float, wavelength_m: float = WAVELENGTH_M
+) -> complex:
+    """Complex field gain of a path: amplitude with propagation phase."""
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    return amplitude * complex(
+        math.cos(path_phase(total_distance_m, wavelength_m)),
+        math.sin(path_phase(total_distance_m, wavelength_m)),
+    )
+
+
+def antenna_gain_amplitude(gain_dbi: float) -> float:
+    """Convert an antenna gain in dBi to a field-amplitude factor."""
+    return math.sqrt(db_to_linear(gain_dbi))

@@ -1,0 +1,38 @@
+"""Simulation substrate replacing the paper's USRP testbed.
+
+Two granularities:
+
+* :mod:`repro.simulator.waveform` — sample-level OFDM links through
+  DAC/channel/ADC, used for the nulling experiments where saturation
+  and quantization matter (Fig. 7-7, Lemma 4.1.1).
+* :mod:`repro.simulator.timeseries` — direct synthesis of the nulled
+  channel time series h[n] from scene geometry, used for the tracking,
+  counting, and gesture experiments (Figs. 5-2 through 7-6).
+* :mod:`repro.simulator.experiment` — trial protocols mirroring §7.2:
+  rooms, subject pools, trial counts.
+"""
+
+from repro.simulator.experiment import (
+    ExperimentConfig,
+    counting_trial,
+    gesture_trial,
+    tracking_trial,
+)
+from repro.simulator.timeseries import (
+    ChannelSeries,
+    ChannelSeriesSimulator,
+    TimeSeriesConfig,
+)
+from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+
+__all__ = [
+    "ChannelSeries",
+    "ChannelSeriesSimulator",
+    "ExperimentConfig",
+    "SimulatedNullingLink",
+    "TimeSeriesConfig",
+    "WaveformLinkConfig",
+    "counting_trial",
+    "gesture_trial",
+    "tracking_trial",
+]

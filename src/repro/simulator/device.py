@@ -1,0 +1,193 @@
+"""The assembled Wi-Vi device: calibrate, image, or receive gestures.
+
+§3.2: "Wi-Vi can be used in one of two modes ... In mode 1, it can be
+used to image moving objects behind a wall and track them.  In mode 2
+... Wi-Vi functions as a gesture-based interface."
+
+:class:`WiViDevice` wires the full stack together the way the real
+prototype does: Algorithm 1 runs over the waveform-level link against
+the scene's *static* channels (the flash), and the achieved nulling
+depth then feeds the channel-series capture that the tracking, counting
+and gesture pipelines consume.  This is the object the examples and the
+CLI drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gestures import GestureDecodeResult, GestureDecoder
+from repro.core.nulling import NullingResult, run_nulling
+from repro.core.tracking import (
+    MotionSpectrogram,
+    TrackingConfig,
+    compute_beamformed_spectrogram,
+    compute_spectrogram,
+)
+from repro.environment.scene import Scene
+from repro.rf.channel import ChannelModel
+from repro.simulator.timeseries import (
+    ChannelSeries,
+    ChannelSeriesSimulator,
+    TimeSeriesConfig,
+)
+from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+
+
+@dataclass
+class WiViDeviceConfig:
+    """End-to-end device configuration."""
+
+    waveform: WaveformLinkConfig = field(default_factory=WaveformLinkConfig)
+    timeseries: TimeSeriesConfig = field(default_factory=TimeSeriesConfig)
+    tracking: TrackingConfig = field(default_factory=TrackingConfig)
+
+
+class NotCalibratedError(RuntimeError):
+    """Capture was attempted before nulling calibration."""
+
+
+class WiViDevice:
+    """A Wi-Vi unit pointed at a scene.
+
+    Usage::
+
+        device = WiViDevice(scene, rng)
+        nulling = device.calibrate()        # Algorithm 1
+        spectrogram = device.image(10.0)    # mode 1: track movers
+        decoded = device.receive_gestures(12.0)  # mode 2
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        rng: np.random.Generator | None = None,
+        config: WiViDeviceConfig | None = None,
+    ):
+        self.scene = scene
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.config = config if config is not None else WiViDeviceConfig()
+        self._nulling: NullingResult | None = None
+        self._clock_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Calibration (Chapter 4)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self._nulling is not None
+
+    @property
+    def nulling(self) -> NullingResult:
+        if self._nulling is None:
+            raise NotCalibratedError("run calibrate() first")
+        return self._nulling
+
+    def _static_channels(self) -> tuple[ChannelModel, ChannelModel]:
+        """The channels nulling calibrates against: every static path.
+
+        §4.1 notes nulling can run in the presence of movers — each
+        estimate spans milliseconds, short against human motion — so
+        calibrating on the static subset is the steady-state outcome.
+        """
+        ch1 = ChannelModel(
+            self.scene.paths(self.scene.device.tx1, self._clock_s)
+        ).static_subset()
+        ch2 = ChannelModel(
+            self.scene.paths(self.scene.device.tx2, self._clock_s)
+        ).static_subset()
+        return ch1, ch2
+
+    def calibrate(self) -> NullingResult:
+        """Run Algorithm 1 against the scene and store the result."""
+        ch1, ch2 = self._static_channels()
+        link = SimulatedNullingLink(ch1, ch2, self.rng, self.config.waveform)
+        self._nulling = run_nulling(link)
+        return self._nulling
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def capture(self, duration_s: float) -> ChannelSeries:
+        """Record a nulled channel trace with the calibrated depth.
+
+        The device clock advances, so consecutive captures see
+        consecutive segments of each human's trajectory.
+        """
+        depth = min(self.nulling.nulling_db, 60.0)
+        simulator = ChannelSeriesSimulator(
+            _TimeShiftedScene(self.scene, self._clock_s),
+            self.config.timeseries,
+            self.rng,
+        )
+        series = simulator.simulate(duration_s, nulling_db=depth)
+        self._clock_s += duration_s
+        return series
+
+    # ------------------------------------------------------------------
+    # Mode 1: imaging / tracking (Chapter 5)
+    # ------------------------------------------------------------------
+
+    def image(self, duration_s: float) -> MotionSpectrogram:
+        """Capture and produce the smoothed-MUSIC A'[theta, n] image."""
+        series = self.capture(duration_s)
+        return compute_spectrogram(series.samples, self.config.tracking)
+
+    # ------------------------------------------------------------------
+    # Mode 2: gesture interface (Chapter 6)
+    # ------------------------------------------------------------------
+
+    def receive_gestures(
+        self, duration_s: float, decoder: GestureDecoder | None = None
+    ) -> GestureDecodeResult:
+        """Capture and decode gestures performed behind the wall."""
+        series = self.capture(duration_s)
+        spectrogram = compute_beamformed_spectrogram(
+            series.samples, self.config.tracking
+        )
+        decoder = decoder if decoder is not None else GestureDecoder()
+        return decoder.decode(spectrogram)
+
+    def reset_clock(self) -> None:
+        """Rewind the device clock (for repeated trials over one scene)."""
+        self._clock_s = 0.0
+
+
+class _TimeShiftedScene:
+    """A view of a scene whose time axis starts at ``offset_s``.
+
+    Lets consecutive :meth:`WiViDevice.capture` calls walk through the
+    humans' trajectories instead of replaying them from zero.  Only the
+    surface the simulator touches is forwarded.
+    """
+
+    def __init__(self, scene: Scene, offset_s: float):
+        self._scene = scene
+        self._offset_s = offset_s
+        self.device = scene.device
+        self.humans = [_TimeShiftedHuman(h, offset_s) for h in scene.humans]
+        self.wavelength_m = scene.wavelength_m
+
+    def static_gain(self, tx):
+        return self._scene.static_gain(tx)
+
+    def scatterer_path(self, tx, position, rcs_m2, kind):
+        return self._scene.scatterer_path(tx, position, rcs_m2, kind)
+
+
+class _TimeShiftedHuman:
+    """Forwarding wrapper shifting a human's time axis."""
+
+    def __init__(self, human, offset_s: float):
+        self._human = human
+        self._offset_s = offset_s
+
+    def scatterers(self, time_s: float):
+        return self._human.scatterers(time_s + self._offset_s)
+
+    def __getattr__(self, name):
+        return getattr(self._human, name)

@@ -1,0 +1,259 @@
+"""Trial protocols mirroring the paper's evaluation setup (§7.2).
+
+Experiments ran in two Stata-center conference rooms (7 x 4 m and
+11 x 7 m, 6" hollow walls) and through the Fairchild building's 8"
+concrete wall, with 8 subjects of different builds; tracking trials
+asked subjects to "enter a room, close the door, and move at will";
+gesture trials placed a subject at a set distance from the wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.tracking import (
+    MotionSpectrogram,
+    TrackingConfig,
+    compute_beamformed_spectrogram,
+    compute_spectrogram,
+)
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.objects import conference_room_furniture, outside_clutter
+from repro.environment.scene import Scene
+from repro.environment.trajectories import (
+    GESTURE_DURATION_MEAN_S,
+    GESTURE_DURATION_STD_S,
+    STEP_LENGTH_RANGE_M,
+    GestureTrajectory,
+    RandomWaypointTrajectory,
+)
+from repro.environment.walls import (
+    Room,
+    Wall,
+    stata_conference_room_large,
+    stata_conference_room_small,
+)
+from repro.rf.materials import Material
+from repro.simulator.timeseries import (
+    ChannelSeries,
+    ChannelSeriesSimulator,
+    TimeSeriesConfig,
+)
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One human subject: a body plus personal gesture parameters."""
+
+    body: BodyModel
+    step_length_m: float
+    step_duration_s: float
+    name: str = "subject"
+
+
+def make_subject_pool(rng: np.random.Generator, count: int = 8) -> list[Subject]:
+    """Draw a pool like the paper's 8 volunteers of "different heights
+    and builds" (§7.2).  Step lengths span the observed 2-3 feet and a
+    gesture (two steps) takes 2.2 s +/- 0.4 s (§7.5)."""
+    if count < 1:
+        raise ValueError("need at least one subject")
+    subjects = []
+    for index in range(count):
+        gesture_duration = float(
+            np.clip(
+                rng.normal(GESTURE_DURATION_MEAN_S, GESTURE_DURATION_STD_S), 1.4, 3.2
+            )
+        )
+        step_length = float(rng.uniform(*STEP_LENGTH_RANGE_M))
+        # Long steps take longer: cap the average step speed at
+        # 0.72 m/s (comfortable single-step pace) so peak speed stays
+        # within the 1 m/s the tracker assumes.
+        step_duration = max(gesture_duration / 2.0, step_length / 0.72)
+        subjects.append(
+            Subject(
+                body=BodyModel.sample(rng),
+                step_length_m=step_length,
+                step_duration_s=step_duration,
+                name=f"subject-{index}",
+            )
+        )
+    return subjects
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared configuration of a simulated campaign."""
+
+    timeseries: TimeSeriesConfig = field(default_factory=TimeSeriesConfig)
+    tracking: TrackingConfig = field(default_factory=TrackingConfig)
+    furniture_count: int = 8
+    near_clutter_count: int = 4
+
+
+@dataclass
+class TrialResult:
+    """Everything one trial produced."""
+
+    scene: Scene
+    series: ChannelSeries
+    spectrogram: MotionSpectrogram
+
+
+def _crowding_mobility(num_humans: int, room: Room) -> float:
+    """Freedom of movement shrinks as the room fills (§7.4): "adding a
+    human to a congested space is expected to add less spatial
+    variance".  Crowding scales with density, so the same three people
+    are freer in the 11 x 7 room than in the 7 x 4 one."""
+    if num_humans <= 1:
+        return 1.0
+    reference_area_m2 = 28.0  # the small Stata conference room
+    density_scale = reference_area_m2 / room.area_m2
+    return max(1.0 / (1.0 + 0.06 * (num_humans - 1) * density_scale), 0.5)
+
+
+def build_tracking_scene(
+    room: Room,
+    num_humans: int,
+    duration_s: float,
+    rng: np.random.Generator,
+    subjects: list[Subject] | None = None,
+    config: ExperimentConfig | None = None,
+) -> Scene:
+    """A closed room with ``num_humans`` moving at will."""
+    if num_humans < 0:
+        raise ValueError("human count must be non-negative")
+    config = config if config is not None else ExperimentConfig()
+    mobility = _crowding_mobility(num_humans, room)
+    humans = []
+    for index in range(num_humans):
+        subject = (
+            subjects[index % len(subjects)]
+            if subjects
+            else Subject(BodyModel.sample(rng), 0.75, 1.1, f"walk-{index}")
+        )
+        trajectory = RandomWaypointTrajectory(
+            room, rng, duration_s, mobility_factor=mobility
+        )
+        humans.append(
+            Human(
+                trajectory=trajectory,
+                body=subject.body,
+                gait_phase=float(rng.uniform(0.0, 1.0)),
+                name=subject.name,
+            )
+        )
+    furniture = conference_room_furniture(room, rng, config.furniture_count)
+    clutter = outside_clutter(rng, config.near_clutter_count)
+    return Scene(
+        room=room, humans=humans, static_reflectors=furniture + clutter
+    )
+
+
+def tracking_trial(
+    room: Room,
+    num_humans: int,
+    duration_s: float,
+    rng: np.random.Generator,
+    subjects: list[Subject] | None = None,
+    config: ExperimentConfig | None = None,
+) -> TrialResult:
+    """One "move at will" trial: scene, nulled trace, spectrogram."""
+    config = config if config is not None else ExperimentConfig()
+    scene = build_tracking_scene(room, num_humans, duration_s, rng, subjects, config)
+    simulator = ChannelSeriesSimulator(scene, config.timeseries, rng)
+    series = simulator.simulate(duration_s)
+    spectrogram = compute_spectrogram(series.samples, config.tracking)
+    return TrialResult(scene=scene, series=series, spectrogram=spectrogram)
+
+
+def counting_trial(
+    room: Room,
+    num_humans: int,
+    duration_s: float,
+    rng: np.random.Generator,
+    subjects: list[Subject] | None = None,
+    config: ExperimentConfig | None = None,
+) -> TrialResult:
+    """A §7.4 counting trial (25 s in the paper).  Identical to a
+    tracking trial; kept separate for protocol clarity."""
+    return tracking_trial(room, num_humans, duration_s, rng, subjects, config)
+
+
+def build_gesture_scene(
+    room: Room,
+    distance_from_wall_m: float,
+    bits: list[int],
+    subject: Subject,
+    rng: np.random.Generator,
+    config: ExperimentConfig | None = None,
+    orientation_jitter_deg: float = 8.0,
+) -> tuple[Scene, GestureTrajectory]:
+    """A subject at ``distance_from_wall_m`` performing ``bits``.
+
+    The subject "does not exactly know where the Wi-Vi device is"
+    (Fig. 6-2c); their step axis points at the wall with a random
+    slant of up to ``orientation_jitter_deg``.
+    """
+    config = config if config is not None else ExperimentConfig()
+    base = Point(
+        room.wall.far_face_x_m + distance_from_wall_m, rng.uniform(-0.25, 0.25)
+    )
+    slant = np.radians(rng.uniform(-orientation_jitter_deg, orientation_jitter_deg))
+    toward_device = Point(-float(np.cos(slant)), -float(np.sin(slant)))
+    trajectory = GestureTrajectory(
+        base_position=base,
+        bits=bits,
+        toward_device=toward_device,
+        step_length_m=subject.step_length_m,
+        step_duration_s=subject.step_duration_s,
+    )
+    # A deliberate step swings the limbs far less than walking; damping
+    # the swing reduces body-fading variance during gestures.
+    gesture_body = replace(subject.body, limb_swing_m=0.08)
+    human = Human(
+        trajectory=trajectory,
+        body=gesture_body,
+        gait_phase=float(rng.uniform(0.0, 1.0)),
+        name=subject.name,
+    )
+    furniture = conference_room_furniture(room, rng, config.furniture_count)
+    clutter = outside_clutter(rng, config.near_clutter_count)
+    scene = Scene(room=room, humans=[human], static_reflectors=furniture + clutter)
+    return scene, trajectory
+
+
+def gesture_trial(
+    room: Room,
+    distance_from_wall_m: float,
+    bits: list[int],
+    subject: Subject,
+    rng: np.random.Generator,
+    config: ExperimentConfig | None = None,
+) -> tuple[TrialResult, GestureTrajectory]:
+    """One gesture trial at a given distance (§7.5)."""
+    config = config if config is not None else ExperimentConfig()
+    scene, trajectory = build_gesture_scene(
+        room, distance_from_wall_m, bits, subject, rng, config
+    )
+    simulator = ChannelSeriesSimulator(scene, config.timeseries, rng)
+    series = simulator.simulate(trajectory.duration_s())
+    # The decoder runs on the plain-beamforming spectrogram, whose
+    # magnitudes are physical (see angle_signed_signal).
+    spectrogram = compute_beamformed_spectrogram(series.samples, config.tracking)
+    return TrialResult(scene=scene, series=series, spectrogram=spectrogram), trajectory
+
+
+def room_for_material(material: Material, depth_m: float = 7.0, width_m: float = 5.0) -> Room:
+    """A room behind a wall of the given material (§7.6 sweep)."""
+    return Room(wall=Wall(material, position_x_m=1.0), depth_m=depth_m, width_m=width_m)
+
+
+def pick_room_for_distance(distance_m: float) -> Room:
+    """The §7.5 protocol: trials beyond 6 m use the larger conference
+    room (the smaller one is only 7 m deep)."""
+    if distance_m > 6.0:
+        return stata_conference_room_large()
+    return stata_conference_room_small()

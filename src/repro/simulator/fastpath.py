@@ -1,0 +1,146 @@
+"""Vectorized moving-path gain computation.
+
+The time-series simulator's inner loop evaluates, per channel sample,
+the bistatic path of every body scatterer via both transmit antennas —
+hundreds of thousands of small computations per 25 s trace.  This
+module batches that math over all scatterers of a timestep with numpy,
+replicating :meth:`repro.environment.scene.Scene.scatterer_path` (and
+the interior-bounce construction) bit-for-bit in vector form; a test
+asserts agreement with the scalar path to float precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.environment.scene import Scene
+from repro.rf.antennas import DirectionalAntenna
+
+_FOUR_PI = 4.0 * math.pi
+
+
+def _antenna_amplitude(antenna: DirectionalAntenna, cosines: np.ndarray) -> np.ndarray:
+    """Vectorized :meth:`DirectionalAntenna.amplitude_gain`.
+
+    ``cosines`` is cos(angle off the +x boresight) for each target.
+    """
+    peak = 10.0 ** (antenna.boresight_gain_dbi / 10.0)
+    floor = 10.0 ** (-antenna.front_to_back_db / 10.0)
+    order = antenna._cosine_order
+    shaped = np.where(
+        cosines > 0.0,
+        np.maximum(np.power(np.maximum(cosines, 0.0), order), floor),
+        floor,
+    )
+    return np.sqrt(peak * shaped)
+
+
+def _wall_amplitude(scene: Scene, x_positions: np.ndarray) -> np.ndarray:
+    """Vectorized round-trip wall traversal plus interior absorption."""
+    if scene.room is None:
+        return np.ones_like(x_positions)
+    wall = scene.room.wall
+    behind = x_positions > wall.position_x_m
+    depth = np.maximum(x_positions - wall.far_face_x_m, 0.0)
+    absorption_db = 2.0 * scene.interior_absorption_db_per_m * depth
+    through = wall.material.round_trip_amplitude * 10.0 ** (-absorption_db / 20.0)
+    return np.where(behind, through, 1.0)
+
+
+def batched_moving_gain(
+    scene: Scene,
+    tx_x: float,
+    tx_y: float,
+    positions: np.ndarray,
+    rcs: np.ndarray,
+    wavelength_m: float | None = None,
+) -> complex:
+    """Coherent gain of all moving scatterers via one transmit antenna.
+
+    Args:
+        scene: the scene providing geometry/material parameters.
+        tx_x, tx_y: transmit-antenna position.
+        positions: scatterer positions, shape (S, 2).
+        rcs: scatterer cross-sections, shape (S,).
+        wavelength_m: override for subcarrier-offset evaluation
+            (phases shift with frequency; amplitudes barely).
+    """
+    if positions.size == 0:
+        return 0j
+    rx = scene.device.rx
+    antenna = scene.device.antenna
+    wavelength = wavelength_m if wavelength_m is not None else scene.wavelength_m
+
+    dx_tx = positions[:, 0] - tx_x
+    dy_tx = positions[:, 1] - tx_y
+    d_tx = np.maximum(np.hypot(dx_tx, dy_tx), 0.1)
+    dx_rx = positions[:, 0] - rx.x
+    dy_rx = positions[:, 1] - rx.y
+    d_rx = np.maximum(np.hypot(dx_rx, dy_rx), 0.1)
+
+    gain_tx = _antenna_amplitude(antenna, dx_tx / d_tx)
+    gain_rx = _antenna_amplitude(antenna, dx_rx / d_rx)
+    radar = np.sqrt(wavelength**2 * rcs / (_FOUR_PI**3 * d_tx**2 * d_rx**2))
+    wall = _wall_amplitude(scene, positions[:, 0])
+    amplitudes = gain_tx * gain_rx * radar * wall
+    distances = d_tx + d_rx
+
+    total = np.sum(amplitudes * np.exp(2j * np.pi * distances / wavelength))
+
+    if scene.multipath and scene.room is not None:
+        y_low, y_high = scene.room.y_range
+        _, x_back = scene.room.x_range
+        reflection = 10.0 ** (scene.interior_wall_reflectivity_db / 20.0)
+        images = (
+            np.stack([positions[:, 0], 2.0 * y_low - positions[:, 1]], axis=1),
+            np.stack([positions[:, 0], 2.0 * y_high - positions[:, 1]], axis=1),
+            np.stack([2.0 * x_back - positions[:, 0], positions[:, 1]], axis=1),
+        )
+        for image in images:
+            d_return = np.maximum(
+                np.hypot(image[:, 0] - rx.x, image[:, 1] - rx.y), 0.1
+            )
+            bounce_radar = np.sqrt(
+                wavelength**2 * rcs / (_FOUR_PI**3 * d_tx**2 * d_return**2)
+            )
+            bounce_amp = gain_tx * gain_rx * bounce_radar * wall * reflection
+            bounce_dist = d_tx + d_return
+            total += np.sum(
+                bounce_amp * np.exp(2j * np.pi * bounce_dist / wavelength)
+            )
+    return complex(total)
+
+
+def scatterer_snapshot(scene: Scene, time_s: float) -> tuple[np.ndarray, np.ndarray]:
+    """All moving scatterers at one instant: positions (S, 2), rcs (S,)."""
+    xs, ys, rcs = [], [], []
+    for human in scene.humans:
+        for scatterer in human.scatterers(time_s):
+            xs.append(scatterer.position.x)
+            ys.append(scatterer.position.y)
+            rcs.append(scatterer.rcs_m2)
+    if not xs:
+        return np.empty((0, 2)), np.empty(0)
+    return np.stack([np.array(xs), np.array(ys)], axis=1), np.array(rcs)
+
+
+def fast_moving_gain_series(
+    scene: Scene,
+    times_s: np.ndarray,
+    precoder: complex,
+    wavelength_m: float | None = None,
+) -> np.ndarray:
+    """Vectorized replacement for the simulator's moving-gain loop."""
+    gains = np.zeros(len(times_s), dtype=complex)
+    tx1 = scene.device.tx1
+    tx2 = scene.device.tx2
+    for index, time_s in enumerate(times_s):
+        positions, rcs = scatterer_snapshot(scene, float(time_s))
+        gains[index] = batched_moving_gain(
+            scene, tx1.x, tx1.y, positions, rcs, wavelength_m
+        ) + precoder * batched_moving_gain(
+            scene, tx2.x, tx2.y, positions, rcs, wavelength_m
+        )
+    return gains

@@ -1,0 +1,382 @@
+"""Channel-time-series simulation: the post-nulling view of a scene.
+
+After nulling, the received channel is
+
+    h[n] = residual_DC + sum_moving [g1(t_n) + p * g2(t_n)] + noise[n]
+
+where ``g_i`` is the coherent gain of the moving scatterers via
+transmit antenna i, ``p = -h1_static / h2_static`` is the nulling
+precoder (which does *not* cancel moving paths — their geometry differs
+from the static channels it was computed for), and residual_DC is the
+imperfectly-nulled static channel ("minuscule errors in channel
+estimates ... registered as a residual DC", §5.1 fn. 4).
+
+Noise on each channel measurement has three components:
+
+* thermal noise, reduced by the coherent averaging of the 3.2 ms of
+  samples behind each measurement (§7.1),
+* residual-clutter jitter: clock/oscillator phase jitter re-modulates
+  the huge static signal, so a fraction of the *pre-null* static
+  amplitude reappears as wideband noise — the dominant limit, and the
+  reason denser (more reflective) walls are harder to see through even
+  after nulling (Fig. 7-6),
+* an ADC quantization floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    BANDWIDTH_HZ,
+    CHANNEL_SAMPLE_RATE_HZ,
+    POWER_BOOST_DB,
+    db_to_linear,
+    thermal_noise_power_w,
+)
+from repro.environment.scene import Scene
+from repro.rf.channel import PathKind
+
+
+@dataclass(frozen=True)
+class TimeSeriesConfig:
+    """Knobs of the channel-series simulator.
+
+    Attributes:
+        sample_rate_hz: channel-measurement rate (312.5 Hz: one
+            emulated-array element per 3.2 ms, §7.1).
+        tx_power_w: per-antenna transmit power after the 12 dB boost.
+            1.25 mW base power boosted by 12 dB lands at the 20 mW
+            edge of the USRP linear range (§7.5).
+        nulling_mean_db: mean nulling depth drawn for a trace when not
+            fixed explicitly; the prototype averages 42 dB (§4.1).
+        nulling_std_db: trial-to-trial spread of the nulling depth
+            (Fig. 7-7 spans roughly 30-55 dB).
+        clutter_jitter: fraction of the pre-null static amplitude that
+            reappears per-sample as clutter noise (clock jitter).
+        noise_figure_db: receive-chain noise figure.
+        coherent_samples: baseband samples averaged into one channel
+            measurement (3.2 ms at 5 MHz = 16000).
+        quantization_floor: absolute channel-amplitude noise floor from
+            the ADC.
+        num_subcarrier_streams: how many spaced subcarriers the capture
+            measures independently before combining (§7.1: "channel
+            measurements across the different subcarriers are combined
+            to improve the SNR").  1 (default) keeps the narrowband
+            carrier-only behaviour.  Within a 5 MHz band all
+            subcarriers fade together (indoor coherence bandwidth is
+            hundreds of MHz), so combining buys thermal-noise
+            averaging, not fading diversity — quantified in the
+            subcarrier-diversity ablation bench.
+        subcarrier_span_hz: total frequency span the diversity streams
+            are spread over (the signal bandwidth).
+    """
+
+    sample_rate_hz: float = CHANNEL_SAMPLE_RATE_HZ
+    tx_power_w: float = 0.00125 * db_to_linear(POWER_BOOST_DB)
+    nulling_mean_db: float = 42.0
+    nulling_std_db: float = 4.0
+    clutter_jitter: float = 2.6e-3
+    noise_figure_db: float = 7.0
+    coherent_samples: int = 16000
+    quantization_floor: float = 3e-9
+    num_subcarrier_streams: int = 1
+    subcarrier_span_hz: float = BANDWIDTH_HZ
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0 or self.tx_power_w <= 0:
+            raise ValueError("rates and powers must be positive")
+        if self.coherent_samples < 1:
+            raise ValueError("coherent averaging needs at least one sample")
+        if not 0 <= self.clutter_jitter < 1:
+            raise ValueError("clutter jitter must be a small fraction")
+        if self.num_subcarrier_streams < 1:
+            raise ValueError("need at least one subcarrier stream")
+        if self.subcarrier_span_hz <= 0:
+            raise ValueError("subcarrier span must be positive")
+
+    def subcarrier_offsets_hz(self) -> np.ndarray:
+        """Baseband centre frequencies of the diversity streams."""
+        k = self.num_subcarrier_streams
+        if k == 1:
+            return np.array([0.0])
+        return np.linspace(-self.subcarrier_span_hz / 2, self.subcarrier_span_hz / 2, k)
+
+    @property
+    def thermal_sigma(self) -> float:
+        """Channel-amplitude standard deviation of thermal noise after
+        coherent averaging."""
+        noise_power = thermal_noise_power_w(BANDWIDTH_HZ, self.noise_figure_db)
+        return math.sqrt(noise_power / (self.tx_power_w * self.coherent_samples))
+
+
+@dataclass
+class ChannelSeries:
+    """A simulated nulled-channel trace.
+
+    Attributes:
+        times_s: sample instants.
+        samples: complex channel measurements h[n].
+        dc_residual: the static residual carried in every sample.
+        nulling_db: nulling depth realized for this trace.
+        precoder: the narrowband p used for the moving-path combination.
+        noise_sigma: total per-sample noise standard deviation.
+    """
+
+    times_s: np.ndarray
+    samples: np.ndarray
+    dc_residual: complex
+    nulling_db: float
+    precoder: complex
+    noise_sigma: float
+
+    @property
+    def sample_period_s(self) -> float:
+        if len(self.times_s) < 2:
+            raise ValueError("series too short to have a period")
+        return float(self.times_s[1] - self.times_s[0])
+
+
+class ChannelSeriesSimulator:
+    """Synthesizes nulled channel traces from a scene."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        config: TimeSeriesConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.scene = scene
+        self.config = config if config is not None else TimeSeriesConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Static (nulled) part
+    # ------------------------------------------------------------------
+
+    def static_gains(self) -> tuple[complex, complex]:
+        """Narrowband static channels from the two transmit antennas."""
+        return (
+            self.scene.static_gain(self.scene.device.tx1),
+            self.scene.static_gain(self.scene.device.tx2),
+        )
+
+    def draw_nulling_db(self) -> float:
+        """Draw a per-trace nulling depth (clipped to a sane range)."""
+        depth = self.rng.normal(self.config.nulling_mean_db, self.config.nulling_std_db)
+        return float(np.clip(depth, 20.0, 60.0))
+
+    # ------------------------------------------------------------------
+    # Moving part
+    # ------------------------------------------------------------------
+
+    def _moving_gain_series(self, times_s: np.ndarray, precoder: complex) -> np.ndarray:
+        """Coherent moving-path gain at each instant, via both antennas.
+
+        Uses :meth:`Scene.moving_paths` when available so scene options
+        (interior multipath) flow through; falls back to direct bounce
+        construction for lightweight scene stand-ins.
+        """
+        from repro.environment.scene import Scene as _Scene
+        from repro.simulator.fastpath import fast_moving_gain_series
+
+        if type(self.scene) is _Scene:
+            return fast_moving_gain_series(self.scene, times_s, precoder)
+
+        gains = np.zeros(len(times_s), dtype=complex)
+        tx1 = self.scene.device.tx1
+        tx2 = self.scene.device.tx2
+        wavelength = self.scene.wavelength_m
+        use_moving_paths = hasattr(self.scene, "moving_paths")
+        for index, time_s in enumerate(times_s):
+            t = float(time_s)
+            total = 0j
+            if use_moving_paths:
+                for path in self.scene.moving_paths(tx1, t):
+                    total += path.gain(wavelength)
+                for path in self.scene.moving_paths(tx2, t):
+                    total += precoder * path.gain(wavelength)
+            else:
+                for human in self.scene.humans:
+                    for scatterer in human.scatterers(t):
+                        path1 = self.scene.scatterer_path(
+                            tx1, scatterer.position, scatterer.rcs_m2, PathKind.MOVING
+                        )
+                        path2 = self.scene.scatterer_path(
+                            tx2, scatterer.position, scatterer.rcs_m2, PathKind.MOVING
+                        )
+                        total += path1.gain(wavelength)
+                        total += precoder * path2.gain(wavelength)
+            gains[index] = total
+        return gains
+
+    # ------------------------------------------------------------------
+    # Trace synthesis
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self, duration_s: float, nulling_db: float | None = None
+    ) -> ChannelSeries:
+        """Produce a nulled channel trace of ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        num_samples = int(round(duration_s * self.config.sample_rate_hz))
+        if num_samples < 2:
+            raise ValueError("duration too short for the sample rate")
+        times = np.arange(num_samples) / self.config.sample_rate_hz
+
+        static1, static2 = self.static_gains()
+        if static2 == 0:
+            raise ValueError("static channel via antenna 2 is zero; cannot precode")
+        precoder = -static1 / static2
+
+        depth_db = self.draw_nulling_db() if nulling_db is None else float(nulling_db)
+        pre_null_amplitude = math.sqrt((abs(static1) ** 2 + abs(static2) ** 2) / 2.0)
+        residual_amplitude = pre_null_amplitude * 10.0 ** (-depth_db / 20.0)
+        residual_phase = self.rng.uniform(0.0, 2.0 * math.pi)
+        dc_residual = residual_amplitude * complex(
+            math.cos(residual_phase), math.sin(residual_phase)
+        )
+
+        moving = self._moving_gain_series(times, precoder)
+
+        clutter_sigma = pre_null_amplitude * self.config.clutter_jitter
+        noise_sigma = math.sqrt(
+            self.config.thermal_sigma**2
+            + clutter_sigma**2
+            + self.config.quantization_floor**2
+        )
+        noise = noise_sigma / math.sqrt(2.0) * (
+            self.rng.standard_normal(num_samples)
+            + 1j * self.rng.standard_normal(num_samples)
+        )
+
+        samples = dc_residual + moving + noise
+        return ChannelSeries(
+            times_s=times,
+            samples=samples,
+            dc_residual=dc_residual,
+            nulling_db=depth_db,
+            precoder=precoder,
+            noise_sigma=noise_sigma,
+        )
+
+    def simulate_diversity(
+        self, duration_s: float, nulling_db: float | None = None
+    ) -> list[ChannelSeries]:
+        """One trace per diversity subcarrier (§7.1 combining).
+
+        All streams share the same trajectories, nulling depth, and
+        clutter-jitter realization (oscillator jitter is common to the
+        whole band); thermal noise is independent per stream and the
+        moving-path *phases* shift slightly with the subcarrier
+        frequency.  Combine coherently with
+        :meth:`combine_diversity_series` (thermal-noise averaging) or
+        non-coherently with
+        :func:`repro.core.tracking.compute_diversity_spectrogram`.
+        """
+        from repro.constants import CARRIER_FREQUENCY_HZ, SPEED_OF_LIGHT
+        from repro.simulator.fastpath import fast_moving_gain_series
+
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        offsets = self.config.subcarrier_offsets_hz()
+        if not isinstance(self.scene, Scene):
+            raise TypeError("diversity capture requires a plain Scene")
+        num_samples = int(round(duration_s * self.config.sample_rate_hz))
+        if num_samples < 2:
+            raise ValueError("duration too short for the sample rate")
+        times = np.arange(num_samples) / self.config.sample_rate_hz
+
+        depth_db = self.draw_nulling_db() if nulling_db is None else float(nulling_db)
+        # One oscillator-jitter realization for the whole band.
+        jitter = (
+            self.rng.standard_normal(num_samples)
+            + 1j * self.rng.standard_normal(num_samples)
+        ) / math.sqrt(2.0)
+        residual_phase = self.rng.uniform(0.0, 2.0 * math.pi)
+
+        streams = []
+        for offset_hz in offsets:
+            wavelength = SPEED_OF_LIGHT / (CARRIER_FREQUENCY_HZ + float(offset_hz))
+            static1 = self._static_gain_at(self.scene.device.tx1, wavelength)
+            static2 = self._static_gain_at(self.scene.device.tx2, wavelength)
+            if static2 == 0:
+                raise ValueError("static channel via antenna 2 is zero")
+            precoder = -static1 / static2
+            pre_null = math.sqrt((abs(static1) ** 2 + abs(static2) ** 2) / 2.0)
+            dc = (
+                pre_null
+                * 10.0 ** (-depth_db / 20.0)
+                * complex(math.cos(residual_phase), math.sin(residual_phase))
+            )
+            moving = fast_moving_gain_series(self.scene, times, precoder, wavelength)
+            thermal = self.config.thermal_sigma / math.sqrt(2.0) * (
+                self.rng.standard_normal(num_samples)
+                + 1j * self.rng.standard_normal(num_samples)
+            )
+            clutter = pre_null * self.config.clutter_jitter * jitter
+            quant = self.config.quantization_floor / math.sqrt(2.0) * (
+                self.rng.standard_normal(num_samples)
+                + 1j * self.rng.standard_normal(num_samples)
+            )
+            noise_sigma = math.sqrt(
+                self.config.thermal_sigma**2
+                + (pre_null * self.config.clutter_jitter) ** 2
+                + self.config.quantization_floor**2
+            )
+            streams.append(
+                ChannelSeries(
+                    times_s=times,
+                    samples=dc + moving + thermal + clutter + quant,
+                    dc_residual=dc,
+                    nulling_db=depth_db,
+                    precoder=precoder,
+                    noise_sigma=noise_sigma,
+                )
+            )
+        return streams
+
+    @staticmethod
+    def combine_diversity_series(streams: list[ChannelSeries]) -> ChannelSeries:
+        """Coherently average diversity streams into one series.
+
+        Within the 5 MHz band the per-subcarrier signal components are
+        phase-aligned to within a fraction of a radian (coherence
+        bandwidth of an indoor scene is hundreds of MHz), so a plain
+        mean preserves the motion phase history while *independent*
+        thermal noise averages down by sqrt(K).  Clock-jitter clutter
+        is common to the band and does not average — combining buys
+        SNR only in the thermal-limited regime (see the subcarrier-
+        diversity ablation bench).
+        """
+        if not streams:
+            raise ValueError("need at least one stream")
+        length = len(streams[0].samples)
+        if any(len(s.samples) != length for s in streams):
+            raise ValueError("streams must share a time base")
+        combined = np.mean([s.samples for s in streams], axis=0)
+        return ChannelSeries(
+            times_s=streams[0].times_s,
+            samples=combined,
+            dc_residual=complex(np.mean([s.dc_residual for s in streams])),
+            nulling_db=streams[0].nulling_db,
+            precoder=streams[0].precoder,
+            # Approximate: exact only in the thermal-limited regime.
+            noise_sigma=streams[0].noise_sigma / math.sqrt(len(streams)),
+        )
+
+    def _static_gain_at(self, tx, wavelength_m: float) -> complex:
+        """Static channel gain evaluated at a shifted carrier."""
+        total = self.scene.direct_path(tx).gain(wavelength_m)
+        flash = self.scene.flash_path(tx)
+        if flash is not None:
+            total += flash.gain(wavelength_m)
+        for reflector in self.scene.static_reflectors:
+            total += self.scene.scatterer_path(
+                tx, reflector.position, reflector.rcs_m2, PathKind.STATIC
+            ).gain(wavelength_m)
+        return total

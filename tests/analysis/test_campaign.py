@@ -1,0 +1,112 @@
+"""Tests for the campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import (
+    Campaign,
+    Condition,
+    ConditionResult,
+    TrialError,
+    summary_table,
+)
+
+
+def test_campaign_runs_all_conditions():
+    def trial(rng, offset):
+        return offset + rng.normal(0, 0.001)
+
+    campaign = Campaign(
+        trial=trial,
+        conditions=[Condition("a", {"offset": 1.0}), Condition("b", {"offset": 2.0})],
+        trials_per_condition=5,
+        seed=3,
+    )
+    results = campaign.run()
+    assert results["a"].count == 5
+    assert results["a"].mean == pytest.approx(1.0, abs=0.01)
+    assert results["b"].mean == pytest.approx(2.0, abs=0.01)
+
+
+def test_campaign_deterministic_per_condition():
+    def trial(rng):
+        return float(rng.random())
+
+    base = Campaign(trial=trial, conditions=[Condition("x")], seed=7).run()
+    extended = Campaign(
+        trial=trial, conditions=[Condition("x"), Condition("y")], seed=7
+    ).run()
+    # Adding a condition must not perturb existing condition draws.
+    assert base["x"].values == extended["x"].values
+
+
+def test_trial_errors_counted_not_fatal():
+    def flaky(rng):
+        if rng.random() < 0.5:
+            raise TrialError("bad trial")
+        return 1.0
+
+    campaign = Campaign(
+        trial=flaky, conditions=[Condition("only")], trials_per_condition=20, seed=1
+    )
+    result = campaign.run()["only"]
+    assert result.failures > 0
+    assert result.count + result.failures == 20
+
+
+def test_campaign_validation():
+    def trial(rng):
+        return 0.0
+
+    with pytest.raises(ValueError):
+        Campaign(trial=trial, conditions=[], trials_per_condition=2)
+    with pytest.raises(ValueError):
+        Campaign(trial=trial, conditions=[Condition("a")], trials_per_condition=0)
+    with pytest.raises(ValueError):
+        Campaign(
+            trial=trial, conditions=[Condition("a"), Condition("a")]
+        )
+
+
+def test_result_statistics_require_values():
+    empty = ConditionResult(Condition("dead"), values=[], failures=3)
+    with pytest.raises(ValueError):
+        _ = empty.mean
+
+
+def test_summary_table_renders():
+    results = {
+        "good": ConditionResult(Condition("good"), [1.0, 2.0, 3.0]),
+        "dead": ConditionResult(Condition("dead"), [], failures=4),
+    }
+    table = summary_table(results)
+    assert "good" in table and "dead" in table
+    assert "2.000" in table
+    with pytest.raises(ValueError):
+        summary_table({})
+
+
+def test_campaign_with_simulator_trial(rng):
+    # A miniature end-to-end campaign over wall materials.
+    from repro.core.gestures import GestureDecoder
+    from repro.rf.materials import material_by_name
+    from repro.simulator.experiment import gesture_trial, make_subject_pool, room_for_material
+
+    def trial(rng, material_name):
+        pool = make_subject_pool(rng, 1)
+        room = room_for_material(material_by_name(material_name))
+        result, _ = gesture_trial(room, 3.0, [0], pool[0], rng)
+        decoder = GestureDecoder(step_duration_s=pool[0].step_duration_s)
+        return decoder.measure_snr_db(result.spectrogram)
+
+    campaign = Campaign(
+        trial=trial,
+        conditions=[
+            Condition("glass", {"material_name": "glass"}),
+            Condition("concrete", {"material_name": '8" concrete wall'}),
+        ],
+        trials_per_condition=2,
+        seed=11,
+    )
+    results = campaign.run()
+    assert results["glass"].mean > results["concrete"].mean

@@ -1,0 +1,64 @@
+"""Tests for empirical CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf
+
+
+def test_evaluate_basic():
+    cdf = EmpiricalCdf(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert cdf.evaluate(0.0) == 0.0
+    assert cdf.evaluate(2.0) == 0.5
+    assert cdf.evaluate(10.0) == 1.0
+
+
+def test_evaluate_vectorized():
+    cdf = EmpiricalCdf(np.array([1.0, 2.0]))
+    result = cdf.evaluate(np.array([0.0, 1.5, 3.0]))
+    assert np.allclose(result, [0.0, 0.5, 1.0])
+
+
+def test_quantile_and_median():
+    cdf = EmpiricalCdf(np.arange(101, dtype=float))
+    assert cdf.median == pytest.approx(50.0)
+    assert cdf.quantile(0.25) == pytest.approx(25.0)
+    with pytest.raises(ValueError):
+        cdf.quantile(1.5)
+
+
+def test_mean():
+    cdf = EmpiricalCdf(np.array([1.0, 3.0]))
+    assert cdf.mean == pytest.approx(2.0)
+
+
+def test_table_rows():
+    cdf = EmpiricalCdf(np.arange(11, dtype=float))
+    table = cdf.table(points=3)
+    assert table[0] == (0.0, 0.0)
+    assert table[-1] == (10.0, 1.0)
+    with pytest.raises(ValueError):
+        cdf.table(points=1)
+
+
+def test_rejects_bad_input():
+    with pytest.raises(ValueError):
+        EmpiricalCdf(np.array([]))
+    with pytest.raises(ValueError):
+        EmpiricalCdf(np.array([1.0, np.nan]))
+    with pytest.raises(ValueError):
+        EmpiricalCdf(np.array([np.inf]))
+
+
+def test_stochastic_dominance(rng):
+    low = EmpiricalCdf(rng.normal(0.0, 1.0, 2000))
+    high = EmpiricalCdf(rng.normal(5.0, 1.0, 2000))
+    assert high.stochastically_dominates(low)
+    assert not low.stochastically_dominates(high)
+
+
+def test_monotone_evaluation(rng):
+    cdf = EmpiricalCdf(rng.normal(0, 1, 500))
+    xs = np.linspace(-3, 3, 50)
+    values = cdf.evaluate(xs)
+    assert np.all(np.diff(values) >= 0)

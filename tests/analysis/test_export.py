@@ -1,0 +1,78 @@
+"""Tests for image export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_spectrogram,
+    read_pnm_header,
+    write_pgm,
+    write_ppm,
+)
+from repro.core.tracking import MotionSpectrogram
+
+
+def test_pgm_roundtrip_header(tmp_path):
+    image = np.outer(np.arange(10.0), np.ones(20))
+    path = write_pgm(image, tmp_path / "out.pgm")
+    magic, width, height = read_pnm_header(path)
+    assert (magic, width, height) == ("P5", 20, 10)
+    # Payload size: header + width*height bytes.
+    data = path.read_bytes()
+    assert data.endswith(bytes(range(0, 1)) * 0 + data[-200:])
+    assert len(data.split(b"255\n", 1)[1]) == 200
+
+
+def test_pgm_normalization(tmp_path):
+    image = np.array([[5.0, 10.0], [15.0, 20.0]])
+    path = write_pgm(image, tmp_path / "n.pgm")
+    payload = path.read_bytes().split(b"255\n", 1)[1]
+    assert payload[0] == 0  # min -> black
+    assert payload[-1] == 255  # max -> white
+
+
+def test_ppm_header_and_size(tmp_path):
+    image = np.random.default_rng(0).random((8, 12))
+    path = write_ppm(image, tmp_path / "out.ppm")
+    magic, width, height = read_pnm_header(path)
+    assert (magic, width, height) == ("P6", 12, 8)
+    payload = path.read_bytes().split(b"255\n", 1)[1]
+    assert len(payload) == 8 * 12 * 3
+
+
+def test_heat_ramp_endpoints(tmp_path):
+    image = np.array([[0.0, 1.0]])
+    path = write_ppm(image, tmp_path / "ramp.ppm")
+    payload = path.read_bytes().split(b"255\n", 1)[1]
+    assert payload[:3] == bytes([0, 0, 0])  # cold -> black
+    assert payload[3:6] == bytes([255, 255, 255])  # hot -> white
+
+
+def test_input_validation(tmp_path):
+    with pytest.raises(ValueError):
+        write_pgm(np.ones(5), tmp_path / "bad.pgm")
+    with pytest.raises(ValueError):
+        write_ppm(np.ones((0, 3)), tmp_path / "bad.ppm")
+    bad = tmp_path / "not_pnm.bin"
+    bad.write_bytes(b"hello")
+    with pytest.raises(ValueError):
+        read_pnm_header(bad)
+
+
+def test_export_spectrogram_orientation(tmp_path):
+    # A spectrogram with energy only at +90 degrees must paint the
+    # *top* rows of the exported image.
+    thetas = np.linspace(-90, 90, 181)
+    power = np.ones((10, 181))
+    power[:, -1] = 100.0  # +90 degrees hot
+    spectrogram = MotionSpectrogram(
+        times_s=np.arange(10.0),
+        theta_grid_deg=thetas,
+        power=power,
+    )
+    path = export_spectrogram(spectrogram, tmp_path / "spec.pgm", color=False)
+    payload = path.read_bytes().split(b"255\n", 1)[1]
+    top_row = payload[:10]
+    bottom_row = payload[-10:]
+    assert max(top_row) == 255
+    assert max(bottom_row) < 128

@@ -1,0 +1,68 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    accuracy,
+    bit_error_events,
+    erasure_rate,
+    precision_per_class,
+)
+
+
+def test_accuracy():
+    assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        accuracy(np.array([1]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_precision_per_class():
+    true = np.array([0, 0, 1, 1, 1])
+    pred = np.array([0, 1, 1, 1, 1])
+    result = precision_per_class(true, pred, [0, 1])
+    assert result[0] == pytest.approx(0.5)
+    assert result[1] == pytest.approx(1.0)
+
+
+def test_precision_missing_class():
+    with pytest.raises(ValueError):
+        precision_per_class(np.array([0, 0]), np.array([0, 0]), [0, 1])
+
+
+def test_erasure_rate():
+    assert erasure_rate([0, None, 1, None]) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        erasure_rate([])
+
+
+def test_bit_error_events_counts():
+    sent = [0, 1, 0, 1]
+    decoded = [0, 1, 1, None]
+    # Observed bits [0, 1, 1] align best as slots 0, 1, 3 -> 3 correct,
+    # 1 erased, no flips (alignment minimises flips; see docstring).
+    correct, erased, flipped = bit_error_events(sent, decoded)
+    assert (correct, erased, flipped) == (3, 1, 0)
+
+
+def test_bit_error_events_true_flip_detected():
+    # A full-length decode with a wrong value is a genuine flip.
+    correct, erased, flipped = bit_error_events([0, 1], [1, 1])
+    assert (correct, erased, flipped) == (1, 0, 1)
+
+
+def test_bit_error_events_all_flipped():
+    correct, erased, flipped = bit_error_events([0, 0], [1, 1])
+    assert (correct, erased, flipped) == (0, 0, 2)
+
+
+def test_bit_error_events_short_decode_is_erasure():
+    correct, erased, flipped = bit_error_events([0, 1, 0], [0])
+    assert (correct, erased, flipped) == (1, 2, 0)
+
+
+def test_bit_error_events_extra_decodes_ignored():
+    correct, erased, flipped = bit_error_events([0], [0, 1, 1])
+    assert (correct, erased, flipped) == (1, 0, 0)

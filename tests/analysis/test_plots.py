@@ -1,0 +1,59 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import render_cdf_table, render_heatmap, render_series
+
+
+def test_heatmap_renders_rows_and_labels():
+    image = np.outer(np.linspace(0, 1, 19), np.ones(40))
+    text = render_heatmap(image, np.linspace(-90, 90, 19))
+    lines = text.splitlines()
+    assert len(lines) == 20  # header + 19 rows
+    assert "+90.0" in lines[1]
+    assert "-90.0" in lines[-1]
+
+
+def test_heatmap_downsamples_large_images():
+    image = np.random.default_rng(0).random((181, 300))
+    text = render_heatmap(image, np.linspace(-90, 90, 181), max_rows=9, max_cols=40)
+    lines = text.splitlines()
+    assert len(lines) == 10
+    # Row content fits within the requested width plus label.
+    assert all(len(line) < 60 for line in lines)
+
+
+def test_heatmap_intensity_mapping():
+    image = np.zeros((5, 10))
+    image[2, 5] = 1.0
+    text = render_heatmap(image, np.arange(5.0))
+    assert "@" in text  # the hot cell uses the top ramp level
+
+
+def test_heatmap_validation():
+    with pytest.raises(ValueError):
+        render_heatmap(np.zeros(5), np.arange(5.0))
+    with pytest.raises(ValueError):
+        render_heatmap(np.zeros((5, 5)), np.arange(4.0))
+
+
+def test_series_renders_signed_signal():
+    values = np.sin(np.linspace(0, 2 * np.pi, 100))
+    text = render_series(values, times=np.linspace(0, 1, 100), title="wave")
+    assert text.startswith("wave")
+    assert "*" in text
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        render_series(np.array([]))
+    with pytest.raises(ValueError):
+        render_series(np.ones(10), height=4)
+
+
+def test_cdf_table_formatting():
+    text = render_cdf_table([(1.0, 0.0), (2.5, 1.0)], "nulling", "dB")
+    assert "nulling (dB)" in text
+    assert "1.000" in text
+    assert "1.00" in text

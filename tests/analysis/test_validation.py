@@ -1,0 +1,82 @@
+"""Tests for statistical validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    ks_distance,
+    samples_compatible,
+)
+
+
+def test_bootstrap_ci_covers_true_mean(rng):
+    sample = rng.normal(10.0, 2.0, 200)
+    interval = bootstrap_ci(sample, confidence=0.95)
+    assert interval.contains(10.0)
+    assert interval.low < interval.estimate < interval.high
+
+
+def test_bootstrap_ci_narrows_with_sample_size(rng):
+    small = bootstrap_ci(rng.normal(0, 1, 20))
+    large = bootstrap_ci(rng.normal(0, 1, 2000))
+    assert (large.high - large.low) < (small.high - small.low)
+
+
+def test_bootstrap_custom_statistic(rng):
+    sample = rng.exponential(1.0, 500)
+    interval = bootstrap_ci(sample, statistic=np.median)
+    assert interval.contains(np.log(2.0))  # exponential median
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.array([1.0]))
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.arange(10.0), confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_ci(np.arange(10.0), num_resamples=10)
+
+
+def test_bootstrap_deterministic_default():
+    sample = np.arange(50.0)
+    a = bootstrap_ci(sample)
+    b = bootstrap_ci(sample)
+    assert (a.low, a.high) == (b.low, b.high)
+
+
+def test_ci_string():
+    interval = ConfidenceInterval(1.0, 0.5, 1.5, 0.95)
+    assert "95%" in str(interval)
+
+
+def test_ks_identical_samples():
+    sample = np.arange(100.0)
+    assert ks_distance(sample, sample) == pytest.approx(0.0)
+
+
+def test_ks_disjoint_samples():
+    assert ks_distance(np.zeros(50), np.ones(50)) == pytest.approx(1.0)
+
+
+def test_ks_moderate_shift(rng):
+    a = rng.normal(0, 1, 1000)
+    b = rng.normal(0.5, 1, 1000)
+    distance = ks_distance(a, b)
+    assert 0.1 < distance < 0.4
+
+
+def test_ks_validation():
+    with pytest.raises(ValueError):
+        ks_distance(np.array([]), np.array([1.0]))
+
+
+def test_samples_compatible(rng):
+    a = rng.normal(40, 4, 100)
+    b = rng.normal(41, 4, 100)
+    c = rng.normal(80, 4, 100)
+    assert samples_compatible(a, b)
+    assert not samples_compatible(a, c)
+    with pytest.raises(ValueError):
+        samples_compatible(a, b, max_ks_distance=0.0)

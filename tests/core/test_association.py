@@ -1,0 +1,147 @@
+"""Tests for multi-target angle tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core.association import (
+    AngleObservation,
+    AngleTracker,
+    Track,
+    TrackerConfig,
+    count_simultaneous_tracks,
+    extract_observations,
+    track_spectrogram,
+)
+from repro.core.tracking import MotionSpectrogram, compute_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory, WaypointTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def synthetic_spectrogram(angle_paths, num_windows=40, noise_db=2.0, seed=0):
+    """Build a spectrogram with Gaussian blobs following given angle
+    paths (each a callable window_index -> theta or None)."""
+    rng = np.random.default_rng(seed)
+    grid = np.arange(-90.0, 91.0)
+    power_db = noise_db * rng.random((num_windows, len(grid)))
+    for path in angle_paths:
+        for w in range(num_windows):
+            theta = path(w)
+            if theta is None:
+                continue
+            power_db[w] += 25.0 * np.exp(-((grid - theta) ** 2) / 30.0)
+    return MotionSpectrogram(
+        times_s=0.08 * np.arange(num_windows),
+        theta_grid_deg=grid,
+        power=10 ** (power_db / 20.0),
+    )
+
+
+def test_extract_observations_finds_blobs():
+    spectrogram = synthetic_spectrogram([lambda w: 40.0, lambda w: -30.0])
+    observations = extract_observations(spectrogram, threshold_db=10.0)
+    for window in observations:
+        angles = sorted(o.theta_deg for o in window)
+        assert len(angles) == 2
+        assert angles[0] == pytest.approx(-30.0, abs=3)
+        assert angles[1] == pytest.approx(40.0, abs=3)
+
+
+def test_extract_respects_dc_guard():
+    spectrogram = synthetic_spectrogram([lambda w: 0.0])
+    observations = extract_observations(spectrogram, dc_guard_deg=8.0)
+    for window in observations:
+        for obs in window:
+            assert abs(obs.theta_deg) >= 8.0
+
+
+def test_extract_validation():
+    spectrogram = synthetic_spectrogram([lambda w: 40.0])
+    with pytest.raises(ValueError):
+        extract_observations(spectrogram, max_peaks=0)
+
+
+def test_single_track_followed():
+    # A target sweeping from +60 to -60.
+    spectrogram = synthetic_spectrogram([lambda w: 60.0 - 3.0 * w])
+    tracks = track_spectrogram(spectrogram)
+    assert len(tracks) == 1
+    track = tracks[0]
+    assert track.thetas_deg[0] > 40
+    assert track.thetas_deg[-1] < -40
+
+
+def test_two_crossing_tracks():
+    paths = [lambda w: -60.0 + 2.0 * w, lambda w: 60.0 - 2.0 * w]
+    spectrogram = synthetic_spectrogram(paths, num_windows=50)
+    tracks = track_spectrogram(spectrogram)
+    # At least two confirmed tracks, jointly covering both slopes.
+    assert len(tracks) >= 2
+    slopes = [
+        np.polyfit(t.times_s, t.thetas_deg, 1)[0] for t in tracks if t.duration_s > 0.5
+    ]
+    assert any(s > 0 for s in slopes)
+    assert any(s < 0 for s in slopes)
+
+
+def test_track_survives_short_dropout():
+    def path(w):
+        return None if 18 <= w < 21 else 30.0
+
+    spectrogram = synthetic_spectrogram([path])
+    tracks = track_spectrogram(spectrogram)
+    assert len(tracks) == 1  # coasting bridges the gap
+    assert tracks[0].duration_s > 2.5
+
+
+def test_track_dies_after_long_dropout():
+    def path(w):
+        return 30.0 if w < 12 or w >= 30 else None
+
+    spectrogram = synthetic_spectrogram([path])
+    tracks = track_spectrogram(spectrogram)
+    assert len(tracks) == 2
+
+
+def test_episodes_detect_turnaround():
+    track = Track(0)
+    for index, theta in enumerate([50, 40, 20, 5, -10, -30, -50]):
+        track.add(AngleObservation(time_s=0.1 * index, theta_deg=theta, strength_db=20))
+    episodes = track.episodes()
+    assert [e[0] for e in episodes] == ["toward", "away"]
+
+
+def test_count_simultaneous_tracks():
+    a = Track(0)
+    b = Track(1)
+    for i in range(5):
+        a.add(AngleObservation(i * 1.0, 10.0, 20.0))
+    for i in range(3, 8):
+        b.add(AngleObservation(i * 1.0, -20.0, 20.0))
+    times = np.arange(0.0, 8.0)
+    counts = count_simultaneous_tracks([a, b], times)
+    assert counts[0] == 1 and counts[4] == 2 and counts[7] == 1
+
+
+def test_tracker_config_validation():
+    with pytest.raises(ValueError):
+        TrackerConfig(gate_deg=0.0)
+    with pytest.raises(ValueError):
+        TrackerConfig(max_misses=0)
+
+
+def test_end_to_end_on_simulated_scene(rng):
+    # A real simulated walker produces exactly one confirmed track
+    # whose sign follows the motion.
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.5, 0.9), Point(-1.0, 0.0), 4.0)
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    tracks = track_spectrogram(spectrogram, threshold_db=12.0)
+    assert len(tracks) >= 1
+    main = max(tracks, key=lambda t: t.hits)
+    assert np.mean(main.thetas_deg) > 30.0

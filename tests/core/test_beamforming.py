@@ -1,0 +1,125 @@
+"""Tests for ISAR beamforming (Eq. 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CHANNEL_SAMPLE_PERIOD_S, WAVELENGTH_M
+from repro.core.beamforming import (
+    beamformed_spectrogram,
+    default_theta_grid,
+    element_spacing_m,
+    inverse_aoa_spectrum,
+    steering_vector,
+)
+
+
+def synthetic_mover(theta_deg, num_samples, spacing=None, wavelength=WAVELENGTH_M):
+    """Channel phase history of a target at constant inverse-AoA."""
+    spacing = spacing if spacing is not None else element_spacing_m()
+    n = np.arange(num_samples)
+    phase = -2 * np.pi / wavelength * n * spacing * np.sin(np.radians(theta_deg))
+    return np.exp(1j * phase)
+
+
+def test_element_spacing_round_trip_doubling():
+    # delta = 2 v T (§5.1 fn. 2).
+    assert element_spacing_m(1.0, CHANNEL_SAMPLE_PERIOD_S) == pytest.approx(
+        2 * CHANNEL_SAMPLE_PERIOD_S
+    )
+    with pytest.raises(ValueError):
+        element_spacing_m(0.0)
+
+
+def test_default_theta_grid_covers_paper_range():
+    grid = default_theta_grid()
+    assert grid[0] == -90.0
+    assert grid[-1] == 90.0
+    assert len(grid) == 181
+
+
+def test_steering_vector_shapes():
+    single = steering_vector(30.0, 16, 0.0064)
+    assert single.shape == (16,)
+    grid = steering_vector(np.array([0.0, 45.0]), 16, 0.0064)
+    assert grid.shape == (2, 16)
+    assert np.allclose(np.abs(grid), 1.0)
+
+
+def test_steering_vector_zero_angle_is_flat():
+    vector = steering_vector(0.0, 8, 0.0064)
+    assert np.allclose(vector, 1.0)
+
+
+def test_spectrum_peaks_at_true_angle():
+    for true_theta in (-60.0, -25.0, 10.0, 45.0, 80.0):
+        window = synthetic_mover(true_theta, 100)
+        grid = default_theta_grid()
+        spectrum = inverse_aoa_spectrum(window, grid, element_spacing_m())
+        peak = grid[np.argmax(spectrum)]
+        assert peak == pytest.approx(true_theta, abs=2.0)
+
+
+def test_dc_appears_at_zero_angle():
+    window = np.ones(100, dtype=complex)  # static residual
+    grid = default_theta_grid()
+    spectrum = inverse_aoa_spectrum(window, grid, element_spacing_m())
+    assert grid[np.argmax(spectrum)] == pytest.approx(0.0, abs=1.0)
+
+
+def test_peak_grows_with_window_size():
+    # Bigger emulated aperture, higher coherent gain.
+    grid = default_theta_grid()
+    small = inverse_aoa_spectrum(synthetic_mover(30, 25), grid, element_spacing_m())
+    large = inverse_aoa_spectrum(synthetic_mover(30, 100), grid, element_spacing_m())
+    assert large.max() == pytest.approx(4 * small.max(), rel=0.05)
+
+
+def test_velocity_error_biases_magnitude_not_sign():
+    # §5.1: errors in v over- or under-estimate theta but keep the
+    # sign — moving toward vs away stays distinguishable.
+    true_theta = 40.0
+    window = synthetic_mover(true_theta, 100)
+    grid = default_theta_grid()
+    wrong_spacing = element_spacing_m(assumed_speed_mps=1.2)
+    spectrum = inverse_aoa_spectrum(window, grid, wrong_spacing)
+    peak = grid[np.argmax(spectrum)]
+    assert peak > 0  # sign preserved
+    assert peak == pytest.approx(np.degrees(np.arcsin(np.sin(np.radians(40)) / 1.2)), abs=2.0)
+
+
+def test_beamformed_spectrogram_shape_and_tracking():
+    series = np.concatenate(
+        [synthetic_mover(30, 150), synthetic_mover(-50, 150)]
+    )
+    grid = default_theta_grid()
+    starts, spectra = beamformed_spectrogram(series, 100, 25, grid, element_spacing_m())
+    assert spectra.shape == (len(starts), len(grid))
+    first_peak = grid[np.argmax(spectra[0])]
+    last_peak = grid[np.argmax(spectra[-1])]
+    assert first_peak == pytest.approx(30, abs=3)
+    assert last_peak == pytest.approx(-50, abs=3)
+
+
+def test_window_mean_removal_suppresses_dc():
+    mover = synthetic_mover(45, 100)
+    dc = 10.0  # strong static residual
+    series = mover + dc
+    grid = default_theta_grid()
+    _, with_dc = beamformed_spectrogram(series, 100, 100, grid, element_spacing_m())
+    _, without_dc = beamformed_spectrogram(
+        series, 100, 100, grid, element_spacing_m(), remove_window_mean=True
+    )
+    zero_index = np.argmin(np.abs(grid))
+    assert without_dc[0, zero_index] < with_dc[0, zero_index] / 50
+
+
+def test_spectrogram_validation():
+    grid = default_theta_grid()
+    with pytest.raises(ValueError):
+        beamformed_spectrogram(np.ones(10), 100, 25, grid, 0.0064)
+    with pytest.raises(ValueError):
+        beamformed_spectrogram(np.ones(200), 1, 25, grid, 0.0064)
+    with pytest.raises(ValueError):
+        beamformed_spectrogram(np.ones(200), 100, 0, grid, 0.0064)
+    with pytest.raises(ValueError):
+        inverse_aoa_spectrum(np.ones((2, 5)), grid, 0.0064)

@@ -1,0 +1,164 @@
+"""Tests for spatial-variance counting (Eqs. 5.4-5.5, §7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import (
+    SpatialVarianceClassifier,
+    confusion_matrix,
+    spatial_centroid,
+    spatial_variance,
+    trace_spatial_variance,
+)
+from repro.core.tracking import MotionSpectrogram
+
+
+def make_spectrogram(rows, thetas=None):
+    rows = np.asarray(rows, dtype=float)
+    if thetas is None:
+        thetas = np.linspace(-90, 90, rows.shape[1])
+    return MotionSpectrogram(
+        times_s=np.arange(rows.shape[0], dtype=float),
+        theta_grid_deg=np.asarray(thetas, dtype=float),
+        power=10 ** (rows / 20.0),
+    )
+
+
+def test_centroid_of_symmetric_row_is_zero():
+    thetas = np.linspace(-90, 90, 181)
+    row = np.exp(-(thetas**2) / 100.0)
+    assert spatial_centroid(row, thetas) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_centroid_tracks_offset_peak():
+    thetas = np.linspace(-90, 90, 181)
+    row = np.exp(-((thetas - 40.0) ** 2) / 50.0)
+    assert spatial_centroid(row, thetas) == pytest.approx(40.0, abs=1.0)
+
+
+def test_variance_grows_with_spread():
+    thetas = np.linspace(-90, 90, 181)
+    narrow = np.exp(-(thetas**2) / 25.0)
+    wide = np.exp(-(thetas**2) / 2500.0)
+    assert spatial_variance(wide, thetas) > spatial_variance(narrow, thetas)
+
+
+def test_variance_grows_with_energy():
+    # The unnormalized (literal Eq. 5.5) second moment also grows with
+    # total dB mass — more moving energy, more variance.
+    thetas = np.linspace(-90, 90, 181)
+    row = np.exp(-((thetas - 30) ** 2) / 200.0)
+    assert spatial_variance(3 * row, thetas, normalize=False) > spatial_variance(
+        row, thetas, normalize=False
+    )
+
+
+def test_normalized_variance_is_scale_invariant():
+    thetas = np.linspace(-90, 90, 181)
+    row = np.exp(-((thetas - 30) ** 2) / 200.0)
+    assert spatial_variance(5 * row, thetas, normalize=True) == pytest.approx(
+        spatial_variance(row, thetas, normalize=True)
+    )
+
+
+def test_trace_variance_aggregate_validation():
+    thetas = np.linspace(-90, 90, 181)
+    spectrogram = make_spectrogram(np.ones((3, 181)), thetas)
+    with pytest.raises(ValueError):
+        trace_spatial_variance(spectrogram, aggregate="mode")
+
+
+def test_variance_shape_validation():
+    with pytest.raises(ValueError):
+        spatial_variance(np.ones(5), np.ones(6))
+    with pytest.raises(ValueError):
+        spatial_centroid(np.ones(5), np.ones(6))
+
+
+def test_two_peaks_beat_one_peak():
+    # Two humans at distinct angles spread energy more than one.
+    thetas = np.linspace(-90, 90, 181)
+    one = np.exp(-((thetas - 30) ** 2) / 100.0)
+    two = 0.5 * (
+        np.exp(-((thetas - 50) ** 2) / 100.0) + np.exp(-((thetas + 40) ** 2) / 100.0)
+    )
+    assert spatial_variance(two, thetas) > spatial_variance(one, thetas)
+
+
+def test_trace_variance_averages_windows():
+    thetas = np.linspace(-90, 90, 181)
+    quiet = np.zeros((3, 181))
+    quiet[:, 90] = 30.0  # DC only
+    busy = np.zeros((3, 181))
+    busy[:, 90] = 30.0
+    busy[:, 30] = 25.0  # a mover at -60 degrees
+    busy[:, 150] = 25.0  # and one at +60
+    quiet_value = trace_spatial_variance(make_spectrogram(quiet, thetas))
+    busy_value = trace_spatial_variance(make_spectrogram(busy, thetas))
+    assert busy_value > quiet_value
+
+
+def test_classifier_fit_predict():
+    classifier = SpatialVarianceClassifier().fit(
+        {
+            0: np.array([1.0, 1.2, 0.9]),
+            1: np.array([5.0, 5.5, 4.8]),
+            2: np.array([9.0, 9.5, 8.7]),
+        }
+    )
+    assert classifier.predict(0.5) == 0
+    assert classifier.predict(5.1) == 1
+    assert classifier.predict(100.0) == 2
+
+
+def test_classifier_thresholds_are_midpoints():
+    classifier = SpatialVarianceClassifier().fit(
+        {0: np.array([0.0]), 1: np.array([10.0])}
+    )
+    assert classifier.thresholds == [5.0]
+
+
+def test_classifier_rejects_non_increasing_means():
+    with pytest.raises(ValueError):
+        SpatialVarianceClassifier().fit(
+            {0: np.array([5.0]), 1: np.array([1.0])}
+        )
+
+
+def test_classifier_requires_fit():
+    with pytest.raises(RuntimeError):
+        SpatialVarianceClassifier().predict(1.0)
+
+
+def test_classifier_requires_two_classes():
+    with pytest.raises(ValueError):
+        SpatialVarianceClassifier().fit({0: np.array([1.0])})
+
+
+def test_classifier_rejects_empty_class():
+    with pytest.raises(ValueError):
+        SpatialVarianceClassifier().fit(
+            {0: np.array([1.0]), 1: np.array([])}
+        )
+
+
+def test_predict_many():
+    classifier = SpatialVarianceClassifier().fit(
+        {0: np.array([0.0]), 1: np.array([10.0])}
+    )
+    predictions = classifier.predict_many(np.array([1.0, 9.0]))
+    assert predictions.tolist() == [0, 1]
+
+
+def test_confusion_matrix_layout():
+    true = np.array([0, 0, 1, 1, 1])
+    pred = np.array([0, 1, 1, 1, 0])
+    matrix = confusion_matrix(true, pred, [0, 1])
+    assert matrix[0, 0] == pytest.approx(0.5)
+    assert matrix[1, 1] == pytest.approx(2 / 3)
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+def test_confusion_matrix_validation():
+    with pytest.raises(ValueError):
+        confusion_matrix(np.array([0]), np.array([0, 1]), [0, 1])

@@ -1,0 +1,54 @@
+"""Tests for motion-presence detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import motion_energy_db, motion_present, peak_to_dc_ratio_db
+from repro.core.tracking import compute_spectrogram
+from repro.environment.scene import Scene
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def empty_room_spectrogram(small_room, rng, duration=2.0):
+    scene = Scene(room=small_room)
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(duration)
+    return compute_spectrogram(series.samples)
+
+
+def test_motion_energy_higher_with_mover(walking_scene, small_room, rng):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(3.0)
+    busy = compute_spectrogram(series.samples)
+    quiet = empty_room_spectrogram(small_room, rng)
+    assert motion_energy_db(busy) > motion_energy_db(quiet)
+
+
+def test_motion_present_against_reference(walking_scene, small_room, rng):
+    quiet = empty_room_spectrogram(small_room, rng)
+    reference = motion_energy_db(quiet)
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(3.0)
+    busy = compute_spectrogram(series.samples)
+    assert motion_present(busy, empty_room_reference_db=reference)
+    assert not motion_present(quiet, empty_room_reference_db=reference)
+
+
+def test_motion_present_argument_validation(small_room, rng):
+    spectrogram = empty_room_spectrogram(small_room, rng)
+    with pytest.raises(ValueError):
+        motion_present(spectrogram)
+    with pytest.raises(ValueError):
+        motion_present(spectrogram, threshold_db=1.0, empty_room_reference_db=1.0)
+
+
+def test_guard_validation(small_room, rng):
+    spectrogram = empty_room_spectrogram(small_room, rng)
+    with pytest.raises(ValueError):
+        motion_energy_db(spectrogram, dc_guard_deg=200.0)
+    with pytest.raises(ValueError):
+        peak_to_dc_ratio_db(spectrogram, dc_guard_deg=200.0)
+
+
+def test_peak_to_dc_ratio_sign(walking_scene, small_room, rng):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(3.0)
+    busy = compute_spectrogram(series.samples)
+    quiet = empty_room_spectrogram(small_room, rng)
+    assert peak_to_dc_ratio_db(busy) > peak_to_dc_ratio_db(quiet)

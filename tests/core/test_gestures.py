@@ -1,0 +1,174 @@
+"""Tests for the through-wall gesture channel (Chapter 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gestures import (
+    GestureDecoder,
+    angle_signed_signal,
+    bit_template,
+    filtered_noise_sigma,
+    matched_filter_bank,
+    robust_noise_sigma,
+    triangle_template,
+)
+from repro.core.tracking import MotionSpectrogram, TrackingConfig, compute_beamformed_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import GestureTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def gesture_spectrogram(bits, rng, distance=3.0, step_duration=1.1):
+    room = stata_conference_room_small()
+    trajectory = GestureTrajectory(
+        base_position=Point(room.wall.far_face_x_m + distance, 0.2),
+        bits=bits,
+        step_duration_s=step_duration,
+    )
+    human = Human(trajectory, BodyModel(limb_count=0))
+    scene = Scene(room=room, humans=[human])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(trajectory.duration_s())
+    return compute_beamformed_spectrogram(series.samples)
+
+
+def test_triangle_template_unit_energy():
+    template = triangle_template(14)
+    assert np.linalg.norm(template) == pytest.approx(1.0)
+    assert np.all(template >= 0)
+    with pytest.raises(ValueError):
+        triangle_template(1)
+
+
+def test_bit_template_is_manchester_pair():
+    template = bit_template(10)
+    assert np.linalg.norm(template) == pytest.approx(1.0)
+    # First half positive (forward step), second half negative.
+    assert np.all(template[:10] >= 0)
+    assert np.all(template[10:] <= 0)
+
+
+def test_matched_filter_bank_polarity():
+    # A positive bump then a negative bump produce a peak then a trough.
+    signal = np.zeros(100)
+    signal[20:30] = 1.0
+    signal[60:70] = -1.0
+    output = matched_filter_bank(signal, triangle_template(10))
+    assert output[24] > 0
+    assert output[64] < 0
+
+
+def test_rectified_filters_do_not_cancel():
+    # Adjacent opposite bumps keep their identities (§6.2's two
+    # separate filters).
+    signal = np.zeros(60)
+    signal[20:30] = 1.0
+    signal[30:40] = -1.0
+    output = matched_filter_bank(signal, triangle_template(10))
+    assert output.max() > 0.5 * np.abs(output).max()
+    assert output.min() < -0.5 * np.abs(output).max()
+
+
+def test_robust_noise_sigma_on_gaussian(rng):
+    values = rng.normal(0.0, 2.0, 100_000)
+    assert robust_noise_sigma(values) == pytest.approx(2.0, rel=0.05)
+
+
+def test_robust_noise_sigma_ignores_sparse_signal(rng):
+    values = rng.normal(0.0, 1.0, 10_000)
+    values[:500] += 50.0  # 5% strong signal
+    assert robust_noise_sigma(values) == pytest.approx(1.0, rel=0.15)
+
+
+def test_robust_noise_sigma_validation(rng):
+    with pytest.raises(ValueError):
+        robust_noise_sigma(np.ones(10), quiet_quantile=0.9)
+
+
+def test_filtered_noise_sigma_white_noise_case():
+    # With no row overlap, a unit-energy template preserves sigma.
+    template = triangle_template(12)
+    assert filtered_noise_sigma(1.0, template, row_overlap=1) == pytest.approx(1.0)
+
+
+def test_filtered_noise_sigma_grows_with_overlap():
+    template = triangle_template(12)
+    assert filtered_noise_sigma(1.0, template, 4) > filtered_noise_sigma(1.0, template, 1)
+
+
+def test_filtered_noise_sigma_validation():
+    with pytest.raises(ValueError):
+        filtered_noise_sigma(-1.0, triangle_template(8), 4)
+    with pytest.raises(ValueError):
+        filtered_noise_sigma(1.0, triangle_template(8), 0)
+
+
+def test_angle_signed_signal_sign_convention(rng):
+    spectrogram = gesture_spectrogram([0], rng)
+    signal = angle_signed_signal(spectrogram)
+    # Bit 0 starts with a forward step: early signal positive.
+    times = spectrogram.times_s
+    first_step = (times > 1.2) & (times < 2.0)
+    second_step = (times > 2.3) & (times < 3.1)
+    assert signal[first_step].max() > 0
+    assert signal[second_step].min() < 0
+
+
+def test_decode_single_bits(rng):
+    for bit in (0, 1):
+        spectrogram = gesture_spectrogram([bit], rng)
+        result = GestureDecoder().decode(spectrogram)
+        assert result.bits == [bit]
+        assert result.snr_db_per_bit[0] > 3.0
+
+
+def test_decode_message(rng):
+    spectrogram = gesture_spectrogram([0, 1, 1, 0], rng)
+    result = GestureDecoder().decode(spectrogram)
+    assert result.bits == [0, 1, 1, 0]
+
+
+def test_no_gesture_decodes_nothing(rng):
+    # A still subject: no bits, no spurious events.
+    room = stata_conference_room_small()
+    from repro.environment.trajectories import StationaryTrajectory
+
+    human = Human(StationaryTrajectory(Point(4.0, 0.3)), BodyModel(limb_count=0))
+    scene = Scene(room=room, humans=[human])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(8.0)
+    spectrogram = compute_beamformed_spectrogram(series.samples)
+    result = GestureDecoder().decode(spectrogram)
+    assert result.decoded_bits == []
+
+
+def test_decoder_requires_enough_windows():
+    tiny = MotionSpectrogram(
+        times_s=np.array([0.0, 0.1]),
+        theta_grid_deg=np.linspace(-90, 90, 181),
+        power=np.ones((2, 181)),
+    )
+    with pytest.raises(ValueError):
+        GestureDecoder().decode(tiny)
+
+
+def test_measure_snr_reasonable(rng):
+    strong = gesture_spectrogram([0], rng, distance=2.0)
+    weak = gesture_spectrogram([0], rng, distance=6.5)
+    decoder = GestureDecoder()
+    assert decoder.measure_snr_db(strong) > decoder.measure_snr_db(weak)
+
+
+def test_erasure_count_property():
+    from repro.core.gestures import GestureDecodeResult
+
+    result = GestureDecodeResult(
+        bits=[0, None, 1],
+        events=[],
+        matched_output=np.zeros(4),
+        signal=np.zeros(4),
+        snr_db_per_bit=[10.0, 1.0, 8.0],
+    )
+    assert result.erasure_count == 1
+    assert result.decoded_bits == [0, 1]

@@ -1,0 +1,87 @@
+"""Tests for relative-motion reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.association import AngleObservation, Track
+from repro.core.localization import (
+    MotionSummary,
+    RelativeMotion,
+    integrate_track,
+    summarize_tracks,
+)
+
+
+def make_track(thetas, dt=0.1):
+    track = Track(0)
+    for index, theta in enumerate(thetas):
+        track.add(AngleObservation(index * dt, theta, 20.0))
+    return track
+
+
+def test_constant_approach_integrates_linearly():
+    # theta = +90 at 1 m/s: radial displacement grows ~1 m/s.
+    track = make_track([90.0] * 21, dt=0.1)
+    motion = integrate_track(track, assumed_speed_mps=1.0)
+    assert motion.net_displacement_m == pytest.approx(2.0, rel=0.01)
+    assert motion.turnarounds == 0
+
+
+def test_retreat_is_negative():
+    track = make_track([-90.0] * 11, dt=0.1)
+    motion = integrate_track(track)
+    assert motion.net_displacement_m == pytest.approx(-1.0, rel=0.01)
+
+
+def test_oblique_angle_scales_by_sine():
+    track = make_track([30.0] * 11, dt=0.1)
+    motion = integrate_track(track)
+    assert motion.net_displacement_m == pytest.approx(0.5, rel=0.02)
+
+
+def test_out_and_back_nets_zero():
+    track = make_track([90.0] * 10 + [-90.0] * 10, dt=0.1)
+    motion = integrate_track(track)
+    assert abs(motion.net_displacement_m) < 0.15
+    assert motion.closest_approach_m == pytest.approx(0.95, abs=0.1)
+    assert motion.turnarounds == 1
+
+
+def test_assumed_speed_scales_displacement():
+    track = make_track([90.0] * 11, dt=0.1)
+    slow = integrate_track(track, assumed_speed_mps=1.0)
+    fast = integrate_track(track, assumed_speed_mps=1.4)
+    assert fast.net_displacement_m == pytest.approx(
+        1.4 * slow.net_displacement_m, rel=0.01
+    )
+
+
+def test_integrate_validation():
+    with pytest.raises(ValueError):
+        integrate_track(make_track([10.0]))
+    with pytest.raises(ValueError):
+        integrate_track(make_track([10.0, 10.0]), assumed_speed_mps=0.0)
+
+
+def test_summary_empty():
+    summary = summarize_tracks([])
+    assert summary.num_tracks == 0
+    assert summary.describe() == "no motion observed"
+
+
+def test_summary_of_two_tracks():
+    approach = make_track([80.0] * 20)
+    retreat = make_track([-80.0] * 20)
+    summary = summarize_tracks([approach, retreat])
+    assert summary.num_tracks == 2
+    assert summary.max_approach_m > 1.5
+    assert summary.max_retreat_m > 1.5
+    assert "2 mover(s)" in summary.describe()
+
+
+def test_turnaround_counting_robust_to_flat_segments():
+    motion = RelativeMotion(
+        times_s=np.arange(5.0),
+        radial_displacement_m=np.array([0.0, 0.5, 0.5, 1.0, 0.5]),
+    )
+    assert motion.turnarounds == 1

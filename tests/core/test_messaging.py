@@ -1,0 +1,135 @@
+"""Tests for the gesture message layer."""
+
+import pytest
+
+from repro.core.messaging import (
+    BLOCK_DATA_BITS,
+    FramingError,
+    PREAMBLE_BITS,
+    add_parity,
+    bits_to_text,
+    decode_message,
+    deframe_message,
+    encode_message,
+    frame_message,
+    recover_erasures,
+    text_to_bits,
+)
+
+
+def test_parity_appended_per_block():
+    coded = add_parity([1, 0, 1, 1], block_size=3)
+    # Block [1,0,1] parity 0; trailing block [1] parity 1.
+    assert coded == [1, 0, 1, 0, 1, 1]
+
+
+def test_parity_validation():
+    with pytest.raises(ValueError):
+        add_parity([1, 2])
+    with pytest.raises(ValueError):
+        add_parity([1], block_size=0)
+
+
+def test_single_erasure_recovered():
+    coded = add_parity([1, 0, 1])
+    coded[1] = None  # erase a data bit
+    assert recover_erasures(coded) == [1, 0, 1]
+
+
+def test_parity_bit_erasure_harmless():
+    coded = add_parity([1, 1, 0])
+    coded[3] = None  # erase the parity bit itself
+    assert recover_erasures(coded) == [1, 1, 0]
+
+
+def test_double_erasure_not_recovered():
+    coded = add_parity([1, 0, 1])
+    coded[0] = coded[1] = None
+    recovered = recover_erasures(coded)
+    assert recovered[0] is None and recovered[1] is None
+    assert recovered[2] == 1
+
+
+def test_frame_roundtrip_clean():
+    payload = [1, 0, 1, 1, 0]
+    framed = frame_message(payload)
+    assert framed[: len(PREAMBLE_BITS)] == list(PREAMBLE_BITS)
+    assert deframe_message(framed) == payload
+
+
+def test_frame_roundtrip_with_erasure():
+    payload = [1, 0, 1, 1, 0, 0, 1]
+    framed = frame_message(payload)
+    # Erase one payload bit in the first parity block of the body.
+    body_start = len(PREAMBLE_BITS) + 6  # preamble + coded length field
+    received = list(framed)
+    received[body_start] = None
+    assert deframe_message(received) == payload
+
+
+def test_frame_with_leading_noise():
+    payload = [0, 1, 1]
+    framed = frame_message(payload)
+    noisy = [0, 0, 1, 1, 0] + framed
+    assert deframe_message(noisy) == payload
+
+
+def test_frame_too_long_rejected():
+    with pytest.raises(ValueError):
+        frame_message([0] * 16)
+
+
+def test_no_preamble_raises():
+    with pytest.raises(FramingError):
+        deframe_message([0, 0, 0, 0, 0, 0])
+
+
+def test_truncated_frame_raises():
+    framed = frame_message([1, 0, 1])
+    with pytest.raises(FramingError):
+        deframe_message(framed[: len(PREAMBLE_BITS) + 2])
+
+
+def test_missing_tail_becomes_erasures():
+    payload = [1, 1, 0, 0, 1]
+    framed = frame_message(payload)
+    received = framed[:-2]  # receiver lost the last two gestures
+    recovered = deframe_message(received)
+    assert len(recovered) == len(payload)
+    # The parity may or may not recover them; at minimum no flips.
+    for sent, got in zip(payload, recovered):
+        assert got is None or got == sent
+
+
+def test_text_codec_roundtrip():
+    bits = text_to_bits("SOS")
+    assert len(bits) == 21
+    assert bits_to_text(bits) == "SOS"
+
+
+def test_text_codec_erasure_renders_question_mark():
+    bits: list = text_to_bits("HI")
+    bits[3] = None
+    assert bits_to_text(bits) == "?I"
+
+
+def test_text_codec_rejects_non_ascii():
+    with pytest.raises(ValueError):
+        text_to_bits("é")
+
+
+def test_end_to_end_message_report():
+    payload = text_to_bits("K")
+    framed = encode_message(payload)
+    received = list(framed)
+    received[len(PREAMBLE_BITS) + 6 + 1] = None  # one erased gesture
+    report = decode_message(received)
+    assert report.erasures_on_air == 1
+    assert report.recovered
+    assert bits_to_text(report.payload_bits) == "K"
+
+
+def test_block_size_constant_reasonable():
+    # One parity bit per 3 data bits: 33% overhead, tolerable at
+    # gesture rates, recovers the dominant single-erasure case.
+    assert BLOCK_DATA_BITS == 3

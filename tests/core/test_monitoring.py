@@ -1,0 +1,90 @@
+"""Tests for nulling-health monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitoring import AutoCalibratingDevice, NullingMonitor, dc_level
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.device import WiViDevice
+from repro.simulator.timeseries import ChannelSeries, ChannelSeriesSimulator
+
+
+def make_series(dc, noise_sigma=1e-7, n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = dc + noise_sigma * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    return ChannelSeries(
+        times_s=np.arange(n) * 0.0032,
+        samples=samples,
+        dc_residual=dc,
+        nulling_db=40.0,
+        precoder=-1.0 + 0j,
+        noise_sigma=noise_sigma,
+    )
+
+
+def test_dc_level_measures_residual():
+    series = make_series(dc=3e-5 + 4e-5j)
+    assert dc_level(series) == pytest.approx(5e-5, rel=0.01)
+
+
+def test_monitor_flags_erosion():
+    monitor = NullingMonitor(erosion_budget_db=10.0)
+    monitor.set_baseline(make_series(dc=1e-5))
+    # 6 dB growth: fine.  20 dB growth: recalibrate.
+    assert not monitor.needs_recalibration(make_series(dc=2e-5, seed=1))
+    assert monitor.needs_recalibration(make_series(dc=1e-4, seed=2))
+    assert len(monitor.history_db) == 2
+
+
+def test_monitor_requires_baseline():
+    monitor = NullingMonitor()
+    with pytest.raises(RuntimeError):
+        monitor.erosion_db(make_series(dc=1e-5))
+
+
+def test_monitor_validation():
+    with pytest.raises(ValueError):
+        NullingMonitor(erosion_budget_db=0.0)
+
+
+def test_auto_device_calibrates_lazily(rng):
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.0, 0.8), Point(-0.5, 0.0), 20.0)
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    auto = AutoCalibratingDevice(WiViDevice(scene, rng))
+    series = auto.capture(2.0)
+    assert auto.device.is_calibrated
+    assert len(series.samples) > 0
+    assert auto.recalibration_count == 0
+
+
+def test_auto_device_recalibrates_on_drift(rng, monkeypatch):
+    room = stata_conference_room_small()
+    scene = Scene(room=room)
+    device = WiViDevice(scene, rng)
+    auto = AutoCalibratingDevice(device, NullingMonitor(erosion_budget_db=6.0))
+    first = auto.capture(1.0)
+    assert auto.recalibration_count == 0
+
+    # Simulate environmental drift: the next capture's nulling depth is
+    # forced shallow, inflating the DC residual.
+    original = device.capture
+
+    def drifted(duration_s):
+        series = original(duration_s)
+        return ChannelSeries(
+            times_s=series.times_s,
+            samples=series.samples + 100.0 * series.dc_residual,
+            dc_residual=series.dc_residual * 100.0,
+            nulling_db=series.nulling_db - 40.0,
+            precoder=series.precoder,
+            noise_sigma=series.noise_sigma,
+        )
+
+    monkeypatch.setattr(device, "capture", drifted)
+    auto.capture(1.0)
+    assert auto.recalibration_count == 1

@@ -1,0 +1,158 @@
+"""Tests for smoothed MUSIC (Eqs. 5.2-5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.beamforming import default_theta_grid, element_spacing_m
+from repro.core.music import (
+    estimate_source_count,
+    smoothed_correlation_matrix,
+    smoothed_music_spectrum,
+)
+
+
+def mover(theta_deg, n, amplitude=1.0):
+    spacing = element_spacing_m()
+    wavelength = 0.125
+    indices = np.arange(n)
+    phase = -2 * np.pi / wavelength * indices * spacing * np.sin(np.radians(theta_deg))
+    return amplitude * np.exp(1j * phase)
+
+
+def test_correlation_matrix_shape_and_hermitian(rng):
+    window = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    R = smoothed_correlation_matrix(window, 24)
+    assert R.shape == (24, 24)
+    assert np.allclose(R, R.conj().T)
+
+
+def test_correlation_matrix_psd(rng):
+    window = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    R = smoothed_correlation_matrix(window, 16)
+    eigenvalues = np.linalg.eigvalsh(R)
+    assert np.all(eigenvalues > -1e-10)
+
+
+def test_correlation_matrix_validation(rng):
+    window = rng.standard_normal(16) + 0j
+    with pytest.raises(ValueError):
+        smoothed_correlation_matrix(window, 1)
+    with pytest.raises(ValueError):
+        smoothed_correlation_matrix(window, 17)
+    with pytest.raises(ValueError):
+        smoothed_correlation_matrix(window.reshape(4, 4), 2)
+
+
+def test_source_count_single_source(rng):
+    window = mover(30, 100) + 0.001 * (
+        rng.standard_normal(100) + 1j * rng.standard_normal(100)
+    )
+    R = smoothed_correlation_matrix(window, 32)
+    eigenvalues = np.linalg.eigvalsh(R)[::-1]
+    assert estimate_source_count(eigenvalues, max_sources=4, dominance_db=10.0) == 1
+
+
+def test_source_count_two_sources(rng):
+    window = (
+        mover(40, 100)
+        + mover(-30, 100)
+        + 0.001 * (rng.standard_normal(100) + 1j * rng.standard_normal(100))
+    )
+    R = smoothed_correlation_matrix(window, 32)
+    eigenvalues = np.linalg.eigvalsh(R)[::-1]
+    assert estimate_source_count(eigenvalues, max_sources=4, dominance_db=10.0) == 2
+
+
+def test_source_count_validation():
+    with pytest.raises(ValueError):
+        estimate_source_count(np.array([1.0]))
+    with pytest.raises(ValueError):
+        estimate_source_count(np.array([1.0, 2.0]))  # ascending order
+
+
+def test_music_peak_at_true_angle(rng):
+    grid = default_theta_grid()
+    window = mover(35, 100) + 1e-3 * (
+        rng.standard_normal(100) + 1j * rng.standard_normal(100)
+    )
+    result = smoothed_music_spectrum(window, grid, element_spacing_m(), subarray_size=32)
+    peak = grid[np.argmax(result.pseudospectrum)]
+    assert peak == pytest.approx(35, abs=2)
+
+
+def test_music_resolves_correlated_sources(rng):
+    # The critical property of *smoothed* MUSIC: two coherent returns
+    # (same transmit signal, §5.2) are still resolved.
+    grid = default_theta_grid()
+    window = mover(50, 100) + mover(-40, 100) + 1e-3 * (
+        rng.standard_normal(100) + 1j * rng.standard_normal(100)
+    )
+    result = smoothed_music_spectrum(
+        window, grid, element_spacing_m(), subarray_size=32, num_sources=2
+    )
+    peaks = result.peak_angles_deg(2)
+    assert sorted(round(p) for p in peaks) == pytest.approx([-40, 50], abs=2)
+
+
+def test_smoothing_restores_rank_of_coherent_sources():
+    # Two coherent returns produce a rank-1 unsmoothed correlation
+    # matrix; spatial smoothing restores rank 2 (Shan et al. 1985),
+    # which is what lets MUSIC separate multiple humans (§5.2).
+    window = mover(50, 64) + mover(-40, 64)
+
+    def effective_rank(matrix):
+        eigenvalues = np.linalg.eigvalsh(matrix)[::-1]
+        return int(np.sum(eigenvalues > 1e-6 * eigenvalues[0]))
+
+    unsmoothed = smoothed_correlation_matrix(window, 64, forward_backward=False)
+    smoothed = smoothed_correlation_matrix(window, 24, forward_backward=False)
+    assert effective_rank(unsmoothed) == 1
+    assert effective_rank(smoothed) >= 2
+
+
+def test_music_sharper_than_beamforming(rng):
+    # §5.2: MUSIC is a super-resolution technique with sharper peaks.
+    from repro.core.beamforming import inverse_aoa_spectrum
+
+    grid = default_theta_grid()
+    window = mover(20, 100) + 1e-3 * (
+        rng.standard_normal(100) + 1j * rng.standard_normal(100)
+    )
+    music = smoothed_music_spectrum(window, grid, element_spacing_m(), subarray_size=32)
+    beam = inverse_aoa_spectrum(window, grid, element_spacing_m())
+
+    def relative_width(spectrum):
+        normalized = spectrum / spectrum.max()
+        return np.sum(normalized > 0.5)
+
+    assert relative_width(music.pseudospectrum) <= relative_width(beam)
+
+
+def test_music_num_sources_override(rng):
+    grid = default_theta_grid()
+    window = mover(10, 100)
+    result = smoothed_music_spectrum(
+        window, grid, element_spacing_m(), subarray_size=16, num_sources=3
+    )
+    assert result.num_sources == 3
+    with pytest.raises(ValueError):
+        smoothed_music_spectrum(
+            window, grid, element_spacing_m(), subarray_size=16, num_sources=16
+        )
+
+
+def test_normalized_db_floor():
+    grid = default_theta_grid()
+    result = smoothed_music_spectrum(
+        mover(10, 100), grid, element_spacing_m(), subarray_size=16
+    )
+    db = result.normalized_db(floor_db=0.0)
+    assert db.min() == pytest.approx(0.0)
+    assert db.max() > 0.0
+
+
+def test_eigenvalues_sorted_descending(rng):
+    grid = default_theta_grid()
+    window = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    result = smoothed_music_spectrum(window, grid, element_spacing_m(), subarray_size=16)
+    assert np.all(np.diff(result.eigenvalues) <= 1e-12)

@@ -1,0 +1,129 @@
+"""Tests for Algorithm 1: initial nulling, power boosting, iterative
+nulling, and the Lemma 4.1.1 convergence law."""
+
+import numpy as np
+import pytest
+
+from repro.core.nulling import (
+    NullingBudget,
+    compute_precoder,
+    iterative_nulling_residuals,
+    run_nulling,
+)
+
+
+class PerfectTransceiver:
+    """A noise-free transceiver over scalar-per-subcarrier channels,
+    with controllable initial estimate errors."""
+
+    def __init__(self, h1, h2, h1_error=0j, h2_error=0j):
+        self.h1 = np.asarray(h1, dtype=complex)
+        self.h2 = np.asarray(h2, dtype=complex)
+        self.h1_error = h1_error
+        self.h2_error = h2_error
+        self.boosts = []
+
+    def sound_antenna(self, antenna_index):
+        if antenna_index == 0:
+            return self.h1 + self.h1_error
+        return self.h2 + self.h2_error
+
+    def measure_residual(self, precoder):
+        return self.h1 + precoder * self.h2
+
+    def boost_power(self, boost_db):
+        self.boosts.append(boost_db)
+
+
+def test_compute_precoder():
+    p = compute_precoder(np.array([2.0 + 0j]), np.array([1.0 + 1j]))
+    assert p[0] == pytest.approx(-(2.0) / (1.0 + 1j))
+
+
+def test_compute_precoder_rejects_zero_channel():
+    with pytest.raises(ValueError):
+        compute_precoder(np.array([1.0 + 0j]), np.array([0.0 + 0j]))
+
+
+def test_perfect_estimates_null_completely():
+    transceiver = PerfectTransceiver(
+        np.array([1.0 + 0.5j, 0.3 - 0.2j]), np.array([0.8 - 0.1j, 1.1 + 0.4j])
+    )
+    result = run_nulling(transceiver)
+    assert result.final_residual_power < 1e-25
+    assert result.nulling_db > 100.0
+
+
+def test_power_boost_happens_once_after_initial_nulling():
+    transceiver = PerfectTransceiver(np.array([1.0 + 0j]), np.array([1.0 + 0j]))
+    run_nulling(transceiver, boost_db=12.0)
+    assert transceiver.boosts == [12.0]
+
+
+def test_iterative_nulling_removes_estimate_error():
+    # Imperfect initial estimates leave a residual that iterations
+    # drive down (§4.1.3).
+    transceiver = PerfectTransceiver(
+        np.array([1.0 + 0.5j]),
+        np.array([0.8 - 0.1j]),
+        h1_error=0.02 + 0.01j,
+        h2_error=-0.01 + 0.02j,
+    )
+    result = run_nulling(transceiver, max_iterations=10, convergence_ratio=None)
+    history = result.residual_history
+    assert history[-1] < history[0] * 1e-6
+
+
+def test_residual_history_monotone_noise_free():
+    transceiver = PerfectTransceiver(
+        np.array([1.0 + 0j]), np.array([1.0 + 0j]), h1_error=0.03j, h2_error=0.02
+    )
+    result = run_nulling(transceiver, max_iterations=8, convergence_ratio=None)
+    diffs = np.diff(result.residual_history)
+    assert np.all(diffs <= 1e-20)
+
+
+def test_lemma_4_1_1_geometric_decay():
+    # |h_res^(i)| = |h_res^(0)| * |h2_error / h2|^i.
+    h1, h2 = 1.0 + 0.3j, 0.9 - 0.2j
+    h1_error, h2_error = 0.01 + 0.02j, 0.015 - 0.01j
+    magnitudes = iterative_nulling_residuals(h1, h2, h1_error, h2_error, 6)
+    rho = abs(h2_error / h2)
+    for i, magnitude in enumerate(magnitudes):
+        expected = magnitudes[0] * rho**i
+        assert magnitude == pytest.approx(expected, rel=0.2)
+
+
+def test_lemma_requires_nonzero_h2():
+    with pytest.raises(ValueError):
+        iterative_nulling_residuals(1.0, 0.0, 0.01, 0.01, 3)
+    with pytest.raises(ValueError):
+        iterative_nulling_residuals(1.0, 1.0, 0.01, 0.01, -1)
+
+
+def test_convergence_stops_early():
+    transceiver = PerfectTransceiver(
+        np.array([1.0 + 0j]), np.array([1.0 + 0j]), h1_error=1e-3, h2_error=1e-3
+    )
+    result = run_nulling(transceiver, max_iterations=12, convergence_ratio=0.98)
+    assert result.converged
+    assert result.iterations < 12
+
+
+def test_nulling_db_definition():
+    transceiver = PerfectTransceiver(
+        np.array([1.0 + 0j]), np.array([1.0 + 0j]), h1_error=0.01, h2_error=0.0
+    )
+    result = run_nulling(transceiver, max_iterations=0)
+    expected = 10 * np.log10(result.pre_null_power / result.final_residual_power)
+    assert result.nulling_db == pytest.approx(expected)
+
+
+def test_nulling_budget_logic():
+    budget = NullingBudget(
+        flash_power_db=-30.0, target_power_db=-75.0, noise_floor_db=-95.0
+    )
+    # Without nulling the boosted flash swamps the target.
+    assert not budget.target_visible
+    budget.nulling_db = 42.0
+    assert budget.target_visible

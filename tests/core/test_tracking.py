@@ -1,0 +1,99 @@
+"""Tests for the A'[theta, n] spectrogram pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    MotionSpectrogram,
+    TrackingConfig,
+    compute_beamformed_spectrogram,
+    compute_spectrogram,
+)
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def test_config_defaults_match_paper():
+    config = TrackingConfig()
+    # §7.1: w = 100 over 0.32 s, assumed 1 m/s.
+    assert config.window_size == 100
+    assert config.assumed_speed_mps == 1.0
+    assert config.sample_period_s == pytest.approx(0.0032)
+    assert len(config.theta_grid_deg) == 181
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrackingConfig(window_size=2)
+    with pytest.raises(ValueError):
+        TrackingConfig(subarray_size=200)
+    with pytest.raises(ValueError):
+        TrackingConfig(hop=0)
+
+
+def test_spectrogram_shapes(walking_scene, rng, fast_tracking_config):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    spectrogram = compute_spectrogram(series.samples, fast_tracking_config)
+    assert spectrogram.power.shape == (
+        spectrogram.num_windows,
+        len(fast_tracking_config.theta_grid_deg),
+    )
+    assert len(spectrogram.times_s) == spectrogram.num_windows
+    assert np.all(np.diff(spectrogram.times_s) > 0)
+
+
+def test_tracks_approaching_human(walking_scene, rng):
+    # Off-axis subject walking straight at the device: positive angle.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    assert np.mean(angles) > 50.0
+
+
+def test_dc_line_present(walking_scene, rng):
+    # §5.1: the zero line "is present regardless of the number of
+    # moving objects".
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    spectrogram = compute_spectrogram(series.samples)
+    db = spectrogram.normalized_db()
+    zero_index = np.argmin(np.abs(spectrogram.theta_grid_deg))
+    # The DC column is consistently energetic.
+    assert np.mean(db[:, zero_index]) > np.mean(db)
+
+
+def test_series_too_short_raises(fast_tracking_config):
+    with pytest.raises(ValueError):
+        compute_spectrogram(np.ones(10, dtype=complex), fast_tracking_config)
+    with pytest.raises(ValueError):
+        compute_spectrogram(np.ones((2, 200), dtype=complex), fast_tracking_config)
+
+
+def test_normalized_db_per_window_floor(walking_scene, rng, fast_tracking_config):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    spectrogram = compute_spectrogram(series.samples, fast_tracking_config)
+    db = spectrogram.normalized_db(floor_db=0.0)
+    assert np.allclose(db.min(axis=1), 0.0)
+
+
+def test_dominant_angle_guard_validation(walking_scene, rng, fast_tracking_config):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    spectrogram = compute_spectrogram(series.samples, fast_tracking_config)
+    with pytest.raises(ValueError):
+        spectrogram.dominant_angles_deg(exclude_dc_deg=180.0)
+
+
+def test_beamformed_and_music_agree_on_angle(walking_scene, rng):
+    # §5.2 fn. 6: plain beamforming gives the same figure, more noise.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(4.0)
+    music = compute_spectrogram(series.samples)
+    beam = compute_beamformed_spectrogram(series.samples)
+    music_angles = music.dominant_angles_deg(exclude_dc_deg=10.0)
+    beam_angles = beam.dominant_angles_deg(exclude_dc_deg=10.0)
+    agreement = np.mean(np.abs(music_angles - beam_angles) < 10.0)
+    assert agreement > 0.7
+
+
+def test_window_overlap_recorded(walking_scene, rng):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    config = TrackingConfig(window_size=100, hop=25)
+    spectrogram = compute_spectrogram(series.samples, config)
+    assert spectrogram.window_overlap == 4

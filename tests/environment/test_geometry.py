@@ -1,0 +1,60 @@
+"""Tests for geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.environment.geometry import (
+    Point,
+    angle_from_x_axis,
+    distance,
+    interpolate,
+    unit_vector,
+)
+
+
+def test_point_arithmetic():
+    a = Point(1.0, 2.0)
+    b = Point(3.0, -1.0)
+    assert (a + b) == Point(4.0, 1.0)
+    assert (b - a) == Point(2.0, -3.0)
+    assert (a * 2.0) == Point(2.0, 4.0)
+    assert (2.0 * a) == Point(2.0, 4.0)
+
+
+def test_norm_and_distance():
+    assert Point(3.0, 4.0).norm() == pytest.approx(5.0)
+    assert distance(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+
+def test_dot_product():
+    assert Point(1, 2).dot(Point(3, 4)) == pytest.approx(11.0)
+    assert Point(1, 0).dot(Point(0, 1)) == 0.0
+
+
+def test_unit_vector():
+    u = unit_vector(Point(0, 0), Point(0, 5))
+    assert (u.x, u.y) == pytest.approx((0.0, 1.0))
+    assert u.norm() == pytest.approx(1.0)
+
+
+def test_unit_vector_coincident_points():
+    with pytest.raises(ValueError):
+        unit_vector(Point(1, 1), Point(1, 1))
+
+
+def test_angle_from_x_axis():
+    assert angle_from_x_axis(Point(1, 0)) == pytest.approx(0.0)
+    assert angle_from_x_axis(Point(0, 1)) == pytest.approx(math.pi / 2)
+    assert angle_from_x_axis(Point(-1, 0)) == pytest.approx(math.pi)
+
+
+def test_interpolate_endpoints_and_middle():
+    a, b = Point(0, 0), Point(2, 4)
+    assert interpolate(a, b, 0.0) == a
+    assert interpolate(a, b, 1.0) == b
+    assert interpolate(a, b, 0.5) == Point(1, 2)
+
+
+def test_as_tuple():
+    assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)

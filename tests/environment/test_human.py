@@ -1,0 +1,74 @@
+"""Tests for the human body model."""
+
+import numpy as np
+import pytest
+
+from repro.environment.geometry import Point, distance
+from repro.environment.human import BodyModel, Human
+from repro.environment.trajectories import LinearTrajectory, StationaryTrajectory
+
+
+def test_body_total_rcs():
+    body = BodyModel(torso_rcs_m2=0.5, limb_rcs_m2=0.1, limb_count=4, height_factor=1.0)
+    assert body.total_rcs_m2 == pytest.approx(0.9)
+
+
+def test_body_validation():
+    with pytest.raises(ValueError):
+        BodyModel(torso_rcs_m2=0.0)
+    with pytest.raises(ValueError):
+        BodyModel(limb_count=-1)
+    with pytest.raises(ValueError):
+        BodyModel(height_factor=3.0)
+
+
+def test_body_sample_within_ranges(rng):
+    for _ in range(20):
+        body = BodyModel.sample(rng)
+        assert 0.45 <= body.torso_rcs_m2 <= 0.7
+        assert 0.85 <= body.height_factor <= 1.15
+
+
+def test_scatterer_count():
+    human = Human(StationaryTrajectory(Point(3, 0)), BodyModel(limb_count=4))
+    assert len(human.scatterers(0.0)) == 5  # torso + 4 limbs
+    torso_only = Human(StationaryTrajectory(Point(3, 0)), BodyModel(limb_count=0))
+    assert len(torso_only.scatterers(0.0)) == 1
+
+
+def test_torso_tracks_trajectory():
+    trajectory = LinearTrajectory(Point(0, 0), Point(1, 0), 10.0)
+    human = Human(trajectory, BodyModel(limb_count=0))
+    assert human.scatterers(3.0)[0].position == trajectory.position(3.0)
+
+
+def test_limbs_swing_while_walking():
+    trajectory = LinearTrajectory(Point(0, 0), Point(1, 0), 10.0)
+    human = Human(trajectory, BodyModel())
+    # Limb positions at two instants half a gait cycle apart differ.
+    early = human.scatterers(1.0)[1].position
+    later = human.scatterers(1.3)[1].position
+    assert distance(early, later) > 0.05
+
+
+def test_limbs_collapse_when_still():
+    human = Human(StationaryTrajectory(Point(3, 0)), BodyModel())
+    positions_a = [s.position for s in human.scatterers(0.0)]
+    positions_b = [s.position for s in human.scatterers(5.0)]
+    for a, b in zip(positions_a, positions_b):
+        assert distance(a, b) < 1e-9
+
+
+def test_height_factor_scales_rcs():
+    tall = Human(StationaryTrajectory(Point(3, 0)), BodyModel(height_factor=1.15))
+    short = Human(StationaryTrajectory(Point(3, 0)), BodyModel(height_factor=0.85))
+    assert tall.scatterers(0.0)[0].rcs_m2 > short.scatterers(0.0)[0].rcs_m2
+
+
+def test_limbs_near_torso():
+    trajectory = LinearTrajectory(Point(0, 0), Point(1.2, 0), 10.0)
+    human = Human(trajectory, BodyModel())
+    for t in np.linspace(0, 5, 21):
+        torso = human.position(float(t))
+        for scatterer in human.scatterers(float(t))[1:]:
+            assert distance(scatterer.position, torso) < 0.7

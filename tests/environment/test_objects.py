@@ -1,0 +1,41 @@
+"""Tests for static clutter generation."""
+
+import pytest
+
+from repro.environment.objects import conference_room_furniture, outside_clutter
+from repro.environment.walls import stata_conference_room_small
+
+
+def test_furniture_inside_room(rng):
+    room = stata_conference_room_small()
+    furniture = conference_room_furniture(room, rng, count=10)
+    assert len(furniture) == 10
+    for reflector in furniture:
+        assert room.contains(reflector.position)
+        assert 0.0 < reflector.rcs_m2 <= 0.8
+
+
+def test_furniture_count_zero(rng):
+    assert conference_room_furniture(stata_conference_room_small(), rng, 0) == []
+
+
+def test_furniture_negative_count(rng):
+    with pytest.raises(ValueError):
+        conference_room_furniture(stata_conference_room_small(), rng, -1)
+
+
+def test_outside_clutter_on_device_side(rng):
+    clutter = outside_clutter(rng, count=5)
+    assert len(clutter) == 5
+    for reflector in clutter:
+        # On the device side of a wall at x = 1.
+        assert reflector.position.x < 1.0
+
+
+def test_deterministic_with_seed():
+    import numpy as np
+
+    room = stata_conference_room_small()
+    a = conference_room_furniture(room, np.random.default_rng(7), 4)
+    b = conference_room_furniture(room, np.random.default_rng(7), 4)
+    assert [r.position for r in a] == [r.position for r in b]

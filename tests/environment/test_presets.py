@@ -1,0 +1,64 @@
+"""Tests for the scenario presets."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import motion_energy_db
+from repro.core.gestures import GestureDecoder
+from repro.core.tracking import compute_beamformed_spectrogram, compute_spectrogram
+from repro.environment.presets import (
+    child_monitoring,
+    covert_messenger,
+    standoff,
+    trapped_survivor,
+)
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def spectrogram_for(scenario, rng, duration=None):
+    simulator = ChannelSeriesSimulator(scenario.scene, rng=rng)
+    series = simulator.simulate(duration or min(scenario.duration_s, 8.0))
+    return compute_spectrogram(series.samples)
+
+
+def test_standoff_counts_suspects(rng):
+    scenario = standoff(rng, num_suspects=2)
+    assert scenario.expected_occupants == 2
+    assert len(scenario.scene.humans) == 2
+    spectrogram = spectrogram_for(scenario, rng)
+    assert motion_energy_db(spectrogram) > 1.0
+
+
+def test_standoff_validation(rng):
+    with pytest.raises(ValueError):
+        standoff(rng, num_suspects=-1)
+
+
+def test_child_monitoring_awake_vs_asleep(rng):
+    awake = child_monitoring(rng, child_awake=True)
+    asleep = child_monitoring(np.random.default_rng(3), child_awake=False)
+    awake_energy = motion_energy_db(spectrogram_for(awake, rng))
+    asleep_energy = motion_energy_db(
+        spectrogram_for(asleep, np.random.default_rng(4))
+    )
+    assert awake_energy > asleep_energy + 1.0
+    assert asleep.expected_occupants == 0  # a still child is not *moving*
+
+
+def test_trapped_survivor_is_marginal_but_present(rng):
+    scenario = trapped_survivor(rng)
+    spectrogram = spectrogram_for(scenario, rng, duration=10.0)
+    # Compared against the same rubble with nobody inside.
+    empty = trapped_survivor(np.random.default_rng(5))
+    empty.scene.humans = []
+    empty_spec = spectrogram_for(empty, np.random.default_rng(6), duration=10.0)
+    assert motion_energy_db(spectrogram) > motion_energy_db(empty_spec)
+
+
+def test_covert_messenger_roundtrip(rng):
+    scenario, trajectory = covert_messenger(rng, bits=[1, 0])
+    simulator = ChannelSeriesSimulator(scenario.scene, rng=rng)
+    series = simulator.simulate(trajectory.duration_s())
+    spectrogram = compute_beamformed_spectrogram(series.samples)
+    decoded = GestureDecoder().decode(spectrogram)
+    assert decoded.bits == [1, 0]

@@ -1,0 +1,104 @@
+"""Tests for robot trajectories."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.environment.geometry import Point, distance
+from repro.environment.robots import (
+    CREATE_RCS_M2,
+    CREATE_SPEED_MPS,
+    RobotTrajectory,
+    create_robot,
+    patrol_loop,
+)
+
+
+def test_straight_leg():
+    robot = RobotTrajectory(Point(0, 0), 0.0, [(4.0, 0.0)], speed_mps=0.5)
+    assert robot.position(2.0) == Point(1.0, 0.0)
+    assert robot.duration_s() == 4.0
+
+
+def test_arc_leg_quarter_turn():
+    # Turn rate pi/2 over 1 s at speed r*omega: quarter circle.
+    omega = math.pi / 2
+    speed = 1.0
+    robot = RobotTrajectory(Point(0, 0), 0.0, [(1.0, omega)], speed_mps=speed)
+    end = robot.position(1.0)
+    radius = speed / omega
+    assert end.x == pytest.approx(radius, abs=1e-9)
+    assert end.y == pytest.approx(radius, abs=1e-9)
+
+
+def test_multi_leg_continuity():
+    robot = RobotTrajectory(
+        Point(0, 0), 0.0, [(2.0, 0.0), (1.0, math.pi / 2), (2.0, 0.0)], speed_mps=0.5
+    )
+    # Position is continuous across leg boundaries.
+    for boundary in (2.0, 3.0):
+        before = robot.position(boundary - 1e-6)
+        after = robot.position(boundary + 1e-6)
+        assert distance(before, after) < 1e-3
+
+
+def test_constant_speed_everywhere():
+    robot = RobotTrajectory(Point(0, 0), 0.3, [(2.0, 0.5), (2.0, -0.5)], speed_mps=0.5)
+    times = np.linspace(0.1, robot.duration_s() - 0.1, 50)
+    speeds = [robot.speed(float(t)) for t in times]
+    assert np.allclose(speeds, 0.5, atol=0.02)
+
+
+def test_patrol_loop_closes():
+    center = Point(4.5, 0.0)
+    loop = patrol_loop(center, radius_m=1.5, laps=1.0)
+    start = loop.position(0.0)
+    end = loop.position(loop.duration_s())
+    assert distance(start, end) < 1e-6
+    # Midway around, the robot is diametrically opposite.
+    mid = loop.position(loop.duration_s() / 2.0)
+    assert distance(mid, start) == pytest.approx(3.0, abs=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RobotTrajectory(Point(0, 0), 0.0, [], speed_mps=0.5)
+    with pytest.raises(ValueError):
+        RobotTrajectory(Point(0, 0), 0.0, [(1.0, 0.0)], speed_mps=0.0)
+    with pytest.raises(ValueError):
+        RobotTrajectory(Point(0, 0), 0.0, [(-1.0, 0.0)])
+    with pytest.raises(ValueError):
+        patrol_loop(Point(0, 0), radius_m=0.0)
+
+
+def test_create_robot_is_single_stable_scatterer():
+    robot = create_robot(patrol_loop(Point(4.5, 0.0)))
+    scatterers = robot.scatterers(1.0)
+    assert len(scatterers) == 1
+    assert scatterers[0].rcs_m2 == pytest.approx(CREATE_RCS_M2)
+
+
+def test_robot_track_cleaner_than_human(rng):
+    # §5 fn. 1: the robot is trackable; with no limbs and steady speed
+    # its angle track is less noisy than a human's on the same path.
+    from repro.core.tracking import compute_spectrogram
+    from repro.environment.human import BodyModel, Human
+    from repro.environment.scene import Scene
+    from repro.environment.trajectories import LinearTrajectory
+    from repro.environment.walls import stata_conference_room_small
+    from repro.simulator.timeseries import ChannelSeriesSimulator
+
+    room = stata_conference_room_small()
+    path = LinearTrajectory(Point(6.0, 0.8), Point(-CREATE_SPEED_MPS, 0.0), 5.0)
+
+    def angle_noise(body):
+        scene = Scene(room=room, humans=[Human(path, body)])
+        series = ChannelSeriesSimulator(scene, rng=np.random.default_rng(4)).simulate(5.0)
+        spectrogram = compute_spectrogram(series.samples)
+        angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+        return float(np.std(np.diff(angles)))
+
+    robot_body = BodyModel(torso_rcs_m2=CREATE_RCS_M2, limb_count=0, limb_rcs_m2=0.0)
+    human_body = BodyModel()
+    assert angle_noise(robot_body) <= angle_noise(human_body) + 2.0

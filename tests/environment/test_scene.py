@@ -1,0 +1,172 @@
+"""Tests for scene composition and path physics."""
+
+import math
+
+import pytest
+
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.objects import StaticReflector, conference_room_furniture
+from repro.environment.scene import DeviceGeometry, Scene
+from repro.environment.trajectories import LinearTrajectory, StationaryTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.rf.channel import PathKind
+
+
+def _scene_with_human(room, position=Point(4.0, 0.7)):
+    human = Human(StationaryTrajectory(position), BodyModel(limb_count=0))
+    return Scene(room=room, humans=[human])
+
+
+def test_flash_path_exists_with_wall(small_room):
+    scene = Scene(room=small_room)
+    flash = scene.flash_path(scene.device.tx1)
+    assert flash is not None
+    assert flash.kind is PathKind.FLASH
+
+
+def test_no_flash_in_free_space():
+    scene = Scene(room=None)
+    assert scene.flash_path(scene.device.tx1) is None
+
+
+def test_flash_dominates_human_return(small_room):
+    # §4: the flash is much stronger than reflections from behind the
+    # wall — here by tens of dB.
+    scene = _scene_with_human(small_room)
+    ratio_db = scene.flash_to_target_ratio_db()
+    assert ratio_db > 25.0
+
+
+def test_flash_to_target_requires_movers(small_room):
+    scene = Scene(room=small_room)
+    with pytest.raises(ValueError):
+        scene.flash_to_target_ratio_db()
+
+
+def test_direct_path_attenuated_by_patterns(small_room):
+    # Directional antennas pointing at the wall suppress the TX->RX
+    # leakage (§4.1).
+    scene = Scene(room=small_room)
+    direct = scene.direct_path(scene.device.tx1)
+    flash = scene.flash_path(scene.device.tx1)
+    assert direct.amplitude < flash.amplitude
+
+
+def test_paths_include_all_scatterers(small_room, rng):
+    furniture = conference_room_furniture(small_room, rng, count=3)
+    human = Human(StationaryTrajectory(Point(4.0, 0.5)), BodyModel(limb_count=2))
+    scene = Scene(room=small_room, humans=[human], static_reflectors=furniture)
+    paths = scene.paths(scene.device.tx1, 0.0)
+    kinds = [p.kind for p in paths]
+    assert kinds.count(PathKind.DIRECT) == 1
+    assert kinds.count(PathKind.FLASH) == 1
+    assert kinds.count(PathKind.STATIC) == 3
+    assert kinds.count(PathKind.MOVING) == 3  # torso + 2 limbs
+
+
+def test_wall_attenuates_behind_wall_targets(small_room):
+    # The same scatterer is weaker behind the wall than in free space.
+    target = Point(4.0, 0.5)
+    behind = Scene(room=small_room).scatterer_path(
+        Point(0, -0.35), target, 1.0, PathKind.MOVING
+    )
+    open_air = Scene(room=None).scatterer_path(
+        Point(0, -0.35), target, 1.0, PathKind.MOVING
+    )
+    assert behind.amplitude < open_air.amplitude
+    expected_db = small_room.wall.material.round_trip_attenuation_db
+    measured_db = 20 * math.log10(open_air.amplitude / behind.amplitude)
+    assert measured_db > expected_db  # wall plus interior absorption
+
+
+def test_interior_absorption_grows_with_depth(small_room):
+    scene = Scene(room=small_room, interior_absorption_db_per_m=1.0)
+    near = scene.scatterer_path(Point(0, 0), Point(2.0, 0.5), 1.0, PathKind.MOVING)
+    far = scene.scatterer_path(Point(0, 0), Point(6.0, 0.5), 1.0, PathKind.MOVING)
+    no_absorption = Scene(room=small_room, interior_absorption_db_per_m=0.0)
+    near0 = no_absorption.scatterer_path(
+        Point(0, 0), Point(2.0, 0.5), 1.0, PathKind.MOVING
+    )
+    far0 = no_absorption.scatterer_path(
+        Point(0, 0), Point(6.0, 0.5), 1.0, PathKind.MOVING
+    )
+    extra_near_db = 20 * math.log10(near0.amplitude / near.amplitude)
+    extra_far_db = 20 * math.log10(far0.amplitude / far.amplitude)
+    assert extra_far_db > extra_near_db
+
+
+def test_static_gain_sums_static_paths_only(small_room):
+    scene = _scene_with_human(small_room)
+    static = scene.static_gain(scene.device.tx1)
+    moving = scene.moving_gain(scene.device.tx1, 0.0)
+    total = scene.channel(scene.device.tx1, 0.0).narrowband_gain()
+    assert total == pytest.approx(static + moving)
+
+
+def test_channels_returns_both_antennas(small_room):
+    scene = _scene_with_human(small_room)
+    ch1, ch2 = scene.channels(0.0)
+    # Different TX positions -> different channels.
+    assert ch1.narrowband_gain() != ch2.narrowband_gain()
+
+
+def test_moving_gain_changes_in_time(small_room):
+    trajectory = LinearTrajectory(Point(5.0, 0.5), Point(-1.0, 0.0), 4.0)
+    human = Human(trajectory, BodyModel(limb_count=0))
+    scene = Scene(room=small_room, humans=[human])
+    g0 = scene.moving_gain(scene.device.tx1, 0.0)
+    g1 = scene.moving_gain(scene.device.tx1, 0.5)
+    assert g0 != g1
+
+
+def test_device_geometry_defaults():
+    device = DeviceGeometry()
+    assert device.rx == Point(0.0, 0.0)
+    assert device.tx1.y == -device.tx2.y
+
+
+def test_scene_rejects_negative_absorption(small_room):
+    with pytest.raises(ValueError):
+        Scene(room=small_room, interior_absorption_db_per_m=-0.1)
+
+
+def test_reflector_validation():
+    with pytest.raises(ValueError):
+        StaticReflector(Point(1, 1), rcs_m2=0.0)
+
+
+def test_multipath_adds_weaker_moving_paths(small_room):
+    human = Human(StationaryTrajectory(Point(4.0, 0.7)), BodyModel(limb_count=0))
+    plain = Scene(room=small_room, humans=[human], multipath=False)
+    rich = Scene(room=small_room, humans=[human], multipath=True)
+    tx = plain.device.tx1
+    direct_only = plain.moving_paths(tx, 0.0)
+    with_bounces = rich.moving_paths(tx, 0.0)
+    assert len(with_bounces) == len(direct_only) + 3  # three wall images
+    # §7.3: the direct path dominates every indirect one.
+    direct_amplitude = direct_only[0].amplitude
+    for bounce in with_bounces[1:]:
+        assert bounce.amplitude < direct_amplitude
+
+
+def test_multipath_reflectivity_validation(small_room):
+    with pytest.raises(ValueError):
+        Scene(room=small_room, interior_wall_reflectivity_db=+3.0)
+
+
+def test_tracking_survives_multipath(small_room, rng):
+    # §7.3: "the results ... show that Wi-Vi works in the presence of
+    # multipath effects."
+    from repro.core.tracking import compute_spectrogram
+    from repro.environment.trajectories import LinearTrajectory
+    from repro.simulator.timeseries import ChannelSeriesSimulator
+    import numpy as np
+
+    trajectory = LinearTrajectory(Point(6.0, 0.8), Point(-1.0, 0.0), 4.0)
+    human = Human(trajectory, BodyModel(limb_count=0))
+    scene = Scene(room=small_room, humans=[human], multipath=True)
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    assert np.mean(angles) > 40.0

@@ -1,0 +1,136 @@
+"""Tests for motion models."""
+
+import numpy as np
+import pytest
+
+from repro.environment.geometry import Point, distance
+from repro.environment.trajectories import (
+    GestureTrajectory,
+    LinearTrajectory,
+    RandomWaypointTrajectory,
+    StationaryTrajectory,
+    WaypointTrajectory,
+)
+from repro.environment.walls import stata_conference_room_small
+
+
+def test_stationary_never_moves():
+    trajectory = StationaryTrajectory(Point(3.0, 1.0))
+    for t in (0.0, 1.0, 100.0):
+        assert trajectory.position(t) == Point(3.0, 1.0)
+    assert trajectory.velocity(5.0).norm() == 0.0
+
+
+def test_linear_trajectory_position_and_speed():
+    trajectory = LinearTrajectory(Point(0, 0), Point(1.0, 0.0), 5.0)
+    assert trajectory.position(2.0) == Point(2.0, 0.0)
+    assert trajectory.speed(2.0) == pytest.approx(1.0)
+    # Clamped past the end.
+    assert trajectory.position(10.0) == Point(5.0, 0.0)
+
+
+def test_waypoint_trajectory_constant_speed():
+    trajectory = WaypointTrajectory([Point(0, 0), Point(4, 0)], speed_mps=2.0)
+    assert trajectory.duration_s() == pytest.approx(2.0)
+    assert trajectory.position(1.0) == Point(2.0, 0.0)
+
+
+def test_waypoint_trajectory_pauses():
+    trajectory = WaypointTrajectory(
+        [Point(0, 0), Point(2, 0)], speed_mps=1.0, pause_s=[1.0, 0.0]
+    )
+    # During the initial pause the subject stays put.
+    assert trajectory.position(0.5) == Point(0, 0)
+    assert trajectory.position(2.0) == Point(1.0, 0.0)
+
+
+def test_waypoint_validation():
+    with pytest.raises(ValueError):
+        WaypointTrajectory([], speed_mps=1.0)
+    with pytest.raises(ValueError):
+        WaypointTrajectory([Point(0, 0)], speed_mps=0.0)
+    with pytest.raises(ValueError):
+        WaypointTrajectory([Point(0, 0)], speed_mps=1.0, pause_s=[1.0, 2.0])
+
+
+def test_random_waypoint_stays_in_room(rng):
+    room = stata_conference_room_small()
+    trajectory = RandomWaypointTrajectory(room, rng, duration_s=20.0)
+    times = np.linspace(0.0, trajectory.duration_s(), 200)
+    for t in times:
+        assert room.contains(trajectory.position(float(t)), margin_m=0.05)
+
+
+def test_random_waypoint_covers_duration(rng):
+    trajectory = RandomWaypointTrajectory(
+        stata_conference_room_small(), rng, duration_s=15.0
+    )
+    assert trajectory.duration_s() >= 15.0
+
+
+def test_random_waypoint_mobility_slows_speed(rng):
+    room = stata_conference_room_small()
+    free = RandomWaypointTrajectory(room, rng, 10.0, speed_mps=1.0, mobility_factor=1.0)
+    crowded = RandomWaypointTrajectory(
+        room, rng, 10.0, speed_mps=1.0, mobility_factor=0.5
+    )
+    assert crowded._speed == pytest.approx(free._speed * 0.5)
+
+
+def test_gesture_trajectory_is_composable():
+    # §6.1 condition 1: at the end of each bit the human is back near
+    # the starting state (up to the smaller backward step).
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=[0], backward_shrink=1.0)
+    end = trajectory.position(trajectory.duration_s())
+    assert distance(end, Point(5.0, 0.0)) < 1e-9
+
+
+def test_gesture_bit0_moves_forward_first():
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=[0])
+    mid_first_step = trajectory.lead_in_s + trajectory.step_duration_s / 2.0
+    position = trajectory.position(mid_first_step)
+    # toward_device is -x, so forward motion decreases x.
+    assert position.x < 5.0
+
+
+def test_gesture_bit1_moves_backward_first():
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=[1])
+    mid_first_step = trajectory.lead_in_s + trajectory.step_duration_s / 2.0
+    assert trajectory.position(mid_first_step).x > 5.0
+
+
+def test_gesture_bit_intervals_cover_two_steps():
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=[0, 1])
+    intervals = trajectory.bit_intervals()
+    assert len(intervals) == 2
+    for start, end in intervals:
+        assert end - start == pytest.approx(2 * trajectory.step_duration_s)
+
+
+def test_gesture_backward_steps_are_smaller():
+    # §7.5: "taking a step backward is naturally harder ... smaller
+    # steps in the '1' gesture".
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=[0])
+    steps = trajectory.steps
+    assert abs(steps[1].displacement_m) < abs(steps[0].displacement_m)
+
+
+def test_gesture_peak_speed_stays_near_assumed():
+    # The trapezoidal profile keeps peak speed ~1.33x the average.
+    trajectory = GestureTrajectory(
+        Point(5.0, 0.0), bits=[0], step_length_m=0.75, step_duration_s=1.1
+    )
+    times = np.linspace(0, trajectory.duration_s(), 2000)
+    speeds = [trajectory.speed(float(t)) for t in times]
+    average = 0.75 / 1.1
+    assert max(speeds) == pytest.approx(average / 0.75, rel=0.08)
+
+
+def test_gesture_rejects_bad_bits():
+    with pytest.raises(ValueError):
+        GestureTrajectory(Point(5.0, 0.0), bits=[2])
+
+
+def test_gesture_rejects_non_unit_direction():
+    with pytest.raises(ValueError):
+        GestureTrajectory(Point(5.0, 0.0), bits=[0], toward_device=Point(-2.0, 0.0))

@@ -1,0 +1,66 @@
+"""Tests for walls and rooms."""
+
+import pytest
+
+from repro.environment.geometry import Point
+from repro.environment.walls import (
+    Room,
+    Wall,
+    fairchild_room,
+    stata_conference_room_large,
+    stata_conference_room_small,
+)
+from repro.rf.materials import CONCRETE_8IN, HOLLOW_WALL_6IN
+
+
+def test_wall_position_and_far_face():
+    wall = Wall(HOLLOW_WALL_6IN, position_x_m=1.0)
+    assert wall.far_face_x_m == pytest.approx(1.0 + HOLLOW_WALL_6IN.thickness_m)
+
+
+def test_wall_blocks_points_behind_it():
+    wall = Wall(HOLLOW_WALL_6IN, position_x_m=1.0)
+    assert wall.blocks(Point(2.0, 0.0))
+    assert not wall.blocks(Point(0.5, 0.0))
+
+
+def test_wall_must_be_in_front():
+    with pytest.raises(ValueError):
+        Wall(HOLLOW_WALL_6IN, position_x_m=0.0)
+
+
+def test_paper_room_dimensions():
+    # §7.2: "The first conference room is 7 x 4 meters; the second is
+    # 11 x 7 meters."
+    small = stata_conference_room_small()
+    large = stata_conference_room_large()
+    assert (small.depth_m, small.width_m) == (7.0, 4.0)
+    assert (large.depth_m, large.width_m) == (11.0, 7.0)
+    assert small.wall.material is HOLLOW_WALL_6IN
+    assert fairchild_room().wall.material is CONCRETE_8IN
+
+
+def test_room_contains_and_margins():
+    room = stata_conference_room_small()
+    assert room.contains(room.center())
+    x_low, _ = room.x_range
+    assert not room.contains(Point(x_low - 0.1, 0.0))
+    assert not room.contains(Point(x_low + 0.1, 0.0), margin_m=0.2)
+
+
+def test_room_clamp_projects_inside():
+    room = stata_conference_room_small()
+    outside = Point(100.0, -100.0)
+    clamped = room.clamp(outside)
+    assert room.contains(clamped)
+
+
+def test_room_area():
+    assert stata_conference_room_small().area_m2 == pytest.approx(28.0)
+
+
+def test_room_validation():
+    with pytest.raises(ValueError):
+        Room(wall=Wall(HOLLOW_WALL_6IN), depth_m=0.0, width_m=4.0)
+    with pytest.raises(ValueError):
+        Room(wall=Wall(HOLLOW_WALL_6IN), depth_m=7.0, width_m=-1.0)

@@ -1,0 +1,77 @@
+"""Tests for the saturating ADC — the component whose limits motivate
+nulling (§1, §4.1.2, §4.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adc import SaturatingAdc
+
+
+def test_step_size():
+    adc = SaturatingAdc(bits=14, full_scale=1.0)
+    assert adc.step == pytest.approx(2.0 / 2**14)
+
+
+def test_quantization_error_bounded_by_half_step():
+    adc = SaturatingAdc(bits=10, full_scale=1.0)
+    samples = np.linspace(-0.9, 0.9, 1001) + 0.3j * np.linspace(-0.9, 0.9, 1001)
+    converted = adc.convert(samples)
+    assert np.max(np.abs(converted.real - samples.real)) <= adc.step / 2 + 1e-12
+    assert np.max(np.abs(converted.imag - samples.imag)) <= adc.step / 2 + 1e-12
+
+
+def test_saturation_clips_large_inputs():
+    adc = SaturatingAdc(bits=8, full_scale=1.0)
+    converted = adc.convert(np.array([10.0 + 0j]))
+    assert converted[0].real <= 1.0
+    assert adc.saturates(np.array([10.0 + 0j] * 100))
+
+
+def test_small_signal_survives_alone_but_dies_under_flash():
+    # The flash-effect story: a weak target signal is representable on
+    # its own, but riding on a strong flash it falls below the
+    # quantization floor of the up-ranged converter.
+    weak = 1e-5 * np.exp(1j * np.linspace(0, 6, 500))
+    adc_fine = SaturatingAdc(bits=14, full_scale=1e-4)
+    alone = adc_fine.convert(weak)
+    assert np.corrcoef(alone.real, weak.real)[0, 1] > 0.99
+
+    adc_coarse = SaturatingAdc(bits=8, full_scale=1.5)
+    # Park the flash mid-bin on both rails so the weak ripple cannot
+    # toggle a boundary.
+    flash = (1.0 + adc_coarse.step / 4) * (1 + 1j) * np.ones(500)
+    with_flash = adc_coarse.convert(flash + weak) - adc_coarse.convert(flash)
+    # The weak signal is below one LSB: nothing of it is registered.
+    assert np.all(with_flash == 0)
+
+
+def test_saturation_fraction_counts_clipped():
+    adc = SaturatingAdc(bits=8, full_scale=1.0)
+    samples = np.array([0.5, 2.0, 0.1, -3.0], dtype=complex)
+    assert adc.saturation_fraction(samples) == pytest.approx(0.5)
+
+
+def test_no_saturation_within_range():
+    adc = SaturatingAdc(bits=12, full_scale=1.0)
+    samples = 0.5 * np.exp(1j * np.linspace(0, 6, 100))
+    assert not adc.saturates(samples)
+
+
+def test_quantization_noise_power_formula():
+    adc = SaturatingAdc(bits=12, full_scale=1.0)
+    assert adc.quantization_noise_power == pytest.approx(2 * adc.step**2 / 12)
+
+
+def test_measured_quantization_noise_matches_model(rng):
+    adc = SaturatingAdc(bits=10, full_scale=1.0)
+    samples = (rng.uniform(-0.9, 0.9, 50_000) + 1j * rng.uniform(-0.9, 0.9, 50_000))
+    error = adc.convert(samples) - samples
+    measured = np.mean(np.abs(error) ** 2)
+    assert measured == pytest.approx(adc.quantization_noise_power, rel=0.05)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SaturatingAdc(bits=0)
+    with pytest.raises(ValueError):
+        SaturatingAdc(bits=8, full_scale=0.0)

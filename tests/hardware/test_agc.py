@@ -1,0 +1,79 @@
+"""Tests for the AGC controller."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.agc import AgcController, effective_bits
+
+
+def tone(amplitude, n=256):
+    return amplitude * np.exp(1j * np.linspace(0, 20, n))
+
+
+def test_settles_to_target_level():
+    agc = AgcController(target_level=0.7)
+    gain = agc.settle(tone(0.01))
+    output = agc.process(tone(0.01))
+    assert np.max(np.abs(output)) == pytest.approx(0.7, rel=0.05)
+    assert gain == pytest.approx(70.0, rel=0.1)
+
+
+def test_fast_backoff_on_level_jump():
+    # A flash-like level jump must drop the gain almost immediately.
+    agc = AgcController()
+    agc.settle(tone(0.01))
+    before = agc.gain
+    agc.process(tone(10.0))  # 60 dB jump
+    assert agc.gain < before / 50
+
+
+def test_slow_recovery():
+    agc = AgcController()
+    agc.settle(tone(1.0))
+    low_gain = agc.gain
+    agc.process(tone(0.01))  # quiet block: recover slowly
+    assert agc.gain < 2 * low_gain  # no instant jump
+
+
+def test_gain_clamped():
+    agc = AgcController(max_gain=10.0)
+    agc.settle(tone(1e-9))
+    assert agc.gain == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AgcController(target_level=0.0)
+    with pytest.raises(ValueError):
+        AgcController(attack=0.0)
+    with pytest.raises(ValueError):
+        AgcController(min_gain=1.0, max_gain=0.5)
+    agc = AgcController()
+    with pytest.raises(ValueError):
+        agc.process(np.array([], dtype=complex))
+    with pytest.raises(ValueError):
+        agc.settle(tone(1.0), iterations=0)
+
+
+def test_effective_bits_flash_arithmetic():
+    # Full scale set by a flash 40 dB above the target: the target
+    # keeps bits - 40/6.02 of resolution.
+    full_scale = 1.0
+    target = 10 ** (-40 / 20)
+    remaining = effective_bits(target, full_scale, adc_bits=14)
+    assert remaining == pytest.approx(14 - 40 / 6.02, abs=0.1)
+
+
+def test_effective_bits_no_loss_at_full_scale():
+    assert effective_bits(1.0, 1.0, 12) == 12.0
+    with pytest.raises(ValueError):
+        effective_bits(0.0, 1.0, 12)
+    with pytest.raises(ValueError):
+        effective_bits(1.0, 1.0, 0)
+
+
+def test_nulling_restores_bits():
+    # The paper's arithmetic: 42 dB of nulling gives back ~7 bits.
+    before = effective_bits(1e-4, 1.0, 14)
+    after = effective_bits(1e-4, 1.0 * 10 ** (-42 / 20), 14)
+    assert after - before == pytest.approx(42 / 6.02, abs=0.1)

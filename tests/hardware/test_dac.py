@@ -1,0 +1,35 @@
+"""Tests for the DAC."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.dac import Dac
+
+
+def test_rounding_to_steps():
+    dac = Dac(bits=8, full_scale=1.0)
+    samples = np.array([0.1 + 0.2j])
+    converted = dac.convert(samples)
+    assert abs(converted[0].real - 0.1) <= dac.step / 2
+    assert abs(converted[0].imag - 0.2) <= dac.step / 2
+
+
+def test_clipping_at_full_scale():
+    dac = Dac(bits=8, full_scale=1.0)
+    converted = dac.convert(np.array([5.0 + 5.0j]))
+    assert converted[0].real <= 1.0
+    assert converted[0].imag <= 1.0
+
+
+def test_high_resolution_is_nearly_transparent(rng):
+    dac = Dac(bits=16, full_scale=8.0)
+    samples = rng.normal(0, 1, 1000) + 1j * rng.normal(0, 1, 1000)
+    converted = dac.convert(samples)
+    assert np.max(np.abs(converted - samples)) < 1e-3
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Dac(bits=0)
+    with pytest.raises(ValueError):
+        Dac(full_scale=-1.0)

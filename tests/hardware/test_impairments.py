@@ -1,0 +1,86 @@
+"""Tests for analog front-end impairments."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.impairments import (
+    IqImbalance,
+    apply_cfo,
+    apply_phase_noise,
+    phase_noise_walk,
+)
+
+
+def test_cfo_rotation_rate():
+    samples = np.ones(1000, dtype=complex)
+    shifted = apply_cfo(samples, cfo_hz=100.0, sample_rate_hz=1000.0)
+    # One full rotation every 10 samples.
+    assert shifted[0] == pytest.approx(1.0)
+    assert shifted[10] == pytest.approx(1.0, abs=1e-9)
+    assert shifted[5] == pytest.approx(-1.0, abs=1e-9)
+
+
+def test_cfo_validation():
+    with pytest.raises(ValueError):
+        apply_cfo(np.ones(4, dtype=complex), 10.0, 0.0)
+
+
+def test_phase_walk_statistics(rng):
+    walk = phase_noise_walk(200_000, linewidth_hz=100.0, sample_rate_hz=1e6, rng=rng)
+    increments = np.diff(walk)
+    expected_sigma = np.sqrt(2 * np.pi * 100.0 / 1e6)
+    assert np.std(increments) == pytest.approx(expected_sigma, rel=0.02)
+
+
+def test_phase_walk_zero_linewidth(rng):
+    walk = phase_noise_walk(100, 0.0, 1e6, rng)
+    assert np.all(walk == 0)
+
+
+def test_phase_walk_validation(rng):
+    with pytest.raises(ValueError):
+        phase_noise_walk(0, 1.0, 1e6, rng)
+    with pytest.raises(ValueError):
+        phase_noise_walk(10, -1.0, 1e6, rng)
+
+
+def test_phase_noise_preserves_magnitude(rng):
+    samples = np.exp(1j * np.linspace(0, 5, 500))
+    noisy = apply_phase_noise(samples, 1000.0, 1e6, rng)
+    assert np.allclose(np.abs(noisy), 1.0)
+
+
+def test_phase_noise_decorrelates_long_lags(rng):
+    # The whole point of the random walk: early and late samples lose
+    # phase coherence — the effect that bounds nulling depth over time.
+    samples = np.ones(500_000, dtype=complex)
+    noisy = apply_phase_noise(samples, 5000.0, 1e6, rng)
+    early = np.mean(noisy[:100])
+    late = np.mean(noisy[-100:])
+    assert abs(np.angle(late * np.conj(early))) > 0.05
+
+
+def test_iq_imbalance_identity():
+    perfect = IqImbalance()
+    samples = np.array([1 + 2j, -0.5 + 0.1j])
+    assert np.allclose(perfect.apply(samples), samples)
+    assert perfect.image_rejection_db == float("inf")
+
+
+def test_iq_imbalance_creates_image_tone(rng):
+    # A pure tone through IQ imbalance grows a mirror tone whose level
+    # matches the analytic image rejection.
+    imbalance = IqImbalance(gain_mismatch_db=1.0, phase_mismatch_deg=3.0)
+    n = np.arange(4096)
+    tone = np.exp(2j * np.pi * 0.11 * n)
+    spectrum = np.abs(np.fft.fft(imbalance.apply(tone)))
+    bin_signal = int(round(0.11 * 4096))
+    bin_image = 4096 - bin_signal
+    measured_db = 20 * np.log10(spectrum[bin_signal] / spectrum[bin_image])
+    assert measured_db == pytest.approx(imbalance.image_rejection_db, abs=0.5)
+
+
+def test_iq_imbalance_small_mismatch_high_rejection():
+    mild = IqImbalance(gain_mismatch_db=0.1, phase_mismatch_deg=1.0)
+    harsh = IqImbalance(gain_mismatch_db=3.0, phase_mismatch_deg=20.0)
+    assert mild.image_rejection_db > harsh.image_rejection_db > 0

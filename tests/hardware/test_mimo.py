@@ -1,0 +1,47 @@
+"""Tests for the MIMO front end."""
+
+import numpy as np
+import pytest
+
+from repro.constants import db_to_linear
+from repro.hardware.mimo import MimoFrontEnd
+
+
+def test_precode_scalar():
+    front_end = MimoFrontEnd()
+    samples = np.array([1.0 + 0j, 2.0 + 0j])
+    s1, s2 = front_end.precode(samples, -0.5 + 0.5j)
+    assert np.allclose(s1, samples)
+    assert np.allclose(s2, samples * (-0.5 + 0.5j))
+
+
+def test_precode_per_subcarrier_vector():
+    # Nulling is performed per subcarrier (§7.1).
+    front_end = MimoFrontEnd()
+    samples = np.ones(8, dtype=complex)
+    precoder = np.exp(1j * np.linspace(0, 1, 8))
+    _, s2 = front_end.precode(samples, precoder)
+    assert np.allclose(s2, precoder)
+
+
+def test_boost_raises_both_transmitters():
+    front_end = MimoFrontEnd()
+    p1, p2 = front_end.tx1.power_w, front_end.tx2.power_w
+    front_end.boost_power_db(12.0)
+    assert front_end.tx1.power_w == pytest.approx(p1 * db_to_linear(12.0))
+    assert front_end.tx2.power_w == pytest.approx(p2 * db_to_linear(12.0))
+
+
+def test_total_tx_power():
+    front_end = MimoFrontEnd()
+    assert front_end.total_tx_power_w == pytest.approx(
+        front_end.tx1.power_w + front_end.tx2.power_w
+    )
+
+
+def test_receive_digitizes(rng):
+    front_end = MimoFrontEnd()
+    waveform = 0.1 * np.exp(1j * np.linspace(0, 6, 256))
+    digital = front_end.receive(waveform, rng)
+    assert digital.shape == waveform.shape
+    assert np.iscomplexobj(digital)

@@ -1,0 +1,80 @@
+"""Tests for transmit/receive chains."""
+
+import numpy as np
+import pytest
+
+from repro.constants import db_to_linear
+from repro.hardware.radio import ReceiveChain, TransmitChain, UsrpN210
+
+
+def test_transmit_power_scaling():
+    chain = TransmitChain(power_w=0.01)
+    samples = np.ones(64, dtype=complex)
+    waveform = chain.transmit(samples)
+    assert np.mean(np.abs(waveform) ** 2) == pytest.approx(0.01, rel=0.01)
+
+
+def test_boost_db():
+    chain = TransmitChain(power_w=0.00125)
+    chain.boost_db(12.0)
+    assert chain.power_w == pytest.approx(0.00125 * db_to_linear(12.0))
+
+
+def test_exceeds_linear_range_flag():
+    chain = TransmitChain(power_w=0.00125, linear_range_w=0.020)
+    assert not chain.exceeds_linear_range
+    chain.boost_db(20.0)
+    assert chain.exceeds_linear_range
+
+
+def test_pa_clipping_distorts_beyond_linear_range(rng):
+    # §7.5: "beyond this power the signal starts being clipped".
+    chain = TransmitChain(power_w=0.5, linear_range_w=0.020)
+    samples = rng.normal(0, 1, 2000) + 1j * rng.normal(0, 1, 2000)
+    waveform = chain.transmit(samples)
+    peak = np.max(np.abs(waveform))
+    assert peak <= np.sqrt(0.020) * 4.0 + 1e-9
+
+
+def test_no_clipping_within_linear_range(rng):
+    chain = TransmitChain(power_w=0.001, linear_range_w=0.020)
+    samples = rng.normal(0, 1, 2000) + 1j * rng.normal(0, 1, 2000)
+    waveform = chain.transmit(samples)
+    expected = np.sqrt(0.001) * chain.dac.convert(samples)
+    assert np.allclose(waveform, expected)
+
+
+def test_transmit_power_validation():
+    with pytest.raises(ValueError):
+        TransmitChain(power_w=0.0)
+    chain = TransmitChain()
+    with pytest.raises(ValueError):
+        chain.set_power_w(-1.0)
+
+
+def test_receive_adds_noise_and_gain(rng):
+    from repro.hardware.adc import SaturatingAdc
+
+    # Range the ADC near the amplified noise so quantization is not the
+    # dominant term.
+    chain = ReceiveChain(gain_db=20.0, adc=SaturatingAdc(bits=14, full_scale=1e-4))
+    silence = np.zeros(20_000, dtype=complex)
+    received = chain.receive(silence, rng)
+    measured = np.mean(np.abs(received) ** 2)
+    expected = chain.noise.noise_power_w * db_to_linear(20.0)
+    assert measured == pytest.approx(expected, rel=0.3)
+
+
+def test_receive_saturation_check(rng):
+    chain = ReceiveChain(gain_db=0.0)
+    strong = 10.0 * np.ones(100, dtype=complex)
+    assert chain.saturates(strong)
+    weak = 1e-3 * np.ones(100, dtype=complex)
+    assert not chain.saturates(weak)
+
+
+def test_usrp_bundles_chains():
+    radio = UsrpN210(name="rx-node")
+    assert radio.tx.power_w > 0
+    assert radio.rx.adc.bits == 14
+    assert radio.name == "rx-node"

@@ -1,0 +1,108 @@
+"""Tests for the UHD-style streaming layer."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.streaming import RxStreamer, StreamProcessor, TxStreamer
+
+
+def chunk(n=8, value=1.0):
+    return value * np.ones(n, dtype=complex)
+
+
+def test_rx_fifo_order_and_timestamps():
+    stream = RxStreamer()
+    stream.push(chunk(10), sample_rate_hz=100.0)
+    stream.push(chunk(10), sample_rate_hz=100.0)
+    first = stream.recv()
+    second = stream.recv()
+    assert first.metadata.timestamp_s == pytest.approx(0.0)
+    assert second.metadata.timestamp_s == pytest.approx(0.1)
+    assert stream.recv() is None
+
+
+def test_rx_overflow_drops_oldest_and_flags():
+    stream = RxStreamer(max_buffers=2)
+    stream.push(chunk(value=1.0), 100.0)
+    stream.push(chunk(value=2.0), 100.0)
+    stream.push(chunk(value=3.0), 100.0)  # evicts the first
+    assert stream.overflow_count == 1
+    survivor = stream.recv()
+    assert survivor.samples[0] == 2.0
+    flagged = stream.recv()
+    assert flagged.metadata.overflow
+
+
+def test_rx_validation():
+    stream = RxStreamer()
+    with pytest.raises(ValueError):
+        stream.push(np.array([], dtype=complex), 100.0)
+    with pytest.raises(ValueError):
+        stream.push(chunk(), 0.0)
+    with pytest.raises(ValueError):
+        RxStreamer(max_buffers=0)
+
+
+def test_tx_burst_draining():
+    stream = TxStreamer()
+    stream.send(chunk(), 100.0)
+    stream.send(chunk(), 100.0, end_of_burst=True)
+    stream.send(chunk(), 100.0)
+    burst = stream.pop_burst()
+    assert len(burst) == 2
+    assert burst[-1].metadata.end_of_burst
+    assert len(stream) == 1
+    assert stream.sent_sample_count == 24
+
+
+def test_processor_drains_and_counts():
+    stream = RxStreamer()
+    for _ in range(3):
+        stream.push(chunk(16), 1000.0)
+    received = []
+    processor = StreamProcessor(callback=lambda s, m: received.append(len(s)))
+    handled = processor.drain(stream)
+    assert handled == 3
+    assert processor.processed_samples == 48
+    assert received == [16, 16, 16]
+
+
+def test_processor_overflow_hook_resets_state():
+    stream = RxStreamer(max_buffers=1)
+    stream.push(chunk(), 100.0)
+    stream.push(chunk(), 100.0)  # overflow
+    resets = []
+    processor = StreamProcessor(
+        callback=lambda s, m: None, on_overflow=lambda: resets.append(True)
+    )
+    processor.drain(stream)
+    assert processor.seen_overflows == 1
+    assert resets == [True]
+
+
+def test_streaming_channel_estimation_loop():
+    # A miniature real-time loop: stream OFDM symbols through, estimate
+    # the channel per buffer — the driver-level shape of Algorithm 1's
+    # sounding step.
+    from repro.ofdm.estimation import ls_channel_estimate
+    from repro.ofdm.modulation import OfdmModem
+    from repro.ofdm.preamble import training_symbol
+
+    modem = OfdmModem()
+    training = training_symbol(modem.config)
+    true_channel = 0.3 * np.exp(1j * 0.9)
+
+    stream = RxStreamer()
+    waveform = modem.modulate(training) * true_channel
+    for _ in range(4):
+        stream.push(waveform, 5e6)
+
+    estimates = []
+
+    def estimate(samples, metadata):
+        received = modem.demodulate(samples)
+        estimates.append(np.mean(ls_channel_estimate(received, training)))
+
+    StreamProcessor(callback=estimate).drain(stream)
+    assert len(estimates) == 4
+    assert np.allclose(estimates, true_channel, atol=1e-6)

@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the full pipeline:
+scene -> nulled channel -> spectrogram -> tracking / counting / decode."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting import SpatialVarianceClassifier, trace_spatial_variance
+from repro.core.gestures import GestureDecoder
+from repro.core.nulling import run_nulling
+from repro.core.tracking import compute_beamformed_spectrogram, compute_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory, WaypointTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.rf.channel import ChannelModel
+from repro.simulator.experiment import gesture_trial, make_subject_pool, tracking_trial
+from repro.simulator.timeseries import ChannelSeriesSimulator
+from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+
+
+def test_sign_convention_toward_positive(small_room, rng):
+    # The paper's core semantic: positive angle = moving toward Wi-Vi.
+    toward = LinearTrajectory(Point(6.0, 0.8), Point(-1.0, 0.0), 4.0)
+    scene = Scene(room=small_room, humans=[Human(toward, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    assert np.mean(spectrogram.dominant_angles_deg(exclude_dc_deg=10)) > 45
+
+
+def test_sign_convention_away_negative(small_room, rng):
+    away = LinearTrajectory(Point(2.5, 0.8), Point(1.0, 0.0), 4.0)
+    scene = Scene(room=small_room, humans=[Human(away, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    assert np.mean(spectrogram.dominant_angles_deg(exclude_dc_deg=10)) < -45
+
+
+def test_turnaround_flips_angle_sign(small_room, rng):
+    # Fig. 5-2: walking toward then away flips theta's sign.
+    trajectory = WaypointTrajectory(
+        [Point(6.5, 0.8), Point(2.5, 0.8), Point(6.5, 0.8)], speed_mps=1.0
+    )
+    scene = Scene(room=small_room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(trajectory.duration_s())
+    spectrogram = compute_spectrogram(series.samples)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10)
+    third = len(angles) // 3
+    assert np.mean(angles[:third]) > 30
+    assert np.mean(angles[-third:]) < -30
+
+
+def test_gesture_roundtrip_through_wall(rng):
+    # Encode a message with body motion, decode it from RF alone.
+    pool = make_subject_pool(rng, 2)
+    room = stata_conference_room_small()
+    message = [1, 0, 1]
+    result, _ = gesture_trial(room, 3.0, message, pool[0], rng)
+    decoder = GestureDecoder(step_duration_s=pool[0].step_duration_s)
+    decoded = decoder.decode(result.spectrogram)
+    assert decoded.bits == message
+
+
+def test_counting_zero_vs_crowd(rng, small_room):
+    empty = tracking_trial(small_room, 0, 6.0, rng)
+    crowd = tracking_trial(small_room, 2, 6.0, rng)
+    empty_variance = trace_spatial_variance(empty.spectrogram)
+    crowd_variance = trace_spatial_variance(crowd.spectrogram)
+    assert crowd_variance > 2 * empty_variance
+
+
+def test_classifier_separates_zero_and_one(rng, small_room):
+    variances = {0: [], 1: []}
+    for _ in range(3):
+        for n in (0, 1):
+            trial = tracking_trial(small_room, n, 6.0, rng)
+            variances[n].append(trace_spatial_variance(trial.spectrogram))
+    classifier = SpatialVarianceClassifier().fit(
+        {n: np.array(v) for n, v in variances.items()}
+    )
+    for n in (0, 1):
+        trial = tracking_trial(small_room, n, 6.0, rng)
+        assert classifier.predict(trace_spatial_variance(trial.spectrogram)) == n
+
+
+def test_nulling_then_tracking_full_stack(small_room, rng):
+    # Run the actual Algorithm 1 on the waveform link for the static
+    # scene, then use its achieved depth in the time-series simulator.
+    static_scene = Scene(room=small_room)
+    ch1 = ChannelModel(static_scene.paths(static_scene.device.tx1, 0.0))
+    ch2 = ChannelModel(static_scene.paths(static_scene.device.tx2, 0.0))
+    link = SimulatedNullingLink(ch1, ch2, rng, WaveformLinkConfig())
+    nulling = run_nulling(link)
+    assert nulling.nulling_db > 25
+
+    mover = LinearTrajectory(Point(6.0, 0.8), Point(-1.0, 0.0), 3.0)
+    scene = Scene(room=small_room, humans=[Human(mover, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(
+        3.0, nulling_db=min(nulling.nulling_db, 60.0)
+    )
+    spectrogram = compute_spectrogram(series.samples)
+    assert np.mean(spectrogram.dominant_angles_deg(exclude_dc_deg=10)) > 45
+
+
+def test_two_humans_show_two_angle_clusters(small_room, rng):
+    # Fig. 5-3: one human toward, one away -> simultaneous +/- angles.
+    toward = LinearTrajectory(Point(6.5, 1.0), Point(-0.9, 0.0), 4.0)
+    away = LinearTrajectory(Point(2.5, -1.0), Point(0.9, 0.0), 4.0)
+    scene = Scene(
+        room=small_room,
+        humans=[
+            Human(toward, BodyModel(limb_count=0)),
+            Human(away, BodyModel(limb_count=0), gait_phase=0.5),
+        ],
+    )
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(4.0)
+    spectrogram = compute_spectrogram(series.samples)
+    db = spectrogram.normalized_db()
+    grid = spectrogram.theta_grid_deg
+    positive = db[:, grid > 30].max(axis=1)
+    negative = db[:, grid < -30].max(axis=1)
+    floor = np.median(db)
+    both_visible = np.mean((positive > floor + 6) & (negative > floor + 6))
+    assert both_visible > 0.5
+
+
+def test_beamformed_decode_path_matches_experiment_helper(rng):
+    # gesture_trial must hand the decoder a beamformed spectrogram.
+    pool = make_subject_pool(rng, 1)
+    room = stata_conference_room_small()
+    result, _ = gesture_trial(room, 2.0, [0], pool[0], rng)
+    direct = compute_beamformed_spectrogram(result.series.samples)
+    assert result.spectrogram.power.shape == direct.power.shape

@@ -1,0 +1,103 @@
+"""Failure-injection tests: the system degrades the way the paper's
+physical reasoning predicts when its assumptions are broken."""
+
+import numpy as np
+import pytest
+
+from repro.core.nulling import run_nulling
+from repro.core.tracking import compute_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import Room, Wall, stata_conference_room_small
+from repro.rf.channel import ChannelModel
+from repro.rf.materials import REINFORCED_CONCRETE
+from repro.simulator.timeseries import ChannelSeriesSimulator, TimeSeriesConfig
+from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+
+
+def static_link(room, rng, **config):
+    scene = Scene(room=room)
+    ch1 = ChannelModel(scene.paths(scene.device.tx1, 0.0))
+    ch2 = ChannelModel(scene.paths(scene.device.tx2, 0.0))
+    return SimulatedNullingLink(ch1, ch2, rng, WaveformLinkConfig(**config))
+
+
+def test_calibration_jitter_destroys_nulling(small_room):
+    # Without a stable shared reference (huge per-transmission jitter,
+    # the no-external-clock condition), nulling cannot go deep — the
+    # reason the prototype wires all three USRPs to one clock (§7.1).
+    good = run_nulling(static_link(small_room, np.random.default_rng(1)))
+    bad = run_nulling(
+        static_link(small_room, np.random.default_rng(1), impairment_std=0.2)
+    )
+    assert good.nulling_db > bad.nulling_db + 15.0
+    assert bad.nulling_db < 25.0
+
+
+def test_shallow_nulling_buries_weak_targets(small_room):
+    # With only 15 dB of nulling, the residual DC and its jitter
+    # dominate a distant mover; at 45 dB the mover shows.
+    trajectory = LinearTrajectory(Point(7.0, 0.8), Point(-0.9, 0.0), 3.0)
+    scene = Scene(room=small_room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+
+    def off_dc_contrast(nulling_db, seed=4):
+        sim = ChannelSeriesSimulator(scene, rng=np.random.default_rng(seed))
+        series = sim.simulate(3.0, nulling_db=nulling_db)
+        spectrogram = compute_spectrogram(series.samples)
+        db = spectrogram.normalized_db()
+        grid = spectrogram.theta_grid_deg
+        return float(db[:, np.abs(grid) >= 15].max())
+
+    assert off_dc_contrast(45.0) > off_dc_contrast(15.0)
+
+
+def test_reinforced_concrete_defeats_the_system(rng):
+    # §7.6: nulling depth cannot rescue an 80 dB round-trip wall.
+    room = Room(Wall(REINFORCED_CONCRETE), depth_m=7.0, width_m=4.0)
+    trajectory = LinearTrajectory(Point(5.0, 0.8), Point(-0.9, 0.0), 3.0)
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(3.0)
+    spectrogram = compute_spectrogram(series.samples)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    # The "track" is noise: it does not follow the approaching mover.
+    assert np.mean(angles) < 45.0
+
+
+def test_coarse_adc_limits_sounding(small_room):
+    # Channel estimates through a crippled ADC leave more residual
+    # after initial nulling (before iterations claw some back).
+    from repro.hardware.mimo import MimoFrontEnd
+    from repro.hardware.radio import ReceiveChain
+    from repro.hardware.adc import SaturatingAdc
+
+    def initial_residual(bits, seed=6):
+        scene = Scene(room=small_room)
+        ch1 = ChannelModel(scene.paths(scene.device.tx1, 0.0))
+        ch2 = ChannelModel(scene.paths(scene.device.tx2, 0.0))
+        front_end = MimoFrontEnd(rx=ReceiveChain(adc=SaturatingAdc(bits=bits)))
+        link = SimulatedNullingLink(
+            ch1,
+            ch2,
+            np.random.default_rng(seed),
+            WaveformLinkConfig(impairment_std=0.0),
+            front_end=front_end,
+        )
+        result = run_nulling(link, max_iterations=0)
+        return result.final_residual_power
+
+    assert initial_residual(bits=6) > initial_residual(bits=14)
+
+
+def test_zero_noise_configuration_tracks_perfectly(small_room):
+    # Sanity anchor for the failure cases above: with every impairment
+    # switched off, the tracker is near-ideal.
+    trajectory = LinearTrajectory(Point(6.0, 0.8), Point(-1.0, 0.0), 3.0)
+    scene = Scene(room=small_room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    config = TimeSeriesConfig(clutter_jitter=0.0, quantization_floor=0.0)
+    sim = ChannelSeriesSimulator(scene, config, np.random.default_rng(8))
+    series = sim.simulate(3.0, nulling_db=60.0)
+    spectrogram = compute_spectrogram(series.samples)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    assert np.mean(angles) > 60.0

@@ -1,0 +1,110 @@
+"""Tests for convolutional coding, Viterbi decoding, and CRC-32."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.coding import (
+    CONSTRAINT_LENGTH,
+    GENERATOR_POLYNOMIALS,
+    append_crc,
+    check_crc,
+    convolutional_encode,
+    crc32,
+    viterbi_decode,
+)
+
+
+def test_code_parameters_are_80211():
+    assert CONSTRAINT_LENGTH == 7
+    assert GENERATOR_POLYNOMIALS == (0o133, 0o171)
+
+
+def test_encode_rate_one_half():
+    bits = np.array([1, 0, 1, 1])
+    encoded = convolutional_encode(bits, terminate=False)
+    assert len(encoded) == 8
+    encoded_terminated = convolutional_encode(bits, terminate=True)
+    assert len(encoded_terminated) == 2 * (4 + 6)
+
+
+def test_encode_known_impulse_response():
+    # A single 1 followed by the tail exercises both generators; the
+    # first output pair of an impulse into the zero state is (1, 1).
+    encoded = convolutional_encode(np.array([1]), terminate=True)
+    assert encoded[0] == 1 and encoded[1] == 1
+
+
+def test_encode_validation():
+    with pytest.raises(ValueError):
+        convolutional_encode(np.array([[1, 0]]))
+    with pytest.raises(ValueError):
+        convolutional_encode(np.array([2]))
+
+
+def test_viterbi_clean_roundtrip(rng):
+    bits = rng.integers(0, 2, 300)
+    assert np.array_equal(viterbi_decode(convolutional_encode(bits)), bits)
+
+
+def test_viterbi_corrects_scattered_errors(rng):
+    bits = rng.integers(0, 2, 200)
+    encoded = convolutional_encode(bits)
+    corrupted = encoded.copy()
+    # 3% scattered hard errors: well within the free-distance budget.
+    flips = rng.choice(len(encoded), size=int(0.03 * len(encoded)), replace=False)
+    corrupted[flips] ^= 1
+    assert np.array_equal(viterbi_decode(corrupted), bits)
+
+
+def test_viterbi_burst_beyond_capacity_fails_gracefully(rng):
+    bits = rng.integers(0, 2, 100)
+    encoded = convolutional_encode(bits)
+    corrupted = encoded.copy()
+    corrupted[20:40] ^= 1  # a 20-bit burst
+    decoded = viterbi_decode(corrupted)
+    assert decoded.shape == bits.shape  # still returns a valid stream
+
+
+def test_viterbi_validation():
+    with pytest.raises(ValueError):
+        viterbi_decode(np.array([1, 0, 1]))  # odd length
+    with pytest.raises(ValueError):
+        viterbi_decode(np.zeros(20, dtype=int), num_data_bits=50)
+
+
+def test_viterbi_unterminated(rng):
+    bits = rng.integers(0, 2, 64)
+    encoded = convolutional_encode(bits, terminate=False)
+    decoded = viterbi_decode(encoded, num_data_bits=64, terminated=False)
+    # The last K-1 bits are weakly protected without the tail; the
+    # bulk must survive.
+    assert np.array_equal(decoded[:-6], bits[:-6])
+
+
+def test_crc_roundtrip(rng):
+    payload = rng.integers(0, 2, 64)
+    assert check_crc(append_crc(payload))
+
+
+def test_crc_detects_any_single_flip(rng):
+    payload = rng.integers(0, 2, 40)
+    protected = append_crc(payload)
+    for position in range(len(protected)):
+        corrupted = protected.copy()
+        corrupted[position] ^= 1
+        assert not check_crc(corrupted)
+
+
+def test_crc_requires_bytes():
+    with pytest.raises(ValueError):
+        crc32(np.ones(7, dtype=int))
+    assert not check_crc(np.ones(10, dtype=int))
+
+
+def test_crc_known_vector():
+    # CRC-32 of the byte 0x00 is 0xD202EF8D.
+    bits = np.zeros(8, dtype=int)
+    value = 0
+    for bit in crc32(bits):
+        value = (value << 1) | int(bit)
+    assert value == 0xD202EF8D

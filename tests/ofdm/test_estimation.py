@@ -1,0 +1,67 @@
+"""Tests for channel estimation."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.estimation import (
+    average_symbol_estimates,
+    combine_subcarriers,
+    estimation_snr_db,
+    ls_channel_estimate,
+)
+
+
+def test_ls_estimate_noise_free(rng):
+    channel = rng.standard_normal(52) + 1j * rng.standard_normal(52)
+    training = rng.choice([-1.0, 1.0], 52).astype(complex)
+    received = channel * training
+    assert np.allclose(ls_channel_estimate(received, training), channel)
+
+
+def test_ls_estimate_rejects_zero_training():
+    with pytest.raises(ValueError):
+        ls_channel_estimate(np.ones(4), np.array([1.0, 0.0, 1.0, 1.0]))
+
+
+def test_averaging_reduces_noise(rng):
+    channel = np.ones(52, dtype=complex)
+    noisy = channel + 0.1 * (
+        rng.standard_normal((64, 52)) + 1j * rng.standard_normal((64, 52))
+    )
+    averaged = average_symbol_estimates(noisy)
+    single_error = np.mean(np.abs(noisy[0] - channel) ** 2)
+    averaged_error = np.mean(np.abs(averaged - channel) ** 2)
+    assert averaged_error < single_error / 30  # ~64x reduction expected
+
+
+def test_averaging_one_dimensional_passthrough():
+    estimates = np.array([1.0 + 1j, 2.0])
+    assert np.array_equal(average_symbol_estimates(estimates), estimates)
+
+
+def test_combine_identical_subcarriers():
+    values = np.full(52, 0.5 + 0.5j)
+    combined = combine_subcarriers(values)
+    assert combined == pytest.approx(0.5 + 0.5j)
+
+
+def test_combine_alignment_prevents_cancellation():
+    # Subcarriers with opposite phases would cancel in a plain mean;
+    # phase-aligned combining must preserve the magnitude.
+    values = np.array([1.0 + 0j, -1.0 + 0j, 1j, -1j])
+    combined = combine_subcarriers(values)
+    assert abs(combined) == pytest.approx(1.0, rel=1e-6)
+
+
+def test_combine_empty_rejected():
+    with pytest.raises(ValueError):
+        combine_subcarriers(np.array([]))
+
+
+def test_estimation_snr():
+    true = np.ones(10, dtype=complex)
+    estimate = true + 0.1
+    assert estimation_snr_db(true, estimate) == pytest.approx(20.0)
+    assert estimation_snr_db(true, true) == np.inf
+    with pytest.raises(ValueError):
+        estimation_snr_db(np.zeros(4), np.ones(4))

@@ -1,0 +1,96 @@
+"""Tests for constellation mapping and interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.mapping import (
+    MODULATIONS,
+    bits_per_symbol,
+    deinterleave,
+    demap_symbols,
+    interleave,
+    map_bits,
+)
+
+
+def test_bits_per_symbol():
+    assert bits_per_symbol("bpsk") == 1
+    assert bits_per_symbol("qpsk") == 2
+    assert bits_per_symbol("qam16") == 4
+    with pytest.raises(ValueError):
+        bits_per_symbol("qam64")
+
+
+@pytest.mark.parametrize("modulation", MODULATIONS)
+def test_map_demap_roundtrip(modulation, rng):
+    width = bits_per_symbol(modulation)
+    bits = rng.integers(0, 2, 40 * width)
+    symbols = map_bits(bits, modulation)
+    assert np.array_equal(demap_symbols(symbols, modulation), bits)
+
+
+@pytest.mark.parametrize("modulation", MODULATIONS)
+def test_unit_average_power(modulation, rng):
+    width = bits_per_symbol(modulation)
+    bits = rng.integers(0, 2, 4000 * width)
+    symbols = map_bits(bits, modulation)
+    assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.05)
+
+
+def test_gray_labelling_neighbours_differ_by_one_bit():
+    # Adjacent 16-QAM I-levels must differ in exactly one bit.
+    bits = np.array(
+        [0, 0, 0, 0,  0, 1, 0, 0,  1, 1, 0, 0,  1, 0, 0, 0]
+    )
+    symbols = map_bits(bits, "qam16")
+    reals = [s.real for s in symbols]
+    assert reals == sorted(reals)
+
+
+def test_map_validation():
+    with pytest.raises(ValueError):
+        map_bits(np.array([0, 1, 1]), "qpsk")  # not a multiple of 2
+    with pytest.raises(ValueError):
+        map_bits(np.array([0, 2]), "bpsk")
+    with pytest.raises(ValueError):
+        demap_symbols(np.array([1 + 0j]), "pam8")
+
+
+def test_demap_with_noise_margin(rng):
+    bits = rng.integers(0, 2, 200)
+    symbols = map_bits(bits, "qpsk")
+    noisy = symbols + 0.2 * (
+        rng.standard_normal(len(symbols)) + 1j * rng.standard_normal(len(symbols))
+    ) / np.sqrt(2)
+    decoded = demap_symbols(noisy, "qpsk")
+    assert np.mean(decoded != bits) < 0.05
+
+
+def test_interleaver_roundtrip(rng):
+    bits = rng.integers(0, 2, 101)
+    shuffled = interleave(bits, depth=8)
+    assert np.array_equal(deinterleave(shuffled, 8, len(bits)), bits)
+
+
+def test_interleaver_spreads_adjacent_bits():
+    bits = np.arange(16) % 2
+    marked = np.zeros(16, dtype=int)
+    marked[3] = marked[4] = 1  # two adjacent marks
+    shuffled = interleave(marked, depth=4)
+    positions = np.where(shuffled == 1)[0]
+    assert abs(positions[1] - positions[0]) >= 4
+
+
+def test_interleaver_depth_one_is_identity(rng):
+    bits = rng.integers(0, 2, 31)
+    assert np.array_equal(interleave(bits, 1), bits)
+    assert np.array_equal(deinterleave(bits, 1, 31), bits)
+
+
+def test_interleaver_validation():
+    with pytest.raises(ValueError):
+        interleave(np.ones(4, dtype=int), 0)
+    with pytest.raises(ValueError):
+        deinterleave(np.ones(8, dtype=int), 3, 5)
+    with pytest.raises(ValueError):
+        deinterleave(np.ones(8, dtype=int), 8, 20)

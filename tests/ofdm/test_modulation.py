@@ -1,0 +1,101 @@
+"""Tests for OFDM modulation."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.modulation import OfdmConfig, OfdmModem
+
+
+def test_default_numerology_matches_paper():
+    config = OfdmConfig()
+    # §7.1: 64 subcarriers including DC, 5 MHz bandwidth.
+    assert config.num_subcarriers == 64
+    assert config.bandwidth_hz == 5e6
+    assert 0 not in config.used_subcarriers  # DC unused
+
+
+def test_symbol_length_includes_prefix():
+    config = OfdmConfig(num_subcarriers=64, cp_length=16)
+    assert config.symbol_length == 80
+    assert config.symbol_duration_s == pytest.approx(80 / 5e6)
+
+
+def test_guard_bands_excluded():
+    config = OfdmConfig(num_guard=6)
+    used = set(config.used_subcarriers.tolist())
+    half = config.num_subcarriers // 2
+    for guard_bin in range(half - 6, half + 6):
+        assert guard_bin not in used
+
+
+def test_subcarrier_frequencies_within_band():
+    config = OfdmConfig()
+    freqs = config.subcarrier_frequencies_hz()
+    assert freqs.max() < config.bandwidth_hz / 2
+    assert freqs.min() > -config.bandwidth_hz / 2
+    assert 0.0 not in freqs  # DC carries nothing
+    assert len(freqs) == config.num_used
+
+
+def test_modulate_demodulate_roundtrip(rng):
+    modem = OfdmModem()
+    symbols = (
+        rng.choice([-1.0, 1.0], modem.config.num_used)
+        + 1j * rng.choice([-1.0, 1.0], modem.config.num_used)
+    ) / np.sqrt(2)
+    time_domain = modem.modulate(symbols)
+    recovered = modem.demodulate(time_domain)
+    assert np.allclose(recovered, symbols, atol=1e-12)
+
+
+def test_roundtrip_multiple_symbols(rng):
+    modem = OfdmModem()
+    grid = rng.standard_normal((5, modem.config.num_used)) + 0j
+    assert np.allclose(modem.demodulate(modem.modulate(grid)), grid, atol=1e-12)
+
+
+def test_time_domain_power_normalized(rng):
+    modem = OfdmModem()
+    symbols = np.exp(1j * rng.uniform(0, 2 * np.pi, (50, modem.config.num_used)))
+    time_domain = modem.modulate(symbols)
+    # Unit-power constellation -> unit mean-square time samples
+    # (within the CP bookkeeping tolerance).
+    assert np.mean(np.abs(time_domain) ** 2) == pytest.approx(1.0, rel=0.1)
+
+
+def test_cyclic_prefix_is_cyclic(rng):
+    modem = OfdmModem()
+    symbols = rng.standard_normal(modem.config.num_used) + 0j
+    time_domain = modem.modulate(symbols)
+    cp = time_domain[: modem.config.cp_length]
+    tail = time_domain[-modem.config.cp_length :]
+    assert np.allclose(cp, tail)
+
+
+def test_apply_channel_frequency_domain(rng):
+    modem = OfdmModem()
+    symbols = np.ones(modem.config.num_used, dtype=complex)
+    response = np.exp(1j * np.linspace(0, 2, modem.config.num_used))
+    shaped = modem.apply_channel_frequency_domain(symbols, response)
+    assert np.allclose(shaped, response)
+
+
+def test_shape_validation(rng):
+    modem = OfdmModem()
+    with pytest.raises(ValueError):
+        modem.modulate(np.ones(10, dtype=complex))
+    with pytest.raises(ValueError):
+        modem.demodulate(np.ones(17, dtype=complex))
+    with pytest.raises(ValueError):
+        modem.apply_channel_frequency_domain(
+            np.ones(modem.config.num_used), np.ones(3)
+        )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OfdmConfig(num_subcarriers=4)
+    with pytest.raises(ValueError):
+        OfdmConfig(cp_length=64)
+    with pytest.raises(ValueError):
+        OfdmConfig(num_guard=32)

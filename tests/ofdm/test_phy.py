@@ -1,0 +1,103 @@
+"""Tests for the packet PHY."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.phy import DecodeResult, OfdmPhy, PhyConfig
+from repro.rf.channel import ChannelModel, Path
+from repro.rf.noise import complex_awgn
+
+
+@pytest.mark.parametrize("modulation", ["bpsk", "qpsk", "qam16"])
+def test_packet_roundtrip_flat_channel(modulation, rng):
+    phy = OfdmPhy(PhyConfig(modulation=modulation))
+    payload = rng.integers(0, 2, 128)
+    packet = phy.transmit(payload)
+    received = packet.waveform * (0.4 * np.exp(1j * 1.1))
+    result = phy.receive(received, packet)
+    assert result.crc_ok
+    assert np.array_equal(result.payload_bits, payload)
+
+
+def test_packet_roundtrip_frequency_selective(rng):
+    # A two-path channel with real delay spread; per-subcarrier
+    # equalization must undo it.
+    phy = OfdmPhy(PhyConfig(modulation="qpsk"))
+    payload = rng.integers(0, 2, 256)
+    packet = phy.transmit(payload)
+    channel = ChannelModel([Path(1.0, 5.0), Path(0.4, 35.0)])
+    response = channel.frequency_response(
+        phy.modem.config.subcarrier_frequencies_hz()
+    )
+    symbol_length = phy.modem.config.symbol_length
+    num_symbols = len(packet.waveform) // symbol_length
+    grid = phy.modem.demodulate(packet.waveform.reshape(num_symbols, symbol_length))
+    shaped = phy.modem.modulate(grid * response).ravel()
+    result = phy.receive(shaped, packet)
+    assert result.crc_ok
+    assert np.array_equal(result.payload_bits, payload)
+
+
+def test_packet_survives_moderate_noise(rng):
+    phy = OfdmPhy(PhyConfig(modulation="qpsk"))
+    payload = rng.integers(0, 2, 128)
+    packet = phy.transmit(payload)
+    # ~17 dB SNR: comfortably decodable for coded QPSK.
+    noisy = packet.waveform + complex_awgn(len(packet.waveform), 0.02, rng)
+    result = phy.receive(noisy, packet)
+    assert result.crc_ok
+    assert np.array_equal(result.payload_bits, payload)
+
+
+def test_crc_flags_destroyed_packet(rng):
+    phy = OfdmPhy(PhyConfig(modulation="qam16"))
+    payload = rng.integers(0, 2, 128)
+    packet = phy.transmit(payload)
+    # 0 dB SNR destroys 16-QAM.
+    noisy = packet.waveform + complex_awgn(len(packet.waveform), 1.0, rng)
+    result = phy.receive(noisy, packet)
+    assert not result.crc_ok
+
+
+def test_waveform_length_accounting(rng):
+    phy = OfdmPhy()
+    payload = rng.integers(0, 2, 64)
+    packet = phy.transmit(payload)
+    symbol_length = phy.modem.config.symbol_length
+    expected_symbols = phy.config.num_training_symbols + packet.num_data_symbols
+    assert len(packet.waveform) == expected_symbols * symbol_length
+
+
+def test_transmit_validation(rng):
+    phy = OfdmPhy()
+    with pytest.raises(ValueError):
+        phy.transmit(rng.integers(0, 2, 10))  # not byte aligned
+    with pytest.raises(ValueError):
+        phy.transmit(rng.integers(0, 2, (2, 8)))
+
+
+def test_receive_rejects_short_waveform(rng):
+    phy = OfdmPhy()
+    payload = rng.integers(0, 2, 64)
+    packet = phy.transmit(payload)
+    with pytest.raises(ValueError):
+        phy.receive(packet.waveform[:-10], packet)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PhyConfig(modulation="pam")
+    with pytest.raises(ValueError):
+        PhyConfig(num_training_symbols=0)
+    with pytest.raises(ValueError):
+        PhyConfig(interleaver_depth=0)
+
+
+def test_channel_estimate_returned(rng):
+    phy = OfdmPhy()
+    payload = rng.integers(0, 2, 64)
+    packet = phy.transmit(payload)
+    gain = 0.3 * np.exp(1j * 0.5)
+    result = phy.receive(packet.waveform * gain, packet)
+    assert isinstance(result, DecodeResult)
+    assert np.allclose(result.channel_estimate, gain, atol=1e-6)

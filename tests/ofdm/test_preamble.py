@@ -1,0 +1,41 @@
+"""Tests for training preambles."""
+
+import numpy as np
+
+from repro.ofdm.modulation import OfdmConfig
+from repro.ofdm.preamble import training_burst, training_symbol
+
+
+def test_training_symbol_is_bpsk():
+    config = OfdmConfig()
+    symbol = training_symbol(config)
+    assert symbol.shape == (config.num_used,)
+    assert np.all(np.isin(symbol.real, [-1.0, 1.0]))
+    assert np.all(symbol.imag == 0.0)
+
+
+def test_training_symbol_deterministic():
+    config = OfdmConfig()
+    assert np.array_equal(training_symbol(config), training_symbol(config))
+
+
+def test_training_symbol_seed_changes_sequence():
+    config = OfdmConfig()
+    assert not np.array_equal(
+        training_symbol(config, seed=1), training_symbol(config, seed=2)
+    )
+
+
+def test_training_burst_repeats_symbol():
+    config = OfdmConfig()
+    burst = training_burst(config, 4)
+    assert burst.shape == (4, config.num_used)
+    for row in burst:
+        assert np.array_equal(row, burst[0])
+
+
+def test_training_burst_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        training_burst(OfdmConfig(), 0)

@@ -1,0 +1,84 @@
+"""Tests for packet detection and CFO synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm.modulation import OfdmConfig
+from repro.ofdm.phy import OfdmPhy, PhyConfig
+from repro.ofdm.sync import apply_cfo, build_stf, correct_cfo, schmidl_cox
+from repro.rf.noise import complex_awgn
+
+
+def test_stf_is_two_copies():
+    stf = build_stf()
+    lag = OfdmConfig().symbol_length
+    assert len(stf) == 2 * lag
+    assert np.allclose(stf[:lag], stf[lag:])
+
+
+def test_detection_at_known_offset(rng):
+    stf = build_stf()
+    lead = complex_awgn(137, 1e-6, rng)
+    tail = complex_awgn(60, 1e-6, rng)
+    stream = np.concatenate([lead, stf, tail])
+    result = schmidl_cox(stream)
+    assert result.detected
+    assert abs(result.start_index - 137) <= OfdmConfig().cp_length
+
+
+def test_noise_only_not_detected(rng):
+    stream = complex_awgn(600, 1.0, rng)
+    result = schmidl_cox(stream)
+    assert not result.detected
+
+
+def test_cfo_estimate_accuracy(rng):
+    stf = build_stf()
+    stream = np.concatenate([complex_awgn(50, 1e-8, rng), stf])
+    for true_cfo in (-8000.0, -500.0, 1500.0, 12000.0):
+        shifted = apply_cfo(stream, true_cfo)
+        result = schmidl_cox(shifted)
+        assert result.detected
+        assert result.cfo_hz == pytest.approx(true_cfo, abs=150.0)
+
+
+def test_cfo_correction_roundtrip(rng):
+    samples = complex_awgn(256, 1.0, rng)
+    shifted = apply_cfo(samples, 3000.0)
+    restored = correct_cfo(shifted, 3000.0)
+    assert np.allclose(restored, samples, atol=1e-12)
+
+
+def test_detection_survives_noise(rng):
+    stf = build_stf()
+    stream = np.concatenate([complex_awgn(100, 0.01, rng), stf, complex_awgn(50, 0.01, rng)])
+    stream = stream + complex_awgn(len(stream), 0.01, rng)  # ~20 dB SNR
+    result = schmidl_cox(stream)
+    assert result.detected
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        schmidl_cox(complex_awgn(10, 1.0, rng))
+    with pytest.raises(ValueError):
+        schmidl_cox(complex_awgn(600, 1.0, rng), threshold=1.5)
+
+
+def test_full_receiver_chain_with_cfo_and_unknown_timing(rng):
+    # STF -> packet; the receiver finds the packet, corrects CFO, and
+    # decodes the payload: the complete modem story.
+    phy = OfdmPhy(PhyConfig(modulation="qpsk"))
+    payload = rng.integers(0, 2, 64)
+    packet = phy.transmit(payload)
+    stf = build_stf(phy.modem.config)
+    air = np.concatenate([complex_awgn(83, 1e-8, rng), stf, packet.waveform])
+    air = apply_cfo(air, 2500.0, phy.modem.config)
+    air = air + complex_awgn(len(air), 1e-6, rng)
+
+    sync = schmidl_cox(air, phy.modem.config)
+    assert sync.detected
+    corrected = correct_cfo(air, sync.cfo_hz, phy.modem.config)
+    packet_start = sync.start_index + len(stf)
+    result = phy.receive(corrected[packet_start:], packet)
+    assert result.crc_ok
+    assert np.array_equal(result.payload_bits, payload)

@@ -1,0 +1,118 @@
+"""Property-based tests on the coding and messaging layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messaging import (
+    add_parity,
+    bits_to_text,
+    deframe_message,
+    frame_message,
+    recover_erasures,
+    text_to_bits,
+)
+from repro.ofdm.coding import append_crc, check_crc, convolutional_encode, viterbi_decode
+from repro.ofdm.mapping import (
+    MODULATIONS,
+    bits_per_symbol,
+    deinterleave,
+    demap_symbols,
+    interleave,
+    map_bits,
+)
+
+bit_lists = st.lists(st.sampled_from([0, 1]), min_size=1, max_size=60)
+
+
+@given(bit_lists)
+def test_parity_roundtrip_clean(bits):
+    assert recover_erasures(add_parity(bits)) == bits
+
+
+@given(bit_lists, st.data())
+def test_parity_recovers_any_single_erasure(bits, data):
+    coded = add_parity(bits)
+    position = data.draw(st.integers(0, len(coded) - 1))
+    received: list = list(coded)
+    received[position] = None
+    assert recover_erasures(received) == bits
+
+
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=15))
+def test_framing_roundtrip(payload):
+    assert deframe_message(frame_message(payload)) == payload
+
+
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=15), st.data())
+def test_framed_single_erasure_never_flips(payload, data):
+    framed = frame_message(payload)
+    body_start = len(framed) - len(add_parity(payload))
+    position = data.draw(st.integers(body_start, len(framed) - 1))
+    received: list = list(framed)
+    received[position] = None
+    decoded = deframe_message(received)
+    assert len(decoded) == len(payload)
+    for sent, got in zip(payload, decoded):
+        assert got is None or got == sent  # erasures allowed, flips never
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12))
+def test_text_codec_roundtrip(text):
+    assert bits_to_text(text_to_bits(text)) == text
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 120))
+@settings(max_examples=20, deadline=None)
+def test_viterbi_clean_roundtrip_property(seed, length):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, length)
+    assert np.array_equal(viterbi_decode(convolutional_encode(bits)), bits)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_viterbi_corrects_two_scattered_errors(seed):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, 80)
+    encoded = convolutional_encode(bits)
+    corrupted = encoded.copy()
+    # Two flips at least 30 positions apart: within free distance.
+    first = int(rng.integers(0, 60))
+    second = first + 40 + int(rng.integers(0, 40))
+    corrupted[first] ^= 1
+    corrupted[min(second, len(encoded) - 1)] ^= 1
+    assert np.array_equal(viterbi_decode(corrupted), bits)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 16))
+@settings(max_examples=20, deadline=None)
+def test_crc_detects_burst_errors(seed, burst_len):
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 2, 64)
+    protected = append_crc(payload)
+    start = int(rng.integers(0, len(protected) - burst_len))
+    corrupted = protected.copy()
+    corrupted[start : start + burst_len] ^= 1
+    assert not check_crc(corrupted)
+
+
+@given(
+    st.sampled_from(MODULATIONS),
+    st.integers(0, 2**32 - 1),
+    st.integers(1, 40),
+)
+@settings(max_examples=30, deadline=None)
+def test_map_demap_roundtrip_property(modulation, seed, symbols):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, symbols * bits_per_symbol(modulation))
+    assert np.array_equal(demap_symbols(map_bits(bits, modulation), modulation), bits)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 200), st.integers(1, 16))
+@settings(max_examples=30, deadline=None)
+def test_interleaver_roundtrip_property(seed, length, depth):
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, length)
+    assert np.array_equal(deinterleave(interleave(bits, depth), depth, length), bits)

@@ -1,0 +1,126 @@
+"""Property-based tests on the propagation physics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import WAVELENGTH_M
+from repro.environment.geometry import Point
+from repro.environment.scene import Scene
+from repro.environment.walls import stata_conference_room_small
+from repro.rf.channel import Path, PathKind
+from repro.rf.materials import MATERIALS
+from repro.rf.propagation import (
+    free_space_amplitude,
+    radar_amplitude,
+    specular_reflection_amplitude,
+)
+
+positions = st.tuples(
+    st.floats(min_value=1.5, max_value=7.5),
+    st.floats(min_value=-1.8, max_value=1.8),
+)
+distances = st.floats(min_value=0.2, max_value=50.0)
+
+
+@given(distances, distances)
+def test_free_space_monotone_decay(d1, d2):
+    near, far = sorted((d1, d2))
+    assert free_space_amplitude(near) >= free_space_amplitude(far)
+
+
+@given(distances, distances, st.floats(min_value=0.01, max_value=5.0))
+def test_radar_amplitude_bistatic_symmetry(d_tx, d_rx, rcs):
+    # Swapping transmit and receive legs changes nothing (reciprocity).
+    assert radar_amplitude(d_tx, d_rx, rcs) == pytest.approx(
+        radar_amplitude(d_rx, d_tx, rcs)
+    )
+
+
+@given(distances, st.floats(min_value=0.0, max_value=1.0))
+def test_specular_bounded_by_free_space(d, reflection):
+    # A reflection cannot beat the direct free-space path of the same
+    # unfolded length.
+    assert specular_reflection_amplitude(d, d, reflection) <= free_space_amplitude(
+        2 * d
+    ) + 1e-15
+
+
+@given(st.floats(min_value=0.05, max_value=5.0), distances)
+def test_path_gain_magnitude_is_amplitude(amplitude, distance):
+    path = Path(amplitude, distance)
+    assert abs(path.gain()) == pytest.approx(amplitude)
+
+
+@given(positions, st.floats(min_value=0.1, max_value=2.0))
+@settings(max_examples=40, deadline=None)
+def test_scatterer_path_behind_wall_weaker_than_free_space(position, rcs):
+    room = stata_conference_room_small()
+    target = Point(*position)
+    walled = Scene(room=room).scatterer_path(
+        Point(0, -0.35), target, rcs, PathKind.MOVING
+    )
+    open_air = Scene(room=None).scatterer_path(
+        Point(0, -0.35), target, rcs, PathKind.MOVING
+    )
+    assert walled.amplitude <= open_air.amplitude
+    assert walled.distance_m == pytest.approx(open_air.distance_m)
+
+
+@given(positions)
+@settings(max_examples=40, deadline=None)
+def test_flash_dominates_any_single_human(position):
+    # The central premise of Chapter 4, as a property: wherever the
+    # human stands in the room, the flash outshines them.
+    room = stata_conference_room_small()
+    scene = Scene(room=room)
+    flash = scene.flash_path(scene.device.tx1)
+    human = scene.scatterer_path(
+        scene.device.tx1, Point(*position), 0.9, PathKind.MOVING
+    )
+    assert flash.amplitude > human.amplitude
+
+
+@given(st.sampled_from(sorted(MATERIALS)))
+def test_material_amplitude_consistency(name):
+    material = MATERIALS[name]
+    assert 0.0 < material.one_way_amplitude <= 1.0
+    assert material.round_trip_amplitude == pytest.approx(
+        material.one_way_amplitude**2
+    )
+
+
+@given(
+    st.floats(min_value=-85.0, max_value=85.0),
+    st.floats(min_value=0.5, max_value=1.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_angle_estimate_sign_invariant_to_speed(theta_deg, speed_factor):
+    # §5.1's guarantee as a property: whatever the speed error, the
+    # recovered angle keeps the true angle's sign.
+    from repro.core.beamforming import (
+        default_theta_grid,
+        element_spacing_m,
+        inverse_aoa_spectrum,
+    )
+
+    if abs(theta_deg) < 3.0:
+        return  # sign undefined at broadside
+    true_spacing = element_spacing_m(assumed_speed_mps=speed_factor)
+    n = np.arange(100)
+    window = np.exp(
+        -1j
+        * 2
+        * math.pi
+        / WAVELENGTH_M
+        * n
+        * true_spacing
+        * math.sin(math.radians(theta_deg))
+    )
+    grid = default_theta_grid()
+    spectrum = inverse_aoa_spectrum(window, grid, element_spacing_m())
+    estimate = grid[int(np.argmax(spectrum))]
+    assert np.sign(estimate) == np.sign(theta_deg)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.constants import db_to_linear, linear_to_db
+from repro.core.beamforming import element_spacing_m, inverse_aoa_spectrum, steering_vector
+from repro.core.music import smoothed_correlation_matrix
+from repro.core.nulling import iterative_nulling_residuals
+from repro.environment.geometry import Point, distance, interpolate
+from repro.environment.trajectories import GestureTrajectory
+from repro.hardware.adc import SaturatingAdc
+from repro.ofdm.modulation import OfdmModem
+from repro.rf.channel import Path, combine_paths
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+small_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.floats(min_value=-100.0, max_value=100.0))
+def test_db_roundtrip_property(db):
+    assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=50))
+def test_cdf_bounds_and_monotone(values):
+    cdf = EmpiricalCdf(np.array(values))
+    xs = np.linspace(min(values) - 1, max(values) + 1, 20)
+    evaluated = cdf.evaluate(xs)
+    assert np.all((evaluated >= 0) & (evaluated <= 1))
+    assert np.all(np.diff(evaluated) >= 0)
+    assert cdf.evaluate(max(values)) == 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-6, max_value=10.0),
+            st.floats(min_value=0.1, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_channel_superposition_is_linear(path_specs):
+    paths = [Path(a, d) for a, d in path_specs]
+    total = combine_paths(paths)
+    partial = combine_paths(paths[:1]) + combine_paths(paths[1:]) if len(paths) > 1 else total
+    assert total == pytest.approx(partial)
+
+
+@given(st.integers(min_value=2, max_value=64), st.floats(min_value=-90, max_value=90))
+def test_steering_vector_unit_modulus(size, theta):
+    vector = steering_vector(theta, size, 0.0064)
+    assert np.allclose(np.abs(vector), 1.0)
+
+
+@given(st.floats(min_value=-80, max_value=80))
+@settings(max_examples=25, deadline=None)
+def test_beamformer_recovers_any_angle(theta):
+    spacing = element_spacing_m()
+    n = np.arange(100)
+    window = np.exp(
+        -1j * 2 * np.pi / 0.125 * n * spacing * math.sin(math.radians(theta))
+    )
+    grid = np.arange(-90.0, 91.0)
+    spectrum = inverse_aoa_spectrum(window, grid, spacing)
+    peak = grid[np.argmax(spectrum)]
+    assert abs(peak - theta) <= 2.0
+
+
+@given(
+    st.complex_numbers(min_magnitude=0.5, max_magnitude=2.0, allow_nan=False),
+    st.complex_numbers(min_magnitude=0.5, max_magnitude=2.0, allow_nan=False),
+    st.complex_numbers(max_magnitude=0.05, allow_nan=False),
+    st.complex_numbers(min_magnitude=1e-4, max_magnitude=0.05, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_iterative_nulling_never_diverges(h1, h2, e1, e2):
+    magnitudes = iterative_nulling_residuals(h1, h2, e1, e2, 8)
+    # Lemma 4.1.1: with |e2/h2| < 1 the residual shrinks monotonically
+    # (up to floating point).
+    assert magnitudes[-1] <= magnitudes[0] + 1e-12
+
+
+@given(st.integers(min_value=4, max_value=48), st.integers(min_value=2, max_value=48))
+@settings(max_examples=30, deadline=None)
+def test_correlation_matrix_always_psd(window_size, subarray_size):
+    if subarray_size > window_size:
+        subarray_size = window_size
+    rng = np.random.default_rng(window_size * 100 + subarray_size)
+    window = rng.standard_normal(window_size) + 1j * rng.standard_normal(window_size)
+    matrix = smoothed_correlation_matrix(window, subarray_size)
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    assert np.all(eigenvalues > -1e-9 * max(eigenvalues.max(), 1.0))
+
+
+@given(
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=-10, max_value=10),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_interpolation_stays_on_segment(ax, ay, bx, by, fraction):
+    a, b = Point(ax, ay), Point(bx, by)
+    p = interpolate(a, b, fraction)
+    assert distance(a, p) + distance(p, b) == pytest.approx(distance(a, b), abs=1e-6)
+
+
+@given(st.lists(st.sampled_from([0, 1]), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_gesture_trajectory_duration_scales_with_bits(bits):
+    trajectory = GestureTrajectory(Point(5.0, 0.0), bits=bits)
+    per_bit = 2 * trajectory.step_duration_s + trajectory.inter_bit_pause_s
+    expected = 2 * trajectory.lead_in_s + len(bits) * per_bit
+    assert trajectory.duration_s() == pytest.approx(expected)
+
+
+@given(st.integers(min_value=4, max_value=14))
+@settings(max_examples=10, deadline=None)
+def test_adc_error_bounded_any_resolution(bits):
+    adc = SaturatingAdc(bits=bits, full_scale=1.0)
+    rng = np.random.default_rng(bits)
+    samples = rng.uniform(-0.99, 0.99, 256) + 1j * rng.uniform(-0.99, 0.99, 256)
+    error = adc.convert(samples) - samples
+    assert np.max(np.abs(error.real)) <= adc.step / 2 + 1e-12
+    assert np.max(np.abs(error.imag)) <= adc.step / 2 + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_ofdm_roundtrip_any_seed(seed):
+    modem = OfdmModem()
+    rng = np.random.default_rng(seed)
+    symbols = rng.standard_normal(modem.config.num_used) + 1j * rng.standard_normal(
+        modem.config.num_used
+    )
+    assert np.allclose(modem.demodulate(modem.modulate(symbols)), symbols, atol=1e-10)

@@ -1,0 +1,64 @@
+"""Tests for antenna models."""
+
+import math
+
+import pytest
+
+from repro.constants import db_to_linear
+from repro.rf.antennas import LP0965_LIKE, DirectionalAntenna, IsotropicAntenna
+
+
+def test_isotropic_gain_everywhere():
+    antenna = IsotropicAntenna()
+    for angle in (0.0, 1.0, math.pi / 2, math.pi):
+        assert antenna.amplitude_gain(angle) == 1.0
+
+
+def test_boresight_gain_matches_dbi():
+    antenna = DirectionalAntenna(boresight_gain_dbi=6.0)
+    assert antenna.power_gain(0.0) == pytest.approx(db_to_linear(6.0))
+
+
+def test_half_power_at_half_beamwidth():
+    antenna = DirectionalAntenna(boresight_gain_dbi=6.0, beamwidth_deg=60.0)
+    half_beam = math.radians(30.0)
+    ratio = antenna.power_gain(half_beam) / antenna.power_gain(0.0)
+    assert ratio == pytest.approx(0.5, rel=1e-6)
+
+
+def test_gain_monotone_within_front_hemisphere():
+    antenna = LP0965_LIKE
+    angles = [math.radians(a) for a in (0, 15, 30, 45, 60, 75)]
+    gains = [antenna.power_gain(a) for a in angles]
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_back_lobe_suppression():
+    antenna = DirectionalAntenna(
+        boresight_gain_dbi=6.0, beamwidth_deg=60.0, front_to_back_db=25.0
+    )
+    back = antenna.power_gain(math.pi)
+    front = antenna.power_gain(0.0)
+    assert 10 * math.log10(front / back) == pytest.approx(25.0)
+
+
+def test_back_hemisphere_is_flat_floor():
+    antenna = LP0965_LIKE
+    assert antenna.power_gain(math.radians(95)) == antenna.power_gain(math.pi)
+
+
+def test_amplitude_is_sqrt_of_power():
+    antenna = LP0965_LIKE
+    angle = math.radians(20)
+    assert antenna.amplitude_gain(angle) == pytest.approx(
+        math.sqrt(antenna.power_gain(angle))
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DirectionalAntenna(beamwidth_deg=0.0)
+    with pytest.raises(ValueError):
+        DirectionalAntenna(beamwidth_deg=190.0)
+    with pytest.raises(ValueError):
+        DirectionalAntenna(front_to_back_db=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for the multipath channel model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT, WAVELENGTH_M
+from repro.rf.channel import ChannelModel, Path, PathKind, combine_paths
+
+
+def test_path_delay():
+    path = Path(amplitude=1.0, distance_m=SPEED_OF_LIGHT * 1e-9)
+    assert path.delay_s == pytest.approx(1e-9)
+
+
+def test_path_gain_phase():
+    path = Path(amplitude=2.0, distance_m=WAVELENGTH_M)
+    gain = path.gain()
+    assert abs(gain) == pytest.approx(2.0)
+    assert np.angle(gain) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_path_validation():
+    with pytest.raises(ValueError):
+        Path(amplitude=-1.0, distance_m=1.0)
+    with pytest.raises(ValueError):
+        Path(amplitude=1.0, distance_m=0.0)
+
+
+def test_linear_superposition():
+    # The single property nulling relies on: paths combine linearly.
+    a = Path(1.0, 3.0)
+    b = Path(0.5, 4.2)
+    assert combine_paths([a, b]) == pytest.approx(a.gain() + b.gain())
+
+
+def test_opposite_paths_cancel():
+    # Two equal-amplitude paths half a wavelength apart null out.
+    a = Path(1.0, 2.0)
+    b = Path(1.0, 2.0 + WAVELENGTH_M / 2.0)
+    assert abs(combine_paths([a, b])) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_frequency_response_at_dc_matches_narrowband():
+    channel = ChannelModel([Path(1.0, 3.0), Path(0.3, 7.5)])
+    response = channel.frequency_response(np.array([0.0]))
+    assert response[0] == pytest.approx(channel.narrowband_gain())
+
+
+def test_frequency_selectivity_from_delay_spread():
+    # Two paths with different delays produce a frequency-dependent
+    # response, which is why nulling is per subcarrier (§7.1).
+    channel = ChannelModel([Path(1.0, 3.0), Path(1.0, 33.0)])
+    frequencies = np.linspace(-2.5e6, 2.5e6, 64)
+    response = channel.frequency_response(frequencies)
+    assert np.ptp(np.abs(response)) > 0.1
+
+
+def test_single_path_flat_magnitude():
+    channel = ChannelModel([Path(0.7, 5.0)])
+    response = channel.frequency_response(np.linspace(-2.5e6, 2.5e6, 16))
+    assert np.allclose(np.abs(response), 0.7)
+
+
+def test_static_subset_drops_moving_paths():
+    static = Path(1.0, 3.0, PathKind.FLASH)
+    moving = Path(0.1, 9.0, PathKind.MOVING)
+    channel = ChannelModel([static, moving])
+    subset = channel.static_subset()
+    assert len(subset) == 1
+    assert subset.paths[0].kind is PathKind.FLASH
+
+
+def test_static_subset_requires_static_paths():
+    channel = ChannelModel([Path(0.1, 9.0, PathKind.MOVING)])
+    with pytest.raises(ValueError):
+        channel.static_subset()
+
+
+def test_empty_channel_rejected():
+    with pytest.raises(ValueError):
+        ChannelModel([])
+
+
+def test_power_is_gain_squared():
+    channel = ChannelModel([Path(0.5, 2.0)])
+    assert channel.power_w() == pytest.approx(0.25)
+
+
+def test_repr_summarizes_kinds():
+    channel = ChannelModel(
+        [Path(1.0, 1.0, PathKind.DIRECT), Path(1.0, 2.0, PathKind.FLASH)]
+    )
+    text = repr(channel)
+    assert "direct" in text and "flash" in text

@@ -1,0 +1,89 @@
+"""Tests for the building-material database (Table 4.1)."""
+
+import pytest
+
+from repro.rf.materials import (
+    CONCRETE_18IN,
+    FREE_SPACE,
+    GLASS,
+    HOLLOW_WALL_6IN,
+    MATERIALS,
+    REINFORCED_CONCRETE,
+    SOLID_WOOD_DOOR,
+    TABLE_4_1_ROWS,
+    Material,
+    material_by_name,
+)
+
+
+def test_table_4_1_values():
+    # The exact one-way attenuations of Table 4.1.
+    assert GLASS.one_way_attenuation_db == 3.0
+    assert SOLID_WOOD_DOOR.one_way_attenuation_db == 6.0
+    assert HOLLOW_WALL_6IN.one_way_attenuation_db == 9.0
+    assert CONCRETE_18IN.one_way_attenuation_db == 18.0
+    assert REINFORCED_CONCRETE.one_way_attenuation_db == 40.0
+
+
+def test_table_4_1_rows_match_database():
+    for name, one_way_db in TABLE_4_1_ROWS:
+        assert material_by_name(name).one_way_attenuation_db == one_way_db
+
+
+def test_round_trip_doubles_one_way():
+    # §4: "through-wall systems require traversing the obstacle twice,
+    # the one-way attenuation doubles".
+    for material in MATERIALS.values():
+        assert material.round_trip_attenuation_db == pytest.approx(
+            2 * material.one_way_attenuation_db
+        )
+
+
+def test_hollow_wall_flash_range():
+    # §4: typical indoor flash effect is 18-36 dB of round-trip loss.
+    assert 18.0 <= HOLLOW_WALL_6IN.round_trip_attenuation_db <= 36.0
+
+
+def test_amplitude_factors_consistent_with_db():
+    material = HOLLOW_WALL_6IN
+    assert material.one_way_amplitude**2 == pytest.approx(10 ** (-9.0 / 10.0))
+    assert material.round_trip_amplitude == pytest.approx(
+        material.one_way_amplitude**2
+    )
+
+
+def test_free_space_is_transparent():
+    assert FREE_SPACE.one_way_amplitude == pytest.approx(1.0)
+    assert FREE_SPACE.round_trip_amplitude == pytest.approx(1.0)
+
+
+def test_denser_materials_attenuate_more():
+    ordering = [
+        FREE_SPACE,
+        GLASS,
+        SOLID_WOOD_DOOR,
+        HOLLOW_WALL_6IN,
+        CONCRETE_18IN,
+        REINFORCED_CONCRETE,
+    ]
+    values = [m.one_way_attenuation_db for m in ordering]
+    assert values == sorted(values)
+
+
+def test_unknown_material_raises_keyerror_with_names():
+    with pytest.raises(KeyError, match="glass"):
+        material_by_name("plasma wall")
+
+
+def test_material_validation():
+    with pytest.raises(ValueError):
+        Material("bad", -1.0, -10.0, 0.1)
+    with pytest.raises(ValueError):
+        Material("bad", 5.0, +1.0, 0.1)
+    with pytest.raises(ValueError):
+        Material("bad", 5.0, -10.0, -0.1)
+
+
+def test_reflection_amplitude_below_unity():
+    for material in MATERIALS.values():
+        assert 0.0 <= material.reflection_amplitude <= 1.0

@@ -1,0 +1,48 @@
+"""Tests for the noise models."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import NoiseModel, complex_awgn
+
+
+def test_awgn_power(rng):
+    samples = complex_awgn(200_000, power_w=2.0, rng=rng)
+    assert np.mean(np.abs(samples) ** 2) == pytest.approx(2.0, rel=0.02)
+
+
+def test_awgn_circular_symmetry(rng):
+    samples = complex_awgn(200_000, power_w=1.0, rng=rng)
+    assert np.var(samples.real) == pytest.approx(0.5, rel=0.03)
+    assert np.var(samples.imag) == pytest.approx(0.5, rel=0.03)
+    # Real and imaginary parts are uncorrelated.
+    correlation = np.mean(samples.real * samples.imag)
+    assert abs(correlation) < 0.01
+
+
+def test_awgn_zero_power_is_silent(rng):
+    samples = complex_awgn(100, power_w=0.0, rng=rng)
+    assert np.all(samples == 0)
+
+
+def test_awgn_rejects_negative_power(rng):
+    with pytest.raises(ValueError):
+        complex_awgn(10, power_w=-1.0, rng=rng)
+
+
+def test_awgn_shape(rng):
+    assert complex_awgn((3, 5), 1.0, rng).shape == (3, 5)
+
+
+def test_noise_model_power_includes_noise_figure(rng):
+    quiet = NoiseModel(bandwidth_hz=5e6, noise_figure_db=0.0)
+    loud = NoiseModel(bandwidth_hz=5e6, noise_figure_db=10.0)
+    assert loud.noise_power_w / quiet.noise_power_w == pytest.approx(10.0)
+
+
+def test_noise_model_sample_statistics(rng):
+    model = NoiseModel(bandwidth_hz=5e6, noise_figure_db=7.0)
+    samples = model.sample(100_000, rng)
+    assert np.mean(np.abs(samples) ** 2) == pytest.approx(
+        model.noise_power_w, rel=0.03
+    )

@@ -1,0 +1,92 @@
+"""Tests for propagation primitives."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.constants import WAVELENGTH_M
+from repro.rf.propagation import (
+    antenna_gain_amplitude,
+    free_space_amplitude,
+    free_space_path_loss_db,
+    path_gain,
+    path_phase,
+    radar_amplitude,
+    specular_reflection_amplitude,
+)
+
+
+def test_free_space_path_loss_at_one_meter():
+    # FSPL at 2.4 GHz over 1 m is almost exactly 40 dB.
+    assert free_space_path_loss_db(1.0) == pytest.approx(40.1, abs=0.2)
+
+
+def test_free_space_loss_grows_20db_per_decade():
+    assert free_space_path_loss_db(10.0) - free_space_path_loss_db(1.0) == pytest.approx(
+        20.0
+    )
+
+
+def test_free_space_amplitude_matches_loss():
+    amplitude = free_space_amplitude(3.0)
+    loss_db = free_space_path_loss_db(3.0)
+    assert -20 * math.log10(amplitude) == pytest.approx(loss_db)
+
+
+def test_radar_amplitude_distance_scaling():
+    # Bistatic radar power falls as 1/(d_tx^2 * d_rx^2): doubling both
+    # legs costs 12 dB, i.e. amplitude falls 4x.
+    near = radar_amplitude(2.0, 2.0, 1.0)
+    far = radar_amplitude(4.0, 4.0, 1.0)
+    assert near / far == pytest.approx(4.0)
+
+
+def test_radar_amplitude_rcs_scaling():
+    # Power is linear in RCS, amplitude in its square root.
+    small = radar_amplitude(3.0, 3.0, 0.25)
+    large = radar_amplitude(3.0, 3.0, 1.0)
+    assert large / small == pytest.approx(2.0)
+
+
+def test_specular_beats_radar_return():
+    # §4: the flash is orders of magnitude above returns from objects
+    # behind the wall.  Compare a wall bounce at 1 m with a 1 m^2
+    # scatterer at 5 m behind it.
+    flash = specular_reflection_amplitude(1.0, 1.0, reflection_amplitude=0.45)
+    human = radar_amplitude(6.0, 6.0, 1.0)
+    assert 20 * math.log10(flash / human) > 25.0
+
+
+def test_path_phase_wraps_with_wavelength():
+    assert path_phase(WAVELENGTH_M) == pytest.approx(2 * math.pi)
+    assert cmath.exp(1j * path_phase(2.5 * WAVELENGTH_M)) == pytest.approx(
+        cmath.exp(1j * math.pi)
+    )
+
+
+def test_path_gain_magnitude_and_phase():
+    gain = path_gain(0.5, WAVELENGTH_M / 4.0)
+    assert abs(gain) == pytest.approx(0.5)
+    assert cmath.phase(gain) == pytest.approx(math.pi / 2)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        free_space_path_loss_db(0.0)
+    with pytest.raises(ValueError):
+        free_space_amplitude(-1.0)
+    with pytest.raises(ValueError):
+        radar_amplitude(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        radar_amplitude(1.0, 1.0, -0.1)
+    with pytest.raises(ValueError):
+        specular_reflection_amplitude(1.0, 1.0, 1.5)
+    with pytest.raises(ValueError):
+        path_gain(-0.1, 1.0)
+
+
+def test_antenna_gain_amplitude():
+    # 6 dBi is a power factor of ~4, amplitude factor ~2.
+    assert antenna_gain_amplitude(6.0) == pytest.approx(2.0, rel=0.01)
+    assert antenna_gain_amplitude(0.0) == pytest.approx(1.0)

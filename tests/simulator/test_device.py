@@ -1,0 +1,103 @@
+"""Tests for the assembled Wi-Vi device."""
+
+import numpy as np
+import pytest
+
+from repro.core.gestures import GestureDecoder
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import GestureTrajectory, LinearTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.device import NotCalibratedError, WiViDevice
+
+
+def walking_device(rng, duration=6.0):
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.5, 0.8), Point(-0.8, 0.0), duration)
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    return WiViDevice(scene, rng)
+
+
+def test_capture_requires_calibration(rng):
+    device = walking_device(rng)
+    with pytest.raises(NotCalibratedError):
+        device.capture(1.0)
+    assert not device.is_calibrated
+
+
+def test_calibrate_achieves_nulling(rng):
+    device = walking_device(rng)
+    result = device.calibrate()
+    assert device.is_calibrated
+    assert result.nulling_db > 20.0
+
+
+def test_image_tracks_the_walker(rng):
+    device = walking_device(rng)
+    device.calibrate()
+    spectrogram = device.image(4.0)
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    assert np.mean(angles) > 40.0  # approaching
+
+
+def test_consecutive_captures_advance_time(rng):
+    device = walking_device(rng, duration=6.0)
+    device.calibrate()
+    first = device.capture(2.0)
+    second = device.capture(2.0)
+    # The walker covered different ground in each capture, so the
+    # motion signatures differ.
+    assert not np.allclose(
+        np.abs(first.samples - first.dc_residual),
+        np.abs(second.samples - second.dc_residual),
+    )
+
+
+def test_reset_clock_replays(rng):
+    device = walking_device(rng)
+    device.calibrate()
+    device.capture(2.0)
+    device.reset_clock()
+    assert device._clock_s == 0.0
+
+
+def test_receive_gestures_mode(rng):
+    room = stata_conference_room_small()
+    trajectory = GestureTrajectory(
+        base_position=Point(room.wall.far_face_x_m + 3.0, 0.2), bits=[0, 1]
+    )
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    device = WiViDevice(scene, rng)
+    device.calibrate()
+    result = device.receive_gestures(trajectory.duration_s())
+    assert result.bits == [0, 1]
+
+
+def test_gesture_decoder_override(rng):
+    room = stata_conference_room_small()
+    trajectory = GestureTrajectory(
+        base_position=Point(room.wall.far_face_x_m + 2.0, 0.2),
+        bits=[1],
+        step_duration_s=1.4,
+    )
+    scene = Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    device = WiViDevice(scene, rng)
+    device.calibrate()
+    decoder = GestureDecoder(step_duration_s=1.4)
+    result = device.receive_gestures(trajectory.duration_s(), decoder)
+    assert result.bits == [1]
+
+
+def test_calibration_ignores_movers(rng):
+    # Calibration runs on static paths even with a human in the scene:
+    # the nulling result must not depend on where the mover happens to
+    # stand.
+    device_a = walking_device(np.random.default_rng(5))
+    depth_a = device_a.calibrate().nulling_db
+
+    room = stata_conference_room_small()
+    scene_empty = Scene(room=room)
+    device_b = WiViDevice(scene_empty, np.random.default_rng(5))
+    depth_b = device_b.calibrate().nulling_db
+    assert depth_a == pytest.approx(depth_b, abs=1e-9)

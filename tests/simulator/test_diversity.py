@@ -1,0 +1,119 @@
+"""Tests for subcarrier-diversity capture and combining (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import compute_diversity_spectrogram, compute_spectrogram
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.timeseries import ChannelSeriesSimulator, TimeSeriesConfig
+
+
+def walking_scene():
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.0, 0.8), Point(-1.0, 0.0), 3.0)
+    return Scene(room=room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+
+
+def test_single_stream_matches_offsets():
+    config = TimeSeriesConfig(num_subcarrier_streams=1)
+    assert np.array_equal(config.subcarrier_offsets_hz(), [0.0])
+    config4 = TimeSeriesConfig(num_subcarrier_streams=4)
+    offsets = config4.subcarrier_offsets_hz()
+    assert len(offsets) == 4
+    assert offsets[0] == -offsets[-1]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesConfig(num_subcarrier_streams=0)
+    with pytest.raises(ValueError):
+        TimeSeriesConfig(subcarrier_span_hz=0.0)
+
+
+def test_diversity_streams_share_structure(rng):
+    config = TimeSeriesConfig(num_subcarrier_streams=3)
+    simulator = ChannelSeriesSimulator(walking_scene(), config, rng)
+    streams = simulator.simulate_diversity(2.0, nulling_db=42.0)
+    assert len(streams) == 3
+    for stream in streams:
+        assert len(stream.samples) == len(streams[0].samples)
+        assert stream.nulling_db == 42.0
+    # Different subcarriers, different phase histories.
+    assert not np.allclose(streams[0].samples, streams[1].samples)
+
+
+def test_diversity_spectrogram_tracks_angle(rng):
+    config = TimeSeriesConfig(num_subcarrier_streams=4)
+    simulator = ChannelSeriesSimulator(walking_scene(), config, rng)
+    streams = simulator.simulate_diversity(3.0)
+    spectrogram = compute_diversity_spectrogram([s.samples for s in streams])
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    assert np.mean(angles) > 45.0
+
+
+def test_coherent_combining_averages_thermal_noise():
+    # §7.1's point: combining K subcarriers coherently averages the
+    # independent thermal noise down ~1/K.  (It cannot buy fading
+    # diversity inside a 5 MHz band — coherence bandwidth.)
+    scene = Scene(room=stata_conference_room_small())  # empty: pure noise
+
+    def combined_noise_power(num_streams, seed):
+        config = TimeSeriesConfig(
+            num_subcarrier_streams=num_streams,
+            clutter_jitter=0.0,
+            quantization_floor=0.0,
+        )
+        simulator = ChannelSeriesSimulator(scene, config, np.random.default_rng(seed))
+        streams = simulator.simulate_diversity(2.0, nulling_db=42.0)
+        combined = ChannelSeriesSimulator.combine_diversity_series(streams)
+        residual = combined.samples - combined.samples.mean()
+        return float(np.mean(np.abs(residual) ** 2))
+
+    single = np.mean([combined_noise_power(1, s) for s in range(3)])
+    combined = np.mean([combined_noise_power(4, s) for s in range(3)])
+    assert combined == pytest.approx(single / 4.0, rel=0.3)
+
+
+def test_coherent_combining_preserves_motion():
+    scene = walking_scene()
+    config = TimeSeriesConfig(
+        num_subcarrier_streams=4, clutter_jitter=0.0, quantization_floor=0.0
+    )
+    simulator = ChannelSeriesSimulator(scene, config, np.random.default_rng(2))
+    streams = simulator.simulate_diversity(3.0, nulling_db=60.0)
+    combined = ChannelSeriesSimulator.combine_diversity_series(streams)
+    single_motion = np.mean(np.abs(streams[0].samples - streams[0].dc_residual) ** 2)
+    combined_motion = np.mean(np.abs(combined.samples - combined.dc_residual) ** 2)
+    # Signal survives the average (streams are nearly phase-aligned).
+    assert combined_motion > 0.5 * single_motion
+
+
+def test_combine_validation():
+    with pytest.raises(ValueError):
+        ChannelSeriesSimulator.combine_diversity_series([])
+
+
+def test_diversity_combiner_validation():
+    with pytest.raises(ValueError):
+        compute_diversity_spectrogram([])
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+    b = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+    with pytest.raises(ValueError):
+        compute_diversity_spectrogram([a, b])
+
+
+def test_diversity_requires_plain_scene(rng):
+    class FakeScene:
+        pass
+
+    simulator = ChannelSeriesSimulator.__new__(ChannelSeriesSimulator)
+    simulator.scene = FakeScene()
+    simulator.config = TimeSeriesConfig(num_subcarrier_streams=2)
+    simulator.rng = rng
+    with pytest.raises(TypeError):
+        simulator.simulate_diversity(1.0)

@@ -1,0 +1,108 @@
+"""Tests for the trial protocols."""
+
+import numpy as np
+import pytest
+
+from repro.environment.walls import stata_conference_room_small
+from repro.rf.materials import CONCRETE_8IN, HOLLOW_WALL_6IN
+from repro.simulator.experiment import (
+    ExperimentConfig,
+    _crowding_mobility,
+    build_gesture_scene,
+    build_tracking_scene,
+    gesture_trial,
+    make_subject_pool,
+    pick_room_for_distance,
+    room_for_material,
+    tracking_trial,
+)
+
+
+def test_subject_pool_properties(rng):
+    pool = make_subject_pool(rng, count=8)
+    assert len(pool) == 8
+    for subject in pool:
+        # "Typical step sizes were 2-3 feet" (§7.5).
+        assert 0.61 <= subject.step_length_m <= 0.91
+        # A gesture (two steps) takes 2.2 s +/- spread (§7.5).
+        assert 0.7 <= subject.step_duration_s <= 1.7
+        # Average step speed capped for the tracker's assumed speed.
+        assert subject.step_length_m / subject.step_duration_s <= 0.72 + 1e-9
+
+
+def test_subject_pool_validation(rng):
+    with pytest.raises(ValueError):
+        make_subject_pool(rng, count=0)
+
+
+def test_crowding_monotone():
+    room = stata_conference_room_small()
+    values = [_crowding_mobility(n, room) for n in (1, 2, 3, 4)]
+    assert values[0] == 1.0
+    assert values == sorted(values, reverse=True)
+
+
+def test_crowding_density_scaled():
+    from repro.environment.walls import stata_conference_room_large
+
+    small = stata_conference_room_small()
+    large = stata_conference_room_large()
+    assert _crowding_mobility(3, large) > _crowding_mobility(3, small)
+
+
+def test_build_tracking_scene_counts(rng, small_room):
+    scene = build_tracking_scene(small_room, 2, 5.0, rng)
+    assert len(scene.humans) == 2
+    assert len(scene.static_reflectors) > 0
+
+
+def test_build_tracking_scene_empty_room(rng, small_room):
+    scene = build_tracking_scene(small_room, 0, 5.0, rng)
+    assert scene.humans == []
+
+
+def test_build_tracking_scene_rejects_negative(rng, small_room):
+    with pytest.raises(ValueError):
+        build_tracking_scene(small_room, -1, 5.0, rng)
+
+
+def test_tracking_trial_produces_spectrogram(rng, small_room):
+    result = tracking_trial(small_room, 1, 3.0, rng)
+    assert result.spectrogram.num_windows > 0
+    assert len(result.series.samples) == round(3.0 * 312.5)
+
+
+def test_gesture_scene_subject_placement(rng, small_room):
+    pool = make_subject_pool(rng, 1)
+    scene, trajectory = build_gesture_scene(small_room, 4.0, [0, 1], pool[0], rng)
+    base = trajectory.base_position
+    assert base.x == pytest.approx(small_room.wall.far_face_x_m + 4.0)
+    assert len(scene.humans) == 1
+
+
+def test_gesture_trial_runs(rng, small_room):
+    pool = make_subject_pool(rng, 1)
+    result, trajectory = gesture_trial(small_room, 3.0, [0], pool[0], rng)
+    assert result.spectrogram.num_windows > 10
+    assert trajectory.bit_intervals()
+
+
+def test_room_for_material():
+    room = room_for_material(CONCRETE_8IN)
+    assert room.wall.material is CONCRETE_8IN
+
+
+def test_pick_room_for_distance_matches_protocol():
+    # §7.5: distances beyond 6 m need the larger (11 m) room.
+    assert pick_room_for_distance(3.0).depth_m == 7.0
+    assert pick_room_for_distance(8.0).depth_m == 11.0
+
+
+def test_gesture_message_timing(rng):
+    # §1.2: a 4-gesture message took on average 8.8 s.
+    pool = make_subject_pool(rng, 8)
+    durations = []
+    for subject in pool:
+        gesture_s = 2 * subject.step_duration_s
+        durations.append(4 * gesture_s)
+    assert np.mean(durations) == pytest.approx(8.8, abs=1.5)

@@ -1,0 +1,91 @@
+"""Tests for the vectorized moving-gain fast path."""
+
+import numpy as np
+import pytest
+
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory
+from repro.environment.walls import stata_conference_room_small
+from repro.simulator.fastpath import (
+    batched_moving_gain,
+    fast_moving_gain_series,
+    scatterer_snapshot,
+)
+
+
+def make_scene(multipath=False, limbs=4):
+    room = stata_conference_room_small()
+    trajectory = LinearTrajectory(Point(6.0, 0.8), Point(-0.9, -0.1), 4.0)
+    human = Human(trajectory, BodyModel(limb_count=limbs))
+    return Scene(room=room, humans=[human], multipath=multipath)
+
+
+def scalar_moving_gain(scene, tx, time_s, precoder):
+    """The original per-path implementation, as a reference."""
+    total = 0j
+    for path in scene.moving_paths(scene.device.tx1, time_s):
+        total += path.gain(scene.wavelength_m)
+    for path in scene.moving_paths(scene.device.tx2, time_s):
+        total += precoder * path.gain(scene.wavelength_m)
+    return total
+
+
+@pytest.mark.parametrize("multipath", [False, True])
+def test_fast_path_matches_scalar(multipath):
+    scene = make_scene(multipath=multipath)
+    precoder = -1.2 + 0.3j
+    times = np.linspace(0.0, 3.5, 40)
+    fast = fast_moving_gain_series(scene, times, precoder)
+    for index, time_s in enumerate(times):
+        reference = scalar_moving_gain(scene, None, float(time_s), precoder)
+        assert fast[index] == pytest.approx(reference, rel=1e-9)
+
+
+def test_fast_path_free_space():
+    trajectory = LinearTrajectory(Point(4.0, 0.5), Point(-0.5, 0.0), 2.0)
+    scene = Scene(room=None, humans=[Human(trajectory, BodyModel(limb_count=0))])
+    times = np.linspace(0.0, 2.0, 10)
+    fast = fast_moving_gain_series(scene, times, -1.0)
+    for index, time_s in enumerate(times):
+        reference = scalar_moving_gain(scene, None, float(time_s), -1.0)
+        assert fast[index] == pytest.approx(reference, rel=1e-9)
+
+
+def test_empty_scene_gains_are_zero():
+    scene = Scene(room=stata_conference_room_small())
+    times = np.linspace(0.0, 1.0, 5)
+    assert np.all(fast_moving_gain_series(scene, times, -1.0) == 0)
+
+
+def test_snapshot_shapes():
+    scene = make_scene(limbs=2)
+    positions, rcs = scatterer_snapshot(scene, 1.0)
+    assert positions.shape == (3, 2)
+    assert rcs.shape == (3,)
+    empty_positions, empty_rcs = scatterer_snapshot(
+        Scene(room=stata_conference_room_small()), 0.0
+    )
+    assert empty_positions.shape == (0, 2)
+
+
+def test_batched_gain_empty_input():
+    scene = make_scene()
+    assert batched_moving_gain(scene, 0.0, 0.0, np.empty((0, 2)), np.empty(0)) == 0j
+
+
+def test_simulator_uses_fast_path(rng):
+    # The end-to-end simulator result is identical whether the scene
+    # goes through the fast path (plain Scene) or not; spot-check by
+    # comparing simulate() against a manual reconstruction.
+    from repro.simulator.timeseries import ChannelSeriesSimulator, TimeSeriesConfig
+
+    scene = make_scene()
+    config = TimeSeriesConfig(clutter_jitter=0.0, quantization_floor=0.0)
+    sim = ChannelSeriesSimulator(scene, config, np.random.default_rng(9))
+    series = sim.simulate(1.0, nulling_db=60.0)
+    motion = series.samples - series.dc_residual
+    reference = fast_moving_gain_series(scene, series.times_s, series.precoder)
+    residual_noise = motion - reference
+    assert np.std(residual_noise) == pytest.approx(series.noise_sigma, rel=0.2)

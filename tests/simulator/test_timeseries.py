@@ -1,0 +1,140 @@
+"""Tests for the channel-time-series simulator."""
+
+import numpy as np
+import pytest
+
+from repro.environment.geometry import Point
+from repro.environment.human import BodyModel, Human
+from repro.environment.scene import Scene
+from repro.environment.trajectories import LinearTrajectory, StationaryTrajectory
+from repro.simulator.timeseries import (
+    ChannelSeriesSimulator,
+    TimeSeriesConfig,
+)
+
+
+def test_config_defaults():
+    config = TimeSeriesConfig()
+    assert config.sample_rate_hz == pytest.approx(312.5)
+    # 1.25 mW boosted 12 dB stays within the 20 mW linear range.
+    assert config.tx_power_w == pytest.approx(0.0198, rel=0.01)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesConfig(sample_rate_hz=0.0)
+    with pytest.raises(ValueError):
+        TimeSeriesConfig(coherent_samples=0)
+    with pytest.raises(ValueError):
+        TimeSeriesConfig(clutter_jitter=1.5)
+
+
+def test_simulate_shapes(walking_scene, rng):
+    simulator = ChannelSeriesSimulator(walking_scene, rng=rng)
+    series = simulator.simulate(2.0)
+    assert len(series.samples) == int(2.0 * 312.5)
+    assert series.sample_period_s == pytest.approx(0.0032)
+    assert np.iscomplexobj(series.samples)
+
+
+def test_nulling_depth_draw_within_bounds(walking_scene, rng):
+    simulator = ChannelSeriesSimulator(walking_scene, rng=rng)
+    depths = [simulator.draw_nulling_db() for _ in range(200)]
+    assert all(20.0 <= d <= 60.0 for d in depths)
+    assert np.mean(depths) == pytest.approx(42.0, abs=1.5)
+
+
+def test_explicit_nulling_depth_respected(walking_scene, rng):
+    simulator = ChannelSeriesSimulator(walking_scene, rng=rng)
+    series = simulator.simulate(1.0, nulling_db=30.0)
+    assert series.nulling_db == 30.0
+
+
+def test_deeper_nulling_smaller_residual(walking_scene):
+    shallow = ChannelSeriesSimulator(
+        walking_scene, rng=np.random.default_rng(0)
+    ).simulate(1.0, nulling_db=20.0)
+    deep = ChannelSeriesSimulator(
+        walking_scene, rng=np.random.default_rng(0)
+    ).simulate(1.0, nulling_db=50.0)
+    assert abs(deep.dc_residual) < abs(shallow.dc_residual)
+
+
+def test_static_scene_is_dc_plus_noise(small_room, rng):
+    scene = Scene(room=small_room)
+    series = ChannelSeriesSimulator(scene, rng=rng).simulate(2.0)
+    detrended = series.samples - series.dc_residual
+    # Residual fluctuation is at the noise level.
+    assert np.std(detrended) == pytest.approx(
+        series.noise_sigma, rel=0.1
+    )
+
+
+def test_moving_human_modulates_channel(walking_scene, rng):
+    # Start the trace when the subject is closer (t in [2, 4] of the
+    # 4 s approach) by simulating the full walk.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(4.0)
+    detrended = series.samples - series.dc_residual
+    late = detrended[len(detrended) // 2 :]
+    assert np.std(late) > 3 * series.noise_sigma
+
+
+def test_closer_human_is_stronger(small_room, rng):
+    def rms_motion(distance):
+        trajectory = LinearTrajectory(
+            Point(small_room.wall.far_face_x_m + distance, 0.6),
+            Point(-0.5, 0.0),
+            2.0,
+        )
+        scene = Scene(room=small_room, humans=[Human(trajectory, BodyModel(limb_count=0))])
+        simulator = ChannelSeriesSimulator(
+            scene, TimeSeriesConfig(clutter_jitter=0.0, quantization_floor=0.0), rng
+        )
+        series = simulator.simulate(2.0, nulling_db=60.0)
+        return np.std(series.samples - series.dc_residual)
+
+    assert rms_motion(2.0) > 2 * rms_motion(6.0)
+
+
+def test_precoder_nulls_static_channel(walking_scene, rng):
+    simulator = ChannelSeriesSimulator(walking_scene, rng=rng)
+    static1, static2 = simulator.static_gains()
+    series = simulator.simulate(1.0)
+    assert abs(static1 + series.precoder * static2) < 1e-12
+
+
+def test_duration_validation(walking_scene, rng):
+    simulator = ChannelSeriesSimulator(walking_scene, rng=rng)
+    with pytest.raises(ValueError):
+        simulator.simulate(0.0)
+    with pytest.raises(ValueError):
+        simulator.simulate(0.001)
+
+
+def test_stationary_human_contributes_constant(small_room, rng):
+    # A person standing still adds a constant to the channel, not a
+    # trackable modulation (their reflections act like statics once
+    # they stop).
+    human = Human(StationaryTrajectory(Point(4.0, 0.4)), BodyModel(limb_count=0))
+    scene = Scene(room=small_room, humans=[human])
+    config = TimeSeriesConfig(clutter_jitter=0.0, quantization_floor=0.0)
+    series = ChannelSeriesSimulator(scene, config, rng).simulate(1.0, nulling_db=60.0)
+    motion = series.samples - series.dc_residual
+    assert np.std(motion - motion.mean()) == pytest.approx(
+        series.noise_sigma, rel=0.2
+    )
+
+
+def test_sample_period_requires_two_samples():
+    from repro.simulator.timeseries import ChannelSeries
+
+    series = ChannelSeries(
+        times_s=np.array([0.0]),
+        samples=np.array([0j]),
+        dc_residual=0j,
+        nulling_db=40.0,
+        precoder=-1.0 + 0j,
+        noise_sigma=1e-6,
+    )
+    with pytest.raises(ValueError):
+        _ = series.sample_period_s

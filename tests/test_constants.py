@@ -1,0 +1,71 @@
+"""Tests for physical constants and dB helpers."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_wavelength_is_12_5_cm():
+    # §2.3: Wi-Vi employs signals whose wavelengths are 12.5 cm.
+    assert constants.WAVELENGTH_M == pytest.approx(0.125, rel=0.01)
+
+
+def test_channel_sample_period_matches_isar_window():
+    # §7.1: 0.32 s averaged into w = 100 elements -> 3.2 ms each.
+    assert constants.CHANNEL_SAMPLE_PERIOD_S == pytest.approx(0.0032)
+    assert constants.CHANNEL_SAMPLE_RATE_HZ == pytest.approx(312.5)
+
+
+def test_db_roundtrip():
+    for db in (-30.0, -3.0, 0.0, 3.0, 42.0):
+        assert constants.linear_to_db(constants.db_to_linear(db)) == pytest.approx(db)
+
+
+def test_linear_to_db_rejects_non_positive():
+    with pytest.raises(ValueError):
+        constants.linear_to_db(0.0)
+    with pytest.raises(ValueError):
+        constants.linear_to_db(-1.0)
+
+
+def test_dbm_watts_roundtrip():
+    assert constants.dbm_to_watts(0.0) == pytest.approx(1e-3)
+    assert constants.watts_to_dbm(0.020) == pytest.approx(13.0, abs=0.05)
+    with pytest.raises(ValueError):
+        constants.watts_to_dbm(0.0)
+
+
+def test_amplitude_db_is_20log10():
+    assert constants.amplitude_db(10.0) == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        constants.amplitude_db(0.0)
+
+
+def test_thermal_noise_5mhz_floor():
+    # kTB over 5 MHz is about -107 dBm.
+    power = constants.thermal_noise_power_w(5e6)
+    assert constants.watts_to_dbm(power) == pytest.approx(-107.0, abs=0.5)
+
+
+def test_thermal_noise_figure_adds_power():
+    base = constants.thermal_noise_power_w(5e6)
+    noisy = constants.thermal_noise_power_w(5e6, noise_figure_db=7.0)
+    assert noisy / base == pytest.approx(constants.db_to_linear(7.0))
+
+
+def test_thermal_noise_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        constants.thermal_noise_power_w(0.0)
+
+
+def test_power_boost_matches_paper():
+    # §4.1.2 footnote: the prototype boosts by 12 dB.
+    assert constants.POWER_BOOST_DB == 12.0
+    assert constants.USRP_LINEAR_TX_POWER_W == pytest.approx(0.020)
+
+
+def test_boosted_power_stays_in_linear_range():
+    boosted = 0.00125 * constants.db_to_linear(constants.POWER_BOOST_DB)
+    assert boosted <= constants.USRP_LINEAR_TX_POWER_W * (1 + 1e-6)
