@@ -68,11 +68,38 @@ from repro.core.music import (
 )
 from repro.core.nulling import (
     NullingResult,
+    NullingRetryOutcome,
     iterative_nulling_residuals,
     run_nulling,
+    run_nulling_with_retry,
 )
 from repro.core.localization import integrate_track, summarize_tracks
-from repro.core.monitoring import AutoCalibratingDevice, NullingMonitor
+from repro.core.monitoring import (
+    AutoCalibratingDevice,
+    CaptureHealth,
+    DeviceHealth,
+    HealthStateMachine,
+    NullingMonitor,
+    RecoveryPolicy,
+    ResilientDevice,
+    sanitize_series,
+    screen_series,
+)
+from repro.errors import (
+    CalibrationError,
+    CaptureQualityError,
+    DegenerateCovarianceError,
+    DeviceFailedError,
+    HardwareFault,
+    ReproError,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultScheduleConfig,
+)
 from repro.core.tracking import (
     MotionSpectrogram,
     TrackingConfig,
@@ -121,13 +148,26 @@ __all__ = [
     "AngleTracker",
     "AutoCalibratingDevice",
     "BodyModel",
+    "CalibrationError",
+    "CaptureHealth",
+    "CaptureQualityError",
     "ChannelSeries",
     "ChannelSeriesSimulator",
+    "DegenerateCovarianceError",
+    "DeviceFailedError",
     "DeviceGeometry",
+    "DeviceHealth",
     "ExperimentConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultScheduleConfig",
     "GestureDecodeResult",
     "GestureDecoder",
     "GestureTrajectory",
+    "HardwareFault",
+    "HealthStateMachine",
     "Human",
     "LinearTrajectory",
     "MATERIALS",
@@ -136,10 +176,14 @@ __all__ = [
     "MusicResult",
     "NullingMonitor",
     "NullingResult",
+    "NullingRetryOutcome",
     "OfdmPhy",
     "PhyConfig",
     "Point",
     "RandomWaypointTrajectory",
+    "RecoveryPolicy",
+    "ReproError",
+    "ResilientDevice",
     "Room",
     "Scene",
     "SimulatedNullingLink",
@@ -182,6 +226,9 @@ __all__ = [
     "motion_present",
     "peak_to_dc_ratio_db",
     "run_nulling",
+    "run_nulling_with_retry",
+    "sanitize_series",
+    "screen_series",
     "smoothed_correlation_matrix",
     "smoothed_music_spectrum",
     "spatial_centroid",

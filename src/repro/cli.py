@@ -48,10 +48,55 @@ def cmd_track(args: argparse.Namespace) -> int:
     room = stata_conference_room_small()
     scene = build_tracking_scene(room, args.humans, args.duration, rng)
     device = WiViDevice(scene, rng)
+    if args.inject_faults:
+        return _track_with_faults(device, args)
     nulling = device.calibrate()
     print(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
     spectrogram = device.image(args.duration)
     print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+    angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
+    print(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
+          "(positive = toward the device)")
+    return 0
+
+
+def _track_with_faults(device: WiViDevice, args: argparse.Namespace) -> int:
+    """Tracking run under the fault-injection + recovery pipeline."""
+    from repro.core.monitoring import ResilientDevice
+    from repro.errors import ReproError
+    from repro.faults import FaultInjector, FaultSchedule, FaultScheduleConfig
+
+    schedule = FaultSchedule.generate(
+        FaultScheduleConfig(), duration_s=args.duration + 2.0, seed=args.fault_seed
+    )
+    print(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
+    resilient = ResilientDevice(device, injector=FaultInjector(schedule))
+    try:
+        spectrogram = resilient.image(args.duration)
+    except ReproError as exc:
+        print(f"device gave up: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for entry in resilient.injector.log:
+            print(f"  fault: {entry.describe()}")
+        for transition in resilient.machine.transitions:
+            print(
+                f"  health: capture {transition.capture_index}: "
+                f"{transition.source.value} -> {transition.target.value} "
+                f"({transition.reason})"
+            )
+    print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+    print(
+        f"final health: {resilient.machine.state.value}; "
+        f"{resilient.machine.recalibration_count} recalibrations, "
+        f"{resilient.machine.recovery_count} recoveries, "
+        f"{resilient.repaired_sample_count} samples repaired"
+    )
+    if spectrogram.fallback_fraction > 0:
+        print(
+            f"MUSIC degeneracy fallback on "
+            f"{100 * spectrogram.fallback_fraction:.1f}% of frames"
+        )
     angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
     print(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
           "(positive = toward the device)")
@@ -167,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
     track = commands.add_parser("track", help="image movers behind a wall")
     track.add_argument("--humans", type=int, default=1)
     track.add_argument("--duration", type=float, default=8.0)
+    track.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="run through the fault-injection + recovery pipeline",
+    )
+    track.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault schedule",
+    )
     _add_seed(track)
     track.set_defaults(handler=cmd_track)
 

@@ -1,4 +1,4 @@
-"""Nulling-health monitoring and recalibration policy.
+"""Nulling-health monitoring, capture screening, and recovery policy.
 
 Nulling is a snapshot: the precoder cancels the static channel *as it
 was measured*.  When the static environment drifts — a door opens, the
@@ -6,19 +6,32 @@ radio's cart is nudged, temperature shifts the cables — the residual DC
 grows and the flash starts leaking back.  A deployed device needs a
 policy for noticing and re-running Algorithm 1.
 
-`NullingMonitor` watches the DC level of captured traces against the
-level recorded at calibration and flags when the achieved suppression
-has eroded by more than a budget; `AutoCalibratingDevice` wraps a
-`WiViDevice` with that policy.
+Three layers, bottom up:
+
+* `NullingMonitor` watches the DC level of captured traces against the
+  level recorded at calibration and flags when the achieved suppression
+  has eroded by more than a budget; `AutoCalibratingDevice` wraps a
+  `WiViDevice` with that policy alone.
+* :func:`screen_series` / :func:`sanitize_series` — NaN/saturation/
+  dead-air screening of the capture path, with bounded in-place repair.
+* :class:`HealthStateMachine` + :class:`ResilientDevice` — the
+  HEALTHY → DEGRADED → RECALIBRATING → FAILED device health machine
+  with hysteresis and recovery counters, driving captures through
+  screening, erosion checks, retried recalibration, and (optionally) a
+  :class:`repro.faults.FaultInjector` at the hardware boundary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.nulling import NullingResult
+from repro.core.tracking import MotionSpectrogram, compute_spectrogram
+from repro.errors import CalibrationError, CaptureQualityError, DeviceFailedError
+from repro.faults.injector import FaultInjector
 from repro.simulator.device import WiViDevice
 from repro.simulator.timeseries import ChannelSeries
 
@@ -100,3 +113,402 @@ class AutoCalibratingDevice:
             self._calibrate_and_baseline()
             series = self.device.capture(duration_s)
         return series
+
+
+# ----------------------------------------------------------------------
+# Capture screening
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaptureHealth:
+    """Screening verdict for one captured trace.
+
+    Attributes:
+        nan_fraction: fraction of non-finite samples (DMA/driver
+            corruption — NaN bursts).
+        zero_fraction: fraction of exactly-zero samples (dead air: the
+            host dropped buffers and the stream delivered nothing).
+        saturation_fraction: fraction of samples sitting on the
+            amplitude rails (ADC clipping — the flash re-entering).
+    """
+
+    nan_fraction: float
+    zero_fraction: float
+    saturation_fraction: float
+
+    @property
+    def damaged_fraction(self) -> float:
+        """Fraction of samples carrying no usable signal."""
+        return self.nan_fraction + self.zero_fraction
+
+
+def screen_series(series: ChannelSeries) -> CaptureHealth:
+    """Screen a capture for NaN bursts, dead air, and saturation.
+
+    Saturation is detected as a *plateau*: the fraction of samples
+    whose I or Q rail sits within 0.1 % of the capture's maximum rail
+    excursion.  Clean noise-bearing captures place only O(1/n) samples
+    there; a clipped episode parks every affected sample on the rail.
+    """
+    samples = np.asarray(series.samples)
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot screen an empty capture")
+    finite = np.isfinite(samples)
+    nan_fraction = float(np.mean(~finite))
+    zero_fraction = float(np.mean(samples[finite] == 0.0)) if finite.any() else 0.0
+    saturation_fraction = 0.0
+    if finite.any():
+        rails = np.maximum(
+            np.abs(samples[finite].real), np.abs(samples[finite].imag)
+        )
+        peak = float(rails.max())
+        if peak > 0.0:
+            saturation_fraction = float(np.mean(rails >= 0.999 * peak))
+    return CaptureHealth(
+        nan_fraction=nan_fraction,
+        zero_fraction=zero_fraction,
+        saturation_fraction=saturation_fraction,
+    )
+
+
+def sanitize_series(series: ChannelSeries) -> tuple[ChannelSeries, int]:
+    """Repair a lightly-damaged capture by linear interpolation.
+
+    Non-finite and exactly-zero samples are reconstructed rail-by-rail
+    from their finite neighbours.  Returns the repaired series and the
+    number of samples touched.
+
+    Raises:
+        CaptureQualityError: fewer than two usable samples remain.
+    """
+    samples = np.array(series.samples, dtype=complex)
+    bad = ~np.isfinite(samples)
+    bad |= np.where(bad, False, samples == 0.0)
+    repaired = int(np.count_nonzero(bad))
+    if repaired == 0:
+        return series, 0
+    good = np.flatnonzero(~bad)
+    if len(good) < 2:
+        raise CaptureQualityError(
+            "capture beyond repair: fewer than two usable samples"
+        )
+    bad_indices = np.flatnonzero(bad)
+    samples[bad_indices] = np.interp(
+        bad_indices, good, samples[good].real
+    ) + 1j * np.interp(bad_indices, good, samples[good].imag)
+    return replace(series, samples=samples), repaired
+
+
+# ----------------------------------------------------------------------
+# Device health-state machine
+# ----------------------------------------------------------------------
+
+
+class DeviceHealth(enum.Enum):
+    """Operational state of a deployed Wi-Vi unit."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    RECALIBRATING = "recalibrating"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One edge taken by the health machine, for the audit trail."""
+
+    capture_index: int
+    source: DeviceHealth
+    target: DeviceHealth
+    reason: str
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Thresholds and hysteresis of the recovery pipeline.
+
+    Attributes:
+        max_repairable_fraction: captures with at most this fraction of
+            damaged (NaN/zero) samples are sanitized in place and the
+            device merely degrades; beyond it the capture is discarded.
+        max_saturation_fraction: clipped captures beyond this fraction
+            are discarded (clipping cannot be interpolated away).
+        recover_after_good: consecutive clean captures required to
+            climb DEGRADED → HEALTHY (hysteresis: one good capture
+            does not prove recovery).
+        recalibrate_after_bad: consecutive bad captures that push
+            DEGRADED → RECALIBRATING.
+        max_capture_attempts: discarded-capture retries per
+            :meth:`ResilientDevice.capture` call before declaring the
+            device FAILED.
+        calibration_attempts: bounded retries inside each
+            recalibration (see :func:`run_nulling_with_retry`).
+        max_recalibration_failures: failed recalibrations tolerated
+            before FAILED.
+    """
+
+    max_repairable_fraction: float = 0.1
+    max_saturation_fraction: float = 0.05
+    recover_after_good: int = 2
+    recalibrate_after_bad: int = 2
+    max_capture_attempts: int = 3
+    calibration_attempts: int = 3
+    max_recalibration_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.max_repairable_fraction < 1:
+            raise ValueError("repairable fraction must be in [0, 1)")
+        if not 0 < self.max_saturation_fraction < 1:
+            raise ValueError("saturation fraction must be in (0, 1)")
+        for name in (
+            "recover_after_good",
+            "recalibrate_after_bad",
+            "max_capture_attempts",
+            "calibration_attempts",
+            "max_recalibration_failures",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+
+class HealthStateMachine:
+    """HEALTHY → DEGRADED → RECALIBRATING → FAILED with hysteresis.
+
+    Transitions (reasons are recorded in ``transitions``):
+
+    * HEALTHY --bad capture--> DEGRADED
+    * DEGRADED --``recalibrate_after_bad`` consecutive bad--> RECALIBRATING
+    * DEGRADED --``recover_after_good`` consecutive good--> HEALTHY
+    * any live state --nulling erosion over budget--> RECALIBRATING
+    * RECALIBRATING --calibration success--> DEGRADED (a recalibrated
+      device must still *prove* itself with clean captures)
+    * RECALIBRATING --``max_recalibration_failures`` failures--> FAILED
+    """
+
+    def __init__(self, policy: RecoveryPolicy | None = None):
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.state = DeviceHealth.HEALTHY
+        self.transitions: list[HealthTransition] = []
+        self.capture_index = 0
+        self.recovery_count = 0
+        self.recalibration_count = 0
+        self._good_streak = 0
+        self._bad_streak = 0
+        self._recalibration_failures = 0
+
+    def _move(self, target: DeviceHealth, reason: str) -> None:
+        if target is self.state:
+            return
+        self.transitions.append(
+            HealthTransition(
+                capture_index=self.capture_index,
+                source=self.state,
+                target=target,
+                reason=reason,
+            )
+        )
+        self.state = target
+
+    def state_sequence(self) -> list[DeviceHealth]:
+        """The distinct states visited, in order (starts HEALTHY)."""
+        return [DeviceHealth.HEALTHY] + [t.target for t in self.transitions]
+
+    def record_good(self) -> None:
+        """A clean capture landed."""
+        self._assert_live()
+        self._good_streak += 1
+        self._bad_streak = 0
+        if (
+            self.state is DeviceHealth.DEGRADED
+            and self._good_streak >= self.policy.recover_after_good
+        ):
+            self.recovery_count += 1
+            self._move(
+                DeviceHealth.HEALTHY,
+                f"{self._good_streak} consecutive clean captures",
+            )
+
+    def record_bad(self, reason: str) -> None:
+        """A damaged capture landed (repaired or discarded)."""
+        self._assert_live()
+        self._bad_streak += 1
+        self._good_streak = 0
+        if self.state is DeviceHealth.HEALTHY:
+            self._move(DeviceHealth.DEGRADED, reason)
+        elif (
+            self.state is DeviceHealth.DEGRADED
+            and self._bad_streak >= self.policy.recalibrate_after_bad
+        ):
+            self._move(
+                DeviceHealth.RECALIBRATING,
+                f"{self._bad_streak} consecutive bad captures: {reason}",
+            )
+
+    def demand_recalibration(self, reason: str) -> None:
+        """Erosion (or an operator) demands Algorithm 1 re-run now."""
+        self._assert_live()
+        self._good_streak = 0
+        self._bad_streak = 0
+        self._move(DeviceHealth.RECALIBRATING, reason)
+
+    def recalibration_succeeded(self) -> None:
+        self._assert_live()
+        self._recalibration_failures = 0
+        self.recalibration_count += 1
+        self._good_streak = 0
+        self._bad_streak = 0
+        self._move(DeviceHealth.DEGRADED, "recalibration succeeded")
+
+    def recalibration_failed(self, reason: str) -> None:
+        self._assert_live()
+        self._recalibration_failures += 1
+        if self._recalibration_failures >= self.policy.max_recalibration_failures:
+            self._move(
+                DeviceHealth.FAILED,
+                f"{self._recalibration_failures} recalibration failures: {reason}",
+            )
+
+    def fail(self, reason: str) -> None:
+        self._move(DeviceHealth.FAILED, reason)
+
+    def _assert_live(self) -> None:
+        if self.state is DeviceHealth.FAILED:
+            raise DeviceFailedError("device health machine is FAILED")
+
+
+# ----------------------------------------------------------------------
+# The resilient device
+# ----------------------------------------------------------------------
+
+
+class ResilientDevice:
+    """A `WiViDevice` hardened for unattended operation.
+
+    Every capture flows through the full degradation pipeline: optional
+    fault injection at the hardware boundary, NaN/saturation/dead-air
+    screening with bounded repair, nulling-erosion monitoring, retried
+    recalibration with backoff, and the health-state machine.
+
+    Usage::
+
+        injector = FaultInjector(FaultSchedule.generate(config, 30.0, seed))
+        device = ResilientDevice(WiViDevice(scene, rng), injector=injector)
+        spectrogram = device.image(10.0)   # never raises on injected faults
+        device.machine.state_sequence()    # the health audit trail
+    """
+
+    def __init__(
+        self,
+        device: WiViDevice,
+        injector: FaultInjector | None = None,
+        monitor: NullingMonitor | None = None,
+        policy: RecoveryPolicy | None = None,
+    ):
+        self.device = device
+        self.injector = injector
+        self.monitor = monitor if monitor is not None else NullingMonitor()
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.machine = HealthStateMachine(self.policy)
+        #: Machine state observed after each returned capture.
+        self.health_trace: list[DeviceHealth] = []
+        #: Samples repaired by sanitization, lifetime total.
+        self.repaired_sample_count = 0
+
+    # -- internals ------------------------------------------------------
+
+    def _raw_capture(self, duration_s: float) -> ChannelSeries:
+        start_s = self.device.clock_s
+        series = self.device.capture(duration_s)
+        if self.injector is not None:
+            series = self.injector.corrupt_series(series, start_s)
+        return series
+
+    def _recalibrate(self, reason: str, initial: bool = False) -> None:
+        """Run Algorithm 1 under the retry policy and re-baseline."""
+        if not initial and self.machine.state is not DeviceHealth.RECALIBRATING:
+            self.machine.demand_recalibration(reason)
+        try:
+            self.device.calibrate_with_retry(
+                max_attempts=self.policy.calibration_attempts
+            )
+        except CalibrationError as exc:
+            if initial:
+                self.machine.fail(f"initial calibration failed: {exc}")
+                raise
+            self.machine.recalibration_failed(str(exc))
+            if self.machine.state is DeviceHealth.FAILED:
+                raise DeviceFailedError(
+                    f"device failed during recalibration: {exc}"
+                ) from exc
+            return
+        if self.injector is not None:
+            # The fresh null absorbs any static-channel steps so far.
+            self.injector.notify_recalibrated(self.device.clock_s)
+        baseline = self._raw_capture(1.0)
+        baseline, repaired = sanitize_series(baseline)
+        self.repaired_sample_count += repaired
+        self.monitor.set_baseline(baseline)
+        if not initial:
+            self.machine.recalibration_succeeded()
+
+    # -- public surface -------------------------------------------------
+
+    def capture(self, duration_s: float) -> ChannelSeries:
+        """Capture a usable trace, degrading and recovering as needed.
+
+        Raises:
+            DeviceFailedError: the health machine reached FAILED.
+            CaptureQualityError: every attempt produced an unusable
+                capture (the machine is failed as a side effect).
+        """
+        if self.machine.state is DeviceHealth.FAILED:
+            raise DeviceFailedError("device is FAILED; no captures possible")
+        if not self.device.is_calibrated:
+            self._recalibrate("initial calibration", initial=True)
+        for _ in range(self.policy.max_capture_attempts):
+            self.machine.capture_index += 1
+            series = self._raw_capture(duration_s)
+            health = screen_series(series)
+            if (
+                health.saturation_fraction > self.policy.max_saturation_fraction
+                or health.damaged_fraction > self.policy.max_repairable_fraction
+            ):
+                self.machine.record_bad(
+                    f"capture discarded (nan={health.nan_fraction:.3f}, "
+                    f"zero={health.zero_fraction:.3f}, "
+                    f"sat={health.saturation_fraction:.3f})"
+                )
+                if self.machine.state is DeviceHealth.RECALIBRATING:
+                    self._recalibrate("bad-capture escalation")
+                continue
+            repaired = 0
+            if health.damaged_fraction > 0:
+                series, repaired = sanitize_series(series)
+                self.repaired_sample_count += repaired
+            if self.monitor.baseline_level is not None and (
+                self.monitor.needs_recalibration(series)
+            ):
+                erosion = self.monitor.history_db[-1]
+                self._recalibrate(f"nulling eroded {erosion:.1f} dB over budget")
+                continue
+            if repaired:
+                self.machine.record_bad(f"sanitized {repaired} samples")
+                if self.machine.state is DeviceHealth.RECALIBRATING:
+                    self._recalibrate("repeated damaged captures")
+            else:
+                self.machine.record_good()
+            self.health_trace.append(self.machine.state)
+            return series
+        self.machine.fail(
+            f"{self.policy.max_capture_attempts} unusable captures in a row"
+        )
+        raise CaptureQualityError(
+            f"no usable capture in {self.policy.max_capture_attempts} attempts"
+        )
+
+    def image(self, duration_s: float) -> MotionSpectrogram:
+        """Capture and image with the degeneracy-guarded pipeline."""
+        series = self.capture(duration_s)
+        return compute_spectrogram(series.samples, self.device.config.tracking)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.constants import WAVELENGTH_M
 from repro.core.beamforming import steering_vector
+from repro.errors import DegenerateCovarianceError
 
 
 def smoothed_correlation_matrix(
@@ -52,6 +53,47 @@ def smoothed_correlation_matrix(
         exchange = np.eye(subarray_size)[::-1]
         correlation = 0.5 * (correlation + exchange @ correlation.conj() @ exchange)
     return correlation
+
+
+def check_covariance_conditioning(
+    eigenvalues: np.ndarray, condition_limit: float
+) -> None:
+    """Raise :class:`DegenerateCovarianceError` when the smoothed
+    covariance cannot support a MUSIC subspace split.
+
+    Three degeneracies, all produced by real hardware faults:
+
+    * non-finite eigenvalues — NaN/Inf samples leaked into the window;
+    * a dead window (trace ~ 0) — an overflow gap or a gain dropout
+      left nothing to decompose;
+    * eigenvalue spread beyond ``condition_limit`` — a saturated or
+      constant window collapses the covariance toward rank one, the
+      noise subspace loses meaning, and the pseudospectrum inverts
+      numerical dust.
+
+    ``eigenvalues`` must be sorted in descending order.
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if not np.all(np.isfinite(eigenvalues)):
+        raise DegenerateCovarianceError(
+            "covariance has non-finite eigenvalues", reason="non-finite"
+        )
+    tiny = np.finfo(float).tiny
+    total = float(np.sum(eigenvalues))
+    if total <= tiny:
+        raise DegenerateCovarianceError(
+            "covariance is numerically zero (dead window)", reason="dead"
+        )
+    smallest = max(float(eigenvalues[-1]), tiny)
+    # Compare multiplicatively: largest/smallest can overflow a float.
+    if float(eigenvalues[0]) > condition_limit * smallest:
+        with np.errstate(over="ignore"):
+            condition = float(eigenvalues[0]) / smallest
+        raise DegenerateCovarianceError(
+            f"covariance condition number {condition:.3g} exceeds "
+            f"limit {condition_limit:.3g}",
+            reason="ill-conditioned",
+        )
 
 
 def estimate_source_count(
@@ -129,6 +171,7 @@ def smoothed_music_spectrum(
     num_sources: int | None = None,
     wavelength_m: float = WAVELENGTH_M,
     forward_backward: bool = True,
+    condition_limit: float | None = None,
 ) -> MusicResult:
     """Run smoothed MUSIC on one emulated-array window.
 
@@ -141,8 +184,24 @@ def smoothed_music_spectrum(
         max_sources: cap for automatic source-count estimation.
         num_sources: override the automatic estimate (e.g. for tests).
         forward_backward: see :func:`smoothed_correlation_matrix`.
+        condition_limit: when set, run the
+            :func:`check_covariance_conditioning` degeneracy guard and
+            raise :class:`repro.errors.DegenerateCovarianceError` for
+            windows MUSIC cannot handle (the tracking pipeline catches
+            this and falls back to plain beamforming).  ``None``
+            (default) preserves the unguarded behaviour for synthetic
+            noise-free inputs, whose rank-deficient covariances are
+            legitimate.
+
+    Raises:
+        DegenerateCovarianceError: the window contains non-finite
+            samples, or ``condition_limit`` is set and tripped.
     """
     window = np.asarray(window, dtype=complex)
+    if not np.all(np.isfinite(window)):
+        raise DegenerateCovarianceError(
+            "window contains non-finite samples", reason="non-finite"
+        )
     w = len(window)
     if subarray_size is None:
         subarray_size = max(w // 2, 2)
@@ -151,6 +210,8 @@ def smoothed_music_spectrum(
     # eigh returns ascending order; flip to descending.
     eigenvalues = eigenvalues[::-1].real.copy()
     eigenvectors = eigenvectors[:, ::-1]
+    if condition_limit is not None:
+        check_covariance_conditioning(eigenvalues, condition_limit)
     if num_sources is None:
         num_sources = estimate_source_count(eigenvalues, max_sources)
     if not 0 < num_sources < subarray_size:

@@ -27,6 +27,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.constants import POWER_BOOST_DB
+from repro.errors import CalibrationError
 
 
 class NullingTransceiver(Protocol):
@@ -110,6 +111,8 @@ def run_nulling(
     # --- Initial nulling: sound each antenna alone. ---
     h1_hat = np.array(transceiver.sound_antenna(0), dtype=complex)
     h2_hat = np.array(transceiver.sound_antenna(1), dtype=complex)
+    if not (np.all(np.isfinite(h1_hat)) and np.all(np.isfinite(h2_hat))):
+        raise CalibrationError("sounding returned non-finite channel estimates")
     pre_null_power = float(np.mean(np.abs(h1_hat) ** 2 + np.abs(h2_hat) ** 2) / 2.0)
     precoder = compute_precoder(h1_hat, h2_hat)
 
@@ -148,6 +151,89 @@ def run_nulling(
         pre_null_power=pre_null_power,
         iterations=iterations,
         converged=converged,
+    )
+
+
+@dataclass
+class NullingRetryOutcome:
+    """A calibration that survived the retry policy.
+
+    Attributes:
+        result: the successful :class:`NullingResult`.
+        attempts: total calibration attempts, including the winner.
+        backoff_s: virtual time spent backing off between attempts
+            (callers advance their device clock by this much; the
+            simulator never sleeps).
+        failures: stringified reason for each failed attempt.
+    """
+
+    result: NullingResult
+    attempts: int
+    backoff_s: float
+    failures: list[str] = field(default_factory=list)
+
+
+def run_nulling_with_retry(
+    transceiver: NullingTransceiver,
+    max_attempts: int = 3,
+    initial_backoff_s: float = 0.5,
+    backoff_factor: float = 2.0,
+    min_depth_db: float | None = None,
+    **nulling_kwargs,
+) -> NullingRetryOutcome:
+    """Bounded retry-with-backoff around :func:`run_nulling`.
+
+    A calibration attempt fails when Algorithm 1 raises
+    (:class:`CalibrationError`, a zero-channel ``ValueError``), leaves
+    a non-finite residual, fails to converge within its iteration cap,
+    or lands short of ``min_depth_db``.  Between attempts the caller's
+    device waits ``initial_backoff_s * backoff_factor**k`` — giving a
+    transient (a walker crossing the nulling window, a buffer storm)
+    time to clear — and the total virtual wait is reported back.
+
+    Raises:
+        CalibrationError: every attempt failed; ``attempts`` carries
+            the count.
+    """
+    if max_attempts < 1:
+        raise ValueError("need at least one attempt")
+    if initial_backoff_s < 0 or backoff_factor < 1:
+        raise ValueError("backoff must be non-negative and non-shrinking")
+    failures: list[str] = []
+    backoff_s = 0.0
+    delay = initial_backoff_s
+    for attempt in range(1, max_attempts + 1):
+        try:
+            result = run_nulling(transceiver, **nulling_kwargs)
+        except (CalibrationError, ValueError, FloatingPointError) as exc:
+            failures.append(f"attempt {attempt}: {exc}")
+        else:
+            if not np.isfinite(result.final_residual_power):
+                failures.append(f"attempt {attempt}: non-finite residual")
+            elif not result.converged:
+                failures.append(
+                    f"attempt {attempt}: no convergence in "
+                    f"{result.iterations} iterations"
+                )
+            elif min_depth_db is not None and result.nulling_db < min_depth_db:
+                failures.append(
+                    f"attempt {attempt}: {result.nulling_db:.1f} dB "
+                    f"short of the {min_depth_db:.1f} dB floor"
+                )
+            else:
+                return NullingRetryOutcome(
+                    result=result,
+                    attempts=attempt,
+                    backoff_s=backoff_s,
+                    failures=failures,
+                )
+        if attempt < max_attempts:
+            backoff_s += delay
+            delay *= backoff_factor
+    raise CalibrationError(
+        "nulling calibration failed after "
+        f"{max_attempts} attempts: {'; '.join(failures)}",
+        attempts=max_attempts,
     )
 
 

@@ -22,8 +22,17 @@ from repro.constants import (
     ISAR_ARRAY_SIZE,
     WAVELENGTH_M,
 )
-from repro.core.beamforming import default_theta_grid, element_spacing_m
+from repro.core.beamforming import (
+    default_theta_grid,
+    element_spacing_m,
+    inverse_aoa_spectrum,
+)
 from repro.core.music import smoothed_music_spectrum
+from repro.errors import DegenerateCovarianceError
+
+#: Estimator labels recorded per spectrogram frame.
+ESTIMATOR_MUSIC = "music"
+ESTIMATOR_BEAMFORMING = "beamforming"
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,10 @@ class TrackingConfig:
     max_sources: int = 5
     theta_step_deg: float = 1.0
     wavelength_m: float = WAVELENGTH_M
+    #: MUSIC degeneracy guard: windows whose smoothed covariance has an
+    #: eigenvalue spread beyond this fall back to plain Eq. 5.1
+    #: beamforming (recorded in ``MotionSpectrogram.estimators``).
+    condition_limit: float = 1e12
 
     def __post_init__(self) -> None:
         if self.window_size < 4:
@@ -50,6 +63,8 @@ class TrackingConfig:
             raise ValueError("subarray size must be in (1, window size)")
         if self.hop < 1:
             raise ValueError("hop must be positive")
+        if self.condition_limit <= 1:
+            raise ValueError("condition limit must exceed 1")
 
     @property
     def spacing_m(self) -> float:
@@ -73,6 +88,10 @@ class MotionSpectrogram:
         window_overlap: how many consecutive rows share samples
             (window_size / hop); consumers that whiten noise across
             rows (the gesture decoder) need this.
+        estimators: which estimator produced each frame —
+            ``"music"`` or ``"beamforming"`` (the degeneracy
+            fallback).  Empty for spectrograms built before the guard
+            existed or by consumers that do not record it.
     """
 
     times_s: np.ndarray
@@ -80,10 +99,18 @@ class MotionSpectrogram:
     power: np.ndarray
     source_counts: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
     window_overlap: int = 4
+    estimators: np.ndarray = field(default_factory=lambda: np.array([], dtype=object))
 
     @property
     def num_windows(self) -> int:
         return self.power.shape[0]
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of frames produced by the beamforming fallback."""
+        if len(self.estimators) == 0:
+            return 0.0
+        return float(np.mean(self.estimators == ESTIMATOR_BEAMFORMING))
 
     def normalized_db(self, floor_db: float = 0.0) -> np.ndarray:
         """Per-window dB image with the minimum pinned to ``floor_db``.
@@ -151,6 +178,7 @@ def compute_beamformed_spectrogram(
         power=magnitudes,
         source_counts=np.zeros(len(starts), dtype=int),
         window_overlap=max(config.window_size // config.hop, 1),
+        estimators=np.full(len(starts), ESTIMATOR_BEAMFORMING, dtype=object),
     )
 
 
@@ -188,6 +216,22 @@ def compute_diversity_spectrogram(
         power=np.sqrt(combined_power / len(channel_series_list)),
         source_counts=first.source_counts,
         window_overlap=first.window_overlap,
+        estimators=first.estimators,
+    )
+
+
+def _beamformed_fallback_row(
+    window: np.ndarray, theta_grid: np.ndarray, config: TrackingConfig
+) -> np.ndarray:
+    """Plain Eq. 5.1 spectrum for a window MUSIC rejected.
+
+    Non-finite samples (a NaN burst the screen let through) are zeroed
+    first: beamforming degrades gracefully with missing elements,
+    whereas a single NaN would poison the whole row.
+    """
+    window = np.where(np.isfinite(window), window, 0.0)
+    return inverse_aoa_spectrum(
+        window - window.mean(), theta_grid, config.spacing_m, config.wavelength_m
     )
 
 
@@ -196,7 +240,14 @@ def compute_spectrogram(
     config: TrackingConfig | None = None,
     start_time_s: float = 0.0,
 ) -> MotionSpectrogram:
-    """Run the full pipeline on a nulled channel time series."""
+    """Run the full pipeline on a nulled channel time series.
+
+    Each window runs smoothed MUSIC under the degeneracy guard
+    (``config.condition_limit``); a window whose covariance the guard
+    rejects — saturated, dead, or corrupted — is estimated with plain
+    beamforming instead, and the frame's entry in
+    ``MotionSpectrogram.estimators`` records which path produced it.
+    """
     config = config if config is not None else TrackingConfig()
     series = np.asarray(channel_series, dtype=complex)
     if series.ndim != 1:
@@ -210,18 +261,26 @@ def compute_spectrogram(
     theta_grid = config.theta_grid_deg
     power = np.empty((len(starts), len(theta_grid)))
     counts = np.empty(len(starts), dtype=int)
+    estimators = np.empty(len(starts), dtype=object)
     for row, start in enumerate(starts):
         window = series[start : start + config.window_size]
-        result = smoothed_music_spectrum(
-            window,
-            theta_grid,
-            config.spacing_m,
-            subarray_size=config.subarray_size,
-            max_sources=config.max_sources,
-            wavelength_m=config.wavelength_m,
-        )
-        power[row] = result.pseudospectrum
-        counts[row] = result.num_sources
+        try:
+            result = smoothed_music_spectrum(
+                window,
+                theta_grid,
+                config.spacing_m,
+                subarray_size=config.subarray_size,
+                max_sources=config.max_sources,
+                wavelength_m=config.wavelength_m,
+                condition_limit=config.condition_limit,
+            )
+            power[row] = result.pseudospectrum
+            counts[row] = result.num_sources
+            estimators[row] = ESTIMATOR_MUSIC
+        except DegenerateCovarianceError:
+            power[row] = _beamformed_fallback_row(window, theta_grid, config)
+            counts[row] = 0
+            estimators[row] = ESTIMATOR_BEAMFORMING
     times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
     return MotionSpectrogram(
         times_s=times,
@@ -229,4 +288,5 @@ def compute_spectrogram(
         power=power,
         source_counts=counts,
         window_overlap=max(config.window_size // config.hop, 1),
+        estimators=estimators,
     )

@@ -1,0 +1,83 @@
+"""Structured exception taxonomy for the Wi-Vi stack.
+
+The paper's prototype fails in well-understood physical ways: nulling
+erodes as the static channel drifts (§4.1), the host drops buffers at
+high sample rates (the UHD 'O' overflows that forced the 5 MHz
+prototype, §7.1), and MUSIC degenerates when the emulated-array
+covariance is ill-conditioned (§5).  A production pipeline needs to
+*name* those failures so the recovery layer can dispatch on them
+instead of pattern-matching strings.
+
+Hierarchy::
+
+    ReproError
+    ├── HardwareFault          (something at the radio boundary broke)
+    │   ├── SampleCorruptionError
+    │   ├── AdcSaturationError
+    │   ├── StreamOverflowError
+    │   └── ClockFault
+    ├── CalibrationError       (Algorithm 1 could not converge)
+    ├── DegenerateCovarianceError  (MUSIC cannot run on this window)
+    ├── CaptureQualityError    (a screened capture was rejected)
+    └── DeviceFailedError      (the health machine gave up)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every structured error raised by the stack."""
+
+
+class HardwareFault(ReproError):
+    """A fault at the hardware boundary (real or injected)."""
+
+
+class SampleCorruptionError(HardwareFault):
+    """The capture contains non-finite (NaN/Inf) samples."""
+
+
+class AdcSaturationError(HardwareFault):
+    """The capture clipped against the ADC rails."""
+
+
+class StreamOverflowError(HardwareFault):
+    """The host fell behind and the receive stream dropped samples."""
+
+
+class ClockFault(HardwareFault):
+    """The shared reference jumped; phase continuity is lost."""
+
+
+class CalibrationError(ReproError):
+    """Nulling calibration failed to converge.
+
+    Attributes:
+        attempts: how many calibration attempts were made before
+            giving up (1 for a single un-retried failure).
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class DegenerateCovarianceError(ReproError):
+    """The smoothed covariance is too ill-conditioned for MUSIC.
+
+    Attributes:
+        reason: short machine-readable cause ("non-finite", "dead",
+            or "ill-conditioned").
+    """
+
+    def __init__(self, message: str, reason: str = "ill-conditioned"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CaptureQualityError(ReproError):
+    """A capture failed screening and cannot be processed."""
+
+
+class DeviceFailedError(ReproError):
+    """The device health machine reached FAILED; no captures possible."""

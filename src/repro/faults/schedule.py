@@ -1,0 +1,226 @@
+"""Seeded fault schedules: deterministic event lists per fault kind.
+
+Each fault kind arrives as a Poisson process with a configured rate;
+event times, durations, and magnitudes are drawn from a per-kind child
+generator seeded as ``(seed, kind_index)``, so the schedule for one
+kind never depends on how many events another kind drew.  Two calls to
+:meth:`FaultSchedule.generate` with the same config, duration, and
+seed produce *identical* schedules — the property the determinism
+acceptance test pins down.
+
+Default rates (events per second) model a struggling but not hopeless
+host: roughly one fault somewhere every four seconds of capture.  They
+are documented in DESIGN.md ("Failure model and recovery policy").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy injected at the hardware boundary."""
+
+    NAN_BURST = "nan-burst"
+    ADC_SATURATION = "adc-saturation"
+    OVERFLOW_STORM = "overflow-storm"
+    CLOCK_JUMP = "clock-jump"
+    GAIN_DROPOUT = "gain-dropout"
+    CHANNEL_STEP = "channel-step"
+
+
+#: Stable ordering used both for child-generator seeding and for
+#: tie-breaking events that start at the same instant.
+_KIND_ORDER: tuple[FaultKind, ...] = (
+    FaultKind.NAN_BURST,
+    FaultKind.ADC_SATURATION,
+    FaultKind.OVERFLOW_STORM,
+    FaultKind.CLOCK_JUMP,
+    FaultKind.GAIN_DROPOUT,
+    FaultKind.CHANNEL_STEP,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        kind: which failure mode fires.
+        start_s: absolute start time on the device clock.
+        duration_s: how long the episode lasts (0 for instantaneous
+            events such as clock jumps and channel steps).
+        magnitude: kind-specific strength — see
+            :class:`repro.faults.injector.FaultInjector` for the
+            interpretation per kind.
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    magnitude: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Whether the event touches the half-open window [t0, t1)."""
+        if self.duration_s == 0.0:
+            return t0 <= self.start_s < t1
+        return self.start_s < t1 and self.end_s > t0
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value} @ {self.start_s:.3f}s "
+            f"dur={self.duration_s:.3f}s mag={self.magnitude:.3g}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultScheduleConfig:
+    """Arrival rates and magnitudes of the injected fault mix.
+
+    The per-kind ``*_rate_hz`` values are Poisson arrival rates in
+    events per second of capture; ``rate_scale`` multiplies all of
+    them, so experiments can sweep overall fault pressure with one
+    knob.  Magnitude knobs:
+
+    Attributes:
+        nan_burst_duration_s: length of each NaN/Inf burst.
+        saturation_duration_s: length of each ADC saturation episode.
+        saturation_clip_factor: rail level as a fraction of the clean
+            window's RMS amplitude (values < 1 clip hard).
+        overflow_drop_fraction: fraction of the affected window's
+            samples the host drops during an overflow storm.
+        clock_jump_max_rad: clock jumps draw a phase in
+            [0.25, clock_jump_max_rad] radians (uniform).
+        dropout_duration_s: length of an antenna-gain dropout.
+        dropout_gain: linear amplitude factor during a dropout
+            (0.1 = a 20 dB gain loss).
+        channel_step_factor: size of a static-channel step (a door
+            opens) relative to the capture's mean amplitude.
+    """
+
+    nan_burst_rate_hz: float = 0.08
+    adc_saturation_rate_hz: float = 0.05
+    overflow_storm_rate_hz: float = 0.05
+    clock_jump_rate_hz: float = 0.03
+    gain_dropout_rate_hz: float = 0.04
+    channel_step_rate_hz: float = 0.02
+    rate_scale: float = 1.0
+
+    nan_burst_duration_s: float = 0.08
+    saturation_duration_s: float = 0.25
+    saturation_clip_factor: float = 0.4
+    overflow_duration_s: float = 0.3
+    overflow_drop_fraction: float = 1.0
+    clock_jump_max_rad: float = 3.0
+    dropout_duration_s: float = 0.5
+    dropout_gain: float = 0.1
+    channel_step_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name, rate in self.rates_hz().items():
+            if rate < 0:
+                raise ValueError(f"{name} rate must be non-negative")
+        if self.rate_scale < 0:
+            raise ValueError("rate scale must be non-negative")
+        if not 0 < self.overflow_drop_fraction <= 1:
+            raise ValueError("overflow drop fraction must be in (0, 1]")
+        if self.dropout_gain < 0 or self.saturation_clip_factor <= 0:
+            raise ValueError("gains and clip factors must be positive")
+
+    def rates_hz(self) -> dict[FaultKind, float]:
+        """Effective per-kind arrival rates (after ``rate_scale``)."""
+        return {
+            FaultKind.NAN_BURST: self.nan_burst_rate_hz * self.rate_scale,
+            FaultKind.ADC_SATURATION: self.adc_saturation_rate_hz * self.rate_scale,
+            FaultKind.OVERFLOW_STORM: self.overflow_storm_rate_hz * self.rate_scale,
+            FaultKind.CLOCK_JUMP: self.clock_jump_rate_hz * self.rate_scale,
+            FaultKind.GAIN_DROPOUT: self.gain_dropout_rate_hz * self.rate_scale,
+            FaultKind.CHANNEL_STEP: self.channel_step_rate_hz * self.rate_scale,
+        }
+
+    def _duration_magnitude(
+        self, kind: FaultKind, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        if kind is FaultKind.NAN_BURST:
+            return self.nan_burst_duration_s, 0.0
+        if kind is FaultKind.ADC_SATURATION:
+            return self.saturation_duration_s, self.saturation_clip_factor
+        if kind is FaultKind.OVERFLOW_STORM:
+            return self.overflow_duration_s, self.overflow_drop_fraction
+        if kind is FaultKind.CLOCK_JUMP:
+            return 0.0, float(rng.uniform(0.25, self.clock_jump_max_rad))
+        if kind is FaultKind.GAIN_DROPOUT:
+            return self.dropout_duration_s, self.dropout_gain
+        return 0.0, self.channel_step_factor  # CHANNEL_STEP
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A sorted, immutable list of fault events over a capture span.
+
+    Build one deterministically with :meth:`generate`, or construct
+    directly from explicit events (tests and scripted scenarios).
+    """
+
+    events: tuple[FaultEvent, ...]
+    duration_s: float
+    seed: int | None = None
+
+    @classmethod
+    def generate(
+        cls,
+        config: FaultScheduleConfig,
+        duration_s: float,
+        seed: int,
+    ) -> FaultSchedule:
+        """Draw a schedule: Poisson arrivals per kind, seeded per kind."""
+        if duration_s <= 0:
+            raise ValueError("schedule duration must be positive")
+        events: list[FaultEvent] = []
+        rates = config.rates_hz()
+        for index, kind in enumerate(_KIND_ORDER):
+            rate = rates[kind]
+            if rate == 0:
+                continue
+            rng = np.random.default_rng([int(seed), index])
+            count = int(rng.poisson(rate * duration_s))
+            starts = np.sort(rng.uniform(0.0, duration_s, count))
+            for start in starts:
+                duration, magnitude = config._duration_magnitude(kind, rng)
+                events.append(
+                    FaultEvent(
+                        kind=kind,
+                        start_s=float(start),
+                        duration_s=duration,
+                        magnitude=magnitude,
+                    )
+                )
+        events.sort(key=lambda e: (e.start_s, _KIND_ORDER.index(e.kind)))
+        return cls(events=tuple(events), duration_s=duration_s, seed=seed)
+
+    def events_between(self, t0: float, t1: float) -> list[FaultEvent]:
+        """Events overlapping the half-open window [t0, t1)."""
+        if t1 <= t0:
+            raise ValueError("window must have positive length")
+        return [event for event in self.events if event.overlaps(t0, t1)]
+
+    def describe(self) -> list[str]:
+        """Human-readable, deterministic event log."""
+        return [event.describe() for event in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def scheduled_fault_count(
+    config: FaultScheduleConfig, duration_s: float
+) -> float:
+    """Expected number of events a schedule of this length draws."""
+    return sum(config.rates_hz().values()) * duration_s

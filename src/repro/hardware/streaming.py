@@ -54,7 +54,32 @@ class RxStreamer:
         self._max_buffers = max_buffers
         self._overflowed = False
         self._clock_s = 0.0
+        #: Buffers evicted by overflow.
         self.overflow_count = 0
+        #: Samples lost inside those evicted buffers — the quantity a
+        #: consumer needs to reconstruct how much signal time vanished
+        #: (buffers are not all the same size).
+        self.dropped_sample_count = 0
+        #: recv() calls that found the queue empty: underrun, the
+        #: opposite failure mode from overflow.
+        self.starved_read_count = 0
+        #: Samples actually handed to the consumer.
+        self.delivered_sample_count = 0
+
+    def drop_oldest(self) -> StreamBuffer | None:
+        """Evict the oldest queued buffer, charging the loss counters.
+
+        Used internally on producer overflow and externally by fault
+        injection (an overflow storm is a burst of host-side drops).
+        Returns the evicted buffer, or None if the queue is empty.
+        """
+        if not self._queue:
+            return None
+        victim = self._queue.popleft()
+        self._overflowed = True
+        self.overflow_count += 1
+        self.dropped_sample_count += victim.metadata.num_samples
+        return victim
 
     def push(self, samples: np.ndarray, sample_rate_hz: float) -> None:
         """Producer side: append a chunk at the stream clock."""
@@ -64,9 +89,7 @@ class RxStreamer:
         if sample_rate_hz <= 0:
             raise ValueError("sample rate must be positive")
         if len(self._queue) >= self._max_buffers:
-            self._queue.popleft()
-            self._overflowed = True
-            self.overflow_count += 1
+            self.drop_oldest()
         metadata = StreamMetadata(
             timestamp_s=self._clock_s,
             num_samples=len(samples),
@@ -77,10 +100,18 @@ class RxStreamer:
         self._clock_s += len(samples) / sample_rate_hz
 
     def recv(self) -> StreamBuffer | None:
-        """Consumer side: pop the oldest buffer (None when starved)."""
+        """Consumer side: pop the oldest buffer (None when starved).
+
+        A starved read is *accounted* (``starved_read_count``) so
+        consumers can tell underrun (they outpace the producer) from
+        overflow (the producer outpaces them) when diagnosing gaps.
+        """
         if not self._queue:
+            self.starved_read_count += 1
             return None
-        return self._queue.popleft()
+        buffer = self._queue.popleft()
+        self.delivered_sample_count += buffer.metadata.num_samples
+        return buffer
 
     def __len__(self) -> int:
         return len(self._queue)

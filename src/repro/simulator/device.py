@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.gestures import GestureDecodeResult, GestureDecoder
-from repro.core.nulling import NullingResult, run_nulling
+from repro.core.nulling import (
+    NullingResult,
+    NullingRetryOutcome,
+    run_nulling,
+    run_nulling_with_retry,
+)
 from repro.core.tracking import (
     MotionSpectrogram,
     TrackingConfig,
@@ -73,6 +78,21 @@ class WiViDevice:
         self._clock_s = 0.0
 
     # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def clock_s(self) -> float:
+        """The device's monotonically-advancing local time."""
+        return self._clock_s
+
+    def advance_clock(self, seconds: float) -> None:
+        """Let scene time pass without capturing (e.g. retry backoff)."""
+        if seconds < 0:
+            raise ValueError("the clock only runs forward")
+        self._clock_s += seconds
+
+    # ------------------------------------------------------------------
     # Calibration (Chapter 4)
     # ------------------------------------------------------------------
 
@@ -107,6 +127,25 @@ class WiViDevice:
         link = SimulatedNullingLink(ch1, ch2, self.rng, self.config.waveform)
         self._nulling = run_nulling(link)
         return self._nulling
+
+    def calibrate_with_retry(self, **retry_kwargs) -> NullingRetryOutcome:
+        """Run Algorithm 1 under the bounded-retry policy.
+
+        Backoff between attempts is charged to the device clock, so a
+        retried calibration lets scene time pass just as a real device
+        waiting out a transient would.  Keyword arguments are passed to
+        :func:`repro.core.nulling.run_nulling_with_retry`.
+
+        Raises:
+            CalibrationError: every attempt failed (the clock has still
+                advanced by the accumulated backoff).
+        """
+        ch1, ch2 = self._static_channels()
+        link = SimulatedNullingLink(ch1, ch2, self.rng, self.config.waveform)
+        outcome = run_nulling_with_retry(link, **retry_kwargs)
+        self.advance_clock(outcome.backoff_s)
+        self._nulling = outcome.result
+        return outcome
 
     # ------------------------------------------------------------------
     # Capture
@@ -180,7 +219,13 @@ class _TimeShiftedScene:
 
 
 class _TimeShiftedHuman:
-    """Forwarding wrapper shifting a human's time axis."""
+    """Forwarding wrapper shifting a human's time axis.
+
+    Forwards the :class:`repro.environment.human.Human` surface
+    explicitly; anything else raises immediately instead of silently
+    delegating, so a typo against the wrapper cannot masquerade as a
+    real attribute lookup.
+    """
 
     def __init__(self, human, offset_s: float):
         self._human = human
@@ -189,5 +234,25 @@ class _TimeShiftedHuman:
     def scatterers(self, time_s: float):
         return self._human.scatterers(time_s + self._offset_s)
 
+    @property
+    def trajectory(self):
+        return self._human.trajectory
+
+    @property
+    def body(self):
+        return self._human.body
+
+    @property
+    def gait_phase(self):
+        return self._human.gait_phase
+
+    @property
+    def name(self):
+        return self._human.name
+
     def __getattr__(self, name):
-        return getattr(self._human, name)
+        raise AttributeError(
+            f"_TimeShiftedHuman forwards only the Human surface "
+            f"(trajectory, body, gait_phase, name, scatterers); "
+            f"{name!r} is not part of it"
+        )

@@ -1,0 +1,90 @@
+"""MUSIC degeneracy guard and the beamforming fallback path."""
+
+import numpy as np
+import pytest
+
+from repro.core.music import (
+    check_covariance_conditioning,
+    smoothed_music_spectrum,
+)
+from repro.core.tracking import (
+    ESTIMATOR_BEAMFORMING,
+    ESTIMATOR_MUSIC,
+    TrackingConfig,
+    compute_spectrogram,
+)
+from repro.errors import DegenerateCovarianceError
+
+
+def test_conditioning_accepts_healthy_spread():
+    check_covariance_conditioning(np.array([10.0, 5.0, 1.0]), condition_limit=100.0)
+
+
+def test_conditioning_rejects_non_finite():
+    with pytest.raises(DegenerateCovarianceError) as excinfo:
+        check_covariance_conditioning(np.array([np.nan, 1.0]), 1e12)
+    assert excinfo.value.reason == "non-finite"
+
+
+def test_conditioning_rejects_dead_window():
+    with pytest.raises(DegenerateCovarianceError) as excinfo:
+        check_covariance_conditioning(np.zeros(4), 1e12)
+    assert excinfo.value.reason == "dead"
+
+
+def test_conditioning_rejects_rank_collapse():
+    with pytest.raises(DegenerateCovarianceError) as excinfo:
+        check_covariance_conditioning(np.array([1.0, 1e-20]), condition_limit=1e12)
+    assert excinfo.value.reason == "ill-conditioned"
+
+
+def test_music_raises_on_nan_window():
+    window = np.ones(64, dtype=complex)
+    window[10] = np.nan
+    with pytest.raises(DegenerateCovarianceError):
+        smoothed_music_spectrum(window, np.arange(-90, 91, 5.0), spacing_m=0.03)
+
+
+def test_music_guard_is_opt_in():
+    """A noiseless constant window is rank-one: fine without the guard,
+    rejected with it."""
+    window = np.full(64, 1.0 + 0.5j)
+    theta = np.arange(-90, 91, 5.0)
+    result = smoothed_music_spectrum(window, theta, spacing_m=0.03)
+    assert np.all(np.isfinite(result.pseudospectrum))
+    with pytest.raises(DegenerateCovarianceError):
+        smoothed_music_spectrum(window, theta, spacing_m=0.03, condition_limit=1e12)
+
+
+def test_spectrogram_falls_back_per_frame(fast_tracking_config, rng):
+    """Windows the guard rejects get a beamformed row, not an exception."""
+    n = 4 * fast_tracking_config.window_size
+    times = np.arange(n) * fast_tracking_config.sample_period_s
+    series = np.exp(2j * np.pi * 40.0 * times)
+    series += 0.05 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    # Kill the middle: a dead stretch collapses those covariances.
+    dead = slice(n // 2 - fast_tracking_config.window_size, n // 2)
+    series[dead] = 0.0
+
+    spectrogram = compute_spectrogram(series, fast_tracking_config)
+    estimators = set(spectrogram.estimators)
+    assert estimators == {ESTIMATOR_MUSIC, ESTIMATOR_BEAMFORMING}
+    assert 0.0 < spectrogram.fallback_fraction < 1.0
+    assert np.all(np.isfinite(spectrogram.power))
+    # Fallback rows are recorded with an empty signal subspace.
+    fallback_rows = spectrogram.estimators == ESTIMATOR_BEAMFORMING
+    assert np.all(spectrogram.source_counts[fallback_rows] == 0)
+
+
+def test_spectrogram_survives_nan_window(fast_tracking_config, rng):
+    n = 3 * fast_tracking_config.window_size
+    series = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    series[: fast_tracking_config.window_size] = np.nan
+    spectrogram = compute_spectrogram(series, fast_tracking_config)
+    assert np.all(np.isfinite(spectrogram.power))
+    assert spectrogram.estimators[0] == ESTIMATOR_BEAMFORMING
+
+
+def test_condition_limit_validation():
+    with pytest.raises(ValueError):
+        TrackingConfig(condition_limit=1.0)

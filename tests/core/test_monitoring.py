@@ -1,9 +1,19 @@
-"""Tests for nulling-health monitoring."""
+"""Tests for nulling-health monitoring, screening, and the health machine."""
 
 import numpy as np
 import pytest
 
-from repro.core.monitoring import AutoCalibratingDevice, NullingMonitor, dc_level
+from repro.core.monitoring import (
+    AutoCalibratingDevice,
+    DeviceHealth,
+    HealthStateMachine,
+    NullingMonitor,
+    RecoveryPolicy,
+    dc_level,
+    sanitize_series,
+    screen_series,
+)
+from repro.errors import CaptureQualityError, DeviceFailedError
 from repro.environment.geometry import Point
 from repro.environment.human import BodyModel, Human
 from repro.environment.scene import Scene
@@ -88,3 +98,187 @@ def test_auto_device_recalibrates_on_drift(rng, monkeypatch):
     monkeypatch.setattr(device, "capture", drifted)
     auto.capture(1.0)
     assert auto.recalibration_count == 1
+
+
+# ----------------------------------------------------------------------
+# NullingMonitor edge cases
+# ----------------------------------------------------------------------
+
+
+def test_monitor_zero_baseline_does_not_blow_up():
+    """A perfect null (DC exactly zero) clamps rather than dividing by
+    zero; any later finite residual reads as massive erosion."""
+    monitor = NullingMonitor(erosion_budget_db=10.0)
+    monitor.set_baseline(make_series(dc=0.0, noise_sigma=0.0))
+    assert monitor.baseline_level == 1e-30
+    erosion = monitor.erosion_db(make_series(dc=1e-6, noise_sigma=0.0))
+    assert np.isfinite(erosion) and erosion > 100.0
+    assert monitor.needs_recalibration(make_series(dc=1e-6, noise_sigma=0.0))
+
+
+def test_monitor_near_zero_baseline_is_finite():
+    monitor = NullingMonitor()
+    monitor.set_baseline(make_series(dc=1e-28, noise_sigma=0.0))
+    erosion = monitor.erosion_db(make_series(dc=1e-28, noise_sigma=0.0))
+    assert erosion == pytest.approx(0.0, abs=1e-6)
+
+
+def test_monitor_erosion_exactly_at_budget_does_not_trip():
+    """The budget is a strict bound: exactly 10 dB of erosion is still
+    within contract; only beyond it triggers recalibration."""
+    monitor = NullingMonitor(erosion_budget_db=20.0)
+    monitor.set_baseline(make_series(dc=1.0, noise_sigma=0.0))
+    # A 10x residual is exactly +20 dB, representable without rounding.
+    at_budget = make_series(dc=10.0, noise_sigma=0.0)
+    assert monitor.erosion_db(at_budget) == 20.0
+    assert not monitor.needs_recalibration(at_budget)
+    beyond = make_series(dc=10.1, noise_sigma=0.0)
+    assert monitor.needs_recalibration(beyond)
+
+
+def test_monitor_set_baseline_clears_history():
+    monitor = NullingMonitor()
+    monitor.set_baseline(make_series(dc=1e-5))
+    monitor.erosion_db(make_series(dc=2e-5, seed=1))
+    monitor.erosion_db(make_series(dc=3e-5, seed=2))
+    assert len(monitor.history_db) == 2
+    monitor.set_baseline(make_series(dc=1e-5, seed=3))
+    assert monitor.history_db == []
+
+
+# ----------------------------------------------------------------------
+# Capture screening and repair
+# ----------------------------------------------------------------------
+
+
+def test_screen_clean_capture():
+    health = screen_series(make_series(dc=1e-5, noise_sigma=1e-6))
+    assert health.nan_fraction == 0.0
+    assert health.zero_fraction == 0.0
+    assert health.saturation_fraction < 0.02
+    assert health.damaged_fraction == 0.0
+
+
+def test_screen_counts_nan_and_zero_fractions():
+    series = make_series(dc=1e-5)
+    series.samples[:50] = np.nan
+    series.samples[50:100] = 0.0
+    health = screen_series(series)
+    assert health.nan_fraction == pytest.approx(0.1)
+    assert health.zero_fraction == pytest.approx(50 / 450)
+    assert health.damaged_fraction > 0.2
+
+
+def test_screen_detects_saturation_plateau():
+    series = make_series(dc=1e-5, noise_sigma=1e-6)
+    rail = 0.8 * np.abs(series.samples).max()
+    clipped = np.clip(series.samples.real, -rail, rail) + 1j * np.clip(
+        series.samples.imag, -rail, rail
+    )
+    clipped[:200] = rail + 1j * rail  # a hard plateau
+    series.samples[:] = clipped
+    health = screen_series(series)
+    assert health.saturation_fraction > 0.3
+
+
+def test_sanitize_interpolates_and_counts():
+    series = make_series(dc=1e-5, noise_sigma=0.0)
+    series.samples[100:110] = np.nan
+    series.samples[200:205] = 0.0
+    repaired, count = sanitize_series(series)
+    assert count == 15
+    assert np.all(np.isfinite(repaired.samples))
+    assert np.all(repaired.samples[100:110] != 0.0)
+    # A flat series interpolates back to itself.
+    assert np.allclose(repaired.samples, 1e-5, rtol=1e-6)
+
+
+def test_sanitize_noop_on_clean_capture():
+    series = make_series(dc=1e-5)
+    repaired, count = sanitize_series(series)
+    assert count == 0
+    assert repaired is series
+
+
+def test_sanitize_rejects_hopeless_capture():
+    series = make_series(dc=1e-5, n=10)
+    series.samples[:] = np.nan
+    with pytest.raises(CaptureQualityError):
+        sanitize_series(series)
+
+
+# ----------------------------------------------------------------------
+# Health-state machine
+# ----------------------------------------------------------------------
+
+
+def make_machine(**kwargs):
+    return HealthStateMachine(RecoveryPolicy(**kwargs))
+
+
+def test_machine_starts_healthy():
+    machine = make_machine()
+    assert machine.state is DeviceHealth.HEALTHY
+    assert machine.state_sequence() == [DeviceHealth.HEALTHY]
+
+
+def test_machine_degrades_then_recovers_with_hysteresis():
+    machine = make_machine(recover_after_good=2)
+    machine.record_bad("nan burst")
+    assert machine.state is DeviceHealth.DEGRADED
+    machine.record_good()
+    assert machine.state is DeviceHealth.DEGRADED  # one good is not enough
+    machine.record_good()
+    assert machine.state is DeviceHealth.HEALTHY
+    assert machine.recovery_count == 1
+
+
+def test_machine_escalates_to_recalibrating():
+    machine = make_machine(recalibrate_after_bad=2)
+    machine.record_bad("storm")
+    machine.record_bad("storm")
+    assert machine.state is DeviceHealth.RECALIBRATING
+    machine.recalibration_succeeded()
+    assert machine.state is DeviceHealth.DEGRADED
+    assert machine.recalibration_count == 1
+
+
+def test_machine_good_captures_reset_bad_streak():
+    machine = make_machine(recalibrate_after_bad=2, recover_after_good=5)
+    machine.record_bad("x")
+    machine.record_good()
+    machine.record_bad("x")
+    # Streak was broken: still DEGRADED, not RECALIBRATING.
+    assert machine.state is DeviceHealth.DEGRADED
+
+
+def test_machine_fails_after_repeated_recalibration_failures():
+    machine = make_machine(max_recalibration_failures=2)
+    machine.demand_recalibration("erosion")
+    machine.recalibration_failed("no convergence")
+    assert machine.state is DeviceHealth.RECALIBRATING
+    machine.recalibration_failed("no convergence")
+    assert machine.state is DeviceHealth.FAILED
+    with pytest.raises(DeviceFailedError):
+        machine.record_good()
+
+
+def test_machine_transition_log_reasons():
+    machine = make_machine()
+    machine.record_bad("nan burst")
+    machine.demand_recalibration("erosion over budget")
+    assert [t.target for t in machine.transitions] == [
+        DeviceHealth.DEGRADED,
+        DeviceHealth.RECALIBRATING,
+    ]
+    assert "nan burst" in machine.transitions[0].reason
+    assert machine.state_sequence()[0] is DeviceHealth.HEALTHY
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RecoveryPolicy(max_repairable_fraction=1.5)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(recover_after_good=0)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(max_saturation_fraction=0.0)

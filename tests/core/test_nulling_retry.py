@@ -1,0 +1,91 @@
+"""Bounded retry-with-backoff around Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.nulling import run_nulling, run_nulling_with_retry
+from repro.errors import CalibrationError
+
+
+class FlakyTransceiver:
+    """A transceiver that fails its first ``failures`` soundings."""
+
+    def __init__(self, failures=0, mode="nan"):
+        self.failures = failures
+        self.mode = mode
+        self.h1 = np.array([1.0 + 0.2j, 0.8 - 0.1j])
+        self.h2 = np.array([0.5 - 0.3j, 0.9 + 0.4j])
+        self.calls = 0
+
+    def sound_antenna(self, antenna_index):
+        if antenna_index == 0:
+            self.calls += 1
+            if self.calls <= self.failures and self.mode == "nan":
+                return np.array([np.nan, np.nan], dtype=complex)
+        if antenna_index == 1 and self.calls <= self.failures:
+            if self.mode == "zero":
+                return np.zeros(2, dtype=complex)  # poisons the precoder
+        return (self.h1 if antenna_index == 0 else self.h2).copy()
+
+    def measure_residual(self, precoder):
+        # Perfect feedback: residual is the true combined channel.
+        return self.h1 + precoder * self.h2
+
+    def boost_power(self, boost_db):
+        pass
+
+
+def test_nulling_raises_calibration_error_on_nan_sounding():
+    with pytest.raises(CalibrationError):
+        run_nulling(FlakyTransceiver(failures=10))
+
+
+def test_retry_succeeds_after_transient():
+    outcome = run_nulling_with_retry(
+        FlakyTransceiver(failures=2),
+        max_attempts=4,
+        initial_backoff_s=0.5,
+        backoff_factor=2.0,
+    )
+    assert outcome.attempts == 3
+    assert len(outcome.failures) == 2
+    # Two waits were burned: 0.5 + 1.0 of virtual time.
+    assert outcome.backoff_s == pytest.approx(1.5)
+    assert outcome.result.nulling_db > 20.0
+
+
+def test_retry_first_try_costs_no_backoff():
+    outcome = run_nulling_with_retry(FlakyTransceiver(), max_attempts=3)
+    assert outcome.attempts == 1
+    assert outcome.backoff_s == 0.0
+    assert outcome.failures == []
+
+
+def test_retry_exhaustion_raises_with_attempt_count():
+    with pytest.raises(CalibrationError) as excinfo:
+        run_nulling_with_retry(FlakyTransceiver(failures=99), max_attempts=3)
+    assert excinfo.value.attempts == 3
+    assert "attempt 3" in str(excinfo.value)
+
+
+def test_retry_zero_channel_counts_as_failed_attempt():
+    outcome = run_nulling_with_retry(
+        FlakyTransceiver(failures=1, mode="zero"), max_attempts=2
+    )
+    assert outcome.attempts == 2
+    assert "zero channel" in outcome.failures[0]
+
+
+def test_retry_enforces_depth_floor():
+    with pytest.raises(CalibrationError) as excinfo:
+        run_nulling_with_retry(
+            FlakyTransceiver(), max_attempts=2, min_depth_db=1000.0
+        )
+    assert "short of" in str(excinfo.value)
+
+
+def test_retry_parameter_validation():
+    with pytest.raises(ValueError):
+        run_nulling_with_retry(FlakyTransceiver(), max_attempts=0)
+    with pytest.raises(ValueError):
+        run_nulling_with_retry(FlakyTransceiver(), backoff_factor=0.5)

@@ -1,0 +1,91 @@
+"""Tests for deterministic fault schedules."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig
+from repro.faults.schedule import scheduled_fault_count
+
+
+def test_same_seed_identical_schedule():
+    config = FaultScheduleConfig()
+    a = FaultSchedule.generate(config, duration_s=60.0, seed=42)
+    b = FaultSchedule.generate(config, duration_s=60.0, seed=42)
+    assert a.events == b.events
+    assert a.describe() == b.describe()
+
+
+def test_different_seeds_differ():
+    config = FaultScheduleConfig(rate_scale=4.0)
+    a = FaultSchedule.generate(config, duration_s=60.0, seed=0)
+    b = FaultSchedule.generate(config, duration_s=60.0, seed=1)
+    assert a.events != b.events
+
+
+def test_one_kind_independent_of_others():
+    """Silencing every other kind must not move one kind's events."""
+    full = FaultSchedule.generate(FaultScheduleConfig(), 120.0, seed=3)
+    only_nan = FaultSchedule.generate(
+        FaultScheduleConfig(
+            adc_saturation_rate_hz=0.0,
+            overflow_storm_rate_hz=0.0,
+            clock_jump_rate_hz=0.0,
+            gain_dropout_rate_hz=0.0,
+            channel_step_rate_hz=0.0,
+        ),
+        120.0,
+        seed=3,
+    )
+    full_nan = [e for e in full.events if e.kind is FaultKind.NAN_BURST]
+    assert list(only_nan.events) == full_nan
+
+
+def test_events_sorted_and_within_span():
+    schedule = FaultSchedule.generate(
+        FaultScheduleConfig(rate_scale=5.0), 30.0, seed=9
+    )
+    assert len(schedule) > 0
+    starts = [e.start_s for e in schedule.events]
+    assert starts == sorted(starts)
+    assert all(0.0 <= s < 30.0 for s in starts)
+
+
+def test_expected_count_matches_poisson_mean():
+    config = FaultScheduleConfig(rate_scale=2.0)
+    duration = 200.0
+    expected = scheduled_fault_count(config, duration)
+    counts = [
+        len(FaultSchedule.generate(config, duration, seed=s)) for s in range(20)
+    ]
+    # 20 Poisson draws around the mean: loose 3-sigma-ish band.
+    assert expected * 0.6 < np.mean(counts) < expected * 1.4
+
+
+def test_events_between_half_open():
+    event = FaultEvent(FaultKind.NAN_BURST, start_s=1.0, duration_s=0.5, magnitude=0.0)
+    jump = FaultEvent(FaultKind.CLOCK_JUMP, start_s=2.0, duration_s=0.0, magnitude=1.0)
+    schedule = FaultSchedule(events=(event, jump), duration_s=5.0)
+    assert schedule.events_between(0.0, 1.0) == []       # ends before start
+    assert schedule.events_between(1.4, 3.0) == [event, jump]
+    assert schedule.events_between(1.5, 1.9) == []       # event already over
+    assert schedule.events_between(2.0, 2.1) == [jump]   # instant at boundary
+    assert schedule.events_between(1.9, 2.0) == []       # half-open: excluded
+    with pytest.raises(ValueError):
+        schedule.events_between(2.0, 2.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FaultScheduleConfig(nan_burst_rate_hz=-1.0)
+    with pytest.raises(ValueError):
+        FaultScheduleConfig(rate_scale=-0.5)
+    with pytest.raises(ValueError):
+        FaultScheduleConfig(overflow_drop_fraction=0.0)
+    with pytest.raises(ValueError):
+        FaultSchedule.generate(FaultScheduleConfig(), 0.0, seed=0)
+
+
+def test_zero_rates_give_empty_schedule():
+    config = FaultScheduleConfig(rate_scale=0.0)
+    schedule = FaultSchedule.generate(config, 100.0, seed=5)
+    assert len(schedule) == 0

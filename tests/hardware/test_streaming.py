@@ -33,6 +33,46 @@ def test_rx_overflow_drops_oldest_and_flags():
     assert flagged.metadata.overflow
 
 
+def test_rx_loss_accounting_counts_samples_not_buffers():
+    stream = RxStreamer(max_buffers=2)
+    stream.push(chunk(10), 100.0)
+    stream.push(chunk(20), 100.0)
+    stream.push(chunk(30), 100.0)  # evicts the 10-sample buffer
+    stream.push(chunk(40), 100.0)  # evicts the 20-sample buffer
+    assert stream.overflow_count == 2
+    assert stream.dropped_sample_count == 30  # 10 + 20, not "2 buffers"
+    stream.recv()
+    stream.recv()
+    assert stream.delivered_sample_count == 70  # 30 + 40
+
+
+def test_rx_starved_read_accounting():
+    stream = RxStreamer()
+    assert stream.recv() is None
+    assert stream.recv() is None
+    assert stream.starved_read_count == 2
+    stream.push(chunk(8), 100.0)
+    assert stream.recv() is not None
+    assert stream.starved_read_count == 2  # successful reads don't count
+    assert stream.delivered_sample_count == 8
+
+
+def test_rx_drop_oldest_explicit():
+    stream = RxStreamer()
+    assert stream.drop_oldest() is None  # empty queue: nothing charged
+    assert stream.overflow_count == 0
+    stream.push(chunk(12, value=7.0), 100.0)
+    stream.push(chunk(12, value=8.0), 100.0)
+    victim = stream.drop_oldest()
+    assert victim is not None and victim.samples[0] == 7.0
+    assert stream.overflow_count == 1
+    assert stream.dropped_sample_count == 12
+    # The drop marks the stream discontinuous for the next push.
+    stream.push(chunk(12), 100.0)
+    stream.recv()
+    assert stream.recv().metadata.overflow
+
+
 def test_rx_validation():
     stream = RxStreamer()
     with pytest.raises(ValueError):

@@ -1,0 +1,55 @@
+"""Property-based tests on the analog front-end impairment models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.impairments import apply_cfo, phase_noise_walk
+
+cfo_values = st.floats(
+    min_value=-50e3, max_value=50e3, allow_nan=False, allow_infinity=False
+)
+sample_counts = st.integers(min_value=1, max_value=512)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(cfo_values, sample_counts, seeds)
+def test_cfo_rotation_is_invertible(cfo_hz, n, seed):
+    """Applying +f then -f round-trips the stream (the rotations are
+    exact inverses sample by sample)."""
+    rng = np.random.default_rng(seed)
+    samples = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    round_trip = apply_cfo(apply_cfo(samples, cfo_hz, 5e6), -cfo_hz, 5e6)
+    assert np.allclose(round_trip, samples, atol=1e-9)
+
+
+@given(cfo_values, sample_counts, seeds)
+def test_cfo_preserves_magnitude(cfo_hz, n, seed):
+    rng = np.random.default_rng(seed)
+    samples = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    rotated = apply_cfo(samples, cfo_hz, 5e6)
+    assert np.allclose(np.abs(rotated), np.abs(samples), atol=1e-9)
+
+
+@given(
+    st.floats(min_value=10.0, max_value=10e3),
+    st.floats(min_value=1e5, max_value=20e6),
+    seeds,
+)
+@settings(max_examples=30, deadline=None)
+def test_phase_walk_increment_variance(linewidth_hz, sample_rate_hz, seed):
+    """The Wiener walk's per-sample increment variance is
+    2*pi*linewidth/fs (the Lorentzian-linewidth oscillator model)."""
+    rng = np.random.default_rng(seed)
+    walk = phase_noise_walk(200_000, linewidth_hz, sample_rate_hz, rng)
+    increments = np.diff(walk)
+    expected = 2.0 * np.pi * linewidth_hz / sample_rate_hz
+    measured = float(np.var(increments))
+    # 200k samples: the sample variance sits within a few percent.
+    assert abs(measured - expected) < 0.1 * expected
+
+
+@given(sample_counts, seeds)
+def test_phase_walk_zero_linewidth_is_silent(n, seed):
+    rng = np.random.default_rng(seed)
+    assert np.all(phase_noise_walk(n, 0.0, 5e6, rng) == 0.0)

@@ -89,6 +89,53 @@ def test_gesture_decoder_override(rng):
     assert result.bits == [1]
 
 
+def test_clock_advances_explicitly(rng):
+    device = walking_device(rng)
+    assert device.clock_s == 0.0
+    device.advance_clock(1.5)
+    assert device.clock_s == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        device.advance_clock(-0.1)
+
+
+def test_calibrate_with_retry_stores_result_and_charges_clock(rng):
+    device = walking_device(rng)
+    outcome = device.calibrate_with_retry(max_attempts=3)
+    assert device.is_calibrated
+    assert device.nulling is outcome.result
+    assert outcome.attempts == 1
+    # A clean first attempt burns no backoff.
+    assert device.clock_s == pytest.approx(0.0)
+
+
+def test_time_shifted_human_forwards_explicit_surface(rng):
+    from repro.simulator.device import _TimeShiftedHuman
+
+    human = Human(
+        LinearTrajectory(Point(6.0, 0.8), Point(-0.5, 0.0), 10.0),
+        BodyModel(limb_count=0),
+        name="alice",
+    )
+    shifted = _TimeShiftedHuman(human, offset_s=2.0)
+    assert shifted.trajectory is human.trajectory
+    assert shifted.body is human.body
+    assert shifted.gait_phase == human.gait_phase
+    assert shifted.name == "alice"
+    # scatterers() is the only time-dependent call, and it shifts.
+    a = shifted.scatterers(1.0)
+    b = human.scatterers(3.0)
+    assert [s.position for s in a] == [s.position for s in b]
+
+
+def test_time_shifted_human_rejects_unknown_attributes(rng):
+    from repro.simulator.device import _TimeShiftedHuman
+
+    human = Human(LinearTrajectory(Point(6.0, 0.8), Point(-0.5, 0.0), 10.0))
+    shifted = _TimeShiftedHuman(human, offset_s=0.0)
+    with pytest.raises(AttributeError, match="forwards only"):
+        shifted.trajectry  # noqa: B018 - the typo is the point
+
+
 def test_calibration_ignores_movers(rng):
     # Calibration runs on static paths even with a human in the scene:
     # the nulling result must not depend on where the mover happens to

@@ -18,6 +18,24 @@ def test_track_command(capsys):
     assert "dominant angle" in output
 
 
+def test_track_command_with_fault_injection(capsys):
+    code = main(
+        ["track", "--humans", "1", "--duration", "3", "--seed", "3",
+         "--inject-faults", "--fault-seed", "7"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "fault schedule (seed 7)" in output
+    assert "final health:" in output
+    assert "dominant angle" in output
+
+
+def test_track_fault_flags_default_off():
+    args = build_parser().parse_args(["track"])
+    assert args.inject_faults is False
+    assert args.fault_seed == 0
+
+
 def test_gestures_command_roundtrip(capsys):
     code = main(["gestures", "01", "--distance", "2.5", "--seed", "1"])
     output = capsys.readouterr().out
