@@ -10,6 +10,7 @@ for extending the benchmark harness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -26,11 +27,19 @@ class Condition:
 
 @dataclass
 class ConditionResult:
-    """Collected outcomes for one condition."""
+    """Collected outcomes for one condition.
+
+    ``wall_time_s`` / ``cpu_time_s`` cover the condition's whole trial
+    loop (as measured where it ran — in-worker for the parallel
+    executor), so serial-vs-parallel speedup is measurable straight
+    from the result objects.
+    """
 
     condition: Condition
     values: list[float]
     failures: int = 0
+    wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
 
     @property
     def count(self) -> int:
@@ -57,6 +66,44 @@ class ConditionResult:
 
 class TrialError(RuntimeError):
     """Raised by trial functions to signal a recoverable trial failure."""
+
+
+def run_condition(
+    trial: Callable[..., float],
+    condition: Condition,
+    condition_index: int,
+    trials_per_condition: int,
+    seed: int,
+) -> ConditionResult:
+    """Run every trial of one condition and collect its result.
+
+    Module-level (hence picklable) and parameterized by the condition's
+    *index in the original sweep*: each (condition, trial) pair draws
+    from ``SeedSequence([seed, condition_index, trial_index])``, so the
+    draws depend only on position, never on which process runs them or
+    in what order — the invariant the parallel executor
+    (:func:`repro.runtime.parallel.run_campaign_parallel`) relies on to
+    return results identical to the serial path.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    values: list[float] = []
+    failures = 0
+    for t_index in range(trials_per_condition):
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, condition_index, t_index])
+        )
+        try:
+            values.append(float(trial(rng, **condition.parameters)))
+        except TrialError:
+            failures += 1
+    return ConditionResult(
+        condition=condition,
+        values=values,
+        failures=failures,
+        wall_time_s=time.perf_counter() - wall_start,
+        cpu_time_s=time.process_time() - cpu_start,
+    )
 
 
 @dataclass
@@ -90,22 +137,12 @@ class Campaign:
 
     def run(self) -> dict[str, ConditionResult]:
         """Execute the whole sweep; returns results keyed by label."""
-        results: dict[str, ConditionResult] = {}
-        for c_index, condition in enumerate(self.conditions):
-            values: list[float] = []
-            failures = 0
-            for t_index in range(self.trials_per_condition):
-                rng = np.random.default_rng(
-                    np.random.SeedSequence([self.seed, c_index, t_index])
-                )
-                try:
-                    values.append(float(self.trial(rng, **condition.parameters)))
-                except TrialError:
-                    failures += 1
-            results[condition.label] = ConditionResult(
-                condition=condition, values=values, failures=failures
+        return {
+            condition.label: run_condition(
+                self.trial, condition, c_index, self.trials_per_condition, self.seed
             )
-        return results
+            for c_index, condition in enumerate(self.conditions)
+        }
 
 
 def summary_table(results: dict[str, ConditionResult]) -> str:

@@ -62,6 +62,29 @@ def render_heatmap(
     return "\n".join(lines)
 
 
+def render_column_strip(power: np.ndarray, width: int = 60) -> str:
+    """Render one spectrogram column as a single glyph strip.
+
+    The streaming CLI prints columns the moment they arrive, one line
+    per window — this is one row of :func:`render_heatmap`, normalized
+    within the column (dB over the column minimum), downsampled to
+    ``width`` glyphs by averaging.
+    """
+    power = np.asarray(power, dtype=float)
+    if power.ndim != 1 or power.size == 0:
+        raise ValueError("column must be a non-empty 1-D array")
+    db = 20.0 * np.log10(np.maximum(power, np.finfo(float).tiny))
+    db -= db.min()
+    width = min(width, len(db))
+    edges = np.linspace(0, len(db), width + 1).astype(int)
+    bins = np.array(
+        [db[edges[i] : max(edges[i + 1], edges[i] + 1)].mean() for i in range(width)]
+    )
+    span = max(float(bins.max()), np.finfo(float).tiny)
+    levels = np.clip((bins / span * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1)
+    return "".join(_RAMP[level] for level in levels)
+
+
 def render_series(
     values: np.ndarray,
     times: np.ndarray | None = None,

@@ -1,8 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands, one per headline capability:
+Subcommands, one per headline capability:
 
 * ``track``     — image a moving person through a wall (mode 1, §3.2).
+* ``stream``    — the same imaging, online: spectrogram columns emitted
+  block by block as the samples arrive (the `repro.runtime` engine).
 * ``gestures``  — decode a gestured bit sequence (mode 2, Chapter 6).
 * ``count``     — train and run the §7.4 occupant counter.
 * ``materials`` — the §7.6 building-material sweep.
@@ -100,6 +102,110 @@ def _track_with_faults(device: WiViDevice, args: argparse.Namespace) -> int:
     angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
     print(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
           "(positive = toward the device)")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Image movers *online*: columns stream out as samples arrive."""
+    import time as _time
+
+    from repro.analysis.plots import render_column_strip
+    from repro.hardware.streaming import RxStreamer
+    from repro.runtime import (
+        BlockSource,
+        ColumnEvent,
+        DetectStage,
+        DetectionEvent,
+        GapEvent,
+        HealthEvent,
+        StreamingPipeline,
+        StreamingTracker,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    room = stata_conference_room_small()
+    scene = build_tracking_scene(room, args.humans, args.duration, rng)
+    device = WiViDevice(scene, rng)
+    nulling = device.calibrate()
+    print(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
+
+    # The simulated radio's output; faults corrupt it at the hardware
+    # boundary before the runtime ever sees a sample.
+    series = device.capture(args.duration)
+    injector = None
+    if args.inject_faults:
+        from repro.faults import FaultInjector, FaultSchedule, FaultScheduleConfig
+
+        schedule = FaultSchedule.generate(
+            FaultScheduleConfig(), duration_s=args.duration + 2.0, seed=args.fault_seed
+        )
+        print(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
+        injector = FaultInjector(schedule)
+        series = injector.corrupt_series(series, 0.0)
+
+    rate = device.config.timeseries.sample_rate_hz
+    streamer = RxStreamer(max_buffers=args.max_buffers)
+    source = BlockSource(streamer, block_size=args.block_size)
+    tracker = StreamingTracker(device.config.tracking, use_music=not args.beamforming)
+    pipeline = StreamingPipeline(source, tracker, detector=DetectStage())
+
+    detections = 0
+
+    def show(event) -> None:
+        nonlocal detections
+        if isinstance(event, ColumnEvent):
+            column = event.column
+            angle = tracker.config.theta_grid_deg[int(np.argmax(column.power))]
+            print(
+                f"t={column.time_s:6.2f}s  |{render_column_strip(column.power)}| "
+                f"peak {angle:+4.0f} deg [{column.estimator}]"
+            )
+        elif isinstance(event, DetectionEvent):
+            print(
+                f"t={event.time_s:6.2f}s  motion at {event.angle_deg:+.0f} deg "
+                f"({event.strength_db:.1f} dB over DC)"
+            )
+            detections += 1
+        elif isinstance(event, HealthEvent):
+            print(
+                f"  health -> {event.state.value} "
+                f"(block {event.block_index}: {event.reason})"
+            )
+        elif isinstance(event, GapEvent):
+            print(f"  stream gap: {event.dropped_samples} samples lost")
+
+    samples = series.samples
+    start = _time.perf_counter()
+    # Producer and consumer interleave chunk by chunk, the shape of the
+    # real-time loop: push what the radio produced, drain what's ready.
+    for offset in range(0, len(samples), args.block_size):
+        chunk = samples[offset : offset + args.block_size]
+        if args.realtime:
+            _time.sleep(len(chunk) / rate)
+        streamer.push(chunk, rate)
+        for event in pipeline.process():
+            show(event)
+    streamer.close()
+    for event in pipeline.process():
+        show(event)
+    elapsed = _time.perf_counter() - start
+
+    columns = tracker.columns_emitted
+    print(
+        f"\n{columns} columns from {tracker.samples_seen} samples in "
+        f"{elapsed:.2f} s ({columns / max(elapsed, 1e-9):.1f} columns/s); "
+        f"{detections} detections; final health: {pipeline.health.value}"
+    )
+    for line in pipeline.metrics.describe():
+        print(f"  {line}")
+    if source.ring.dropped_sample_count or streamer.overflow_count:
+        print(
+            f"  backpressure: {streamer.overflow_count} streamer overflows, "
+            f"{source.ring.dropped_sample_count} ring samples dropped"
+        )
+    if injector is not None:
+        for entry in injector.log:
+            print(f"  fault: {entry.describe()}")
     return 0
 
 
@@ -225,6 +331,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed(track)
     track.set_defaults(handler=cmd_track)
+
+    stream = commands.add_parser(
+        "stream", help="image movers online, column by column"
+    )
+    stream.add_argument("--humans", type=int, default=1)
+    stream.add_argument("--duration", type=float, default=8.0)
+    stream.add_argument(
+        "--block-size",
+        type=int,
+        default=64,
+        help="samples per streamed block",
+    )
+    stream.add_argument(
+        "--max-buffers",
+        type=int,
+        default=64,
+        help="receive-stream depth before overflow drops",
+    )
+    stream.add_argument(
+        "--beamforming",
+        action="store_true",
+        help="plain Eq. 5.1 beamforming instead of smoothed MUSIC",
+    )
+    stream.add_argument(
+        "--realtime",
+        action="store_true",
+        help="pace blocks at the 312.5 Hz channel-sample rate",
+    )
+    stream.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="corrupt the stream with the deterministic fault schedule",
+    )
+    stream.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault schedule",
+    )
+    _add_seed(stream)
+    stream.set_defaults(handler=cmd_stream)
 
     gestures = commands.add_parser("gestures", help="decode a gestured bit string")
     gestures.add_argument("bits", nargs="?", default="01")

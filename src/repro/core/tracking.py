@@ -235,6 +235,75 @@ def _beamformed_fallback_row(
     )
 
 
+@dataclass(frozen=True)
+class SpectrogramFrame:
+    """One window's worth of the A'[theta, n] image.
+
+    The unit both the offline :func:`compute_spectrogram` loop and the
+    streaming tracker (:mod:`repro.runtime.tracker`) emit — sharing
+    :func:`compute_spectrogram_frame` is what makes their outputs
+    bit-identical on the same windows.
+    """
+
+    power: np.ndarray
+    num_sources: int
+    estimator: str
+
+
+def compute_spectrogram_frame(
+    window: np.ndarray, config: TrackingConfig
+) -> SpectrogramFrame:
+    """Estimate a single emulated-array window under the degeneracy guard.
+
+    Runs smoothed MUSIC; a window whose covariance the guard rejects —
+    saturated, dead, or corrupted — falls back to plain Eq. 5.1
+    beamforming, with the chosen estimator recorded in the frame.
+    """
+    theta_grid = config.theta_grid_deg
+    try:
+        result = smoothed_music_spectrum(
+            window,
+            theta_grid,
+            config.spacing_m,
+            subarray_size=config.subarray_size,
+            max_sources=config.max_sources,
+            wavelength_m=config.wavelength_m,
+            condition_limit=config.condition_limit,
+        )
+        return SpectrogramFrame(
+            power=result.pseudospectrum,
+            num_sources=result.num_sources,
+            estimator=ESTIMATOR_MUSIC,
+        )
+    except DegenerateCovarianceError:
+        return SpectrogramFrame(
+            power=_beamformed_fallback_row(window, theta_grid, config),
+            num_sources=0,
+            estimator=ESTIMATOR_BEAMFORMING,
+        )
+
+
+def compute_beamformed_frame(
+    window: np.ndarray, config: TrackingConfig, remove_window_mean: bool = True
+) -> SpectrogramFrame:
+    """Plain Eq. 5.1 estimate of a single window.
+
+    The per-window counterpart of :func:`compute_beamformed_spectrogram`
+    (identical arithmetic; the streaming tracker uses it for the
+    gesture-grade physical-magnitude spectrogram).
+    """
+    window = np.asarray(window, dtype=complex)
+    if remove_window_mean:
+        window = window - window.mean()
+    return SpectrogramFrame(
+        power=inverse_aoa_spectrum(
+            window, config.theta_grid_deg, config.spacing_m, config.wavelength_m
+        ),
+        num_sources=0,
+        estimator=ESTIMATOR_BEAMFORMING,
+    )
+
+
 def compute_spectrogram(
     channel_series: np.ndarray,
     config: TrackingConfig | None = None,
@@ -264,23 +333,10 @@ def compute_spectrogram(
     estimators = np.empty(len(starts), dtype=object)
     for row, start in enumerate(starts):
         window = series[start : start + config.window_size]
-        try:
-            result = smoothed_music_spectrum(
-                window,
-                theta_grid,
-                config.spacing_m,
-                subarray_size=config.subarray_size,
-                max_sources=config.max_sources,
-                wavelength_m=config.wavelength_m,
-                condition_limit=config.condition_limit,
-            )
-            power[row] = result.pseudospectrum
-            counts[row] = result.num_sources
-            estimators[row] = ESTIMATOR_MUSIC
-        except DegenerateCovarianceError:
-            power[row] = _beamformed_fallback_row(window, theta_grid, config)
-            counts[row] = 0
-            estimators[row] = ESTIMATOR_BEAMFORMING
+        frame = compute_spectrogram_frame(window, config)
+        power[row] = frame.power
+        counts[row] = frame.num_sources
+        estimators[row] = frame.estimator
     times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
     return MotionSpectrogram(
         times_s=times,

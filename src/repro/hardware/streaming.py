@@ -53,6 +53,7 @@ class RxStreamer:
         self._queue: deque[StreamBuffer] = deque()
         self._max_buffers = max_buffers
         self._overflowed = False
+        self._closed = False
         self._clock_s = 0.0
         #: Buffers evicted by overflow.
         self.overflow_count = 0
@@ -83,6 +84,8 @@ class RxStreamer:
 
     def push(self, samples: np.ndarray, sample_rate_hz: float) -> None:
         """Producer side: append a chunk at the stream clock."""
+        if self._closed:
+            raise ValueError("cannot push to a closed stream")
         samples = np.asarray(samples, dtype=complex)
         if samples.ndim != 1 or len(samples) == 0:
             raise ValueError("samples must be a non-empty 1-D array")
@@ -99,15 +102,37 @@ class RxStreamer:
         self._queue.append(StreamBuffer(samples=samples, metadata=metadata))
         self._clock_s += len(samples) / sample_rate_hz
 
+    def close(self) -> None:
+        """Producer side: no more buffers are coming.
+
+        Already-queued buffers remain receivable; once they drain,
+        ``recv`` returns None *without* charging a starved read — end
+        of stream is a shutdown, not an underrun.
+        """
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether the producer has announced end of stream."""
+        return self._closed
+
+    @property
+    def exhausted(self) -> bool:
+        """Closed and fully drained: the consumer can shut down."""
+        return self._closed and not self._queue
+
     def recv(self) -> StreamBuffer | None:
         """Consumer side: pop the oldest buffer (None when starved).
 
         A starved read is *accounted* (``starved_read_count``) so
         consumers can tell underrun (they outpace the producer) from
-        overflow (the producer outpaces them) when diagnosing gaps.
+        overflow (the producer outpaces them) when diagnosing gaps —
+        unless the stream is closed, in which case an empty queue is
+        orderly shutdown, not starvation.
         """
         if not self._queue:
-            self.starved_read_count += 1
+            if not self._closed:
+                self.starved_read_count += 1
             return None
         buffer = self._queue.popleft()
         self.delivered_sample_count += buffer.metadata.num_samples

@@ -53,9 +53,11 @@ class DirectionalAntenna:
             raise ValueError("front-to-back ratio must be non-negative dB")
 
     @cached_property
-    def _cosine_order(self) -> float:
+    def cosine_order(self) -> float:
         """Exponent giving a -3 dB point at half the beamwidth.
 
+        Public: the vectorized fast path (`repro.simulator.fastpath`)
+        evaluates the pattern in bulk and needs the shaping exponent.
         Cached: it sits on the simulator's per-path hot loop.
         """
         half_beam = math.radians(self.beamwidth_deg / 2.0)
@@ -77,7 +79,7 @@ class DirectionalAntenna:
         projection = math.cos(angle_off_boresight_rad)
         if projection <= 0.0:
             return peak * floor
-        shaped = projection**self._cosine_order
+        shaped = projection**self.cosine_order
         return peak * max(shaped, floor)
 
     def amplitude_gain(self, angle_off_boresight_rad: float) -> float:

@@ -1,0 +1,56 @@
+"""repro.runtime — the online streaming sensing engine.
+
+The offline pipeline answers "what happened in this 25 s trace"; this
+package answers it *while the trace is still arriving*: bounded sample
+buffering with overflow accounting (:mod:`~repro.runtime.ring`),
+incremental sliding-window spectrogram estimation that matches the
+batch pipeline bit for bit (:mod:`~repro.runtime.tracker`), a stage
+graph with per-stage latency/throughput metrics and mid-stream health
+visibility (:mod:`~repro.runtime.pipeline`), and a parallel campaign
+executor with seed-stable, order-independent results
+(:mod:`~repro.runtime.parallel`).
+
+The CLI front end is ``python -m repro stream``.
+"""
+
+from repro.runtime.metrics import RuntimeMetrics, StageMetrics, StageTimer
+from repro.runtime.parallel import ParallelCampaignReport, run_campaign_parallel
+from repro.runtime.pipeline import (
+    BlockHealth,
+    ColumnEvent,
+    ConditionStage,
+    DetectStage,
+    DetectionEvent,
+    DetectorConfig,
+    GapEvent,
+    HealthEvent,
+    StreamingPipeline,
+    StreamResult,
+    screen_block,
+)
+from repro.runtime.ring import BlockSource, SampleBlock, SampleRingBuffer
+from repro.runtime.tracker import SpectrogramColumn, StreamingTracker
+
+__all__ = [
+    "BlockHealth",
+    "BlockSource",
+    "ColumnEvent",
+    "ConditionStage",
+    "DetectStage",
+    "DetectionEvent",
+    "DetectorConfig",
+    "GapEvent",
+    "HealthEvent",
+    "ParallelCampaignReport",
+    "RuntimeMetrics",
+    "SampleBlock",
+    "SampleRingBuffer",
+    "SpectrogramColumn",
+    "StageMetrics",
+    "StageTimer",
+    "StreamResult",
+    "StreamingPipeline",
+    "StreamingTracker",
+    "run_campaign_parallel",
+    "screen_block",
+]

@@ -1,0 +1,179 @@
+"""Incremental sliding-window spectrogram estimation.
+
+The offline pipeline (:func:`repro.core.tracking.compute_spectrogram`)
+recomputes every window of the full trace at once.  The streaming
+tracker holds only ``window_size`` samples of state and emits each
+A'[theta, n] column the moment its window fills — bounded memory,
+bounded latency, same math: both paths call
+:func:`repro.core.tracking.compute_spectrogram_frame` on identical
+window contents, so the online columns match the offline spectrogram
+bit for bit on the shared window range (the golden-equivalence test
+enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tracking import (
+    MotionSpectrogram,
+    SpectrogramFrame,
+    TrackingConfig,
+    compute_beamformed_frame,
+    compute_spectrogram_frame,
+)
+from repro.runtime.metrics import StageMetrics, StageTimer
+from repro.runtime.ring import SampleRingBuffer
+
+
+@dataclass(frozen=True)
+class SpectrogramColumn:
+    """One online column of the A'[theta, n] image.
+
+    Attributes:
+        index: window number (0-based, hop-spaced).
+        start_sample: index of the window's first sample in the stream.
+        time_s: centre time of the window (matches
+            ``MotionSpectrogram.times_s``).
+        power: pseudospectrum magnitudes over the angle grid.
+        num_sources: signal-subspace size (0 for beamformed frames).
+        estimator: which estimator produced the column ("music" or
+            "beamforming", including the degeneracy fallback).
+    """
+
+    index: int
+    start_sample: int
+    time_s: float
+    power: np.ndarray
+    num_sources: int
+    estimator: str
+
+
+class StreamingTracker:
+    """Turns an incoming sample stream into spectrogram columns.
+
+    Feed sample blocks with :meth:`push`; each call returns the columns
+    whose windows completed.  Internally a ring buffer holds the
+    current window: ``window_size`` samples are peeked per column and
+    only ``hop`` are consumed, exactly reproducing the offline
+    overlapping-window walk.
+
+    The streaming DC treatment matches the offline estimators: the
+    MUSIC path carries the DC line at theta = 0 naturally, and the
+    ``use_music=False`` beamforming path removes each window's mean
+    (the gesture decoder's configuration).
+    """
+
+    def __init__(
+        self,
+        config: TrackingConfig | None = None,
+        start_time_s: float = 0.0,
+        use_music: bool = True,
+        ring_capacity: int | None = None,
+    ):
+        self.config = config if config is not None else TrackingConfig()
+        self.start_time_s = start_time_s
+        self.use_music = use_music
+        window = self.config.window_size
+        capacity = (
+            ring_capacity if ring_capacity is not None else 4 * window
+        )
+        if capacity < window:
+            raise ValueError("ring capacity must hold one full window")
+        self.ring = SampleRingBuffer(capacity)
+        self.metrics = StageMetrics(name="track")
+        self._next_start = 0
+        self._column_index = 0
+        self._samples_seen = 0
+
+    @property
+    def columns_emitted(self) -> int:
+        return self._column_index
+
+    @property
+    def samples_seen(self) -> int:
+        return self._samples_seen
+
+    def _estimate(self, window: np.ndarray) -> SpectrogramFrame:
+        if self.use_music:
+            return compute_spectrogram_frame(window, self.config)
+        return compute_beamformed_frame(window, self.config)
+
+    def push(self, samples: np.ndarray) -> list[SpectrogramColumn]:
+        """Accept a sample block; return the columns it completed.
+
+        The tracker consumes eagerly, so its ring never overflows as
+        long as each pushed block fits alongside one window of carry
+        (capacity >= window_size - hop + len(samples)); a larger block
+        raises rather than silently dropping window-aligned samples.
+        """
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim != 1:
+            raise ValueError("samples must be one-dimensional")
+        config = self.config
+        if len(self.ring) + len(samples) > self.ring.capacity:
+            raise ValueError(
+                f"block of {len(samples)} samples cannot fit the tracker ring "
+                f"(capacity {self.ring.capacity}, {len(self.ring)} buffered); "
+                "use smaller blocks or a larger ring_capacity"
+            )
+        self._samples_seen += len(samples)
+        columns: list[SpectrogramColumn] = []
+        with StageTimer(self.metrics, items_in=len(samples)) as timer:
+            self.ring.push(samples)
+            while len(self.ring) >= config.window_size:
+                window = self.ring.peek(config.window_size)
+                frame = self._estimate(window)
+                time_s = (
+                    self.start_time_s
+                    + (self._next_start + config.window_size / 2.0)
+                    * config.sample_period_s
+                )
+                columns.append(
+                    SpectrogramColumn(
+                        index=self._column_index,
+                        start_sample=self._next_start,
+                        time_s=time_s,
+                        power=frame.power,
+                        num_sources=frame.num_sources,
+                        estimator=frame.estimator,
+                    )
+                )
+                self.ring.consume(config.hop)
+                self._next_start += config.hop
+                self._column_index += 1
+            timer.items_out = len(columns)
+        return columns
+
+    def reset(self, next_start: int | None = None) -> None:
+        """Drop buffered state after a stream gap (phase continuity is
+        lost across dropped samples; windows must restart cleanly).
+
+        ``next_start`` re-anchors the sample index of the next window;
+        by default indexing continues from the samples already seen.
+        """
+        self.ring.consume(len(self.ring))
+        self._next_start = next_start if next_start is not None else self._samples_seen
+
+    @staticmethod
+    def assemble(
+        columns: list[SpectrogramColumn], config: TrackingConfig
+    ) -> MotionSpectrogram:
+        """Stack emitted columns into an offline-shaped spectrogram.
+
+        The result is interchangeable with the batch pipeline's output
+        — identical field-for-field when the columns cover the same
+        windows (the golden-equivalence contract).
+        """
+        if not columns:
+            raise ValueError("no columns to assemble")
+        return MotionSpectrogram(
+            times_s=np.array([c.time_s for c in columns]),
+            theta_grid_deg=config.theta_grid_deg,
+            power=np.stack([c.power for c in columns]),
+            source_counts=np.array([c.num_sources for c in columns], dtype=int),
+            window_overlap=max(config.window_size // config.hop, 1),
+            estimators=np.array([c.estimator for c in columns], dtype=object),
+        )

@@ -28,7 +28,7 @@ def _antenna_amplitude(antenna: DirectionalAntenna, cosines: np.ndarray) -> np.n
     """
     peak = 10.0 ** (antenna.boresight_gain_dbi / 10.0)
     floor = 10.0 ** (-antenna.front_to_back_db / 10.0)
-    order = antenna._cosine_order
+    order = antenna.cosine_order
     shaped = np.where(
         cosines > 0.0,
         np.maximum(np.power(np.maximum(cosines, 0.0), order), floor),

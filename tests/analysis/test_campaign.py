@@ -54,6 +54,32 @@ def test_trial_errors_counted_not_fatal():
     assert result.count + result.failures == 20
 
 
+def test_condition_results_record_wall_and_cpu_time():
+    def trial(rng):
+        # Enough numeric work that the clocks visibly tick.
+        return float(np.linalg.norm(rng.standard_normal((40, 40))))
+
+    campaign = Campaign(
+        trial=trial, conditions=[Condition("timed")], trials_per_condition=4, seed=5
+    )
+    result = campaign.run()["timed"]
+    assert result.wall_time_s > 0.0
+    assert result.cpu_time_s >= 0.0
+    # Both clocks cover the same loop; CPU time cannot exceed wall time
+    # by more than scheduler noise on a single-threaded trial.
+    assert result.cpu_time_s <= result.wall_time_s * 2 + 0.1
+
+
+def test_timing_does_not_perturb_values():
+    def trial(rng):
+        return float(rng.random())
+
+    first = Campaign(trial=trial, conditions=[Condition("x")], seed=7).run()
+    second = Campaign(trial=trial, conditions=[Condition("x")], seed=7).run()
+    assert first["x"].values == second["x"].values
+    assert first["x"].wall_time_s != 0.0  # timing recorded on both runs
+
+
 def test_campaign_validation():
     def trial(rng):
         return 0.0

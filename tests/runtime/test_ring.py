@@ -1,0 +1,163 @@
+"""Ring-buffer and block-source edge cases.
+
+The satellite checklist names the cases that break naive ring code:
+wraparound, overflow drop accounting, reads straddling a
+fault-injected NaN burst, and empty-source shutdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.streaming import RxStreamer
+from repro.runtime.ring import BlockSource, SampleRingBuffer
+
+
+def _arange_complex(start, count):
+    return np.arange(start, start + count, dtype=float) + 0j
+
+
+class TestSampleRingBuffer:
+    def test_push_peek_consume_roundtrip(self):
+        ring = SampleRingBuffer(8)
+        ring.push(_arange_complex(0, 5))
+        assert len(ring) == 5
+        assert np.array_equal(ring.peek(3), _arange_complex(0, 3))
+        assert len(ring) == 5  # peek does not consume
+        ring.consume(2)
+        assert np.array_equal(ring.peek(3), _arange_complex(2, 3))
+        assert ring.total_consumed == 2
+
+    def test_wraparound_preserves_order(self):
+        ring = SampleRingBuffer(8)
+        ring.push(_arange_complex(0, 6))
+        ring.consume(5)
+        # Write region now wraps: 1 sample at the tail, rest at the head.
+        ring.push(_arange_complex(6, 7))
+        assert len(ring) == 8
+        assert np.array_equal(ring.peek(8), _arange_complex(5, 8))
+
+    def test_repeated_wraparound_with_sliding_window(self):
+        # The tracker's access pattern: peek window, consume hop.
+        ring = SampleRingBuffer(11)
+        window, hop = 7, 3
+        pushed = 0
+        expected_start = 0
+        for _ in range(20):
+            ring.push(_arange_complex(pushed, 4))
+            pushed += 4
+            while len(ring) >= window:
+                assert np.array_equal(
+                    ring.peek(window), _arange_complex(expected_start, window)
+                )
+                ring.consume(hop)
+                expected_start += hop
+
+    def test_overflow_drops_oldest_and_accounts(self):
+        ring = SampleRingBuffer(6)
+        ring.push(_arange_complex(0, 4))
+        dropped = ring.push(_arange_complex(4, 4))
+        assert dropped == 2
+        assert ring.overflow_count == 1
+        assert ring.dropped_sample_count == 2
+        # The oldest two samples are gone; order is preserved.
+        assert np.array_equal(ring.peek(6), _arange_complex(2, 6))
+        assert ring.total_pushed == 8
+
+    def test_chunk_larger_than_capacity_keeps_newest(self):
+        ring = SampleRingBuffer(4)
+        dropped = ring.push(_arange_complex(0, 10))
+        assert dropped == 6
+        assert ring.dropped_sample_count == 6
+        assert np.array_equal(ring.peek(4), _arange_complex(6, 4))
+
+    def test_nan_burst_survives_wraparound_reads(self):
+        # A fault-injected NaN burst must come back out exactly where it
+        # went in, even when the read region straddles the wrap point.
+        ring = SampleRingBuffer(10)
+        clean = _arange_complex(0, 7)
+        ring.push(clean)
+        ring.consume(6)  # wrap the write region
+        burst = np.full(6, complex(np.nan, np.nan))
+        ring.push(burst)
+        ring.push(_arange_complex(13, 2))
+        got = ring.peek(9)
+        assert np.array_equal(got[:1], clean[6:])
+        assert np.all(np.isnan(got[1:7].real)) and np.all(np.isnan(got[1:7].imag))
+        assert np.array_equal(got[7:], _arange_complex(13, 2))
+
+    def test_peek_and_consume_bounds(self):
+        ring = SampleRingBuffer(4)
+        ring.push(_arange_complex(0, 2))
+        with pytest.raises(ValueError):
+            ring.peek(3)
+        with pytest.raises(ValueError):
+            ring.consume(3)
+        with pytest.raises(ValueError):
+            ring.peek(-1)
+        with pytest.raises(ValueError):
+            SampleRingBuffer(0)
+
+    def test_empty_push_is_a_no_op(self):
+        ring = SampleRingBuffer(4)
+        assert ring.push(np.array([], dtype=complex)) == 0
+        assert len(ring) == 0 and ring.total_pushed == 0
+
+
+class TestBlockSource:
+    def test_reblocks_iterator_with_partial_tail(self):
+        chunks = [_arange_complex(0, 5), _arange_complex(5, 5), _arange_complex(10, 3)]
+        source = BlockSource(iter(chunks), block_size=4)
+        blocks = list(source.drain())
+        assert [len(b) for b in blocks] == [4, 4, 4, 1]
+        assert [b.start_index for b in blocks] == [0, 4, 8, 12]
+        assert np.array_equal(
+            np.concatenate([b.samples for b in blocks]), _arange_complex(0, 13)
+        )
+        assert source.exhausted
+
+    def test_empty_source_shutdown(self):
+        streamer = RxStreamer()
+        source = BlockSource(streamer, block_size=8)
+        assert source.poll() == []
+        assert not source.exhausted  # stream still open: could produce yet
+        assert streamer.starved_read_count == 1  # open + empty = underrun
+        streamer.close()
+        assert source.poll() == []
+        assert source.exhausted
+        # Orderly shutdown is not starvation: recv() after close must
+        # not charge further starved reads.
+        assert streamer.starved_read_count == 1
+
+    def test_streamer_blocks_then_tail_after_close(self):
+        streamer = RxStreamer()
+        streamer.push(_arange_complex(0, 10), 312.5)
+        source = BlockSource(streamer, block_size=4)
+        first = source.poll()
+        assert [len(b) for b in first] == [4, 4]
+        assert source.poll() == []  # 2-sample tail held: stream still open
+        streamer.push(_arange_complex(10, 3), 312.5)
+        streamer.close()
+        # One more full block forms; the 1-sample tail flushes only
+        # once a poll actually observes end of stream.
+        assert [len(b) for b in source.poll()] == [4]
+        assert [len(b) for b in source.poll()] == [1]
+        assert source.exhausted
+
+    def test_ring_overflow_accounts_drops_without_index_gaps(self):
+        streamer = RxStreamer()
+        # One chunk larger than the whole ring: the oldest samples of
+        # the chunk are dropped on arrival.
+        streamer.push(_arange_complex(0, 100), 312.5)
+        streamer.close()
+        source = BlockSource(streamer, block_size=16, ring_capacity=64)
+        blocks = list(source.drain())
+        assert source.ring.dropped_sample_count == 36
+        # Delivered indices stay contiguous; the gap lives in accounting.
+        assert [b.start_index for b in blocks] == [0, 16, 32, 48]
+        assert np.array_equal(blocks[0].samples, _arange_complex(36, 16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockSource(iter([]), block_size=0)
+        with pytest.raises(ValueError):
+            BlockSource(iter([]), block_size=8, ring_capacity=4)

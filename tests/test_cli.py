@@ -36,6 +36,49 @@ def test_track_fault_flags_default_off():
     assert args.fault_seed == 0
 
 
+def test_stream_command(capsys):
+    code = main(["stream", "--humans", "1", "--duration", "3", "--seed", "3"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "calibrated" in output
+    assert "columns/s" in output
+    assert "final health: healthy" in output
+    assert "track:" in output  # per-stage metrics block
+    # Live column lines stream out before the summary.
+    assert output.count("peak") > 10
+
+
+def test_stream_command_with_fault_injection(capsys):
+    code = main(
+        ["stream", "--humans", "1", "--duration", "3", "--seed", "3",
+         "--inject-faults", "--fault-seed", "7"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "fault schedule (seed 7)" in output
+    assert "final health:" in output
+
+
+def test_stream_command_beamforming_path(capsys):
+    code = main(
+        ["stream", "--humans", "1", "--duration", "3", "--seed", "3",
+         "--beamforming"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "[beamforming]" in output
+    assert "[music]" not in output
+
+
+def test_stream_parser_defaults():
+    args = build_parser().parse_args(["stream"])
+    assert args.block_size == 64
+    assert args.max_buffers == 64
+    assert args.realtime is False
+    assert args.inject_faults is False
+    assert args.beamforming is False
+
+
 def test_gestures_command_roundtrip(capsys):
     code = main(["gestures", "01", "--distance", "2.5", "--seed", "1"])
     output = capsys.readouterr().out
