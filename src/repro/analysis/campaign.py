@@ -16,6 +16,17 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Fixed buckets for the per-condition trial-value histogram.  Fixed
+#: (not adaptive) so that snapshots from any worker merge exactly and
+#: the merged totals are bit-identical to a serial run's.
+TRIAL_VALUE_BUCKETS: tuple[float, ...] = (
+    -1e6, -1e3, -100.0, -10.0, -1.0, -0.1, 0.0,
+    0.1, 1.0, 10.0, 100.0, 1e3, 1e6,
+)
+
 
 @dataclass(frozen=True)
 class Condition:
@@ -33,6 +44,12 @@ class ConditionResult:
     loop (as measured where it ran — in-worker for the parallel
     executor), so serial-vs-parallel speedup is measurable straight
     from the result objects.
+
+    ``metrics`` is the condition's telemetry-metrics snapshot (trial
+    and failure counters, trial-value histogram), recorded where the
+    condition ran and shipped home with the result — the parent
+    process merges worker snapshots into totals identical to a serial
+    run's (see :class:`repro.telemetry.MetricsRegistry`).
     """
 
     condition: Condition
@@ -40,6 +57,7 @@ class ConditionResult:
     failures: int = 0
     wall_time_s: float = 0.0
     cpu_time_s: float = 0.0
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
@@ -87,22 +105,39 @@ def run_condition(
     """
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    telemetry = get_telemetry()
+    registry = MetricsRegistry()
+    trials_counter = registry.counter("campaign.trials")
+    failures_counter = registry.counter("campaign.failures")
+    value_histogram = registry.histogram("campaign.trial_value", TRIAL_VALUE_BUCKETS)
     values: list[float] = []
     failures = 0
-    for t_index in range(trials_per_condition):
-        rng = np.random.default_rng(
-            np.random.SeedSequence([seed, condition_index, t_index])
-        )
-        try:
-            values.append(float(trial(rng, **condition.parameters)))
-        except TrialError:
-            failures += 1
+    with telemetry.span(
+        "campaign.condition", label=condition.label, trials=trials_per_condition
+    ):
+        for t_index in range(trials_per_condition):
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, condition_index, t_index])
+            )
+            trials_counter.inc()
+            try:
+                value = float(trial(rng, **condition.parameters))
+            except TrialError:
+                failures += 1
+                failures_counter.inc()
+            else:
+                values.append(value)
+                value_histogram.observe(value)
+    snapshot = registry.snapshot()
+    if telemetry.enabled:
+        telemetry.metrics.merge(snapshot)
     return ConditionResult(
         condition=condition,
         values=values,
         failures=failures,
         wall_time_s=time.perf_counter() - wall_start,
         cpu_time_s=time.process_time() - cpu_start,
+        metrics=snapshot,
     )
 
 

@@ -9,15 +9,26 @@ Subcommands, one per headline capability:
 * ``count``     — train and run the §7.4 occupant counter.
 * ``materials`` — the §7.6 building-material sweep.
 * ``nulling``   — run Algorithm 1 and report the achieved depth.
+* ``telemetry-report`` — summarize a ``--telemetry`` run directory.
 
 Every command accepts ``--seed`` for reproducibility and prints ASCII
-renderings of what the paper shows as figures.
+renderings of what the paper shows as figures.  Observability flags
+are shared by every command: ``--telemetry DIR`` records spans,
+metrics, and structured events into DIR (``trace.json`` there loads
+straight into Perfetto), ``--trace FILE`` writes the Chrome trace
+alone, and ``--quiet`` silences informational output (errors still
+reach stderr; with telemetry on, the suppressed lines are preserved as
+``cli.line`` events).
+
+All user-facing output flows through one :class:`OutputWriter` on the
+standard logging stack — ``main()`` is the only place handlers are
+configured, and a lint test keeps ``print(`` out of the rest of
+``src/repro``.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 import numpy as np
 
@@ -26,7 +37,7 @@ from repro.core.counting import SpatialVarianceClassifier, trace_spatial_varianc
 from repro.core.gestures import GestureDecoder
 from repro.environment.geometry import Point
 from repro.environment.human import Human
-from repro.environment.trajectories import GestureTrajectory, RandomWaypointTrajectory
+from repro.environment.trajectories import GestureTrajectory
 from repro.environment.walls import stata_conference_room_small
 from repro.rf.materials import MATERIALS, material_by_name
 from repro.simulator.device import WiViDevice
@@ -38,10 +49,36 @@ from repro.simulator.experiment import (
     room_for_material,
 )
 from repro.environment.scene import Scene
+from repro.telemetry import configure, deactivate, get_telemetry
+from repro.telemetry.output import OutputWriter, configure_cli_logging
+
+#: The CLI's single output writer (see module docstring).
+out = OutputWriter()
 
 
 def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    """The telemetry/verbosity flags every subcommand carries."""
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record spans, metrics, and structured events into DIR",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome-trace JSON (Perfetto-loadable) to FILE",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress informational output (errors still print)",
+    )
 
 
 def cmd_track(args: argparse.Namespace) -> int:
@@ -53,12 +90,12 @@ def cmd_track(args: argparse.Namespace) -> int:
     if args.inject_faults:
         return _track_with_faults(device, args)
     nulling = device.calibrate()
-    print(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
+    out(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
     spectrogram = device.image(args.duration)
-    print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+    out(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
     angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
-    print(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
-          "(positive = toward the device)")
+    out(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
+        "(positive = toward the device)")
     return 0
 
 
@@ -71,37 +108,37 @@ def _track_with_faults(device: WiViDevice, args: argparse.Namespace) -> int:
     schedule = FaultSchedule.generate(
         FaultScheduleConfig(), duration_s=args.duration + 2.0, seed=args.fault_seed
     )
-    print(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
+    out(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
     resilient = ResilientDevice(device, injector=FaultInjector(schedule))
     try:
         spectrogram = resilient.image(args.duration)
     except ReproError as exc:
-        print(f"device gave up: {exc}", file=sys.stderr)
+        out.error(f"device gave up: {exc}")
         return 1
     finally:
         for entry in resilient.injector.log:
-            print(f"  fault: {entry.describe()}")
+            out(f"  fault: {entry.describe()}")
         for transition in resilient.machine.transitions:
-            print(
+            out(
                 f"  health: capture {transition.capture_index}: "
                 f"{transition.source.value} -> {transition.target.value} "
                 f"({transition.reason})"
             )
-    print(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
-    print(
+    out(render_heatmap(spectrogram.normalized_db().T, spectrogram.theta_grid_deg))
+    out(
         f"final health: {resilient.machine.state.value}; "
         f"{resilient.machine.recalibration_count} recalibrations, "
         f"{resilient.machine.recovery_count} recoveries, "
         f"{resilient.repaired_sample_count} samples repaired"
     )
     if spectrogram.fallback_fraction > 0:
-        print(
+        out(
             f"MUSIC degeneracy fallback on "
             f"{100 * spectrogram.fallback_fraction:.1f}% of frames"
         )
     angles = spectrogram.dominant_angles_deg(exclude_dc_deg=10.0)
-    print(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
-          "(positive = toward the device)")
+    out(f"dominant angle range: {angles.min():+.0f}..{angles.max():+.0f} deg "
+        "(positive = toward the device)")
     return 0
 
 
@@ -127,7 +164,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     scene = build_tracking_scene(room, args.humans, args.duration, rng)
     device = WiViDevice(scene, rng)
     nulling = device.calibrate()
-    print(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
+    out(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
 
     # The simulated radio's output; faults corrupt it at the hardware
     # boundary before the runtime ever sees a sample.
@@ -139,7 +176,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         schedule = FaultSchedule.generate(
             FaultScheduleConfig(), duration_s=args.duration + 2.0, seed=args.fault_seed
         )
-        print(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
+        out(f"fault schedule (seed {args.fault_seed}): {schedule.describe()}")
         injector = FaultInjector(schedule)
         series = injector.corrupt_series(series, 0.0)
 
@@ -156,56 +193,57 @@ def cmd_stream(args: argparse.Namespace) -> int:
         if isinstance(event, ColumnEvent):
             column = event.column
             angle = tracker.config.theta_grid_deg[int(np.argmax(column.power))]
-            print(
+            out(
                 f"t={column.time_s:6.2f}s  |{render_column_strip(column.power)}| "
                 f"peak {angle:+4.0f} deg [{column.estimator}]"
             )
         elif isinstance(event, DetectionEvent):
-            print(
+            out(
                 f"t={event.time_s:6.2f}s  motion at {event.angle_deg:+.0f} deg "
                 f"({event.strength_db:.1f} dB over DC)"
             )
             detections += 1
         elif isinstance(event, HealthEvent):
-            print(
+            out(
                 f"  health -> {event.state.value} "
                 f"(block {event.block_index}: {event.reason})"
             )
         elif isinstance(event, GapEvent):
-            print(f"  stream gap: {event.dropped_samples} samples lost")
+            out(f"  stream gap: {event.dropped_samples} samples lost")
 
     samples = series.samples
     start = _time.perf_counter()
     # Producer and consumer interleave chunk by chunk, the shape of the
     # real-time loop: push what the radio produced, drain what's ready.
-    for offset in range(0, len(samples), args.block_size):
-        chunk = samples[offset : offset + args.block_size]
-        if args.realtime:
-            _time.sleep(len(chunk) / rate)
-        streamer.push(chunk, rate)
+    with get_telemetry().span("stream.run", samples=len(samples)):
+        for offset in range(0, len(samples), args.block_size):
+            chunk = samples[offset : offset + args.block_size]
+            if args.realtime:
+                _time.sleep(len(chunk) / rate)
+            streamer.push(chunk, rate)
+            for event in pipeline.process():
+                show(event)
+        streamer.close()
         for event in pipeline.process():
             show(event)
-    streamer.close()
-    for event in pipeline.process():
-        show(event)
     elapsed = _time.perf_counter() - start
 
     columns = tracker.columns_emitted
-    print(
+    out(
         f"\n{columns} columns from {tracker.samples_seen} samples in "
         f"{elapsed:.2f} s ({columns / max(elapsed, 1e-9):.1f} columns/s); "
         f"{detections} detections; final health: {pipeline.health.value}"
     )
     for line in pipeline.metrics.describe():
-        print(f"  {line}")
+        out(f"  {line}")
     if source.ring.dropped_sample_count or streamer.overflow_count:
-        print(
+        out(
             f"  backpressure: {streamer.overflow_count} streamer overflows, "
             f"{source.ring.dropped_sample_count} ring samples dropped"
         )
     if injector is not None:
         for entry in injector.log:
-            print(f"  fault: {entry.describe()}")
+            out(f"  fault: {entry.describe()}")
     return 0
 
 
@@ -213,7 +251,7 @@ def cmd_gestures(args: argparse.Namespace) -> int:
     """Decode a gestured bit string (mode 2, Chapter 6)."""
     bits = [int(c) for c in args.bits]
     if any(b not in (0, 1) for b in bits):
-        print("bits must be a string of 0s and 1s", file=sys.stderr)
+        out.error("bits must be a string of 0s and 1s")
         return 2
     rng = np.random.default_rng(args.seed)
     room = stata_conference_room_small()
@@ -224,10 +262,10 @@ def cmd_gestures(args: argparse.Namespace) -> int:
     device = WiViDevice(scene, rng)
     device.calibrate()
     result = device.receive_gestures(trajectory.duration_s())
-    print(render_series(result.matched_output, title="matched-filter output"))
-    print(f"sent:    {bits}")
-    print(f"decoded: {result.bits}")
-    print(f"per-bit SNR (dB): {[round(s, 1) for s in result.snr_db_per_bit]}")
+    out(render_series(result.matched_output, title="matched-filter output"))
+    out(f"sent:    {bits}")
+    out(f"decoded: {result.bits}")
+    out(f"per-bit SNR (dB): {[round(s, 1) for s in result.snr_db_per_bit]}")
     return 0 if result.bits == bits else 1
 
 
@@ -236,7 +274,7 @@ def cmd_count(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     room = stata_conference_room_small()
     pool = make_subject_pool(rng)
-    print(f"training the counter ({args.train_trials} trials per class)...")
+    out(f"training the counter ({args.train_trials} trials per class)...")
     training = {
         n: np.array(
             [
@@ -252,7 +290,7 @@ def cmd_count(args: argparse.Namespace) -> int:
     truth = int(rng.integers(0, args.max_humans + 1))
     trial = counting_trial(room, truth, args.duration, rng, pool)
     estimate = classifier.predict(trace_spatial_variance(trial.spectrogram))
-    print(f"ground truth: {truth} moving humans; estimate: {estimate}")
+    out(f"ground truth: {truth} moving humans; estimate: {estimate}")
     return 0 if estimate == truth else 1
 
 
@@ -261,7 +299,7 @@ def cmd_materials(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     pool = make_subject_pool(rng, 4)
     names = args.materials if args.materials else list(MATERIALS)
-    print(f"{'material':>24} {'1-way dB':>9} {'decoded':>8} {'SNR dB':>7}")
+    out(f"{'material':>24} {'1-way dB':>9} {'decoded':>8} {'SNR dB':>7}")
     for name in names:
         material = material_by_name(name)
         room = room_for_material(material)
@@ -271,8 +309,8 @@ def cmd_materials(args: argparse.Namespace) -> int:
         result = decoder.decode(trial.spectrogram)
         decoded = "yes" if result.bits[:1] == [0] else "no"
         snr = decoder.measure_snr_db(trial.spectrogram)
-        print(f"{name:>24} {material.one_way_attenuation_db:>9.0f} "
-              f"{decoded:>8} {snr:>7.1f}")
+        out(f"{name:>24} {material.one_way_attenuation_db:>9.0f} "
+            f"{decoded:>8} {snr:>7.1f}")
     return 0
 
 
@@ -287,8 +325,8 @@ def cmd_export(args: argparse.Namespace) -> int:
     device.calibrate()
     spectrogram = device.image(args.duration)
     path = export_spectrogram(spectrogram, args.output, color=not args.gray)
-    print(f"wrote {path} ({spectrogram.num_windows} windows x "
-          f"{len(spectrogram.theta_grid_deg)} angles)")
+    out(f"wrote {path} ({spectrogram.num_windows} windows x "
+        f"{len(spectrogram.theta_grid_deg)} angles)")
     return 0
 
 
@@ -299,11 +337,24 @@ def cmd_nulling(args: argparse.Namespace) -> int:
     scene = Scene(room=room)
     device = WiViDevice(scene, rng)
     result = device.calibrate()
-    print(f"wall: {args.material}")
-    print(f"initial residual power: {result.residual_history[0]:.3e}")
-    print(f"final residual power:   {result.final_residual_power:.3e}")
-    print(f"iterations: {result.iterations} (converged: {result.converged})")
-    print(f"achieved nulling: {result.nulling_db:.1f} dB (paper mean: 42 dB)")
+    out(f"wall: {args.material}")
+    out(f"initial residual power: {result.residual_history[0]:.3e}")
+    out(f"final residual power:   {result.final_residual_power:.3e}")
+    out(f"iterations: {result.iterations} (converged: {result.converged})")
+    out(f"achieved nulling: {result.nulling_db:.1f} dB (paper mean: 42 dB)")
+    return 0
+
+
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    """Summarize a telemetry run directory (see ``--telemetry``)."""
+    from repro.telemetry.report import summarize_run
+
+    try:
+        report = summarize_run(args.directory)
+    except FileNotFoundError as exc:
+        out.error(str(exc))
+        return 2
+    out(report)
     return 0
 
 
@@ -330,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic fault schedule",
     )
     _add_seed(track)
+    _add_observability(track)
     track.set_defaults(handler=cmd_track)
 
     stream = commands.add_parser(
@@ -371,12 +423,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the deterministic fault schedule",
     )
     _add_seed(stream)
+    _add_observability(stream)
     stream.set_defaults(handler=cmd_stream)
 
     gestures = commands.add_parser("gestures", help="decode a gestured bit string")
     gestures.add_argument("bits", nargs="?", default="01")
     gestures.add_argument("--distance", type=float, default=3.0)
     _add_seed(gestures)
+    _add_observability(gestures)
     gestures.set_defaults(handler=cmd_gestures)
 
     count = commands.add_parser("count", help="count occupants behind a wall")
@@ -384,17 +438,20 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--duration", type=float, default=15.0)
     count.add_argument("--train-trials", type=int, default=3)
     _add_seed(count)
+    _add_observability(count)
     count.set_defaults(handler=cmd_count)
 
     materials = commands.add_parser("materials", help="wall-material sweep")
     materials.add_argument("--distance", type=float, default=3.0)
     materials.add_argument("--materials", nargs="*", default=None)
     _add_seed(materials)
+    _add_observability(materials)
     materials.set_defaults(handler=cmd_materials)
 
     nulling = commands.add_parser("nulling", help="run Algorithm 1")
     nulling.add_argument("--material", default='6" hollow wall')
     _add_seed(nulling)
+    _add_observability(nulling)
     nulling.set_defaults(handler=cmd_nulling)
 
     export = commands.add_parser(
@@ -405,16 +462,50 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--duration", type=float, default=8.0)
     export.add_argument("--gray", action="store_true", help="PGM instead of PPM")
     _add_seed(export)
+    _add_observability(export)
     export.set_defaults(handler=cmd_export)
+
+    report = commands.add_parser(
+        "telemetry-report",
+        help="summarize a --telemetry run directory",
+    )
+    report.add_argument("directory", help="directory a --telemetry run wrote")
+    report.add_argument(
+        "--quiet", action="store_true", help="suppress informational output"
+    )
+    report.set_defaults(handler=cmd_telemetry_report)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    The only place logging handlers and the telemetry session are
+    configured: every subcommand runs inside a ``cli.<command>`` root
+    span when telemetry is on, and the session is flushed (run files
+    written) and deactivated on the way out — including on error.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    configure_cli_logging(quiet=getattr(args, "quiet", False))
+    telemetry = None
+    out_dir = getattr(args, "telemetry", None)
+    trace_file = getattr(args, "trace", None)
+    if out_dir is not None or trace_file is not None:
+        telemetry = configure(out_dir=out_dir, trace_file=trace_file)
+    try:
+        if telemetry is None:
+            return args.handler(args)
+        with telemetry.span(f"cli.{args.command}", seed=getattr(args, "seed", None)):
+            code = args.handler(args)
+        return code
+    finally:
+        if telemetry is not None:
+            written = telemetry.flush()
+            deactivate()
+            if written:
+                out(f"telemetry: wrote {', '.join(str(p) for p in written)}")
 
 
 if __name__ == "__main__":

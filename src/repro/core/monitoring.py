@@ -34,6 +34,7 @@ from repro.errors import CalibrationError, CaptureQualityError, DeviceFailedErro
 from repro.faults.injector import FaultInjector
 from repro.simulator.device import WiViDevice
 from repro.simulator.timeseries import ChannelSeries
+from repro.telemetry.context import get_telemetry
 
 
 def dc_level(series: ChannelSeries) -> float:
@@ -309,6 +310,16 @@ class HealthStateMachine:
                 reason=reason,
             )
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("health.transitions").inc()
+            telemetry.events.emit(
+                "health.transition",
+                capture_index=self.capture_index,
+                source=self.state.value,
+                target=target.value,
+                reason=reason,
+            )
         self.state = target
 
     def state_sequence(self) -> list[DeviceHealth]:

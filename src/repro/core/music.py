@@ -21,6 +21,7 @@ import numpy as np
 from repro.constants import WAVELENGTH_M
 from repro.core.beamforming import steering_vector
 from repro.errors import DegenerateCovarianceError
+from repro.telemetry.context import get_telemetry
 
 
 def smoothed_correlation_matrix(
@@ -210,6 +211,19 @@ def smoothed_music_spectrum(
     # eigh returns ascending order; flip to descending.
     eigenvalues = eigenvalues[::-1].real.copy()
     eigenvectors = eigenvectors[:, ::-1]
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        # The per-window eigenvalue spectrum is the signal-quality
+        # measure MUSIC stands on (gap = signal-vs-noise subspace
+        # separation); record it before the degeneracy guard so
+        # rejected windows leave their evidence behind too.
+        telemetry.metrics.counter("music.windows").inc()
+        telemetry.events.emit(
+            "music.eigenvalues",
+            eigenvalues=eigenvalues,
+            window_size=w,
+            subarray_size=subarray_size,
+        )
     if condition_limit is not None:
         check_covariance_conditioning(eigenvalues, condition_limit)
     if num_sources is None:

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.constants import POWER_BOOST_DB
 from repro.errors import CalibrationError
+from repro.telemetry.context import get_telemetry
 
 
 class NullingTransceiver(Protocol):
@@ -108,50 +109,70 @@ def run_nulling(
         boost_db: power boost applied between initial and iterative
             nulling (12 dB in the prototype, §4.1.2).
     """
-    # --- Initial nulling: sound each antenna alone. ---
-    h1_hat = np.array(transceiver.sound_antenna(0), dtype=complex)
-    h2_hat = np.array(transceiver.sound_antenna(1), dtype=complex)
-    if not (np.all(np.isfinite(h1_hat)) and np.all(np.isfinite(h2_hat))):
-        raise CalibrationError("sounding returned non-finite channel estimates")
-    pre_null_power = float(np.mean(np.abs(h1_hat) ** 2 + np.abs(h2_hat) ** 2) / 2.0)
-    precoder = compute_precoder(h1_hat, h2_hat)
-
-    # --- Power boosting: safe now that the channel is nulled. ---
-    transceiver.boost_power(boost_db)
-
-    # --- Iterative nulling. ---
-    residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
-    residual_history = [float(np.mean(np.abs(residual) ** 2))]
-    converged = False
-    iterations = 0
-    for iteration in range(max_iterations):
-        if iteration % 2 == 0:
-            # Assume h2_hat exact; solve Eq. 4.2: h1_hat' = h_res + h1_hat.
-            h1_hat = residual + h1_hat
-        else:
-            # Assume h1_hat exact; solve Eq. 4.3:
-            # h2_hat' = (1 - h_res / h1_hat) * h2_hat.
-            h2_hat = (1.0 - residual / h1_hat) * h2_hat
+    telemetry = get_telemetry()
+    with telemetry.span("nulling.run") as span:
+        # --- Initial nulling: sound each antenna alone. ---
+        h1_hat = np.array(transceiver.sound_antenna(0), dtype=complex)
+        h2_hat = np.array(transceiver.sound_antenna(1), dtype=complex)
+        if not (np.all(np.isfinite(h1_hat)) and np.all(np.isfinite(h2_hat))):
+            raise CalibrationError("sounding returned non-finite channel estimates")
+        pre_null_power = float(
+            np.mean(np.abs(h1_hat) ** 2 + np.abs(h2_hat) ** 2) / 2.0
+        )
         precoder = compute_precoder(h1_hat, h2_hat)
-        residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
-        residual_history.append(float(np.mean(np.abs(residual) ** 2)))
-        iterations = iteration + 1
-        if (
-            convergence_ratio is not None
-            and residual_history[-1] >= convergence_ratio * residual_history[-2]
-        ):
-            converged = True
-            break
 
-    return NullingResult(
-        precoder=precoder,
-        h1_estimate=h1_hat,
-        h2_estimate=h2_hat,
-        residual_history=residual_history,
-        pre_null_power=pre_null_power,
-        iterations=iterations,
-        converged=converged,
-    )
+        # --- Power boosting: safe now that the channel is nulled. ---
+        transceiver.boost_power(boost_db)
+
+        # --- Iterative nulling. ---
+        residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
+        residual_history = [float(np.mean(np.abs(residual) ** 2))]
+        if telemetry.enabled:
+            telemetry.metrics.counter("nulling.runs").inc()
+            telemetry.events.emit(
+                "nulling.residual", iteration=0, residual_power=residual_history[0]
+            )
+        converged = False
+        iterations = 0
+        for iteration in range(max_iterations):
+            if iteration % 2 == 0:
+                # Assume h2_hat exact; solve Eq. 4.2: h1_hat' = h_res + h1_hat.
+                h1_hat = residual + h1_hat
+            else:
+                # Assume h1_hat exact; solve Eq. 4.3:
+                # h2_hat' = (1 - h_res / h1_hat) * h2_hat.
+                h2_hat = (1.0 - residual / h1_hat) * h2_hat
+            precoder = compute_precoder(h1_hat, h2_hat)
+            residual = np.array(transceiver.measure_residual(precoder), dtype=complex)
+            residual_history.append(float(np.mean(np.abs(residual) ** 2)))
+            iterations = iteration + 1
+            if telemetry.enabled:
+                telemetry.metrics.counter("nulling.iterations").inc()
+                telemetry.events.emit(
+                    "nulling.residual",
+                    iteration=iterations,
+                    residual_power=residual_history[-1],
+                )
+            if (
+                convergence_ratio is not None
+                and residual_history[-1] >= convergence_ratio * residual_history[-2]
+            ):
+                converged = True
+                break
+
+        result = NullingResult(
+            precoder=precoder,
+            h1_estimate=h1_hat,
+            h2_estimate=h2_hat,
+            residual_history=residual_history,
+            pre_null_power=pre_null_power,
+            iterations=iterations,
+            converged=converged,
+        )
+        span.set("iterations", iterations)
+        span.set("converged", converged)
+        span.set("nulling_db", round(result.nulling_db, 3))
+        return result
 
 
 @dataclass
@@ -199,6 +220,7 @@ def run_nulling_with_retry(
         raise ValueError("need at least one attempt")
     if initial_backoff_s < 0 or backoff_factor < 1:
         raise ValueError("backoff must be non-negative and non-shrinking")
+    telemetry = get_telemetry()
     failures: list[str] = []
     backoff_s = 0.0
     delay = initial_backoff_s
@@ -221,6 +243,12 @@ def run_nulling_with_retry(
                     f"short of the {min_depth_db:.1f} dB floor"
                 )
             else:
+                if telemetry.enabled and failures:
+                    telemetry.metrics.counter("nulling.retry_failures").inc(
+                        len(failures)
+                    )
+                    for failure in failures:
+                        telemetry.events.emit("nulling.attempt_failed", detail=failure)
                 return NullingRetryOutcome(
                     result=result,
                     attempts=attempt,
@@ -230,6 +258,10 @@ def run_nulling_with_retry(
         if attempt < max_attempts:
             backoff_s += delay
             delay *= backoff_factor
+    if telemetry.enabled:
+        telemetry.metrics.counter("nulling.retry_failures").inc(len(failures))
+        for failure in failures:
+            telemetry.events.emit("nulling.attempt_failed", detail=failure)
     raise CalibrationError(
         "nulling calibration failed after "
         f"{max_attempts} attempts: {'; '.join(failures)}",

@@ -29,6 +29,7 @@ from repro.core.beamforming import (
 )
 from repro.core.music import smoothed_music_spectrum
 from repro.errors import DegenerateCovarianceError
+from repro.telemetry.context import get_telemetry
 
 #: Estimator labels recorded per spectrogram frame.
 ESTIMATOR_MUSIC = "music"
@@ -275,7 +276,11 @@ def compute_spectrogram_frame(
             num_sources=result.num_sources,
             estimator=ESTIMATOR_MUSIC,
         )
-    except DegenerateCovarianceError:
+    except DegenerateCovarianceError as exc:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("music.fallbacks").inc()
+            telemetry.events.emit("music.fallback", reason=exc.reason)
         return SpectrogramFrame(
             power=_beamformed_fallback_row(window, theta_grid, config),
             num_sources=0,
@@ -331,12 +336,15 @@ def compute_spectrogram(
     power = np.empty((len(starts), len(theta_grid)))
     counts = np.empty(len(starts), dtype=int)
     estimators = np.empty(len(starts), dtype=object)
-    for row, start in enumerate(starts):
-        window = series[start : start + config.window_size]
-        frame = compute_spectrogram_frame(window, config)
-        power[row] = frame.power
-        counts[row] = frame.num_sources
-        estimators[row] = frame.estimator
+    with get_telemetry().span(
+        "tracking.spectrogram", windows=len(starts), samples=len(series)
+    ):
+        for row, start in enumerate(starts):
+            window = series[start : start + config.window_size]
+            frame = compute_spectrogram_frame(window, config)
+            power[row] = frame.power
+            counts[row] = frame.num_sources
+            estimators[row] = frame.estimator
     times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
     return MotionSpectrogram(
         times_s=times,

@@ -40,6 +40,7 @@ import numpy as np
 from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
 from repro.hardware.streaming import RxStreamer
 from repro.simulator.timeseries import ChannelSeries
+from repro.telemetry.context import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -205,6 +206,16 @@ class FaultInjector:
                 detail=detail,
             )
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("faults.injected").inc()
+            telemetry.events.emit(
+                "fault.injected",
+                time_s=event.start_s,
+                fault=event.kind.value,
+                samples_touched=touched,
+                detail=detail,
+            )
 
     def describe_log(self) -> list[str]:
         """The applied-fault log as deterministic strings."""

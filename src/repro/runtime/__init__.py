@@ -14,7 +14,11 @@ The CLI front end is ``python -m repro stream``.
 """
 
 from repro.runtime.metrics import RuntimeMetrics, StageMetrics, StageTimer
-from repro.runtime.parallel import ParallelCampaignReport, run_campaign_parallel
+from repro.runtime.parallel import (
+    ParallelCampaignReport,
+    merge_condition_metrics,
+    run_campaign_parallel,
+)
 from repro.runtime.pipeline import (
     BlockHealth,
     ColumnEvent,
@@ -51,6 +55,7 @@ __all__ = [
     "StreamResult",
     "StreamingPipeline",
     "StreamingTracker",
+    "merge_condition_metrics",
     "run_campaign_parallel",
     "screen_block",
 ]

@@ -1,111 +1,13 @@
-"""Per-stage latency and throughput accounting for the runtime.
+"""Per-stage latency and throughput accounting (compatibility home).
 
-Every stage of the streaming pipeline (source, condition, track,
-detect, sink) charges its work to a :class:`StageMetrics`, so a run can
-answer the operational questions an online sensor raises: where does
-the time go, which stage is the bottleneck, and how many columns per
-second does the engine sustain — the number that decides whether the
-device keeps up with the 312.5 Hz channel-sample rate or falls behind
-and overflows.
+The implementation moved to :mod:`repro.telemetry.metrics`, where the
+stage instruments share snapshot/merge semantics with the telemetry
+registry; this module keeps the historical import path
+(``repro.runtime.metrics``) alive for existing callers.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from repro.telemetry.metrics import RuntimeMetrics, StageMetrics, StageTimer
 
-
-@dataclass
-class StageMetrics:
-    """Work accounting for one pipeline stage.
-
-    Attributes:
-        name: stage label ("source", "track", ...).
-        invocations: how many times the stage ran.
-        items_in: units consumed (samples for the source/condition
-            stages, columns for detect/sink).
-        items_out: units produced.
-        busy_s: total wall time spent inside the stage.
-    """
-
-    name: str
-    invocations: int = 0
-    items_in: int = 0
-    items_out: int = 0
-    busy_s: float = 0.0
-
-    def charge(self, elapsed_s: float, items_in: int = 0, items_out: int = 0) -> None:
-        """Record one invocation of the stage."""
-        if elapsed_s < 0:
-            raise ValueError("elapsed time cannot be negative")
-        self.invocations += 1
-        self.items_in += items_in
-        self.items_out += items_out
-        self.busy_s += elapsed_s
-
-    @property
-    def mean_latency_s(self) -> float:
-        """Mean wall time per invocation (0 before the first one)."""
-        if self.invocations == 0:
-            return 0.0
-        return self.busy_s / self.invocations
-
-    @property
-    def throughput_per_s(self) -> float:
-        """Items produced per busy second (0 when the stage never ran)."""
-        if self.busy_s <= 0.0:
-            return 0.0
-        return self.items_out / self.busy_s
-
-    def describe(self) -> str:
-        return (
-            f"{self.name}: {self.invocations} calls, "
-            f"{self.items_in} in -> {self.items_out} out, "
-            f"{1e3 * self.mean_latency_s:.3f} ms/call, "
-            f"{self.throughput_per_s:.1f} items/s busy"
-        )
-
-
-class StageTimer:
-    """Context manager charging a block's wall time to a stage.
-
-    Usage::
-
-        with StageTimer(metrics, items_in=len(block)) as timer:
-            columns = tracker.push(block)
-            timer.items_out = len(columns)
-    """
-
-    def __init__(self, metrics: StageMetrics, items_in: int = 0, items_out: int = 0):
-        self.metrics = metrics
-        self.items_in = items_in
-        self.items_out = items_out
-        self._start = 0.0
-
-    def __enter__(self) -> StageTimer:
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.metrics.charge(
-            time.perf_counter() - self._start,
-            items_in=self.items_in,
-            items_out=self.items_out,
-        )
-
-
-@dataclass
-class RuntimeMetrics:
-    """The pipeline's full metric set, one :class:`StageMetrics` per stage."""
-
-    stages: dict[str, StageMetrics] = field(default_factory=dict)
-
-    def stage(self, name: str) -> StageMetrics:
-        """The named stage's metrics, created on first use."""
-        if name not in self.stages:
-            self.stages[name] = StageMetrics(name=name)
-        return self.stages[name]
-
-    def describe(self) -> list[str]:
-        """One deterministic-format line per stage, in creation order."""
-        return [metrics.describe() for metrics in self.stages.values()]
+__all__ = ["RuntimeMetrics", "StageMetrics", "StageTimer"]

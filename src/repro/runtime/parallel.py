@@ -23,12 +23,29 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.analysis.campaign import Campaign, ConditionResult, run_condition
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.metrics import MetricsRegistry
 
 
 def _run_indexed_condition(args) -> tuple[int, ConditionResult]:
     """Worker entry point: run one condition, tagged with its index."""
     trial, condition, c_index, trials_per_condition, seed = args
     return c_index, run_condition(trial, condition, c_index, trials_per_condition, seed)
+
+
+def merge_condition_metrics(results: dict[str, ConditionResult]) -> MetricsRegistry:
+    """Fold per-condition metric snapshots into one registry.
+
+    Each :class:`ConditionResult` carries the snapshot its (possibly
+    remote) ``run_condition`` recorded; merging them in sweep order
+    yields totals identical to a serial run's — counters and histogram
+    buckets are sums of the same per-trial contributions in the same
+    order, regardless of which process produced each snapshot.
+    """
+    registry = MetricsRegistry()
+    for result in results.values():
+        registry.merge(result.metrics)
+    return registry
 
 
 @dataclass
@@ -58,6 +75,10 @@ class ParallelCampaignReport:
             return 0.0
         return self.total_condition_wall_s / self.wall_time_s
 
+    def merged_metrics(self) -> MetricsRegistry:
+        """Every worker's metric snapshot folded into one registry."""
+        return merge_condition_metrics(self.results)
+
 
 def run_campaign_parallel(
     campaign: Campaign, max_workers: int | None = None
@@ -77,14 +98,26 @@ def run_campaign_parallel(
         (campaign.trial, condition, c_index, campaign.trials_per_condition, campaign.seed)
         for c_index, condition in enumerate(campaign.conditions)
     ]
-    start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        indexed = dict(pool.map(_run_indexed_condition, tasks))
-    wall = time.perf_counter() - start
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "campaign.parallel",
+        conditions=len(campaign.conditions),
+        workers=max_workers,
+    ) as span:
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            indexed = dict(pool.map(_run_indexed_condition, tasks))
+        wall = time.perf_counter() - start
+        span.set("wall_s", round(wall, 6))
     results = {
         campaign.conditions[c_index].label: indexed[c_index]
         for c_index in range(len(campaign.conditions))
     }
+    if telemetry.enabled:
+        # Workers run with telemetry disabled (fresh interpreters); the
+        # snapshots they shipped home land in the parent's registry so
+        # a parallel campaign is as countable as a serial one.
+        telemetry.metrics.merge(merge_condition_metrics(results).snapshot())
     return ParallelCampaignReport(
         results=results, wall_time_s=wall, worker_count=max_workers
     )

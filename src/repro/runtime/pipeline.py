@@ -27,6 +27,7 @@ from repro.core.tracking import MotionSpectrogram
 from repro.runtime.metrics import RuntimeMetrics, StageTimer
 from repro.runtime.ring import BlockSource, SampleBlock
 from repro.runtime.tracker import SpectrogramColumn, StreamingTracker
+from repro.telemetry.context import get_telemetry
 
 # ----------------------------------------------------------------------
 # Events
@@ -325,6 +326,26 @@ class StreamingPipeline:
         return self.condition.machine.state
 
     def _deliver(self, event: StreamEvent) -> StreamEvent:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            if isinstance(event, DetectionEvent):
+                telemetry.metrics.counter("stream.detections").inc()
+                telemetry.events.emit(
+                    "stream.detection",
+                    column_index=event.column_index,
+                    time_s=event.time_s,
+                    angle_deg=event.angle_deg,
+                    strength_db=event.strength_db,
+                )
+            elif isinstance(event, GapEvent):
+                telemetry.metrics.counter("stream.gap_samples").inc(
+                    event.dropped_samples
+                )
+                telemetry.events.emit(
+                    "stream.gap",
+                    block_index=event.block_index,
+                    dropped_samples=event.dropped_samples,
+                )
         if self.sink is not None:
             with StageTimer(self.metrics.stage("sink"), items_in=1):
                 self.sink(event)

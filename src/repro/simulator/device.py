@@ -39,6 +39,7 @@ from repro.simulator.timeseries import (
     TimeSeriesConfig,
 )
 from repro.simulator.waveform import SimulatedNullingLink, WaveformLinkConfig
+from repro.telemetry.context import get_telemetry
 
 
 @dataclass
@@ -123,9 +124,20 @@ class WiViDevice:
 
     def calibrate(self) -> NullingResult:
         """Run Algorithm 1 against the scene and store the result."""
-        ch1, ch2 = self._static_channels()
-        link = SimulatedNullingLink(ch1, ch2, self.rng, self.config.waveform)
-        self._nulling = run_nulling(link)
+        telemetry = get_telemetry()
+        with telemetry.span("device.calibrate") as span:
+            ch1, ch2 = self._static_channels()
+            link = SimulatedNullingLink(ch1, ch2, self.rng, self.config.waveform)
+            self._nulling = run_nulling(link)
+            span.set("nulling_db", round(self._nulling.nulling_db, 3))
+            if telemetry.enabled:
+                telemetry.events.emit(
+                    "nulling.summary",
+                    nulling_db=self._nulling.nulling_db,
+                    iterations=self._nulling.iterations,
+                    converged=self._nulling.converged,
+                    final_residual_power=self._nulling.final_residual_power,
+                )
         return self._nulling
 
     def calibrate_with_retry(self, **retry_kwargs) -> NullingRetryOutcome:
@@ -158,12 +170,15 @@ class WiViDevice:
         consecutive segments of each human's trajectory.
         """
         depth = min(self.nulling.nulling_db, 60.0)
-        simulator = ChannelSeriesSimulator(
-            _TimeShiftedScene(self.scene, self._clock_s),
-            self.config.timeseries,
-            self.rng,
-        )
-        series = simulator.simulate(duration_s, nulling_db=depth)
+        with get_telemetry().span(
+            "device.capture", duration_s=duration_s, nulling_db=round(depth, 3)
+        ):
+            simulator = ChannelSeriesSimulator(
+                _TimeShiftedScene(self.scene, self._clock_s),
+                self.config.timeseries,
+                self.rng,
+            )
+            series = simulator.simulate(duration_s, nulling_db=depth)
         self._clock_s += duration_s
         return series
 
@@ -173,8 +188,9 @@ class WiViDevice:
 
     def image(self, duration_s: float) -> MotionSpectrogram:
         """Capture and produce the smoothed-MUSIC A'[theta, n] image."""
-        series = self.capture(duration_s)
-        return compute_spectrogram(series.samples, self.config.tracking)
+        with get_telemetry().span("device.image", duration_s=duration_s):
+            series = self.capture(duration_s)
+            return compute_spectrogram(series.samples, self.config.tracking)
 
     # ------------------------------------------------------------------
     # Mode 2: gesture interface (Chapter 6)

@@ -1,0 +1,79 @@
+"""repro.telemetry — tracing, metrics, and structured events.
+
+The sensing stack's observability layer, three instruments sharing one
+session (:class:`~repro.telemetry.session.Telemetry`):
+
+* **Spans** (:mod:`~repro.telemetry.trace`): nested, attributed timing
+  intervals, exported as JSONL and as Chrome-trace JSON that loads
+  straight into Perfetto / ``chrome://tracing``.
+* **Metrics** (:mod:`~repro.telemetry.metrics`): counters, gauges, and
+  fixed-bucket histograms with snapshot/merge semantics, so worker
+  processes ship their numbers home and merged totals match a serial
+  run exactly.  Also home of the runtime's per-stage accounting
+  (``StageMetrics`` / ``StageTimer`` / ``RuntimeMetrics``).
+* **Events** (:mod:`~repro.telemetry.events`): timestamped structured
+  records (nulling residuals, eigenvalue spectra, health transitions,
+  faults) with trace ids, exported as JSONL.
+
+The default session is disabled: its tracer and event log are shared
+no-ops, so the instrumented hot paths cost one flag check.  The CLI
+enables it via ``--telemetry DIR`` / ``--trace FILE`` and summarizes a
+run directory with ``repro telemetry-report DIR``.
+"""
+
+from repro.telemetry.context import get_telemetry, reset_telemetry, set_telemetry
+from repro.telemetry.events import EventLog, NullEventLog, jsonable, read_jsonl
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RuntimeMetrics,
+    StageMetrics,
+    StageTimer,
+)
+from repro.telemetry.output import OutputWriter, configure_cli_logging
+from repro.telemetry.report import summarize_run
+from repro.telemetry.session import (
+    EVENTS_FILE,
+    METRICS_FILE,
+    SPANS_FILE,
+    TRACE_FILE,
+    Telemetry,
+    configure,
+    deactivate,
+)
+from repro.telemetry.trace import NullTracer, Span, SpanContext, Tracer
+
+__all__ = [
+    "Counter",
+    "EVENTS_FILE",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "METRICS_FILE",
+    "MetricsRegistry",
+    "NullEventLog",
+    "NullTracer",
+    "OutputWriter",
+    "RuntimeMetrics",
+    "SPANS_FILE",
+    "Span",
+    "SpanContext",
+    "StageMetrics",
+    "StageTimer",
+    "TRACE_FILE",
+    "Telemetry",
+    "Tracer",
+    "configure",
+    "configure_cli_logging",
+    "deactivate",
+    "get_telemetry",
+    "jsonable",
+    "read_jsonl",
+    "reset_telemetry",
+    "set_telemetry",
+    "summarize_run",
+]

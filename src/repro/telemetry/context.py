@@ -1,0 +1,44 @@
+"""The process-global active-telemetry slot.
+
+Instrumented call sites throughout the stack ask
+:func:`get_telemetry` for the active session and check its ``enabled``
+flag once — the whole cost of an instrumented hot path when telemetry
+is off.  The slot starts holding a disabled session (no-op tracer and
+event log), so library code never needs a None check.
+
+Kept separate from :mod:`repro.telemetry.session` so the instruments
+(:mod:`~repro.telemetry.metrics`) can import the accessor without a
+package-init cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import Telemetry
+
+_active: "Telemetry | None" = None
+
+
+def get_telemetry() -> "Telemetry":
+    """The active telemetry session (a disabled one by default)."""
+    global _active
+    if _active is None:
+        from repro.telemetry.session import Telemetry
+
+        _active = Telemetry(enabled=False)
+    return _active
+
+
+def set_telemetry(telemetry: "Telemetry") -> "Telemetry":
+    """Install a session as the process-global active one."""
+    global _active
+    _active = telemetry
+    return telemetry
+
+
+def reset_telemetry() -> None:
+    """Drop back to the disabled default (used by tests and the CLI)."""
+    global _active
+    _active = None

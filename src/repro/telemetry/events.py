@@ -1,0 +1,116 @@
+"""The structured event log: timestamped JSONL records with trace ids.
+
+Where spans answer "how long did each stage take", events answer "what
+happened": nulling residuals per iteration, MUSIC eigenvalue spectra
+per window, health-machine transitions, stream gaps, injected faults.
+Each record carries a wall-clock timestamp and — when emitted inside a
+span — the trace/span ids that tie it back to the timing picture.
+
+Values are coerced to JSON-able types on emit (numpy arrays to lists,
+numpy scalars to Python scalars, enums to their values), so callers
+pass whatever they have.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.telemetry.trace import NullTracer, Tracer
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort coercion of ``value`` into JSON-encodable types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if isinstance(value, np.ndarray):
+        return [jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, complex):
+        return {"re": value.real, "im": value.imag}
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    return str(value)
+
+
+class EventLog:
+    """Append-only structured event record, exported as JSONL.
+
+    Args:
+        tracer: when given, every record is stamped with the tracer's
+            trace id and the currently-open span's id.
+        clock: wall-clock seconds source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, tracer: Tracer | NullTracer | None = None, clock=time.time):
+        self._tracer = tracer
+        self._clock = clock
+        self.records: list[dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def emit(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the stored record."""
+        record: dict[str, Any] = {"ts": round(float(self._clock()), 6), "kind": kind}
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            record["trace_id"] = tracer.trace_id
+            record["span_id"] = tracer.current_span_id
+        for key, value in fields.items():
+            record[key] = jsonable(value)
+        self.records.append(record)
+        return record
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """Every recorded event of one kind, in emission order."""
+        return [record for record in self.records if record["kind"] == kind]
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one event per line; returns the path."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+
+class NullEventLog:
+    """Event-log-shaped no-op for the disabled path."""
+
+    enabled = False
+    records: tuple[()] = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        return []
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL file (events or spans) back into records."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

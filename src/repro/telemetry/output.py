@@ -1,0 +1,91 @@
+"""The CLI's output writer, layered on the standard ``logging`` stack.
+
+Every user-facing line the CLI produces flows through one
+:class:`OutputWriter` instead of bare ``print()`` calls (a lint test
+enforces that ``print(`` appears nowhere in ``src/repro`` outside
+``cli.py``).  Routing through a logger buys composition:
+
+* ``--quiet`` raises the logger level, silencing informational lines
+  while errors still reach stderr;
+* with telemetry active, every line is mirrored into the structured
+  event log (``cli.line`` events), so a quiet run still leaves a full
+  transcript in ``events.jsonl``.
+
+Handler configuration happens in exactly one place —
+:func:`configure_cli_logging`, called from ``repro.cli.main()`` —
+never at import time and never in library code.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.telemetry.context import get_telemetry
+
+#: The logger CLI output rides on.
+CLI_LOGGER_NAME = "repro.cli"
+
+
+class _BelowWarning(logging.Filter):
+    """Keep a handler to INFO-and-below (stdout's share of the split)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.WARNING
+
+
+def configure_cli_logging(quiet: bool = False) -> logging.Logger:
+    """(Re)configure the CLI logger's handlers; called from main() only.
+
+    Informational lines go to stdout, warnings and errors to stderr —
+    matching what the bare prints did — and ``quiet`` suppresses the
+    stdout share entirely.  Reconfiguring is idempotent: old handlers
+    are removed first, so repeated ``main()`` invocations (tests) do
+    not stack duplicates, and fresh handlers pick up the streams
+    currently bound to ``sys.stdout``/``sys.stderr``.
+    """
+    logger = logging.getLogger(CLI_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    stdout_handler = logging.StreamHandler(sys.stdout)
+    stdout_handler.setFormatter(logging.Formatter("%(message)s"))
+    stdout_handler.addFilter(_BelowWarning())
+    stderr_handler = logging.StreamHandler(sys.stderr)
+    stderr_handler.setFormatter(logging.Formatter("%(message)s"))
+    stderr_handler.setLevel(logging.WARNING)
+    logger.addHandler(stdout_handler)
+    logger.addHandler(stderr_handler)
+    logger.setLevel(logging.WARNING if quiet else logging.INFO)
+    logger.propagate = False
+    return logger
+
+
+class OutputWriter:
+    """User-facing output with structured-log mirroring.
+
+    ``writer(...)`` / ``writer.info(...)`` emit an informational line
+    (stdout unless ``--quiet``); ``writer.error(...)`` emits to stderr
+    at any verbosity.  With telemetry active, both are also recorded
+    as ``cli.line`` events.
+    """
+
+    def __init__(self, logger_name: str = CLI_LOGGER_NAME):
+        self._logger = logging.getLogger(logger_name)
+
+    def __call__(self, message: object = "") -> None:
+        self.info(message)
+
+    def _mirror(self, stream: str, text: str) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.events.emit("cli.line", stream=stream, text=text)
+
+    def info(self, message: object = "") -> None:
+        text = str(message)
+        self._logger.info(text)
+        self._mirror("stdout", text)
+
+    def error(self, message: object) -> None:
+        text = str(message)
+        self._logger.error(text)
+        self._mirror("stderr", text)

@@ -1,0 +1,145 @@
+"""The telemetry session: one tracer + metrics registry + event log.
+
+A session is either *enabled* (live tracer, live event log, an output
+directory to flush into) or *disabled* (no-op tracer and event log; the
+default).  Instrumented call sites fetch the active session via
+:func:`repro.telemetry.context.get_telemetry` and check ``enabled``
+once — that check is the entire overhead of the disabled path.
+
+``configure()`` installs an enabled session process-globally (the CLI
+does this for ``--telemetry DIR`` / ``--trace FILE``), and ``flush()``
+writes the run directory:
+
+* ``spans.jsonl``   — one finished span per line;
+* ``trace.json``    — Chrome-trace / Perfetto ``traceEvents``;
+* ``events.jsonl``  — the structured event log;
+* ``metrics.json``  — the metrics-registry snapshot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry.context import get_telemetry, reset_telemetry, set_telemetry
+from repro.telemetry.events import EventLog, NullEventLog
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import NullTracer, SpanContext, Tracer
+
+#: File names flush() writes into the telemetry directory.
+SPANS_FILE = "spans.jsonl"
+TRACE_FILE = "trace.json"
+EVENTS_FILE = "events.jsonl"
+METRICS_FILE = "metrics.json"
+
+
+class Telemetry:
+    """One observability session (see module docstring).
+
+    Args:
+        enabled: live instruments when True, no-ops when False.
+        out_dir: directory ``flush()`` fills (created on demand).
+        trace_file: extra path for the Chrome trace alone — usable
+            without a full telemetry directory.
+        parent_context: continue another process's trace.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        out_dir: str | Path | None = None,
+        trace_file: str | Path | None = None,
+        parent_context: SpanContext | None = None,
+    ):
+        self.enabled = enabled
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.trace_file = Path(trace_file) if trace_file is not None else None
+        self.metrics = MetricsRegistry()
+        if enabled:
+            self.tracer: Tracer | NullTracer = Tracer(parent_context=parent_context)
+            self.events: EventLog | NullEventLog = EventLog(tracer=self.tracer)
+        else:
+            self.tracer = NullTracer()
+            self.events = NullEventLog()
+
+    def span(self, name: str, **attributes):
+        """Open a span on this session's tracer (no-op when disabled)."""
+        return self.tracer.span(name, **attributes)
+
+    def flush(self) -> list[Path]:
+        """Write every configured output file; returns written paths.
+
+        Before writing, per-stage latency histograms present in the
+        registry are summarized into ``stage.histogram`` events so the
+        event log alone carries the stage-latency picture.
+        """
+        if not self.enabled:
+            return []
+        self._emit_stage_summaries()
+        written: list[Path] = []
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            written.append(self.tracer.export_jsonl(self.out_dir / SPANS_FILE))
+            written.append(self.tracer.export_chrome(self.out_dir / TRACE_FILE))
+            assert isinstance(self.events, EventLog)
+            written.append(self.events.export_jsonl(self.out_dir / EVENTS_FILE))
+            written.append(self.metrics.export_json(self.out_dir / METRICS_FILE))
+        if self.trace_file is not None:
+            self.trace_file.parent.mkdir(parents=True, exist_ok=True)
+            written.append(self.tracer.export_chrome(self.trace_file))
+        return written
+
+    def _emit_stage_summaries(self) -> None:
+        """One ``stage.histogram`` event per stage-latency histogram."""
+        prefix, suffix = "stage.", ".latency_ms"
+        for name in self.metrics.names():
+            if not (name.startswith(prefix) and name.endswith(suffix)):
+                continue
+            metric = self.metrics.get(name)
+            snap = metric.snapshot()
+            if snap.get("type") != "histogram":
+                continue
+            stage = name[len(prefix) : -len(suffix)]
+            self.events.emit(
+                "stage.histogram",
+                stage=stage,
+                buckets=snap["buckets"],
+                counts=snap["counts"],
+                count=snap["count"],
+                sum_ms=snap["sum"],
+                p50_ms=metric.percentile(0.50),
+                p90_ms=metric.percentile(0.90),
+                p99_ms=metric.percentile(0.99),
+            )
+
+
+def configure(
+    out_dir: str | Path | None = None,
+    trace_file: str | Path | None = None,
+    parent_context: SpanContext | None = None,
+) -> Telemetry:
+    """Install an enabled session as the process-global active one."""
+    return set_telemetry(
+        Telemetry(
+            enabled=True,
+            out_dir=out_dir,
+            trace_file=trace_file,
+            parent_context=parent_context,
+        )
+    )
+
+
+def deactivate() -> None:
+    """Return to the disabled default session."""
+    reset_telemetry()
+
+
+__all__ = [
+    "EVENTS_FILE",
+    "METRICS_FILE",
+    "SPANS_FILE",
+    "TRACE_FILE",
+    "Telemetry",
+    "configure",
+    "deactivate",
+    "get_telemetry",
+]

@@ -1,0 +1,262 @@
+"""Span-based tracing with nesting, attributes, and two export formats.
+
+A :class:`Tracer` records *spans* — named, timed intervals with
+key/value attributes — and keeps a stack so spans started inside other
+spans are parented to them (context propagation within a process; a
+worker process can continue a parent's context by constructing its
+tracer with ``parent_context=``).  Finished spans export two ways:
+
+* **JSONL** (one span object per line) — greppable, streamable, the
+  format ``repro telemetry-report`` reads back;
+* **Chrome trace** (``chrome://tracing`` / Perfetto ``traceEvents``
+  JSON) — drop the file onto https://ui.perfetto.dev and read the
+  pipeline's time structure off the flame chart.
+
+The disabled path is :class:`NullTracer`: ``span()`` hands back one
+shared no-op context manager, so an instrumented call site that runs
+with telemetry off allocates *nothing* — no span object, no list entry
+(the regression test pins this down).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a trace position.
+
+    ``trace_id`` names the whole run; ``span_id`` the active span (or
+    ``None`` at top level).  Ship this to a worker and build its tracer
+    with ``Tracer(parent_context=...)`` to keep one logical trace
+    across processes.
+    """
+
+    trace_id: str
+    span_id: str | None
+
+
+@dataclass
+class Span:
+    """One finished span.
+
+    Attributes:
+        name: what ran ("nulling.run", "device.capture", ...).
+        trace_id / span_id / parent_id: identity and nesting.
+        start_us: start time in microseconds on the tracer's
+            monotonic clock (the Chrome-trace ``ts`` axis).
+        duration_us: elapsed microseconds.
+        attributes: per-span key/value payload.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start_us: float
+    duration_us: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL representation (one line of ``spans.jsonl``)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": round(self.start_us, 3),
+            "duration_us": round(self.duration_us, 3),
+            "attributes": self.attributes,
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one live span; records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = tracer._next_span_id()
+        self.parent_id: str | None = None
+        self._start = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the live span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> _ActiveSpan:
+        stack = self._tracer._stack
+        self.parent_id = stack[-1].span_id if stack else self._tracer._parent_id
+        stack.append(self)
+        self._start = self._tracer._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._tracer._now_us()
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # unbalanced exits (generator abandoned mid-span)
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        self._tracer.spans.append(
+            Span(
+                name=self.name,
+                trace_id=self._tracer.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start_us=self._start,
+                duration_us=end - self._start,
+                attributes=self.attributes,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans for one process, parented by an explicit stack.
+
+    Args:
+        parent_context: continue an existing trace (worker processes);
+            ``None`` starts a fresh trace with a random id.
+        clock: seconds-returning monotonic clock (injectable for
+            tests); spans store microseconds on this clock.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        parent_context: SpanContext | None = None,
+        clock=time.perf_counter,
+    ):
+        if parent_context is not None:
+            self.trace_id = parent_context.trace_id
+            self._parent_id = parent_context.span_id
+        else:
+            self.trace_id = uuid.uuid4().hex[:16]
+            self._parent_id = None
+        self._clock = clock
+        self._origin = clock()
+        self._stack: list[_ActiveSpan] = []
+        self.spans: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    def _next_span_id(self) -> str:
+        return f"{next(self._ids):08x}"
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("stage") as sp:``."""
+        return _ActiveSpan(self, name, attributes)
+
+    @property
+    def current_span_id(self) -> str | None:
+        """The innermost live span's id (``None`` outside any span)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    def context(self) -> SpanContext:
+        """The current position, for handing to a worker process."""
+        return SpanContext(trace_id=self.trace_id, span_id=self.current_span_id)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one finished span per line; returns the path."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_record()) + "\n")
+        return path
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The ``traceEvents`` document Perfetto / chrome://tracing load.
+
+        Spans become complete ("ph": "X") events; ``ts``/``dur`` are in
+        microseconds per the trace-event format.
+        """
+        pid = os.getpid()
+        events = [
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(span.duration_us, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": dict(span.attributes),
+            }
+            for span in self.spans
+        ]
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": self.trace_id},
+        }
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome-trace JSON document; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace()), encoding="utf-8")
+        return path
+
+
+class _NullSpan:
+    """The shared do-nothing span handle of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer-shaped no-op: every ``span()`` is the same shared handle.
+
+    ``spans`` is an immutable empty tuple, so any code path that tried
+    to record against the disabled tracer would fail loudly rather
+    than silently accumulate.
+    """
+
+    enabled = False
+    spans: tuple[()] = ()
+    trace_id: str | None = None
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current_span_id(self) -> None:
+        return None
+
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id="", span_id=None)

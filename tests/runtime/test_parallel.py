@@ -83,6 +83,14 @@ class TestReport:
         )
         assert report.speedup > 0.0
 
+    def test_merged_metrics_count_every_trial(self):
+        campaign = _campaign()
+        report = run_campaign_parallel(campaign, max_workers=2)
+        merged = report.merged_metrics()
+        expected = len(campaign.conditions) * campaign.trials_per_condition
+        assert merged.counter("campaign.trials").value == expected
+        assert merged.get("campaign.trial_value").count == expected
+
     def test_rejects_zero_workers(self):
         with pytest.raises(ValueError, match="at least one worker"):
             run_campaign_parallel(_campaign(), max_workers=0)

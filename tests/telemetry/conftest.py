@@ -1,0 +1,12 @@
+"""Telemetry tests always start and end with the disabled default."""
+
+import pytest
+
+from repro.telemetry.context import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    reset_telemetry()
+    yield
+    reset_telemetry()

@@ -1,0 +1,93 @@
+"""Structured event log: coercion, trace stamping, JSONL round-trip."""
+
+import enum
+import json
+
+import numpy as np
+
+from repro.telemetry.events import EventLog, NullEventLog, jsonable, read_jsonl
+from repro.telemetry.trace import NullTracer, Tracer
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+class TestJsonable:
+    def test_passthrough_scalars(self):
+        assert jsonable("x") == "x"
+        assert jsonable(3) == 3
+        assert jsonable(2.5) == 2.5
+        assert jsonable(True) is True
+        assert jsonable(None) is None
+
+    def test_numpy_arrays_and_scalars(self):
+        assert jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+        assert jsonable(np.int64(7)) == 7
+        assert isinstance(jsonable(np.float32(1.5)), float)
+
+    def test_enums_complex_and_containers(self):
+        assert jsonable(Color.RED) == "red"
+        assert jsonable(1 + 2j) == {"re": 1.0, "im": 2.0}
+        assert jsonable({"k": (1, 2)}) == {"k": [1, 2]}
+
+    def test_everything_is_json_dumpable(self):
+        payload = {
+            "eig": np.linalg.eigvalsh(np.eye(3)),
+            "state": Color.RED,
+            "z": np.complex128(1 + 1j),
+        }
+        json.dumps(jsonable(payload))  # must not raise
+
+
+class TestEventLog:
+    def test_emit_stamps_time_and_payload(self):
+        log = EventLog(clock=lambda: 1234.5)
+        record = log.emit("nulling.residual", iteration=2, residual_power=1e-9)
+        assert record["ts"] == 1234.5
+        assert record["kind"] == "nulling.residual"
+        assert record["iteration"] == 2
+        assert len(log) == 1
+
+    def test_events_inside_a_span_carry_its_ids(self):
+        tracer = Tracer()
+        log = EventLog(tracer=tracer)
+        with tracer.span("nulling.run") as span:
+            inside = log.emit("nulling.residual", iteration=0)
+        outside = log.emit("after")
+        assert inside["trace_id"] == tracer.trace_id
+        assert inside["span_id"] == span.span_id
+        assert outside["span_id"] is None
+
+    def test_null_tracer_leaves_records_unstamped(self):
+        log = EventLog(tracer=NullTracer())
+        record = log.emit("e")
+        assert "trace_id" not in record
+
+    def test_of_kind_filters_in_order(self):
+        log = EventLog()
+        log.emit("a", n=1)
+        log.emit("b")
+        log.emit("a", n=2)
+        assert [e["n"] for e in log.of_kind("a")] == [1, 2]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog(clock=lambda: 7.0)
+        log.emit("fault.injected", fault="nan-burst", samples_touched=12)
+        log.emit("health.transition", source="healthy", target="degraded")
+        path = log.export_jsonl(tmp_path / "events.jsonl")
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] == [
+            "fault.injected",
+            "health.transition",
+        ]
+        assert records[0]["samples_touched"] == 12
+
+
+class TestNullEventLog:
+    def test_everything_is_a_cheap_no_op(self):
+        log = NullEventLog()
+        assert log.emit("anything", x=1) is None
+        assert log.records == ()
+        assert log.of_kind("anything") == []
+        assert len(log) == 0

@@ -1,0 +1,112 @@
+"""The instrumented hot paths, enabled and disabled.
+
+Enabled: the DSP layers leave the events the report feeds on — nulling
+residuals per iteration, MUSIC eigenvalue spectra per window, health
+transitions.  Disabled (the default): the same code paths record
+*nothing* — no spans, no events, no metrics — which is the regression
+guard for the near-zero-cost claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitoring import HealthStateMachine
+from repro.core.nulling import run_nulling
+from repro.core.tracking import TrackingConfig, compute_spectrogram
+from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.context import reset_telemetry, set_telemetry
+
+
+class _PerfectTransceiver:
+    """Noise-free scalar-channel link, enough for Algorithm 1 to run."""
+
+    def __init__(self):
+        self.h1 = np.array([1.0 + 0.5j, 0.3 - 0.2j])
+        self.h2 = np.array([0.8 - 0.1j, 0.5 + 0.4j])
+
+    def sound_antenna(self, antenna_index):
+        return self.h1 if antenna_index == 0 else self.h2
+
+    def measure_residual(self, precoder):
+        return self.h1 + precoder * self.h2
+
+    def boost_power(self, boost_db):
+        pass
+
+
+@pytest.fixture
+def enabled():
+    telemetry = set_telemetry(Telemetry(enabled=True))
+    yield telemetry
+    reset_telemetry()
+
+
+def _spectrogram_input(rng):
+    config = TrackingConfig(window_size=64, hop=16, subarray_size=24)
+    samples = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+    return samples, config
+
+
+class TestEnabledInstrumentation:
+    def test_nulling_emits_residual_history(self, enabled):
+        result = run_nulling(_PerfectTransceiver())
+        residuals = enabled.events.of_kind("nulling.residual")
+        # One event per residual_history entry: initial + each iteration.
+        assert len(residuals) == len(result.residual_history)
+        assert [e["iteration"] for e in residuals] == list(
+            range(len(residuals))
+        )
+        assert residuals[0]["residual_power"] == pytest.approx(
+            result.residual_history[0]
+        )
+        assert enabled.metrics.counter("nulling.runs").value == 1
+        assert enabled.metrics.counter("nulling.iterations").value == (
+            result.iterations
+        )
+        (span,) = [s for s in enabled.tracer.spans if s.name == "nulling.run"]
+        assert span.attributes["converged"] == result.converged
+        # Residual events tie back to the nulling span.
+        assert {e["span_id"] for e in residuals} == {span.span_id}
+
+    def test_music_emits_eigenvalue_spectra_per_window(self, enabled, rng):
+        samples, config = _spectrogram_input(rng)
+        spectrogram = compute_spectrogram(samples, config)
+        spectra = enabled.events.of_kind("music.eigenvalues")
+        assert len(spectra) == spectrogram.num_windows
+        assert enabled.metrics.counter("music.windows").value == (
+            spectrogram.num_windows
+        )
+        eigenvalues = spectra[0]["eigenvalues"]
+        assert len(eigenvalues) == config.subarray_size
+        (span,) = [
+            s for s in enabled.tracer.spans if s.name == "tracking.spectrogram"
+        ]
+        assert span.attributes["windows"] == spectrogram.num_windows
+
+    def test_health_machine_emits_transitions(self, enabled):
+        machine = HealthStateMachine()
+        machine.record_bad("nan burst")
+        machine.demand_recalibration("erosion over budget")
+        machine.recalibration_succeeded()
+        events = enabled.events.of_kind("health.transition")
+        assert [(e["source"], e["target"]) for e in events] == [
+            ("healthy", "degraded"),
+            ("degraded", "recalibrating"),
+            ("recalibrating", "degraded"),
+        ]
+        assert events[0]["reason"] == "nan burst"
+        assert enabled.metrics.counter("health.transitions").value == 3
+
+
+class TestDisabledPathRecordsNothing:
+    def test_hot_paths_leave_no_trace_when_disabled(self, rng):
+        telemetry = get_telemetry()
+        assert telemetry.enabled is False
+        run_nulling(_PerfectTransceiver())
+        samples, config = _spectrogram_input(rng)
+        compute_spectrogram(samples, config)
+        machine = HealthStateMachine()
+        machine.record_bad("nan burst")
+        assert telemetry.tracer.spans == ()
+        assert telemetry.events.records == ()
+        assert len(telemetry.metrics) == 0

@@ -1,0 +1,231 @@
+"""Counters, gauges, histograms, registry merge, and stage accounting."""
+
+import pytest
+
+from repro.telemetry.context import reset_telemetry, set_telemetry
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RuntimeMetrics,
+    StageMetrics,
+    StageTimer,
+)
+from repro.telemetry.session import Telemetry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("c").inc(-1)
+
+
+class TestHistogramBucketEdges:
+    def test_edges_are_inclusive_upper_bounds(self):
+        # Prometheus `le` semantics: a value exactly on an edge lands
+        # in that edge's bucket, not the next one.
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0, 0]
+        histogram.observe(1.0000001)
+        assert histogram.counts == [1, 1, 0, 0]
+        histogram.observe(5.0)
+        assert histogram.counts == [1, 1, 1, 0]
+
+    def test_values_above_the_last_edge_overflow(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 0, 1]
+        assert histogram.max == 100.0
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(-3.0)
+        histogram.observe(0.0)
+        assert histogram.counts == [2, 0, 0]
+
+    def test_rejects_unsorted_or_empty_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_summary_statistics(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        for value in (1.0, 5.0, 12.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(18.0)
+        assert histogram.mean == pytest.approx(6.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 12.0
+
+
+class TestHistogramPercentile:
+    def test_percentile_returns_bucket_upper_edge(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 0.6, 1.5, 3.0, 3.5, 4.0, 4.5, 4.9, 6.0, 7.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.5) == 5.0  # 5th obs is in (2, 5]
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 10.0
+
+    def test_overflow_percentile_reports_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(42.0)
+        assert histogram.percentile(0.99) == 42.0
+
+    def test_empty_histogram_and_bad_quantile(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+
+class TestRegistryMerge:
+    def test_snapshot_merge_round_trip_is_exact(self):
+        source = MetricsRegistry()
+        source.counter("n").inc(7)
+        source.gauge("level").set(3.5)
+        histogram = source.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(9.0)
+
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        target.merge(source.snapshot())
+
+        assert target.counter("n").value == 14
+        assert target.gauge("level").value == 3.5
+        merged = target.histogram("lat", buckets=(1.0, 2.0))
+        assert merged.counts == [2, 0, 2]
+        assert merged.count == 4
+        assert merged.min == 0.5
+        assert merged.max == 9.0
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket"):
+            b.merge(a.snapshot())
+        with pytest.raises(ValueError, match="bucket edges differ"):
+            Histogram("h", buckets=(1.0, 3.0)).merge(
+                a.get("h").snapshot()
+            )
+
+    def test_name_can_hold_only_one_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_json_plain(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+        path = registry.export_json(tmp_path / "metrics.json")
+        assert path.exists()
+
+    def test_merge_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            MetricsRegistry().merge({"weird": {"type": "summary", "value": 1}})
+
+
+class TestGauge:
+    def test_last_write_wins_including_merge(self):
+        gauge = Gauge("g")
+        gauge.set(1.0)
+        gauge.merge({"type": "gauge", "value": 9.0})
+        assert gauge.value == 9.0
+
+
+class TestStageErrorAccounting:
+    def test_timer_credits_output_on_success(self):
+        stage = StageMetrics(name="track")
+        with StageTimer(stage, items_in=10) as timer:
+            timer.items_out = 3
+        assert stage.invocations == 1
+        assert stage.items_in == 10
+        assert stage.items_out == 3
+        assert stage.errors == 0
+        assert stage.busy_s > 0.0
+
+    def test_timer_charges_time_but_not_output_on_exception(self):
+        # The satellite fix: a stage that dies mid-block must not
+        # report the work it failed to finish, but its wall time was
+        # really spent and the failure must be visible.
+        stage = StageMetrics(name="track")
+        with pytest.raises(RuntimeError):
+            with StageTimer(stage, items_in=10) as timer:
+                timer.items_out = 3  # set before the failure
+                raise RuntimeError("stage died")
+        assert stage.invocations == 1
+        assert stage.items_in == 10
+        assert stage.items_out == 0
+        assert stage.errors == 1
+        assert stage.busy_s > 0.0
+
+    def test_describe_mentions_errors_only_when_present(self):
+        stage = StageMetrics(name="s")
+        stage.charge(0.001, items_in=1, items_out=1)
+        assert "errors" not in stage.describe()
+        stage.charge(0.001, items_in=1, items_out=1, error=True)
+        assert "1 errors" in stage.describe()
+
+    def test_stage_snapshot_merge(self):
+        a = StageMetrics(name="s")
+        a.charge(0.5, items_in=4, items_out=2, error=True)
+        assert a.items_out == 0  # failed invocation credits no output
+        b = StageMetrics(name="s")
+        b.charge(0.25, items_in=1, items_out=1)
+        b.merge(a.snapshot())
+        assert b.invocations == 2
+        assert b.items_in == 5
+        assert b.items_out == 1
+        assert b.errors == 1
+        assert b.busy_s == pytest.approx(0.75)
+
+    def test_timer_feeds_global_histogram_when_enabled(self):
+        telemetry = set_telemetry(Telemetry(enabled=True))
+        try:
+            stage = StageMetrics(name="demo")
+            with StageTimer(stage, items_in=1) as timer:
+                timer.items_out = 1
+            with pytest.raises(ValueError):
+                with StageTimer(stage, items_in=1):
+                    raise ValueError("fail once")
+            histogram = telemetry.metrics.get("stage.demo.latency_ms")
+            assert histogram is not None
+            assert histogram.count == 2
+            assert histogram.buckets == LATENCY_BUCKETS_MS
+            assert telemetry.metrics.counter("stage.demo.errors").value == 1
+        finally:
+            reset_telemetry()
+
+
+class TestRuntimeMetrics:
+    def test_cross_process_shape_round_trips(self):
+        runtime = RuntimeMetrics()
+        runtime.stage("source").charge(0.1, items_out=64)
+        runtime.stage("track").charge(0.2, items_in=64, items_out=2, error=True)
+        other = RuntimeMetrics()
+        other.merge(runtime.snapshot())
+        assert other.stage("source").items_out == 64
+        assert other.stage("track").errors == 1
+        assert [line.split(":")[0] for line in other.describe()] == [
+            "source",
+            "track",
+        ]

@@ -1,0 +1,112 @@
+"""Cross-process metrics: merged worker snapshots equal serial totals.
+
+Worker functions live at module level so the process pool can pickle
+them.  The invariant under test is the one the parallel campaign
+executor depends on: a registry that merges per-chunk snapshots —
+regardless of which process produced each chunk, in any order — holds
+exactly the totals a single registry observing every value serially
+would.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.analysis.campaign import Campaign, Condition
+from repro.runtime import run_campaign_parallel
+from repro.telemetry.metrics import MetricsRegistry
+
+_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0)
+
+
+def _record_chunk(values):
+    """What a worker does: record locally, ship the snapshot home."""
+    registry = MetricsRegistry()
+    registry.counter("observations").inc(len(values))
+    histogram = registry.histogram("value", buckets=_BUCKETS)
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+def _serial_registry(chunks):
+    registry = MetricsRegistry()
+    for chunk in chunks:
+        registry.merge(_record_chunk(chunk))
+    return registry
+
+
+def _mean_trial(rng, scale=1.0):
+    return float(scale * rng.standard_normal(20).mean())
+
+
+def _mean_campaign(seed=11):
+    return Campaign(
+        trial=_mean_trial,
+        conditions=[
+            Condition("narrow", {"scale": 0.5}),
+            Condition("unit", {}),
+            Condition("wide", {"scale": 3.0}),
+        ],
+        trials_per_condition=5,
+        seed=seed,
+    )
+
+
+class TestForkedMergeEqualsSerial:
+    def test_pool_merged_snapshots_match_serial_exactly(self):
+        chunks = [
+            [0.05, 0.3, 0.7],
+            [1.5, 1.9, 4.0, 9.0],
+            [0.1, 0.5, 1.0],  # values exactly on bucket edges
+            [],
+        ]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            snapshots = list(pool.map(_record_chunk, chunks))
+        merged = MetricsRegistry()
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        assert merged.snapshot() == _serial_registry(chunks).snapshot()
+
+    def test_merge_order_does_not_matter(self):
+        chunks = [[0.2, 3.0], [0.9], [6.0, 0.05, 1.1]]
+        snapshots = [_record_chunk(chunk) for chunk in chunks]
+        forward = MetricsRegistry()
+        for snapshot in snapshots:
+            forward.merge(snapshot)
+        backward = MetricsRegistry()
+        for snapshot in reversed(snapshots):
+            backward.merge(snapshot)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestCampaignMetricsAcrossWorkers:
+    def test_parallel_campaign_metrics_equal_serial(self):
+        # The acceptance criterion stated end to end: run_condition
+        # records trial counts/values into a local registry whether it
+        # runs in-process or in a pool worker, and the parent's merge
+        # of the shipped snapshots reproduces the serial totals
+        # bit for bit.
+        campaign = _mean_campaign()
+        serial = campaign.run()
+        report = run_campaign_parallel(campaign, max_workers=3)
+
+        serial_merged = MetricsRegistry()
+        for result in serial.values():
+            serial_merged.merge(result.metrics)
+        assert report.merged_metrics().snapshot() == serial_merged.snapshot()
+
+        merged = report.merged_metrics()
+        total_trials = len(campaign.conditions) * campaign.trials_per_condition
+        assert merged.counter("campaign.trials").value == total_trials
+        assert merged.get("campaign.trial_value").count == total_trials
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_count_does_not_change_metrics(self, workers):
+        campaign = _mean_campaign(seed=23)
+        baseline = run_campaign_parallel(campaign, max_workers=3)
+        other = run_campaign_parallel(campaign, max_workers=workers)
+        assert (
+            other.merged_metrics().snapshot()
+            == baseline.merged_metrics().snapshot()
+        )

@@ -1,0 +1,93 @@
+"""The telemetry-report renderer over synthetic run directories."""
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.report import _sparkline, summarize_run
+
+
+def _write_run(tmp_path):
+    """A small but fully-populated telemetry directory."""
+    telemetry = Telemetry(enabled=True, out_dir=tmp_path)
+    with telemetry.span("nulling.run"):
+        for iteration, power in enumerate([1e-3, 1e-5, 1e-7, 1e-9]):
+            telemetry.events.emit(
+                "nulling.residual", iteration=iteration, residual_power=power
+            )
+    telemetry.events.emit(
+        "health.transition",
+        capture_index=3,
+        source="healthy",
+        target="degraded",
+        reason="nan burst",
+    )
+    telemetry.events.emit(
+        "fault.injected",
+        time_s=1.25,
+        fault="nan-burst",
+        samples_touched=40,
+        detail="samples poisoned to NaN",
+    )
+    telemetry.events.emit("stream.gap", block_index=2, dropped_samples=64)
+    telemetry.events.emit(
+        "stream.detection", time_s=2.0, angle_deg=30.0, strength_db=6.0
+    )
+    histogram = telemetry.metrics.histogram(
+        "stage.track.latency_ms", buckets=(1.0, 5.0, 25.0)
+    )
+    for value in (0.5, 2.0, 3.0, 30.0):
+        histogram.observe(value)
+    telemetry.metrics.counter("stage.track.errors").inc(2)
+    telemetry.metrics.counter("music.windows").inc(12)
+    telemetry.flush()
+    return tmp_path
+
+
+class TestSummarizeRun:
+    def test_every_section_renders(self, tmp_path):
+        report = summarize_run(_write_run(tmp_path))
+        assert "spans: 1 recorded" in report
+        assert "nulling.run" in report
+        assert "stage latency percentiles" in report
+        # p50 of (0.5, 2, 3, 30) against edges (1, 5, 25) is the 5.0 edge.
+        assert "track" in report and "5.000" in report
+        assert "health timeline: 1 transitions" in report
+        assert "[3] healthy -> degraded: nan burst" in report
+        assert "nulling convergence: 1 run(s)" in report
+        assert "3 iterations, 1.000e-03 -> 1.000e-09" in report
+        assert "fault injections: 1" in report
+        assert "1.250s nan-burst: 40 samples" in report
+        assert "stream gaps: 1 (64 samples lost)" in report
+        assert "detections: 1" in report
+        assert "music.windows" in report
+
+    def test_partial_directory_drops_missing_sections(self, tmp_path):
+        telemetry = Telemetry(enabled=True, out_dir=tmp_path)
+        with telemetry.span("only.spans"):
+            pass
+        telemetry.flush()
+        report = summarize_run(tmp_path)
+        assert "only.spans" in report
+        assert "health timeline" not in report
+        assert "fault injections" not in report
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            summarize_run(tmp_path / "nope")
+
+    def test_directory_without_telemetry_files_raises(self, tmp_path):
+        (tmp_path / "unrelated.txt").write_text("hi")
+        with pytest.raises(FileNotFoundError, match="no telemetry files"):
+            summarize_run(tmp_path)
+
+
+class TestSparkline:
+    def test_decaying_series_descends(self):
+        strip = _sparkline([1e-1, 1e-3, 1e-5, 1e-7])
+        assert len(strip) == 4
+        assert strip[0] == "@"  # max level first
+        assert strip[-1] == " "  # min level last
+
+    def test_flat_and_empty_series(self):
+        assert _sparkline([]) == ""
+        assert _sparkline([2.0, 2.0]) == "@@"

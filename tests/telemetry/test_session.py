@@ -1,0 +1,88 @@
+"""The telemetry session: global slot, flush outputs, disabled default."""
+
+import json
+
+from repro.telemetry import (
+    EVENTS_FILE,
+    METRICS_FILE,
+    SPANS_FILE,
+    TRACE_FILE,
+    Telemetry,
+    configure,
+    deactivate,
+    get_telemetry,
+)
+from repro.telemetry.events import read_jsonl
+
+
+class TestGlobalSlot:
+    def test_default_session_is_disabled(self):
+        telemetry = get_telemetry()
+        assert telemetry.enabled is False
+        assert telemetry.tracer.spans == ()
+        assert get_telemetry() is telemetry  # one lazy instance
+
+    def test_configure_installs_and_deactivate_restores(self, tmp_path):
+        session = configure(out_dir=tmp_path)
+        assert get_telemetry() is session
+        assert session.enabled is True
+        deactivate()
+        assert get_telemetry().enabled is False
+
+    def test_disabled_session_instruments_are_null(self):
+        telemetry = Telemetry(enabled=False)
+        with telemetry.span("ignored"):
+            telemetry.events.emit("ignored")
+        assert telemetry.tracer.spans == ()
+        assert telemetry.events.records == ()
+
+
+class TestFlush:
+    def test_flush_writes_all_four_files(self, tmp_path):
+        telemetry = Telemetry(enabled=True, out_dir=tmp_path / "run")
+        with telemetry.span("work", n=1):
+            telemetry.events.emit("something.happened", value=2)
+            telemetry.metrics.counter("things").inc()
+        written = telemetry.flush()
+        names = sorted(p.name for p in written)
+        assert names == sorted([SPANS_FILE, TRACE_FILE, EVENTS_FILE, METRICS_FILE])
+        spans = read_jsonl(tmp_path / "run" / SPANS_FILE)
+        assert spans[0]["name"] == "work"
+        trace = json.loads((tmp_path / "run" / TRACE_FILE).read_text())
+        assert trace["traceEvents"][0]["name"] == "work"
+        events = read_jsonl(tmp_path / "run" / EVENTS_FILE)
+        assert events[0]["kind"] == "something.happened"
+        metrics = json.loads((tmp_path / "run" / METRICS_FILE).read_text())
+        assert metrics["things"]["value"] == 1
+
+    def test_trace_file_only_mode(self, tmp_path):
+        target = tmp_path / "sub" / "trace.json"
+        telemetry = Telemetry(enabled=True, trace_file=target)
+        with telemetry.span("only-trace"):
+            pass
+        written = telemetry.flush()
+        assert written == [target]
+        assert json.loads(target.read_text())["traceEvents"][0]["name"] == "only-trace"
+
+    def test_disabled_flush_writes_nothing(self, tmp_path):
+        telemetry = Telemetry(enabled=False, out_dir=tmp_path / "never")
+        assert telemetry.flush() == []
+        assert not (tmp_path / "never").exists()
+
+    def test_flush_summarizes_stage_histograms_into_events(self, tmp_path):
+        telemetry = Telemetry(enabled=True, out_dir=tmp_path)
+        histogram = telemetry.metrics.histogram(
+            "stage.track.latency_ms", buckets=(1.0, 10.0)
+        )
+        histogram.observe(0.5)
+        histogram.observe(4.0)
+        telemetry.flush()
+        (summary,) = [
+            e
+            for e in read_jsonl(tmp_path / EVENTS_FILE)
+            if e["kind"] == "stage.histogram"
+        ]
+        assert summary["stage"] == "track"
+        assert summary["count"] == 2
+        assert summary["p50_ms"] == 1.0
+        assert summary["p99_ms"] == 10.0

@@ -1,0 +1,173 @@
+"""Span tracer: nesting, propagation, exports, and the no-op path."""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import (
+    _NULL_SPAN,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A deterministic seconds clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestNesting:
+    def test_children_are_parented_to_the_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_done = tracer.spans
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer_done.parent_id is None
+        assert inner.trace_id == outer_done.trace_id
+
+    def test_siblings_share_a_parent_but_not_an_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, _ = tracer.spans
+        assert a.parent_id == b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_current_span_id_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id == outer.span_id
+            with tracer.span("inner") as inner:
+                assert tracer.current_span_id == inner.span_id
+            assert tracer.current_span_id == outer.span_id
+        assert tracer.current_span_id is None
+
+    def test_durations_come_from_the_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("timed"):
+            clock.tick(0.25)
+        (span,) = tracer.spans
+        assert span.duration_us == pytest.approx(250_000.0)
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans
+        assert span.attributes["error"] == "ValueError"
+        assert tracer.current_span_id is None  # stack unwound
+
+    def test_attributes_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.set("late", "yes")
+        (done,) = tracer.spans
+        assert done.attributes == {"fixed": 1, "late": "yes"}
+
+
+class TestPropagation:
+    def test_worker_tracer_continues_the_parents_trace(self):
+        parent = Tracer()
+        with parent.span("parent"):
+            ctx = parent.context()
+        worker = Tracer(parent_context=ctx)
+        with worker.span("in-worker"):
+            pass
+        (span,) = worker.spans
+        assert span.trace_id == parent.trace_id
+        assert span.parent_id == ctx.span_id
+
+    def test_context_outside_any_span_has_no_span_id(self):
+        tracer = Tracer()
+        assert tracer.context() == SpanContext(tracer.trace_id, None)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", depth=1):
+            with tracer.span("inner"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        records = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        outer = records[1]
+        assert outer["attributes"] == {"depth": 1}
+        assert outer["trace_id"] == tracer.trace_id
+        assert records[0]["parent_id"] == outer["span_id"]
+
+    def test_chrome_trace_is_valid_trace_event_json(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("stage", items=3):
+            clock.tick(0.002)
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["trace_id"] == tracer.trace_id
+        (event,) = document["traceEvents"]
+        assert event["ph"] == "X"  # complete event
+        assert event["cat"] == "repro"
+        assert event["dur"] == pytest.approx(2000.0)  # microseconds
+        assert event["args"] == {"items": 3}
+        assert isinstance(event["pid"], int)
+
+    def test_span_record_rounds_times(self):
+        span = Span(
+            name="s",
+            trace_id="t",
+            span_id="1",
+            parent_id=None,
+            start_us=1.23456,
+            duration_us=2.98765,
+            attributes={},
+        )
+        record = span.to_record()
+        assert record["start_us"] == 1.235
+        assert record["duration_us"] == 2.988
+
+
+class TestDisabledPath:
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", attr=1) as span:
+            span.set("more", 2)
+        assert tracer.spans == ()
+        assert tracer.current_span_id is None
+
+    def test_disabled_span_allocates_no_span_objects(self):
+        # The regression the near-zero-cost claim rests on: every
+        # span() call on the disabled path hands back the one shared
+        # module-level no-op handle — no Span, no _ActiveSpan, no list
+        # growth, ever.
+        tracer = NullTracer()
+        handles = {id(tracer.span(f"s{i}")) for i in range(100)}
+        assert handles == {id(_NULL_SPAN)}
+        assert tracer.spans == ()  # immutable empty tuple, not a list
+
+    def test_null_tracer_swallows_exceptions_like_the_real_one(self):
+        tracer = NullTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("still propagates")

@@ -137,3 +137,121 @@ def test_export_command_gray(tmp_path):
     from repro.analysis.export import read_pnm_header
 
     assert read_pnm_header(target)[0] == "P5"
+
+
+# ----------------------------------------------------------------------
+# Observability flags and telemetry-report
+# ----------------------------------------------------------------------
+
+
+def test_observability_flags_default_off():
+    args = build_parser().parse_args(["track"])
+    assert args.telemetry is None
+    assert args.trace is None
+    assert args.quiet is False
+
+
+def test_quiet_suppresses_info_but_not_errors(capsys):
+    code = main(["nulling", "--seed", "2", "--quiet"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+
+    code = main(["gestures", "012", "--quiet"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "0s and 1s" in captured.err
+
+
+def test_telemetry_directory_written_and_reported(tmp_path, capsys):
+    run_dir = tmp_path / "tel"
+    code = main(
+        ["stream", "--duration", "3", "--seed", "3", "--telemetry", str(run_dir)]
+    )
+    assert code == 0
+    for name in ("spans.jsonl", "trace.json", "events.jsonl", "metrics.json"):
+        assert (run_dir / name).exists()
+    capsys.readouterr()
+
+    code = main(["telemetry-report", str(run_dir)])
+    assert code == 0
+    report = capsys.readouterr().out
+    assert "telemetry report" in report
+    assert "stage latency percentiles" in report
+    assert "nulling convergence" in report
+    assert "cli.stream" in report
+
+
+def test_telemetry_trace_is_perfetto_loadable(tmp_path):
+    import json
+
+    run_dir = tmp_path / "tel"
+    code = main(
+        ["track", "--duration", "3", "--seed", "3", "--telemetry", str(run_dir)]
+    )
+    assert code == 0
+    document = json.loads((run_dir / "trace.json").read_text())
+    assert document["displayTimeUnit"] == "ms"
+    names = {event["name"] for event in document["traceEvents"]}
+    assert {"cli.track", "device.calibrate", "nulling.run"} <= names
+    for event in document["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+
+
+def test_telemetry_events_carry_nulling_and_health(tmp_path):
+    from repro.telemetry.events import read_jsonl
+
+    run_dir = tmp_path / "tel"
+    code = main(
+        ["track", "--duration", "3", "--seed", "3", "--inject-faults",
+         "--fault-seed", "7", "--telemetry", str(run_dir)]
+    )
+    assert code == 0
+    events = read_jsonl(run_dir / "events.jsonl")
+    kinds = {event["kind"] for event in events}
+    assert "nulling.residual" in kinds
+    assert "fault.injected" in kinds
+    residuals = [e for e in events if e["kind"] == "nulling.residual"]
+    assert all("residual_power" in e and "span_id" in e for e in residuals)
+
+
+def test_quiet_telemetry_still_logs_cli_lines(tmp_path, capsys):
+    from repro.telemetry.events import read_jsonl
+
+    run_dir = tmp_path / "tel"
+    code = main(
+        ["nulling", "--seed", "2", "--quiet", "--telemetry", str(run_dir)]
+    )
+    assert code == 0
+    assert capsys.readouterr().out == ""  # quiet run prints nothing
+    lines = [
+        e for e in read_jsonl(run_dir / "events.jsonl") if e["kind"] == "cli.line"
+    ]
+    assert any("achieved nulling" in e["text"] for e in lines)
+
+
+def test_trace_flag_writes_chrome_trace_alone(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "nulling-trace.json"
+    code = main(["nulling", "--seed", "2", "--trace", str(target)])
+    assert code == 0
+    document = json.loads(target.read_text())
+    assert any(e["name"] == "cli.nulling" for e in document["traceEvents"])
+    # No full telemetry directory appears as a side effect.
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_telemetry_report_missing_directory(tmp_path, capsys):
+    code = main(["telemetry-report", str(tmp_path / "nope")])
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_telemetry_deactivated_after_run(tmp_path):
+    from repro.telemetry import get_telemetry
+
+    main(["nulling", "--seed", "2", "--telemetry", str(tmp_path / "t")])
+    assert get_telemetry().enabled is False

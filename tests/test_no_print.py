@@ -1,0 +1,42 @@
+"""Lint: user-facing output goes through the CLI's OutputWriter.
+
+Every ``print()`` in the library proper would bypass ``--quiet``, the
+structured-event mirror, and the logging handlers ``main()`` owns —
+so outside ``cli.py`` (whose writer wraps the logger) none may exist.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: ``print(`` preceded by start-of-line/whitespace/operator — not part
+#: of a longer identifier like ``pprint(`` or an attribute.
+_PRINT_CALL = re.compile(r"(?<![\w.])print\(")
+
+
+def _strings_stripped(source: str) -> str:
+    """Drop string literals so a docstring mentioning print( passes."""
+    import io
+    import tokenize
+
+    kept = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type not in (tokenize.STRING, tokenize.COMMENT):
+            kept.append(token.string)
+    return " ".join(kept)
+
+
+def test_no_print_calls_outside_cli():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name == "cli.py":
+            continue
+        code = _strings_stripped(path.read_text(encoding="utf-8"))
+        if _PRINT_CALL.search(code):
+            offenders.append(str(path.relative_to(SRC)))
+    assert offenders == [], (
+        f"bare print( calls found in {offenders}; route output through "
+        "repro.telemetry.output.OutputWriter instead"
+    )
