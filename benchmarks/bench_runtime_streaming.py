@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from common import SEED, emit, format_table, trial_count
+from common import SEED, emit, format_table, trial_count, write_bench_json
 from repro.analysis.campaign import Campaign, Condition
 from repro.core.tracking import TrackingConfig, compute_spectrogram
 from repro.environment.walls import stata_conference_room_small
@@ -80,6 +80,18 @@ def bench_streaming_throughput(benchmark):
     ]
     lines += [f"  {line}" for line in result.metrics.describe()]
     emit("runtime_streaming_throughput", "\n".join(lines))
+    write_bench_json(
+        "runtime_streaming",
+        {
+            "trace_duration_s": duration_s,
+            "num_samples": len(samples),
+            "columns_emitted": len(result.columns),
+            "columns_per_s": columns_per_s,
+            "realtime_column_rate": realtime_column_rate,
+            "realtime_margin": margin,
+            "matches_offline": matches,
+        },
+    )
 
     assert columns_per_s > 0.0, "streaming engine emitted no columns"
     assert matches, "online columns diverged from the offline spectrogram"

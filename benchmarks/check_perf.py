@@ -1,0 +1,65 @@
+"""CI perf smoke: compare BENCH_processing_time.json to the baseline.
+
+Run after ``bench_processing_time.py``:
+
+    python benchmarks/check_perf.py
+
+Two gates, both deliberately generous — this is a smoke test against
+order-of-magnitude regressions (e.g. the batched path silently falling
+back to a per-window loop), not a microbenchmark:
+
+* ``windows_per_s`` must reach ``min_fraction_of_baseline`` of the
+  committed baseline throughput (CI runners vary widely in speed);
+* ``speedup_vs_reference`` must stay above
+  ``min_speedup_vs_reference`` — machine-independent, since both paths
+  run on the same hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+RESULT = BENCH_DIR / "output" / "BENCH_processing_time.json"
+BASELINE = BENCH_DIR / "baselines" / "processing_time_baseline.json"
+
+
+def main() -> int:
+    """Exit 0 when current throughput clears the baseline gates."""
+    if not RESULT.exists():
+        print(f"missing {RESULT}; run bench_processing_time.py first")
+        return 1
+    result = json.loads(RESULT.read_text())
+    baseline = json.loads(BASELINE.read_text())
+
+    floor = baseline["windows_per_s"] * baseline["min_fraction_of_baseline"]
+    min_speedup = baseline["min_speedup_vs_reference"]
+    windows_per_s = result["windows_per_s"]
+    speedup = result["speedup_vs_reference"]
+
+    print(
+        f"throughput: {windows_per_s:.0f} windows/s "
+        f"(baseline {baseline['windows_per_s']:.0f}, floor {floor:.0f})"
+    )
+    print(f"speedup vs reference loop: {speedup:.2f}x (floor {min_speedup:.1f}x)")
+
+    failures = []
+    if windows_per_s < floor:
+        failures.append(
+            f"throughput {windows_per_s:.0f} windows/s below floor {floor:.0f}"
+        )
+    if speedup < min_speedup:
+        failures.append(
+            f"speedup {speedup:.2f}x below floor {min_speedup:.1f}x"
+        )
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}")
+    if not failures:
+        print("perf smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@ full trial counts (e.g. the 80-trial counting study of §7.4).
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from pathlib import Path
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -38,6 +40,37 @@ def emit(name: str, text: str) -> None:
     print(text)
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def git_sha() -> str:
+    """The current commit hash, or "unknown" outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist machine-readable bench results.
+
+    Writes ``benchmarks/output/BENCH_<name>.json`` with the current git
+    SHA merged in; the CI perf-smoke step compares these files against
+    the committed baselines and uploads them as artifacts.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"git_sha": git_sha(), **payload}, indent=2) + "\n")
+    return path
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -23,6 +23,9 @@ from repro.constants import (
     DEFAULT_HUMAN_SPEED_MPS,
     WAVELENGTH_M,
 )
+from repro.dsp.spectrum import beamform_batch
+from repro.dsp.steering import compute_steering_matrix, steering_matrix
+from repro.dsp.windows import sliding_windows
 
 
 def element_spacing_m(
@@ -60,20 +63,12 @@ def steering_vector(
     angle.
 
     Returns shape (array_size,) for a scalar angle or
-    (num_angles, array_size) for a grid.
+    (num_angles, array_size) for a grid.  The returned array is always
+    freshly allocated; hot paths that reuse a grid should go through
+    the process-wide memoized table in :mod:`repro.dsp.steering`
+    instead (both share this formula).
     """
-    if array_size < 1:
-        raise ValueError("array size must be positive")
-    thetas = np.atleast_1d(np.asarray(theta_deg, dtype=float))
-    indices = np.arange(array_size)
-    phase = (
-        2.0
-        * np.pi
-        / wavelength_m
-        * np.outer(np.sin(np.radians(thetas)), indices)
-        * spacing_m
-    )
-    vectors = np.exp(-1j * phase)
+    vectors = compute_steering_matrix(theta_deg, array_size, spacing_m, wavelength_m)
     return vectors if np.ndim(theta_deg) > 0 else vectors[0]
 
 
@@ -86,13 +81,16 @@ def inverse_aoa_spectrum(
     """A[theta] for one emulated-array window (Eq. 5.1), as |A|.
 
     ``window`` is the w consecutive channel measurements; the output
-    has one magnitude per angle in ``theta_grid_deg``.
+    has one magnitude per angle in ``theta_grid_deg``.  The steering
+    table comes from the shared :mod:`repro.dsp.steering` cache, so
+    repeated calls over the same grid — the degeneracy-fallback path,
+    the streaming beamformed tracker — stop rebuilding it per window.
     """
     window = np.asarray(window, dtype=complex)
     if window.ndim != 1:
         raise ValueError("window must be one-dimensional")
-    steering = steering_vector(theta_grid_deg, len(window), spacing_m, wavelength_m)
-    return np.abs(steering.conj() @ window)
+    steering = steering_matrix(theta_grid_deg, len(window), spacing_m, wavelength_m)
+    return beamform_batch(window[np.newaxis, :], steering)[0]
 
 
 def beamformed_spectrogram(
@@ -121,15 +119,12 @@ def beamformed_spectrogram(
         raise ValueError("window must contain at least 2 samples")
     if hop < 1:
         raise ValueError("hop must be positive")
+    if series.ndim != 1:
+        raise ValueError("channel series must be one-dimensional")
     if len(series) < window_size:
         raise ValueError("series shorter than one window")
-    starts = np.arange(0, len(series) - window_size + 1, hop)
-    steering = steering_vector(theta_grid_deg, window_size, spacing_m, wavelength_m)
-    conjugate = steering.conj()
-    spectra = np.empty((len(starts), len(theta_grid_deg)))
-    for row, start in enumerate(starts):
-        window = series[start : start + window_size]
-        if remove_window_mean:
-            window = window - window.mean()
-        spectra[row] = np.abs(conjugate @ window)
-    return starts, spectra
+    starts, windows = sliding_windows(series, window_size, hop)
+    if remove_window_mean:
+        windows = windows - windows.mean(axis=1, keepdims=True)
+    steering = steering_matrix(theta_grid_deg, window_size, spacing_m, wavelength_m)
+    return starts, beamform_batch(windows, steering)

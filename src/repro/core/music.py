@@ -10,6 +10,12 @@ decomposition (§5.2).
 The pseudospectrum (Eq. 5.3) projects each steering vector onto the
 noise subspace and inverts the norm, producing the sharp
 "super-resolution" peaks the paper relies on.
+
+The arithmetic lives in the batched kernel layer (:mod:`repro.dsp`);
+this module is the single-window orchestration over it — a batch of
+one, which the kernels guarantee is bit-identical to the same window
+inside a larger batch (the property the streaming tracker's golden
+equivalence rests on).
 """
 
 from __future__ import annotations
@@ -19,7 +25,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import WAVELENGTH_M
-from repro.core.beamforming import steering_vector
+from repro.dsp.covariance import smoothed_covariance_batch
+from repro.dsp.eig import (
+    REASON_OK,
+    classify_covariance_batch,
+    eigh_descending_batch,
+    estimate_source_counts_batch,
+)
+from repro.dsp.spectrum import music_pseudospectra_batch
+from repro.dsp.steering import steering_matrix
 from repro.errors import DegenerateCovarianceError
 from repro.telemetry.context import get_telemetry
 
@@ -37,23 +51,18 @@ def smoothed_correlation_matrix(
         forward_backward: additionally average with the
             complex-conjugate reversed subarrays, a standard
             decorrelation refinement that tightens the rank restoration.
+
+    A batch-of-one view over
+    :func:`repro.dsp.covariance.smoothed_covariance_batch`; the frozen
+    per-subarray loop survives as
+    :func:`repro.dsp.reference.smoothed_correlation_matrix_reference`.
     """
     window = np.asarray(window, dtype=complex)
     if window.ndim != 1:
         raise ValueError("window must be one-dimensional")
-    w = len(window)
-    if not 1 < subarray_size <= w:
-        raise ValueError("subarray size must be in (1, window size]")
-    num_subarrays = w - subarray_size + 1
-    correlation = np.zeros((subarray_size, subarray_size), dtype=complex)
-    for start in range(num_subarrays):
-        sub = window[start : start + subarray_size]
-        correlation += np.outer(sub, sub.conj())
-    correlation /= num_subarrays
-    if forward_backward:
-        exchange = np.eye(subarray_size)[::-1]
-        correlation = 0.5 * (correlation + exchange @ correlation.conj() @ exchange)
-    return correlation
+    return smoothed_covariance_batch(
+        window[np.newaxis, :], subarray_size, forward_backward
+    )[0]
 
 
 def check_covariance_conditioning(
@@ -72,29 +81,31 @@ def check_covariance_conditioning(
       noise subspace loses meaning, and the pseudospectrum inverts
       numerical dust.
 
-    ``eigenvalues`` must be sorted in descending order.
+    ``eigenvalues`` must be sorted in descending order.  The decision
+    is delegated to :func:`repro.dsp.eig.classify_covariance_batch` so
+    the per-window guard and the batched pipeline's vectorized screen
+    can never disagree.
     """
     eigenvalues = np.asarray(eigenvalues, dtype=float)
-    if not np.all(np.isfinite(eigenvalues)):
+    reason = classify_covariance_batch(eigenvalues[np.newaxis, :], condition_limit)[0]
+    if reason == REASON_OK:
+        return
+    if reason == "non-finite":
         raise DegenerateCovarianceError(
             "covariance has non-finite eigenvalues", reason="non-finite"
         )
-    tiny = np.finfo(float).tiny
-    total = float(np.sum(eigenvalues))
-    if total <= tiny:
+    if reason == "dead":
         raise DegenerateCovarianceError(
             "covariance is numerically zero (dead window)", reason="dead"
         )
-    smallest = max(float(eigenvalues[-1]), tiny)
-    # Compare multiplicatively: largest/smallest can overflow a float.
-    if float(eigenvalues[0]) > condition_limit * smallest:
-        with np.errstate(over="ignore"):
-            condition = float(eigenvalues[0]) / smallest
-        raise DegenerateCovarianceError(
-            f"covariance condition number {condition:.3g} exceeds "
-            f"limit {condition_limit:.3g}",
-            reason="ill-conditioned",
-        )
+    smallest = max(float(eigenvalues[-1]), np.finfo(float).tiny)
+    with np.errstate(over="ignore"):
+        condition = float(eigenvalues[0]) / smallest
+    raise DegenerateCovarianceError(
+        f"covariance condition number {condition:.3g} exceeds "
+        f"limit {condition_limit:.3g}",
+        reason="ill-conditioned",
+    )
 
 
 def estimate_source_count(
@@ -108,18 +119,20 @@ def estimate_source_count(
     noise level, estimated as the median of the smaller half of the
     spectrum, capping at ``max_sources``.
 
-    ``eigenvalues`` must be sorted in descending order.
+    ``eigenvalues`` must be sorted in descending order.  The count is
+    delegated to :func:`repro.dsp.eig.estimate_source_counts_batch`,
+    the vectorized form the batched pipeline uses.
     """
     eigenvalues = np.asarray(eigenvalues, dtype=float)
     if len(eigenvalues) < 2:
         raise ValueError("need at least two eigenvalues")
     if np.any(np.diff(eigenvalues) > 1e-9 * max(abs(eigenvalues[0]), 1.0)):
         raise ValueError("eigenvalues must be sorted in descending order")
-    noise_level = float(np.median(eigenvalues[len(eigenvalues) // 2 :]))
-    noise_level = max(noise_level, np.finfo(float).tiny)
-    threshold = noise_level * 10.0 ** (dominance_db / 10.0)
-    count = int(np.sum(eigenvalues > threshold))
-    return min(max(count, 1), max_sources, len(eigenvalues) - 1)
+    return int(
+        estimate_source_counts_batch(
+            eigenvalues[np.newaxis, :], max_sources, dominance_db
+        )[0]
+    )
 
 
 @dataclass
@@ -199,6 +212,8 @@ def smoothed_music_spectrum(
             samples, or ``condition_limit`` is set and tripped.
     """
     window = np.asarray(window, dtype=complex)
+    if window.ndim != 1:
+        raise ValueError("window must be one-dimensional")
     if not np.all(np.isfinite(window)):
         raise DegenerateCovarianceError(
             "window contains non-finite samples", reason="non-finite"
@@ -206,11 +221,11 @@ def smoothed_music_spectrum(
     w = len(window)
     if subarray_size is None:
         subarray_size = max(w // 2, 2)
-    correlation = smoothed_correlation_matrix(window, subarray_size, forward_backward)
-    eigenvalues, eigenvectors = np.linalg.eigh(correlation)
-    # eigh returns ascending order; flip to descending.
-    eigenvalues = eigenvalues[::-1].real.copy()
-    eigenvectors = eigenvectors[:, ::-1]
+    covariance = smoothed_covariance_batch(
+        window[np.newaxis, :], subarray_size, forward_backward
+    )
+    values, vectors = eigh_descending_batch(covariance)
+    eigenvalues = values[0]
     telemetry = get_telemetry()
     if telemetry.enabled:
         # The per-window eigenvalue spectrum is the signal-quality
@@ -230,15 +245,13 @@ def smoothed_music_spectrum(
         num_sources = estimate_source_count(eigenvalues, max_sources)
     if not 0 < num_sources < subarray_size:
         raise ValueError("source count must be in (0, subarray size)")
-    noise_subspace = eigenvectors[:, num_sources:]
 
-    steering = steering_vector(theta_grid_deg, subarray_size, spacing_m, wavelength_m)
     # Eq. 5.3: 1 / sum_j || u_j^H a(theta) ||^2 over noise eigenvectors —
     # dips to zero where a(theta) lies in the signal subspace.
-    projections = steering @ noise_subspace.conj()
-    denominator = np.sum(np.abs(projections) ** 2, axis=1)
-    denominator = np.maximum(denominator, np.finfo(float).tiny)
-    pseudospectrum = np.sqrt(1.0 / denominator)
+    steering = steering_matrix(theta_grid_deg, subarray_size, spacing_m, wavelength_m)
+    pseudospectrum = music_pseudospectra_batch(
+        steering, vectors, np.array([num_sources])
+    )[0]
     return MusicResult(
         theta_grid_deg=np.asarray(theta_grid_deg, dtype=float),
         pseudospectrum=pseudospectrum,

@@ -28,6 +28,16 @@ from repro.core.beamforming import (
     inverse_aoa_spectrum,
 )
 from repro.core.music import smoothed_music_spectrum
+from repro.dsp.covariance import smoothed_covariance_batch
+from repro.dsp.eig import (
+    REASON_OK,
+    classify_covariance_batch,
+    eigh_descending_batch,
+    estimate_source_counts_batch,
+)
+from repro.dsp.spectrum import beamform_batch, music_pseudospectra_batch
+from repro.dsp.steering import steering_matrix
+from repro.dsp.windows import sliding_windows
 from repro.errors import DegenerateCovarianceError
 from repro.telemetry.context import get_telemetry
 
@@ -200,6 +210,10 @@ def compute_diversity_spectrogram(
     :meth:`repro.simulator.timeseries.ChannelSeriesSimulator.combine_diversity_series`;
     in a 5 MHz band the subcarriers fade together, so neither variant
     provides fading diversity — see the ablation bench.)
+
+    Every per-stream pass shares the process-wide steering cache
+    (:mod:`repro.dsp.steering`), so the table is built once for the
+    whole subcarrier set rather than once per stream.
     """
     if not channel_series_list:
         raise ValueError("need at least one subcarrier stream")
@@ -221,19 +235,33 @@ def compute_diversity_spectrogram(
     )
 
 
-def _beamformed_fallback_row(
-    window: np.ndarray, theta_grid: np.ndarray, config: TrackingConfig
+def _beamformed_fallback_rows(
+    windows: np.ndarray, config: TrackingConfig
 ) -> np.ndarray:
-    """Plain Eq. 5.1 spectrum for a window MUSIC rejected.
+    """Plain Eq. 5.1 spectra for a stack of windows MUSIC rejected.
 
     Non-finite samples (a NaN burst the screen let through) are zeroed
     first: beamforming degrades gracefully with missing elements,
-    whereas a single NaN would poison the whole row.
+    whereas a single NaN would poison the whole row.  The steering
+    table comes from the shared :mod:`repro.dsp.steering` cache, so
+    fallback-heavy fault-injection runs stop rebuilding it per window.
     """
-    window = np.where(np.isfinite(window), window, 0.0)
-    return inverse_aoa_spectrum(
-        window - window.mean(), theta_grid, config.spacing_m, config.wavelength_m
+    windows = np.asarray(windows, dtype=complex)
+    patched = np.where(np.isfinite(windows), windows, 0.0)
+    patched = patched - patched.mean(axis=1, keepdims=True)
+    steering = steering_matrix(
+        config.theta_grid_deg, windows.shape[1], config.spacing_m, config.wavelength_m
     )
+    return beamform_batch(patched, steering)
+
+
+def _beamformed_fallback_row(
+    window: np.ndarray, config: TrackingConfig
+) -> np.ndarray:
+    """Single-window fallback: a batch of one through the same kernel,
+    so the streaming frame path matches the batched pipeline bit for
+    bit on rejected windows."""
+    return _beamformed_fallback_rows(np.asarray(window)[np.newaxis, :], config)[0]
 
 
 @dataclass(frozen=True)
@@ -259,6 +287,10 @@ def compute_spectrogram_frame(
     Runs smoothed MUSIC; a window whose covariance the guard rejects —
     saturated, dead, or corrupted — falls back to plain Eq. 5.1
     beamforming, with the chosen estimator recorded in the frame.
+
+    Delegates to the same batched kernels as the offline fast path (a
+    batch of one), so streaming columns stay bit-identical to
+    :func:`compute_spectrogram` rows over the same windows.
     """
     theta_grid = config.theta_grid_deg
     try:
@@ -282,7 +314,7 @@ def compute_spectrogram_frame(
             telemetry.metrics.counter("music.fallbacks").inc()
             telemetry.events.emit("music.fallback", reason=exc.reason)
         return SpectrogramFrame(
-            power=_beamformed_fallback_row(window, theta_grid, config),
+            power=_beamformed_fallback_row(window, config),
             num_sources=0,
             estimator=ESTIMATOR_BEAMFORMING,
         )
@@ -309,6 +341,81 @@ def compute_beamformed_frame(
     )
 
 
+def _estimate_windows_batch(
+    windows: np.ndarray, config: TrackingConfig
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Estimate a whole stack of windows through the batched kernels.
+
+    The vectorized form of :func:`compute_spectrogram_frame`: one
+    smoothed-covariance einsum/matmul and one stacked ``eigh`` cover
+    every window that can attempt MUSIC; the degeneracy guard runs as a
+    vectorized screen, and the rejected windows are mask-and-patched
+    with batched Eq. 5.1 beamforming.  Because every kernel computes
+    each window independently of its batch, the rows here are
+    bit-identical to per-window :func:`compute_spectrogram_frame`
+    calls — the streaming tracker's golden-equivalence contract.
+
+    Returns ``(power, source_counts, estimators)``.
+    """
+    windows = np.asarray(windows, dtype=complex)
+    num_windows, window_size = windows.shape
+    theta_grid = config.theta_grid_deg
+    power = np.empty((num_windows, len(theta_grid)))
+    counts = np.zeros(num_windows, dtype=int)
+    estimators = np.full(num_windows, ESTIMATOR_BEAMFORMING, dtype=object)
+    telemetry = get_telemetry()
+
+    # Windows with non-finite samples can never attempt MUSIC (the
+    # covariance would poison the stacked eigh); they go straight to
+    # the fallback, mirroring the per-window non-finite raise.
+    finite = np.all(np.isfinite(windows), axis=1)
+    reasons = np.full(num_windows, "non-finite", dtype=object)
+    music_rows = np.flatnonzero(finite)
+    if music_rows.size:
+        covariance = smoothed_covariance_batch(
+            windows[music_rows], config.subarray_size
+        )
+        values, vectors = eigh_descending_batch(covariance)
+        if telemetry.enabled:
+            windows_counter = telemetry.metrics.counter("music.windows")
+            for row_values in values:
+                windows_counter.inc()
+                telemetry.events.emit(
+                    "music.eigenvalues",
+                    eigenvalues=row_values,
+                    window_size=window_size,
+                    subarray_size=config.subarray_size,
+                )
+        guard = classify_covariance_batch(values, config.condition_limit)
+        reasons[music_rows] = guard
+        passed = guard == REASON_OK
+        ok_rows = music_rows[passed]
+        if ok_rows.size:
+            source_counts = estimate_source_counts_batch(
+                values[passed], config.max_sources
+            )
+            steering = steering_matrix(
+                theta_grid, config.subarray_size, config.spacing_m, config.wavelength_m
+            )
+            power[ok_rows] = music_pseudospectra_batch(
+                steering, vectors[passed], source_counts
+            )
+            counts[ok_rows] = source_counts
+            estimators[ok_rows] = ESTIMATOR_MUSIC
+
+    fallback_rows = np.flatnonzero(reasons != REASON_OK)
+    if fallback_rows.size:
+        if telemetry.enabled:
+            fallback_counter = telemetry.metrics.counter("music.fallbacks")
+            for row in fallback_rows:
+                fallback_counter.inc()
+                telemetry.events.emit("music.fallback", reason=reasons[row])
+        power[fallback_rows] = _beamformed_fallback_rows(
+            windows[fallback_rows], config
+        )
+    return power, counts, estimators
+
+
 def compute_spectrogram(
     channel_series: np.ndarray,
     config: TrackingConfig | None = None,
@@ -321,6 +428,12 @@ def compute_spectrogram(
     rejects — saturated, dead, or corrupted — is estimated with plain
     beamforming instead, and the frame's entry in
     ``MotionSpectrogram.estimators`` records which path produced it.
+
+    The whole trace is processed through the batched kernel layer
+    (:mod:`repro.dsp`) — strided windows, one stacked covariance and
+    eigendecomposition, shared steering tables — producing rows
+    bit-identical to the per-window :func:`compute_spectrogram_frame`
+    the streaming tracker calls.
     """
     config = config if config is not None else TrackingConfig()
     series = np.asarray(channel_series, dtype=complex)
@@ -331,24 +444,15 @@ def compute_spectrogram(
             f"series of {len(series)} samples is shorter than one "
             f"window ({config.window_size})"
         )
-    starts = np.arange(0, len(series) - config.window_size + 1, config.hop)
-    theta_grid = config.theta_grid_deg
-    power = np.empty((len(starts), len(theta_grid)))
-    counts = np.empty(len(starts), dtype=int)
-    estimators = np.empty(len(starts), dtype=object)
+    starts, windows = sliding_windows(series, config.window_size, config.hop)
     with get_telemetry().span(
         "tracking.spectrogram", windows=len(starts), samples=len(series)
     ):
-        for row, start in enumerate(starts):
-            window = series[start : start + config.window_size]
-            frame = compute_spectrogram_frame(window, config)
-            power[row] = frame.power
-            counts[row] = frame.num_sources
-            estimators[row] = frame.estimator
+        power, counts, estimators = _estimate_windows_batch(windows, config)
     times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
     return MotionSpectrogram(
         times_s=times,
-        theta_grid_deg=theta_grid,
+        theta_grid_deg=config.theta_grid_deg,
         power=power,
         source_counts=counts,
         window_overlap=max(config.window_size // config.hop, 1),

@@ -1,0 +1,64 @@
+"""repro.dsp — batched kernels under the MUSIC/beamforming hot path.
+
+The tracking pipeline's cost is one smoothed-MUSIC estimate per
+emulated-array window; this package turns that per-window loop into
+whole-stack kernels: strided window extraction
+(:mod:`~repro.dsp.windows`), batched forward-backward smoothed
+covariance (:mod:`~repro.dsp.covariance`), stacked eigendecomposition
+with vectorized conditioning screens (:mod:`~repro.dsp.eig`),
+process-wide memoized steering tables (:mod:`~repro.dsp.steering`),
+and batched pseudospectrum/beamforming projections
+(:mod:`~repro.dsp.spectrum`).
+
+Two contracts hold across the package:
+
+* **Batch stability** — each window's result is computed by its own
+  inner gufunc slice over a normalized (contiguous) layout, so a batch
+  of one is bit-identical to the same window inside a larger batch.
+  This is what keeps the streaming tracker (one window at a time)
+  bit-for-bit equal to the offline pipeline (all windows at once).
+* **Oracle parity** — :mod:`repro.dsp.reference` freezes the original
+  per-window implementations; the property suite holds the kernels to
+  <= 1e-12 against them, including NaN-burst, saturated, and
+  rank-degenerate windows whose guard decisions must match exactly.
+
+The orchestration layers (:mod:`repro.core.music`,
+:mod:`repro.core.beamforming`, :mod:`repro.core.tracking`) are thin
+wrappers over these kernels, which is also the seam a future
+GPU/numba backend would slot into.
+"""
+
+from repro.dsp.covariance import smoothed_covariance_batch
+from repro.dsp.eig import (
+    REASON_OK,
+    classify_covariance_batch,
+    eigh_descending_batch,
+    estimate_source_counts_batch,
+)
+from repro.dsp.spectrum import beamform_batch, music_pseudospectra_batch
+from repro.dsp.steering import (
+    SteeringCacheInfo,
+    cache_info,
+    clear_cache,
+    compute_steering_matrix,
+    steering_matrix,
+)
+from repro.dsp.windows import sliding_windows, subarray_view, window_starts
+
+__all__ = [
+    "REASON_OK",
+    "SteeringCacheInfo",
+    "beamform_batch",
+    "cache_info",
+    "classify_covariance_batch",
+    "clear_cache",
+    "compute_steering_matrix",
+    "eigh_descending_batch",
+    "estimate_source_counts_batch",
+    "music_pseudospectra_batch",
+    "sliding_windows",
+    "smoothed_covariance_batch",
+    "steering_matrix",
+    "subarray_view",
+    "window_starts",
+]

@@ -1,0 +1,98 @@
+"""Stacked eigendecomposition and vectorized covariance screening.
+
+``np.linalg.eigh`` batches natively over a (num_windows, w', w') stack
+— one gufunc call replaces num_windows Python-level decompositions.
+The conditioning guard and the source-count estimate that the legacy
+pipeline ran per window are mirrored here as row-wise vectorized
+passes; their decisions must match the sequential versions in
+:mod:`repro.core.music` *exactly*, which is why those public functions
+now delegate to these kernels rather than keeping parallel arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Reason value for windows that pass the conditioning screen.
+REASON_OK = ""
+
+
+def eigh_descending_batch(
+    covariance: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecompose a stack of Hermitian matrices, descending order.
+
+    Returns ``(eigenvalues, eigenvectors)`` with shapes (n, m) and
+    (n, m, m); ``eigenvalues[k]`` is sorted descending and
+    ``eigenvectors[k][:, j]`` is the eigenvector of ``eigenvalues[k][j]``
+    — the ordering MUSIC's signal/noise split expects.
+    """
+    covariance = np.asarray(covariance)
+    if covariance.ndim != 3:
+        raise ValueError("covariance must be a (n, m, m) stack")
+    values, vectors = np.linalg.eigh(covariance)
+    # eigh returns ascending order; flip to descending.
+    return np.ascontiguousarray(values[:, ::-1]), vectors[:, :, ::-1]
+
+
+def classify_covariance_batch(
+    eigenvalues: np.ndarray, condition_limit: float
+) -> np.ndarray:
+    """Vectorized degeneracy screen over a stack of eigenvalue rows.
+
+    Mirrors :func:`repro.core.music.check_covariance_conditioning`
+    (which delegates here): per row, flag
+
+    * ``"non-finite"`` — NaN/Inf eigenvalues;
+    * ``"dead"`` — trace ~ 0, nothing to decompose;
+    * ``"ill-conditioned"`` — eigenvalue spread beyond
+      ``condition_limit`` (compared multiplicatively, since the ratio
+      itself can overflow).
+
+    ``eigenvalues`` must be (n, m) rows sorted descending.  Returns an
+    object array of reason strings, :data:`REASON_OK` for healthy rows;
+    precedence matches the sequential guard (non-finite, then dead,
+    then ill-conditioned).
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if eigenvalues.ndim != 2:
+        raise ValueError("eigenvalues must be a (n, m) stack of rows")
+    tiny = np.finfo(float).tiny
+    reasons = np.full(eigenvalues.shape[0], REASON_OK, dtype=object)
+    with np.errstate(invalid="ignore"):
+        smallest = np.maximum(eigenvalues[:, -1], tiny)
+        ill = eigenvalues[:, 0] > condition_limit * smallest
+        dead = np.sum(eigenvalues, axis=1) <= tiny
+    finite = np.all(np.isfinite(eigenvalues), axis=1)
+    reasons[ill] = "ill-conditioned"
+    reasons[dead] = "dead"
+    reasons[~finite] = "non-finite"
+    return reasons
+
+
+def estimate_source_counts_batch(
+    eigenvalues: np.ndarray, max_sources: int = 4, dominance_db: float = 6.0
+) -> np.ndarray:
+    """Signal-subspace sizes for a stack of eigenvalue rows.
+
+    Vectorized mirror of
+    :func:`repro.core.music.estimate_source_count` (which delegates
+    here): per row, the noise level is the median of the smaller half
+    of the spectrum, and eigenvalues standing ``dominance_db`` above it
+    are counted as sources, clamped to ``[1, min(max_sources, m - 1)]``.
+
+    ``eigenvalues`` must be (n, m) rows sorted descending with m >= 2.
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if eigenvalues.ndim != 2:
+        raise ValueError("eigenvalues must be a (n, m) stack of rows")
+    m = eigenvalues.shape[1]
+    if m < 2:
+        raise ValueError("need at least two eigenvalues")
+    if max_sources < 1:
+        raise ValueError("max_sources must be positive")
+    tiny = np.finfo(float).tiny
+    noise_level = np.maximum(np.median(eigenvalues[:, m // 2 :], axis=1), tiny)
+    threshold = noise_level * 10.0 ** (dominance_db / 10.0)
+    counts = np.sum(eigenvalues > threshold[:, np.newaxis], axis=1)
+    return np.clip(counts, 1, min(max_sources, m - 1)).astype(int)

@@ -1,0 +1,155 @@
+"""The pre-kernel per-window implementations, frozen as test oracles.
+
+The batched kernel layer replaced a per-window hot path: an
+``np.outer`` accumulation per subarray, one ``np.linalg.eigh`` per
+window, a steering table rebuilt on every call.  These functions
+preserve that original arithmetic — loop order, guard precedence,
+fallback patching — so the property suite (``tests/dsp/``) can assert
+the kernels match it to <= 1e-12 and the processing-time bench can
+measure the speedup against it.
+
+Reference code only: production paths must import the batched kernels.
+Everything here is deliberately self-contained (no imports from
+``repro.core``) so the oracle cannot drift when the orchestration
+layers change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.steering import compute_steering_matrix
+from repro.errors import DegenerateCovarianceError
+
+#: Estimator labels, mirroring repro.core.tracking.
+_MUSIC = "music"
+_BEAMFORMING = "beamforming"
+
+
+def smoothed_correlation_matrix_reference(
+    window: np.ndarray, subarray_size: int, forward_backward: bool = True
+) -> np.ndarray:
+    """The original per-subarray ``np.outer`` accumulation (Eq. 5.2)."""
+    window = np.asarray(window, dtype=complex)
+    if window.ndim != 1:
+        raise ValueError("window must be one-dimensional")
+    w = len(window)
+    if not 1 < subarray_size <= w:
+        raise ValueError("subarray size must be in (1, window size]")
+    num_subarrays = w - subarray_size + 1
+    correlation = np.zeros((subarray_size, subarray_size), dtype=complex)
+    for start in range(num_subarrays):
+        sub = window[start : start + subarray_size]
+        correlation += np.outer(sub, sub.conj())
+    correlation /= num_subarrays
+    if forward_backward:
+        exchange = np.eye(subarray_size)[::-1]
+        correlation = 0.5 * (correlation + exchange @ correlation.conj() @ exchange)
+    return correlation
+
+
+def check_conditioning_reference(
+    eigenvalues: np.ndarray, condition_limit: float
+) -> None:
+    """The original sequential degeneracy guard (descending input)."""
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    if not np.all(np.isfinite(eigenvalues)):
+        raise DegenerateCovarianceError(
+            "covariance has non-finite eigenvalues", reason="non-finite"
+        )
+    tiny = np.finfo(float).tiny
+    total = float(np.sum(eigenvalues))
+    if total <= tiny:
+        raise DegenerateCovarianceError(
+            "covariance is numerically zero (dead window)", reason="dead"
+        )
+    smallest = max(float(eigenvalues[-1]), tiny)
+    if float(eigenvalues[0]) > condition_limit * smallest:
+        with np.errstate(over="ignore"):
+            condition = float(eigenvalues[0]) / smallest
+        raise DegenerateCovarianceError(
+            f"covariance condition number {condition:.3g} exceeds "
+            f"limit {condition_limit:.3g}",
+            reason="ill-conditioned",
+        )
+
+
+def estimate_source_count_reference(
+    eigenvalues: np.ndarray, max_sources: int = 4, dominance_db: float = 6.0
+) -> int:
+    """The original scalar source-count estimate (descending input)."""
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    noise_level = float(np.median(eigenvalues[len(eigenvalues) // 2 :]))
+    noise_level = max(noise_level, np.finfo(float).tiny)
+    threshold = noise_level * 10.0 ** (dominance_db / 10.0)
+    count = int(np.sum(eigenvalues > threshold))
+    return min(max(count, 1), max_sources, len(eigenvalues) - 1)
+
+
+def music_frame_reference(window: np.ndarray, config) -> tuple[np.ndarray, int, str]:
+    """One window of the old per-window spectrogram loop.
+
+    Smoothed MUSIC under the degeneracy guard, with the plain Eq. 5.1
+    beamforming fallback for rejected windows; ``config`` is a
+    :class:`repro.core.tracking.TrackingConfig`.  Returns
+    ``(power, num_sources, estimator)``.
+    """
+    window = np.asarray(window, dtype=complex)
+    theta_grid = config.theta_grid_deg
+    try:
+        if not np.all(np.isfinite(window)):
+            raise DegenerateCovarianceError(
+                "window contains non-finite samples", reason="non-finite"
+            )
+        correlation = smoothed_correlation_matrix_reference(
+            window, config.subarray_size
+        )
+        eigenvalues, eigenvectors = np.linalg.eigh(correlation)
+        eigenvalues = eigenvalues[::-1].real.copy()
+        eigenvectors = eigenvectors[:, ::-1]
+        check_conditioning_reference(eigenvalues, config.condition_limit)
+        num_sources = estimate_source_count_reference(
+            eigenvalues, config.max_sources
+        )
+        noise_subspace = eigenvectors[:, num_sources:]
+        steering = compute_steering_matrix(
+            theta_grid, config.subarray_size, config.spacing_m, config.wavelength_m
+        )
+        projections = steering @ noise_subspace.conj()
+        denominator = np.sum(np.abs(projections) ** 2, axis=1)
+        denominator = np.maximum(denominator, np.finfo(float).tiny)
+        return np.sqrt(1.0 / denominator), num_sources, _MUSIC
+    except DegenerateCovarianceError:
+        patched = np.where(np.isfinite(window), window, 0.0)
+        patched = patched - patched.mean()
+        steering = compute_steering_matrix(
+            theta_grid, len(window), config.spacing_m, config.wavelength_m
+        )
+        return np.abs(steering.conj() @ patched), 0, _BEAMFORMING
+
+
+def spectrogram_reference(
+    series: np.ndarray, config
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The old window-at-a-time spectrogram walk.
+
+    Returns ``(power, source_counts, estimators)`` with the same
+    shapes and values the pre-kernel ``compute_spectrogram`` produced;
+    ``config`` is a :class:`repro.core.tracking.TrackingConfig`.
+    """
+    series = np.asarray(series, dtype=complex)
+    if series.ndim != 1:
+        raise ValueError("channel series must be one-dimensional")
+    if len(series) < config.window_size:
+        raise ValueError("series shorter than one window")
+    starts = np.arange(0, len(series) - config.window_size + 1, config.hop)
+    theta_grid = config.theta_grid_deg
+    power = np.empty((len(starts), len(theta_grid)))
+    counts = np.empty(len(starts), dtype=int)
+    estimators = np.empty(len(starts), dtype=object)
+    for row, start in enumerate(starts):
+        window = series[start : start + config.window_size]
+        power[row], counts[row], estimators[row] = music_frame_reference(
+            window, config
+        )
+    return power, counts, estimators

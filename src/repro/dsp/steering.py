@@ -1,0 +1,123 @@
+"""Process-wide memoized steering-matrix tables.
+
+Every MUSIC projection and every Eq. 5.1 beamforming row needs the full
+(num_angles, array_size) steering table.  Rebuilding it per window —
+181 angles x up to w = 100 complex exponentials — used to dominate
+fallback-heavy runs and was repeated per subcarrier stream by the
+diversity combiner.  The table depends only on
+(theta grid, array size, spacing, wavelength), so a small process-wide
+cache serves every consumer — offline pipeline, streaming tracker,
+diversity combining, and the benches — with the same read-only array.
+
+Invalidation: there is none to do — a table is a pure function of its
+key, so entries never go stale; the cache is bounded by LRU eviction
+(:data:`MAX_CACHE_ENTRIES`) and :func:`clear_cache` exists for tests
+that count hits and misses.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import WAVELENGTH_M
+
+#: Entries kept before least-recently-used tables are evicted.  A
+#: process realistically touches a handful of (grid, window-size)
+#: shapes; the bound only guards against pathological churn.
+MAX_CACHE_ENTRIES = 64
+
+_lock = threading.Lock()
+_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def compute_steering_matrix(
+    theta_grid_deg: np.ndarray,
+    array_size: int,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> np.ndarray:
+    """Uncached steering table a(theta) over a grid of angles.
+
+    ``a_i(theta) = exp(-j * 2*pi/lambda * i * delta * sin(theta))`` —
+    the phase history a scatterer at angle theta induces under the
+    ``exp(+j k d)`` channel convention (see
+    :func:`repro.core.beamforming.steering_vector`, which delegates
+    here so both spellings share one formula).  Shape
+    (num_angles, array_size); always freshly allocated and writable.
+    """
+    if array_size < 1:
+        raise ValueError("array size must be positive")
+    thetas = np.atleast_1d(np.asarray(theta_grid_deg, dtype=float))
+    indices = np.arange(array_size)
+    phase = (
+        2.0
+        * np.pi
+        / wavelength_m
+        * np.outer(np.sin(np.radians(thetas)), indices)
+        * spacing_m
+    )
+    return np.exp(-1j * phase)
+
+
+def steering_matrix(
+    theta_grid_deg: np.ndarray,
+    array_size: int,
+    spacing_m: float,
+    wavelength_m: float = WAVELENGTH_M,
+) -> np.ndarray:
+    """Memoized steering table, shared process-wide.
+
+    Returns the same **read-only** array for every call with the same
+    (theta grid, array size, spacing, wavelength); copy before
+    mutating.  This is the hot-path entry point — the offline pipeline,
+    the streaming tracker, the degeneracy fallback, and the diversity
+    combiner all key into the same table.
+    """
+    global _hits, _misses
+    thetas = np.ascontiguousarray(np.atleast_1d(theta_grid_deg), dtype=float)
+    key = (int(array_size), float(spacing_m), float(wavelength_m), thetas.tobytes())
+    with _lock:
+        table = _cache.get(key)
+        if table is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return table
+    table = compute_steering_matrix(thetas, array_size, spacing_m, wavelength_m)
+    table.setflags(write=False)
+    with _lock:
+        _misses += 1
+        _cache[key] = table
+        _cache.move_to_end(key)
+        while len(_cache) > MAX_CACHE_ENTRIES:
+            _cache.popitem(last=False)
+    return table
+
+
+@dataclass(frozen=True)
+class SteeringCacheInfo:
+    """Snapshot of the steering cache counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+
+def cache_info() -> SteeringCacheInfo:
+    """Current hit/miss/entry counts of the process-wide cache."""
+    with _lock:
+        return SteeringCacheInfo(hits=_hits, misses=_misses, entries=len(_cache))
+
+
+def clear_cache() -> None:
+    """Drop every memoized table and reset the counters (for tests)."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

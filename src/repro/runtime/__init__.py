@@ -13,7 +13,7 @@ executor with seed-stable, order-independent results
 The CLI front end is ``python -m repro stream``.
 """
 
-from repro.runtime.metrics import RuntimeMetrics, StageMetrics, StageTimer
+from repro.telemetry.metrics import RuntimeMetrics, StageMetrics, StageTimer
 from repro.runtime.parallel import (
     ParallelCampaignReport,
     merge_condition_metrics,

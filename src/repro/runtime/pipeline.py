@@ -4,7 +4,7 @@ This is the online counterpart of ``WiViDevice.image``: instead of
 "capture 25 s, then process", sample blocks flow through a short chain
 of stages and spectrogram columns, detections, and health events come
 out the other end with bounded latency.  Each stage charges its work to
-:class:`repro.runtime.metrics.RuntimeMetrics`, and the condition stage
+:class:`repro.telemetry.metrics.RuntimeMetrics`, and the condition stage
 drives the PR-1 health machine
 (:class:`repro.core.monitoring.HealthStateMachine`) block by block, so
 an injected fault becomes a visible HEALTHY -> DEGRADED transition
@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.monitoring import DeviceHealth, HealthStateMachine, RecoveryPolicy
 from repro.core.tracking import MotionSpectrogram
-from repro.runtime.metrics import RuntimeMetrics, StageTimer
+from repro.telemetry.metrics import RuntimeMetrics, StageTimer
 from repro.runtime.ring import BlockSource, SampleBlock
 from repro.runtime.tracker import SpectrogramColumn, StreamingTracker
 from repro.telemetry.context import get_telemetry

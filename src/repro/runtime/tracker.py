@@ -24,7 +24,7 @@ from repro.core.tracking import (
     compute_beamformed_frame,
     compute_spectrogram_frame,
 )
-from repro.runtime.metrics import StageMetrics, StageTimer
+from repro.telemetry.metrics import StageMetrics, StageTimer
 from repro.runtime.ring import SampleRingBuffer
 
 

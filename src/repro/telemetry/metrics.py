@@ -11,7 +11,7 @@ test).
 
 This module also owns the per-stage accounting the streaming runtime
 charges (:class:`StageMetrics` / :class:`StageTimer` /
-:class:`RuntimeMetrics`), superseding the old ``repro.runtime.metrics``
+:class:`RuntimeMetrics`), superseding the retired runtime metrics shim
 home (which now just re-exports these names).  Stage timers gained
 error accounting: a stage that *raises* still pays its wall time but
 credits no output items, and the failure is counted in
@@ -241,7 +241,7 @@ class MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
-# Stage accounting (absorbed from repro.runtime.metrics)
+# Stage accounting (absorbed from the retired runtime metrics module)
 # ----------------------------------------------------------------------
 
 

@@ -1,0 +1,1 @@
+"""Tests for the batched DSP kernel layer (repro.dsp)."""

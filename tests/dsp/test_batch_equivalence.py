@@ -1,0 +1,114 @@
+"""Batched pipeline vs the frozen per-window reference oracle.
+
+The tentpole contract of the kernel layer: the vectorized
+``compute_spectrogram`` must reproduce the legacy window-at-a-time walk
+to <= 1e-12 on realistic traces — including fault-injected windows that
+exercise the degeneracy fallback — with *identical* estimator labels
+and source counts, and the per-frame path must stay bit-identical to
+the batch so streaming equals offline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import (
+    TrackingConfig,
+    compute_spectrogram,
+    compute_spectrogram_frame,
+)
+from repro.dsp.reference import music_frame_reference, spectrogram_reference
+from repro.simulator.timeseries import ChannelSeriesSimulator
+
+
+def _assert_matches_reference(series, config):
+    spectrogram = compute_spectrogram(series, config)
+    power, counts, estimators = spectrogram_reference(series, config)
+    np.testing.assert_allclose(spectrogram.power, power, rtol=1e-12, atol=1e-12)
+    assert np.array_equal(spectrogram.source_counts, counts)
+    assert np.array_equal(spectrogram.estimators, estimators)
+    return spectrogram
+
+
+def test_clean_walking_trace_matches_reference(walking_scene, rng, fast_tracking_config):
+    # The fig-5.2-style scenario: one human walking in the small room.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    spectrogram = _assert_matches_reference(series.samples, fast_tracking_config)
+    assert set(spectrogram.estimators) == {"music"}
+
+
+def test_default_config_matches_reference(walking_scene, rng):
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(1.5)
+    _assert_matches_reference(series.samples, TrackingConfig())
+
+
+def test_nan_burst_trace_matches_reference(walking_scene, rng, fast_tracking_config):
+    # Fault-injected trace: a NaN burst rejects some windows into the
+    # beamformed fallback; labels and counts must still agree.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    samples = series.samples.copy()
+    samples[200:210] = np.nan
+    spectrogram = _assert_matches_reference(samples, fast_tracking_config)
+    assert "beamforming" in set(spectrogram.estimators)
+    assert "music" in set(spectrogram.estimators)
+
+
+def test_dead_and_saturated_segments_match_reference(fast_tracking_config, rng):
+    # A dead (all-zero) region and a constant saturated region both
+    # trip the guard; the batch must patch exactly the same rows.
+    noise = 0.1 * (rng.normal(size=400) + 1j * rng.normal(size=400))
+    samples = noise.astype(complex)
+    samples[0:80] = 0.0
+    samples[200:280] = 3.0 + 4.0j
+    spectrogram = _assert_matches_reference(samples, fast_tracking_config)
+    assert "beamforming" in set(spectrogram.estimators)
+
+
+def test_all_windows_degenerate_matches_reference(fast_tracking_config):
+    samples = np.zeros(200, dtype=complex)
+    spectrogram = _assert_matches_reference(samples, fast_tracking_config)
+    assert set(spectrogram.estimators) == {"beamforming"}
+
+
+def test_frame_path_is_bit_identical_to_batch(walking_scene, rng, fast_tracking_config):
+    # Streaming golden equivalence at the kernel level: each offline
+    # row equals the per-frame result on the same window, bit for bit.
+    series = ChannelSeriesSimulator(walking_scene, rng=rng).simulate(2.0)
+    samples = series.samples.copy()
+    samples[300:305] = np.nan  # include a fallback window
+    config = fast_tracking_config
+    spectrogram = compute_spectrogram(samples, config)
+    starts = np.arange(0, len(samples) - config.window_size + 1, config.hop)
+    for row, start in enumerate(starts):
+        frame = compute_spectrogram_frame(
+            samples[start : start + config.window_size], config
+        )
+        assert np.array_equal(frame.power, spectrogram.power[row])
+        assert frame.num_sources == spectrogram.source_counts[row]
+        assert frame.estimator == spectrogram.estimators[row]
+
+
+def test_frame_matches_reference_frame(rng, fast_tracking_config):
+    window = rng.normal(size=64) + 1j * rng.normal(size=64)
+    frame = compute_spectrogram_frame(window, fast_tracking_config)
+    power, num_sources, estimator = music_frame_reference(
+        window, fast_tracking_config
+    )
+    np.testing.assert_allclose(frame.power, power, rtol=1e-12, atol=1e-12)
+    assert frame.num_sources == num_sources
+    assert frame.estimator == estimator
+
+
+def test_two_person_trace_matches_reference(small_room, rng):
+    # Fig-5.3-style scenario: two humans, via the trial helper.
+    from repro.simulator.experiment import ExperimentConfig, tracking_trial
+
+    config = ExperimentConfig()
+    trial = tracking_trial(small_room, 2, 2.0, rng, config=config)
+    _assert_matches_reference(trial.series.samples, config.tracking)
+
+
+@pytest.mark.parametrize("hop", [5, 16, 64])
+def test_hop_variants_match_reference(rng, hop):
+    config = TrackingConfig(window_size=64, hop=hop, subarray_size=24)
+    samples = rng.normal(size=300) + 1j * rng.normal(size=300)
+    _assert_matches_reference(samples, config)

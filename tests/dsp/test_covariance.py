@@ -1,0 +1,62 @@
+"""Tests for the batched smoothed-covariance kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.covariance import smoothed_covariance_batch
+from repro.dsp.reference import smoothed_correlation_matrix_reference
+
+
+def _random_windows(rng, num_windows=5, w=32):
+    return rng.normal(size=(num_windows, w)) + 1j * rng.normal(size=(num_windows, w))
+
+
+def test_matches_reference_loop(rng):
+    windows = _random_windows(rng)
+    batch = smoothed_covariance_batch(windows, 12)
+    for n, window in enumerate(windows):
+        reference = smoothed_correlation_matrix_reference(window, 12)
+        np.testing.assert_allclose(batch[n], reference, rtol=1e-12, atol=1e-14)
+
+
+def test_matches_reference_without_forward_backward(rng):
+    windows = _random_windows(rng)
+    batch = smoothed_covariance_batch(windows, 12, forward_backward=False)
+    for n, window in enumerate(windows):
+        reference = smoothed_correlation_matrix_reference(
+            window, 12, forward_backward=False
+        )
+        np.testing.assert_allclose(batch[n], reference, rtol=1e-12, atol=1e-14)
+
+
+def test_batch_of_one_is_bit_identical_to_larger_batch(rng):
+    # The batch-stability contract: a window's covariance must not
+    # depend on what else shares the stack (the streaming tracker's
+    # golden equivalence rests on this).
+    windows = _random_windows(rng, num_windows=7, w=64)
+    full = smoothed_covariance_batch(windows, 24)
+    for n, window in enumerate(windows):
+        single = smoothed_covariance_batch(window[np.newaxis, :], 24)[0]
+        assert np.array_equal(single, full[n])
+
+
+def test_strided_view_and_copied_windows_agree(rng):
+    from repro.dsp.windows import sliding_windows
+
+    series = rng.normal(size=160) + 1j * rng.normal(size=160)
+    _, view = sliding_windows(series, 64, 16)
+    copied = np.array(view)
+    assert np.array_equal(
+        smoothed_covariance_batch(view, 24),
+        smoothed_covariance_batch(copied, 24),
+    )
+
+
+def test_output_is_hermitian(rng):
+    covariance = smoothed_covariance_batch(_random_windows(rng), 12)
+    assert np.allclose(covariance, covariance.conj().transpose(0, 2, 1))
+
+
+def test_rejects_one_dimensional_input():
+    with pytest.raises(ValueError, match="two-dimensional"):
+        smoothed_covariance_batch(np.ones(32, dtype=complex), 12)

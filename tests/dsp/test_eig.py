@@ -1,0 +1,122 @@
+"""Tests for the stacked eigendecomposition and vectorized guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.music import (
+    check_covariance_conditioning,
+    estimate_source_count,
+)
+from repro.dsp.covariance import smoothed_covariance_batch
+from repro.dsp.eig import (
+    REASON_OK,
+    classify_covariance_batch,
+    eigh_descending_batch,
+    estimate_source_counts_batch,
+)
+from repro.dsp.reference import (
+    check_conditioning_reference,
+    estimate_source_count_reference,
+)
+from repro.errors import DegenerateCovarianceError
+
+
+def _covariance_stack(rng, num_windows=6, w=32, subarray=12):
+    windows = rng.normal(size=(num_windows, w)) + 1j * rng.normal(
+        size=(num_windows, w)
+    )
+    return smoothed_covariance_batch(windows, subarray)
+
+
+def test_eigh_descending_matches_per_matrix_eigh(rng):
+    covariance = _covariance_stack(rng)
+    values, vectors = eigh_descending_batch(covariance)
+    assert np.all(np.diff(values, axis=1) <= 0)
+    for n in range(covariance.shape[0]):
+        single_values, single_vectors = np.linalg.eigh(covariance[n])
+        assert np.array_equal(values[n], single_values[::-1])
+        assert np.array_equal(vectors[n], single_vectors[:, ::-1])
+        # Reconstruction sanity: V diag(w) V^H = R.
+        reconstructed = (
+            vectors[n] @ np.diag(values[n]) @ vectors[n].conj().T
+        )
+        np.testing.assert_allclose(reconstructed, covariance[n], atol=1e-12)
+
+
+def test_eigh_rejects_single_matrix():
+    with pytest.raises(ValueError, match="stack"):
+        eigh_descending_batch(np.eye(4))
+
+
+GUARD_ROWS = [
+    (np.array([4.0, 2.0, 1.0]), REASON_OK),
+    (np.array([1e13, 1.0, 1e-3]), "ill-conditioned"),
+    (np.array([0.0, 0.0, 0.0]), "dead"),
+    (np.array([np.nan, 1.0, 0.5]), "non-finite"),
+    (np.array([np.inf, 1.0, 0.5]), "non-finite"),
+    # Non-finite outranks dead and ill-conditioned.
+    (np.array([np.nan, 0.0, 0.0]), "non-finite"),
+    # Boundary: exactly at the limit passes (strict comparison).
+    (np.array([1e12, 1.0, 1.0]), REASON_OK),
+]
+
+
+@pytest.mark.parametrize("row, expected", GUARD_ROWS)
+def test_classify_matches_sequential_guard(row, expected):
+    reasons = classify_covariance_batch(row[np.newaxis, :], 1e12)
+    assert reasons[0] == expected
+    # The public sequential guard must agree exactly: it either passes
+    # or raises with the same reason string.
+    try:
+        check_covariance_conditioning(row, 1e12)
+        sequential = REASON_OK
+    except DegenerateCovarianceError as error:
+        sequential = error.reason
+    assert sequential == expected
+    # And the frozen reference oracle agrees too.
+    try:
+        check_conditioning_reference(row, 1e12)
+        oracle = REASON_OK
+    except DegenerateCovarianceError as error:
+        oracle = error.reason
+    assert oracle == expected
+
+
+def test_classify_whole_stack_at_once():
+    stack = np.stack([row for row, _ in GUARD_ROWS])
+    expected = [reason for _, reason in GUARD_ROWS]
+    assert list(classify_covariance_batch(stack, 1e12)) == expected
+
+
+def test_classify_rejects_one_dimensional_input():
+    with pytest.raises(ValueError, match="stack"):
+        classify_covariance_batch(np.array([1.0, 0.5]), 1e12)
+
+
+def test_source_counts_match_scalar_estimate(rng):
+    covariance = _covariance_stack(rng, num_windows=8)
+    values, _ = eigh_descending_batch(covariance)
+    counts = estimate_source_counts_batch(values, max_sources=5)
+    for n in range(values.shape[0]):
+        assert counts[n] == estimate_source_count(values[n], max_sources=5)
+        assert counts[n] == estimate_source_count_reference(values[n], max_sources=5)
+
+
+def test_source_counts_clamped():
+    # One dominant eigenvalue far above the noise floor: count 1.
+    flat = np.array([[1.0, 1.0, 1.0, 1.0]])
+    assert estimate_source_counts_batch(flat)[0] == 1
+    # Three sources over a deep noise floor, m = 6.
+    spread = np.array([[100.0, 90.0, 80.0, 1e-9, 1e-9, 1e-9]])
+    assert estimate_source_counts_batch(spread, max_sources=5)[0] == 3
+    # Same spectrum, tighter budget: clamped to max_sources.
+    assert estimate_source_counts_batch(spread, max_sources=2)[0] == 2
+
+
+def test_source_counts_validation():
+    with pytest.raises(ValueError, match="stack"):
+        estimate_source_counts_batch(np.array([1.0, 0.5]))
+    with pytest.raises(ValueError, match="two eigenvalues"):
+        estimate_source_counts_batch(np.ones((2, 1)))
+    with pytest.raises(ValueError, match="max_sources"):
+        estimate_source_counts_batch(np.ones((2, 4)), max_sources=0)

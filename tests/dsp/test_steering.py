@@ -1,0 +1,93 @@
+"""Tests for the process-wide memoized steering-matrix cache."""
+
+import numpy as np
+import pytest
+
+from repro.constants import WAVELENGTH_M
+from repro.dsp import steering
+from repro.dsp.steering import (
+    MAX_CACHE_ENTRIES,
+    cache_info,
+    clear_cache,
+    compute_steering_matrix,
+    steering_matrix,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+THETAS = np.arange(-90.0, 91.0, 1.0)
+
+
+def test_cached_matches_uncached():
+    cached = steering_matrix(THETAS, 32, 0.05)
+    fresh = compute_steering_matrix(THETAS, 32, 0.05)
+    assert np.array_equal(cached, fresh)
+    assert cached.shape == (181, 32)
+
+
+def test_repeat_lookups_hit_and_share_storage():
+    first = steering_matrix(THETAS, 32, 0.05)
+    second = steering_matrix(THETAS, 32, 0.05)
+    assert second is first
+    info = cache_info()
+    assert info.hits == 1
+    assert info.misses == 1
+    assert info.entries == 1
+
+
+def test_distinct_keys_miss():
+    steering_matrix(THETAS, 32, 0.05)
+    steering_matrix(THETAS, 64, 0.05)
+    steering_matrix(THETAS, 32, 0.06)
+    steering_matrix(THETAS, 32, 0.05, wavelength_m=WAVELENGTH_M * 2)
+    steering_matrix(THETAS[:90], 32, 0.05)
+    info = cache_info()
+    assert info.misses == 5
+    assert info.hits == 0
+    assert info.entries == 5
+
+
+def test_cached_tables_are_read_only():
+    table = steering_matrix(THETAS, 16, 0.05)
+    assert not table.flags.writeable
+    with pytest.raises(ValueError):
+        table[0, 0] = 0.0
+    # The uncached spelling stays writable for callers that mutate.
+    assert compute_steering_matrix(THETAS, 16, 0.05).flags.writeable
+
+
+def test_lru_eviction_bounds_the_cache():
+    for size in range(2, MAX_CACHE_ENTRIES + 10):
+        steering_matrix(THETAS, size, 0.05)
+    assert cache_info().entries == MAX_CACHE_ENTRIES
+    # The oldest entry was evicted; re-requesting it is a miss.
+    before = cache_info().misses
+    steering_matrix(THETAS, 2, 0.05)
+    assert cache_info().misses == before + 1
+
+
+def test_clear_cache_resets_counters():
+    steering_matrix(THETAS, 8, 0.05)
+    steering_matrix(THETAS, 8, 0.05)
+    clear_cache()
+    info = cache_info()
+    assert (info.hits, info.misses, info.entries) == (0, 0, 0)
+    assert not steering._cache
+
+
+def test_compute_steering_matrix_validation():
+    with pytest.raises(ValueError, match="array size"):
+        compute_steering_matrix(THETAS, 0, 0.05)
+
+
+def test_formula_matches_core_steering_vector():
+    from repro.core.beamforming import steering_vector
+
+    table = compute_steering_matrix(THETAS, 32, 0.05)
+    assert np.array_equal(table, steering_vector(THETAS, 32, 0.05))

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.baselines",
     "repro.core",
+    "repro.dsp",
     "repro.environment",
     "repro.hardware",
     "repro.ofdm",

@@ -1,0 +1,57 @@
+"""Lint: the retired ``repro.runtime.metrics`` shim must stay gone.
+
+PR 3 moved stage accounting into :mod:`repro.telemetry.metrics` and left
+a temporary re-export shim behind; this PR deletes it.  Any new import
+of the old path would resurrect a module that no longer exists, so this
+test keeps the tree clean: no file may import ``repro.runtime.metrics``
+and the shim file itself must not reappear.
+"""
+
+import io
+import re
+import tokenize
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Directories whose Python files are checked for shim imports.
+SCANNED = ("src", "tests", "benchmarks", "examples")
+
+_SHIM_IMPORT = re.compile(r"(?:from|import)\s+repro\.runtime\.metrics\b")
+
+
+def _strings_stripped(source: str) -> str:
+    """Drop string literals and comments so prose mentions pass."""
+    kept = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type not in (tokenize.STRING, tokenize.COMMENT):
+            kept.append(token.string)
+    return " ".join(kept)
+
+
+def test_shim_module_is_deleted():
+    shim = REPO / "src" / "repro" / "runtime" / "metrics.py"
+    assert not shim.exists(), (
+        "repro/runtime/metrics.py was removed in favour of "
+        "repro.telemetry.metrics; do not reintroduce the shim"
+    )
+
+
+def test_no_imports_of_retired_shim():
+    offenders = []
+    this_file = Path(__file__).resolve()
+    for top in SCANNED:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if path.resolve() == this_file:
+                continue
+            code = _strings_stripped(path.read_text(encoding="utf-8"))
+            if _SHIM_IMPORT.search(code):
+                offenders.append(str(path.relative_to(REPO)))
+    assert offenders == [], (
+        f"imports of the retired repro.runtime.metrics shim in {offenders}; "
+        "import from repro.telemetry.metrics instead"
+    )
