@@ -1,0 +1,122 @@
+"""Serving layer — cross-session micro-batching vs serial dispatch.
+
+The number this bench exists for: **columns/s at 8 concurrent
+sessions**, batched vs serial.  The serial baseline is the identical
+server with ``max_batch_windows=1`` — every window pays its own
+covariance/eigh/projection dispatch — so the ratio isolates exactly
+what the continuous-batching scheduler buys, on the same hardware, the
+same protocol, and the same client load.
+
+The acceptance gate asserts the batched scheduler beats serial by
+>= 2x; the committed baseline (``baselines/serve_load_baseline.json``)
+gives CI a generous absolute floor on top.
+"""
+
+import asyncio
+
+from common import SEED, emit, format_table, trial_count, write_bench_json
+from repro.serve import SchedulerConfig, SensingServer, ServeConfig
+from repro.serve.load import run_load
+
+SESSIONS = 8
+BLOCK_SIZE = 400
+MIN_BATCHED_SPEEDUP = 2.0
+#: Sessions run the 16-element subarray configuration: many small eigh
+#: problems per tick is precisely the dispatch-bound regime the batched
+#: DSP layer (PR 4) accelerates most, so it is the honest showcase for
+#: what cross-session stacking buys.
+SESSION_CONFIG = {"subarray_size": 16}
+
+
+def _run_load_case(max_batch_windows: int, seconds: float):
+    """One server + load-generator run, fully in-process."""
+
+    async def run():
+        server = SensingServer(
+            ServeConfig(
+                scheduler=SchedulerConfig(max_batch_windows=max_batch_windows)
+            )
+        )
+        port = await server.start()
+        try:
+            return await run_load(
+                "127.0.0.1",
+                port,
+                sessions=SESSIONS,
+                seconds=seconds,
+                block_size=BLOCK_SIZE,
+                seed=SEED + 52,
+                config=SESSION_CONFIG,
+            )
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(run())
+
+
+def bench_serve_load_batched_vs_serial():
+    seconds = float(trial_count(3, 8))
+    batched = _run_load_case(max_batch_windows=64, seconds=seconds)
+    serial = _run_load_case(max_batch_windows=1, seconds=seconds)
+
+    speedup = batched.columns_per_s / max(serial.columns_per_s, 1e-9)
+    scheduler = batched.server_stats.get("scheduler", {})
+
+    rows = [
+        [
+            "batched (64)",
+            batched.columns,
+            f"{batched.columns_per_s:.0f}",
+            f"{batched.latency_percentile(0.5):.1f}",
+            f"{batched.latency_percentile(0.99):.1f}",
+            f"{scheduler.get('mean_batch_windows', 0):.1f}",
+        ],
+        [
+            "serial (1)",
+            serial.columns,
+            f"{serial.columns_per_s:.0f}",
+            f"{serial.latency_percentile(0.5):.1f}",
+            f"{serial.latency_percentile(0.99):.1f}",
+            f"{serial.server_stats.get('scheduler', {}).get('mean_batch_windows', 0):.1f}",
+        ],
+    ]
+    table = format_table(
+        ["scheduler", "columns", "cols/s", "p50 ms", "p99 ms", "batch"], rows
+    )
+    lines = [
+        f"{SESSIONS} concurrent sessions, {BLOCK_SIZE}-sample pushes, "
+        f"{seconds:.0f} s per case:",
+        table,
+        "",
+        f"cross-session batching speedup: {speedup:.2f}x "
+        f"(gate: >= {MIN_BATCHED_SPEEDUP:.1f}x)",
+        f"shed requests: batched {batched.shed_requests}, "
+        f"serial {serial.shed_requests}",
+    ]
+    emit("serve_load", "\n".join(lines))
+
+    write_bench_json(
+        "serve_load",
+        {
+            "sessions": SESSIONS,
+            "block_size": BLOCK_SIZE,
+            "subarray_size": SESSION_CONFIG["subarray_size"],
+            "seconds_per_case": seconds,
+            "columns_per_s": batched.columns_per_s,
+            "columns_per_s_serial": serial.columns_per_s,
+            "speedup_vs_serial": speedup,
+            "latency_p50_ms": batched.latency_percentile(0.5),
+            "latency_p99_ms": batched.latency_percentile(0.99),
+            "batch_occupancy_mean": scheduler.get("mean_batch_windows", 0.0),
+            "batch_occupancy_p99": scheduler.get("batch_p99", 0.0),
+            "protocol_errors": batched.protocol_errors + serial.protocol_errors,
+        },
+    )
+
+    assert batched.protocol_errors == 0, "batched run hit protocol errors"
+    assert serial.protocol_errors == 0, "serial run hit protocol errors"
+    assert batched.columns > 0, "batched run served no columns"
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"cross-session batching speedup {speedup:.2f}x is below the "
+        f"{MIN_BATCHED_SPEEDUP:.1f}x gate"
+    )

@@ -1,18 +1,24 @@
-"""CI perf smoke: compare BENCH_processing_time.json to the baseline.
+"""CI perf smoke: compare BENCH_*.json results to committed baselines.
 
-Run after ``bench_processing_time.py``:
+Run after the benchmark scripts:
 
     python benchmarks/check_perf.py
 
-Two gates, both deliberately generous — this is a smoke test against
+Gates, all deliberately generous — this is a smoke test against
 order-of-magnitude regressions (e.g. the batched path silently falling
 back to a per-window loop), not a microbenchmark:
 
-* ``windows_per_s`` must reach ``min_fraction_of_baseline`` of the
-  committed baseline throughput (CI runners vary widely in speed);
-* ``speedup_vs_reference`` must stay above
+* ``bench_processing_time.py`` (required): ``windows_per_s`` must
+  reach ``min_fraction_of_baseline`` of the committed baseline
+  throughput (CI runners vary widely in speed), and
+  ``speedup_vs_reference`` must stay above
   ``min_speedup_vs_reference`` — machine-independent, since both paths
   run on the same hardware.
+* ``bench_serve_load.py`` (optional — gated only when
+  ``BENCH_serve_load.json`` exists): ``columns_per_s`` against the
+  serve baseline's fraction floor, and ``speedup_vs_serial`` — the
+  cross-session micro-batching win over the identical server with
+  ``max_batch_windows=1`` — above ``min_speedup_vs_serial``.
 """
 
 from __future__ import annotations
@@ -22,17 +28,17 @@ import sys
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).parent
-RESULT = BENCH_DIR / "output" / "BENCH_processing_time.json"
-BASELINE = BENCH_DIR / "baselines" / "processing_time_baseline.json"
+OUTPUT = BENCH_DIR / "output"
+BASELINES = BENCH_DIR / "baselines"
 
 
-def main() -> int:
-    """Exit 0 when current throughput clears the baseline gates."""
-    if not RESULT.exists():
-        print(f"missing {RESULT}; run bench_processing_time.py first")
-        return 1
-    result = json.loads(RESULT.read_text())
-    baseline = json.loads(BASELINE.read_text())
+def _check_processing_time(failures: list[str]) -> None:
+    result_path = OUTPUT / "BENCH_processing_time.json"
+    if not result_path.exists():
+        failures.append(f"missing {result_path}; run bench_processing_time.py first")
+        return
+    result = json.loads(result_path.read_text())
+    baseline = json.loads((BASELINES / "processing_time_baseline.json").read_text())
 
     floor = baseline["windows_per_s"] * baseline["min_fraction_of_baseline"]
     min_speedup = baseline["min_speedup_vs_reference"]
@@ -40,20 +46,57 @@ def main() -> int:
     speedup = result["speedup_vs_reference"]
 
     print(
-        f"throughput: {windows_per_s:.0f} windows/s "
+        f"dsp throughput: {windows_per_s:.0f} windows/s "
         f"(baseline {baseline['windows_per_s']:.0f}, floor {floor:.0f})"
     )
-    print(f"speedup vs reference loop: {speedup:.2f}x (floor {min_speedup:.1f}x)")
+    print(f"dsp speedup vs reference loop: {speedup:.2f}x (floor {min_speedup:.1f}x)")
 
-    failures = []
     if windows_per_s < floor:
         failures.append(
             f"throughput {windows_per_s:.0f} windows/s below floor {floor:.0f}"
         )
     if speedup < min_speedup:
+        failures.append(f"speedup {speedup:.2f}x below floor {min_speedup:.1f}x")
+
+
+def _check_serve_load(failures: list[str]) -> None:
+    result_path = OUTPUT / "BENCH_serve_load.json"
+    if not result_path.exists():
+        print("serve gate skipped: no BENCH_serve_load.json")
+        return
+    result = json.loads(result_path.read_text())
+    baseline = json.loads((BASELINES / "serve_load_baseline.json").read_text())
+
+    floor = baseline["columns_per_s"] * baseline["min_fraction_of_baseline"]
+    min_speedup = baseline["min_speedup_vs_serial"]
+    columns_per_s = result["columns_per_s"]
+    speedup = result["speedup_vs_serial"]
+
+    print(
+        f"serve throughput: {columns_per_s:.0f} columns/s "
+        f"(baseline {baseline['columns_per_s']:.0f}, floor {floor:.0f})"
+    )
+    print(f"serve speedup vs serial dispatch: {speedup:.2f}x (floor {min_speedup:.1f}x)")
+
+    if columns_per_s < floor:
         failures.append(
-            f"speedup {speedup:.2f}x below floor {min_speedup:.1f}x"
+            f"serve throughput {columns_per_s:.0f} columns/s below floor {floor:.0f}"
         )
+    if speedup < min_speedup:
+        failures.append(
+            f"serve speedup {speedup:.2f}x below floor {min_speedup:.1f}x"
+        )
+    if result.get("protocol_errors", 0):
+        failures.append(
+            f"serve load hit {result['protocol_errors']} protocol errors"
+        )
+
+
+def main() -> int:
+    """Exit 0 when every present benchmark clears its baseline gates."""
+    failures: list[str] = []
+    _check_processing_time(failures)
+    _check_serve_load(failures)
     for failure in failures:
         print(f"PERF REGRESSION: {failure}")
     if not failures:

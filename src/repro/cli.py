@@ -9,6 +9,10 @@ Subcommands, one per headline capability:
 * ``count``     — train and run the §7.4 occupant counter.
 * ``materials`` — the §7.6 building-material sweep.
 * ``nulling``   — run Algorithm 1 and report the achieved depth.
+* ``serve``     — the multi-session sensing service: an asyncio TCP
+  server micro-batching MUSIC windows across sessions (`repro.serve`).
+* ``load``      — drive a running ``serve`` with N concurrent sessions
+  and report throughput, latency percentiles, and batch occupancy.
 * ``telemetry-report`` — summarize a ``--telemetry`` run directory.
 
 Every command accepts ``--seed`` for reproducibility and prints ASCII
@@ -345,6 +349,75 @@ def cmd_nulling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-session sensing service until stopped."""
+    import asyncio
+
+    from repro.serve import SchedulerConfig, SensingServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        scheduler=SchedulerConfig(
+            max_batch_windows=args.max_batch_windows,
+            queue_capacity=args.queue_capacity,
+        ),
+    )
+
+    async def run() -> int:
+        server = SensingServer(config)
+        port = await server.start()
+        # One parseable line, immediately on bind: scripts (and the CI
+        # smoke step) read the port from it when --port 0 was asked.
+        out(f"serve: listening on {config.host} port {port}")
+        try:
+            await server.serve_until_stopped(args.duration)
+        finally:
+            await server.shutdown()
+        snapshot = server.stats.snapshot()
+        scheduler = server.scheduler.stats.snapshot()
+        out(
+            f"serve: handled {snapshot['requests']} requests "
+            f"({snapshot['errors']} errors), served "
+            f"{snapshot['columns_served']} columns in "
+            f"{scheduler['ticks']} batches "
+            f"(mean occupancy {scheduler['mean_batch_windows']:.1f} windows)"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        out("serve: interrupted, shut down")
+        return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    """Drive a running ``serve`` instance with concurrent sessions."""
+    import asyncio
+
+    from repro.serve import run_load
+
+    report = asyncio.run(
+        run_load(
+            host=args.host,
+            port=args.port,
+            sessions=args.sessions,
+            seconds=args.seconds,
+            block_size=args.block_size,
+            seed=args.seed,
+        )
+    )
+    for key, value in report.summary().items():
+        out(f"  {key}: {value}")
+    if report.protocol_errors:
+        out.error(f"load: {report.protocol_errors} protocol error(s)")
+        return 1
+    out("load: completed with zero protocol errors")
+    return 0
+
+
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
     """Summarize a telemetry run directory (see ``--telemetry``)."""
     from repro.telemetry.report import summarize_run
@@ -464,6 +537,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(export)
     _add_observability(export)
     export.set_defaults(handler=cmd_export)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-session sensing service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=9361, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="self-terminate after this many seconds (default: run forever)",
+    )
+    serve.add_argument("--max-sessions", type=int, default=64)
+    serve.add_argument(
+        "--max-batch-windows",
+        type=int,
+        default=64,
+        help="windows one scheduler tick may stack (1 = serial dispatch)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=512,
+        help="admission bound: queued windows before pushes are shed",
+    )
+    _add_seed(serve)
+    _add_observability(serve)
+    serve.set_defaults(handler=cmd_serve)
+
+    load = commands.add_parser(
+        "load", help="load-generate against a running serve instance"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=9361)
+    load.add_argument("--sessions", type=int, default=8)
+    load.add_argument("--seconds", type=float, default=5.0)
+    load.add_argument(
+        "--block-size",
+        type=int,
+        default=400,
+        help="complex samples per push request",
+    )
+    _add_seed(load)
+    _add_observability(load)
+    load.set_defaults(handler=cmd_load)
 
     report = commands.add_parser(
         "telemetry-report",

@@ -341,7 +341,7 @@ def compute_beamformed_frame(
     )
 
 
-def _estimate_windows_batch(
+def estimate_windows_batch(
     windows: np.ndarray, config: TrackingConfig
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Estimate a whole stack of windows through the batched kernels.
@@ -353,7 +353,9 @@ def _estimate_windows_batch(
     with batched Eq. 5.1 beamforming.  Because every kernel computes
     each window independently of its batch, the rows here are
     bit-identical to per-window :func:`compute_spectrogram_frame`
-    calls — the streaming tracker's golden-equivalence contract.
+    calls — the streaming tracker's golden-equivalence contract, and
+    what lets the serving scheduler (:mod:`repro.serve.scheduler`)
+    stack windows from *different* client sessions into one pass.
 
     Returns ``(power, source_counts, estimators)``.
     """
@@ -448,7 +450,7 @@ def compute_spectrogram(
     with get_telemetry().span(
         "tracking.spectrogram", windows=len(starts), samples=len(series)
     ):
-        power, counts, estimators = _estimate_windows_batch(windows, config)
+        power, counts, estimators = estimate_windows_batch(windows, config)
     times = start_time_s + (starts + config.window_size / 2.0) * config.sample_period_s
     return MotionSpectrogram(
         times_s=times,

@@ -19,7 +19,15 @@ Hierarchy::
     ├── CalibrationError       (Algorithm 1 could not converge)
     ├── DegenerateCovarianceError  (MUSIC cannot run on this window)
     ├── CaptureQualityError    (a screened capture was rejected)
-    └── DeviceFailedError      (the health machine gave up)
+    ├── DeviceFailedError      (the health machine gave up)
+    ├── ProtocolError          (a serving wire frame was invalid)
+    └── ServeOverloadError     (the serving layer shed the request)
+        └── SessionLimitError  (no capacity for another session)
+
+The serving layer (:mod:`repro.serve`) transports this taxonomy over
+the wire: an error frame names the exception class, and the client
+re-raises the matching class, so a remote failure dispatches exactly
+like a local one.
 """
 
 from __future__ import annotations
@@ -81,3 +89,29 @@ class CaptureQualityError(ReproError):
 
 class DeviceFailedError(ReproError):
     """The device health machine reached FAILED; no captures possible."""
+
+
+class ProtocolError(ReproError):
+    """A serving wire frame violated the protocol.
+
+    Malformed JSON, an unknown frame type, a missing field, a reference
+    to a session this connection never opened, or a payload beyond the
+    configured limits.  Protocol errors are the *client's* fault and
+    are never retryable as-is.
+    """
+
+
+class ServeOverloadError(ReproError):
+    """The serving layer shed this request to protect the rest.
+
+    Raised (and sent as an error frame) when the micro-batching
+    scheduler's admission queue cannot absorb the windows a push would
+    complete.  Unlike :class:`StreamOverflowError` — where samples were
+    *silently lost* at the hardware boundary — a shed request rejects
+    the whole block before any sample is buffered, so the session's
+    window alignment survives and the client may simply retry later.
+    """
+
+
+class SessionLimitError(ServeOverloadError):
+    """The server is at its concurrent-session limit."""

@@ -33,7 +33,7 @@ from repro.runtime.pipeline import (
     screen_block,
 )
 from repro.runtime.ring import BlockSource, SampleBlock, SampleRingBuffer
-from repro.runtime.tracker import SpectrogramColumn, StreamingTracker
+from repro.runtime.tracker import PendingWindow, SpectrogramColumn, StreamingTracker
 
 __all__ = [
     "BlockHealth",
@@ -46,6 +46,7 @@ __all__ = [
     "GapEvent",
     "HealthEvent",
     "ParallelCampaignReport",
+    "PendingWindow",
     "RuntimeMetrics",
     "SampleBlock",
     "SampleRingBuffer",

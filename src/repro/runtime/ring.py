@@ -81,13 +81,16 @@ class SampleRingBuffer:
             samples = samples[dropped:]
             incoming = self.capacity
         overflow = max(incoming - self.free_space, 0)
+        dropped += overflow
+        if dropped:
+            # Account the loss *before* evicting or overwriting anything:
+            # a reader that observes the ring mid-push must never see
+            # samples vanish while the drop counter still reads low.
+            self.overflow_count += 1
+            self.dropped_sample_count += dropped
         if overflow:
             self._start = (self._start + overflow) % self.capacity
             self._size -= overflow
-            dropped += overflow
-        if dropped:
-            self.overflow_count += 1
-            self.dropped_sample_count += dropped
 
         write = (self._start + self._size) % self.capacity
         first = min(incoming, self.capacity - write)

@@ -29,6 +29,30 @@ from repro.runtime.ring import SampleRingBuffer
 
 
 @dataclass(frozen=True)
+class PendingWindow:
+    """A filled window awaiting its spectrum estimate.
+
+    The unit the serving scheduler batches: :meth:`StreamingTracker.
+    poll_ready_windows` drains these (consuming ``hop`` samples each),
+    an estimator turns each one's ``samples`` into a
+    :class:`~repro.core.tracking.SpectrogramFrame`, and
+    :meth:`StreamingTracker.resolve` stamps the result back into the
+    :class:`SpectrogramColumn` the window was destined to become.
+
+    Attributes:
+        index: window number (0-based, hop-spaced).
+        start_sample: index of the window's first sample in the stream.
+        time_s: centre time of the window.
+        samples: the ``window_size`` samples of the filled window.
+    """
+
+    index: int
+    start_sample: int
+    time_s: float
+    samples: np.ndarray
+
+
+@dataclass(frozen=True)
 class SpectrogramColumn:
     """One online column of the A'[theta, n] image.
 
@@ -101,6 +125,90 @@ class StreamingTracker:
             return compute_spectrogram_frame(window, self.config)
         return compute_beamformed_frame(window, self.config)
 
+    def _validate(self, samples: np.ndarray) -> np.ndarray:
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim != 1:
+            raise ValueError("samples must be one-dimensional")
+        if len(self.ring) + len(samples) > self.ring.capacity:
+            raise ValueError(
+                f"block of {len(samples)} samples cannot fit the tracker ring "
+                f"(capacity {self.ring.capacity}, {len(self.ring)} buffered); "
+                "use smaller blocks or a larger ring_capacity"
+            )
+        return samples
+
+    def expected_windows(self, incoming: int) -> int:
+        """Windows that would complete if ``incoming`` samples arrived.
+
+        The serving scheduler's admission check: the cost of a push is
+        known *before* any sample is buffered, so an overloaded server
+        can shed the request while the tracker state is still intact.
+        """
+        if incoming < 0:
+            raise ValueError("incoming sample count cannot be negative")
+        buffered = len(self.ring) + incoming
+        if buffered < self.config.window_size:
+            return 0
+        return (buffered - self.config.window_size) // self.config.hop + 1
+
+    def ingest(self, samples: np.ndarray) -> int:
+        """Buffer a sample block without estimating anything.
+
+        The first half of :meth:`push`, split out for consumers that
+        batch estimation elsewhere (the serving scheduler): validate,
+        append to the ring, account the samples.  Returns the number
+        of windows now ready for :meth:`poll_ready_windows`.
+        """
+        samples = self._validate(samples)
+        self._samples_seen += len(samples)
+        self.ring.push(samples)
+        return self.expected_windows(0)
+
+    def poll_ready_windows(self) -> list[PendingWindow]:
+        """Drain every completed window, consuming ``hop`` per window.
+
+        The scheduler hook: each returned :class:`PendingWindow` owns a
+        copy of its window samples (the ring advances underneath), and
+        the tracker's column/sample counters advance as if the windows
+        had been estimated inline — :meth:`resolve` later completes
+        them in any order without touching tracker state.
+        """
+        config = self.config
+        pending: list[PendingWindow] = []
+        while len(self.ring) >= config.window_size:
+            window = self.ring.peek(config.window_size)
+            time_s = (
+                self.start_time_s
+                + (self._next_start + config.window_size / 2.0)
+                * config.sample_period_s
+            )
+            pending.append(
+                PendingWindow(
+                    index=self._column_index,
+                    start_sample=self._next_start,
+                    time_s=time_s,
+                    samples=window,
+                )
+            )
+            self.ring.consume(config.hop)
+            self._next_start += config.hop
+            self._column_index += 1
+        return pending
+
+    @staticmethod
+    def resolve(
+        pending: PendingWindow, frame: SpectrogramFrame
+    ) -> SpectrogramColumn:
+        """Stamp an estimated frame into the column its window awaited."""
+        return SpectrogramColumn(
+            index=pending.index,
+            start_sample=pending.start_sample,
+            time_s=pending.time_s,
+            power=frame.power,
+            num_sources=frame.num_sources,
+            estimator=frame.estimator,
+        )
+
     def push(self, samples: np.ndarray) -> list[SpectrogramColumn]:
         """Accept a sample block; return the columns it completed.
 
@@ -108,42 +216,19 @@ class StreamingTracker:
         long as each pushed block fits alongside one window of carry
         (capacity >= window_size - hop + len(samples)); a larger block
         raises rather than silently dropping window-aligned samples.
+
+        Composed entirely of the scheduler hooks — :meth:`ingest`,
+        :meth:`poll_ready_windows`, :meth:`resolve` — with the
+        estimator run inline, so the served path and this one walk
+        identical window contents.
         """
-        samples = np.asarray(samples, dtype=complex)
-        if samples.ndim != 1:
-            raise ValueError("samples must be one-dimensional")
-        config = self.config
-        if len(self.ring) + len(samples) > self.ring.capacity:
-            raise ValueError(
-                f"block of {len(samples)} samples cannot fit the tracker ring "
-                f"(capacity {self.ring.capacity}, {len(self.ring)} buffered); "
-                "use smaller blocks or a larger ring_capacity"
-            )
-        self._samples_seen += len(samples)
+        samples = self._validate(samples)
         columns: list[SpectrogramColumn] = []
         with StageTimer(self.metrics, items_in=len(samples)) as timer:
+            self._samples_seen += len(samples)
             self.ring.push(samples)
-            while len(self.ring) >= config.window_size:
-                window = self.ring.peek(config.window_size)
-                frame = self._estimate(window)
-                time_s = (
-                    self.start_time_s
-                    + (self._next_start + config.window_size / 2.0)
-                    * config.sample_period_s
-                )
-                columns.append(
-                    SpectrogramColumn(
-                        index=self._column_index,
-                        start_sample=self._next_start,
-                        time_s=time_s,
-                        power=frame.power,
-                        num_sources=frame.num_sources,
-                        estimator=frame.estimator,
-                    )
-                )
-                self.ring.consume(config.hop)
-                self._next_start += config.hop
-                self._column_index += 1
+            for pending in self.poll_ready_windows():
+                columns.append(self.resolve(pending, self._estimate(pending.samples)))
             timer.items_out = len(columns)
         return columns
 

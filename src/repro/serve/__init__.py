@@ -1,0 +1,42 @@
+"""repro.serve — multi-session sensing service.
+
+A stdlib-only asyncio TCP server exposing the Wi-Vi streaming stack to
+many concurrent clients over a newline-delimited-JSON protocol
+(:mod:`repro.serve.protocol`).  Each connection's sessions keep their
+own tracker and health machine (:mod:`repro.serve.session`); their
+completed MUSIC windows meet in one cross-session micro-batching
+scheduler (:mod:`repro.serve.scheduler`) that turns concurrent load
+into large stacked :mod:`repro.dsp` passes — the continuous-batching
+pattern from inference serving, correctness-free here thanks to the
+PR-4 batch-stability contract.
+"""
+
+from repro.serve.client import AsyncServeClient, ClientStats, PushReply, ServeClient
+from repro.serve.load import LoadReport, run_load
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerConfig, SchedulerStats
+from repro.serve.session import (
+    CONFIGURABLE_FIELDS,
+    ServeSession,
+    SessionStats,
+    config_from_wire,
+)
+from repro.serve.server import SensingServer, ServeConfig, ServerStats
+
+__all__ = [
+    "AsyncServeClient",
+    "CONFIGURABLE_FIELDS",
+    "ClientStats",
+    "LoadReport",
+    "MicroBatchScheduler",
+    "PushReply",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "SensingServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeSession",
+    "ServerStats",
+    "SessionStats",
+    "config_from_wire",
+    "run_load",
+]

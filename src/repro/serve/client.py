@@ -1,0 +1,220 @@
+"""Programmatic clients for the sensing service.
+
+:class:`AsyncServeClient` is the native asyncio client — one
+connection, any number of sequential requests, at most one session at
+a time (open a second client for a second session; the server batches
+across connections).  :class:`ServeClient` wraps it behind a blocking
+facade driving a private event loop, for scripts and tests that are
+not async themselves.
+
+Error frames re-raise as the :mod:`repro.errors` class they name
+(:func:`repro.serve.protocol.raise_wire_error`), so client code can
+``except ServeOverloadError`` to back off exactly as server-side code
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.runtime.tracker import SpectrogramColumn
+from repro.serve import protocol
+
+
+@dataclass(frozen=True)
+class PushReply:
+    """One ``push_blocks`` round trip, decoded."""
+
+    columns: list[SpectrogramColumn]
+    detections: list[dict[str, Any]]
+    health: list[dict[str, Any]]
+    latency_s: float
+
+
+@dataclass
+class ClientStats:
+    """Per-client accounting the load generator aggregates."""
+
+    requests: int = 0
+    columns: int = 0
+    detections: int = 0
+    errors: int = 0
+    shed: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+
+class AsyncServeClient:
+    """One connection to a :class:`~repro.serve.server.SensingServer`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.session_id: str | None = None
+        self.stats = ClientStats()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._seq = 0
+
+    async def connect(self) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_FRAME_BYTES
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round trip; error frames raise."""
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = protocol.decode_frame(line)
+        self.stats.requests += 1
+        if reply.get("type") == protocol.ERROR:
+            self.stats.errors += 1
+            protocol.raise_wire_error(reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # The session verbs
+    # ------------------------------------------------------------------
+
+    async def ping(self) -> dict[str, Any]:
+        return await self.request({"type": protocol.PING})
+
+    async def server_stats(self) -> dict[str, Any]:
+        return await self.request({"type": protocol.SERVER_STATS})
+
+    async def open_session(
+        self,
+        config: dict[str, Any] | None = None,
+        use_music: bool = True,
+        start_time_s: float = 0.0,
+    ) -> str:
+        if self.session_id is not None:
+            raise RuntimeError(f"session {self.session_id} is already open")
+        frame: dict[str, Any] = {
+            "type": protocol.OPEN_SESSION,
+            "use_music": use_music,
+            "start_time_s": start_time_s,
+        }
+        if config is not None:
+            frame["config"] = config
+        reply = await self.request(frame)
+        self.session_id = protocol.require_field(reply, "session")
+        return self.session_id
+
+    async def push(self, samples: np.ndarray) -> PushReply:
+        """Stream one sample block; returns the columns it completed.
+
+        Latency is measured client-side around the whole round trip —
+        the number the load generator reports percentiles of.
+        """
+        if self.session_id is None:
+            raise RuntimeError("no session is open")
+        self._seq += 1
+        frame = {
+            "type": protocol.PUSH_BLOCKS,
+            "session": self.session_id,
+            "seq": self._seq,
+            "samples": protocol.encode_samples(np.asarray(samples, dtype=complex)),
+        }
+        start = time.perf_counter()
+        reply = await self.request(frame)
+        latency = time.perf_counter() - start
+        if reply.get("type") != protocol.SPECTROGRAM_COLUMNS:
+            raise ProtocolError(f"unexpected reply type {reply.get('type')!r}")
+        columns = [
+            protocol.column_from_wire(payload)
+            for payload in reply.get("columns", [])
+        ]
+        detections = reply.get("detections", [])
+        self.stats.columns += len(columns)
+        self.stats.detections += len(detections)
+        self.stats.latencies_s.append(latency)
+        return PushReply(
+            columns=columns,
+            detections=detections,
+            health=reply.get("health", []),
+            latency_s=latency,
+        )
+
+    async def close_session(self) -> dict[str, Any]:
+        if self.session_id is None:
+            raise RuntimeError("no session is open")
+        reply = await self.request(
+            {"type": protocol.CLOSE_SESSION, "session": self.session_id}
+        )
+        self.session_id = None
+        return reply
+
+
+class ServeClient:
+    """Blocking facade over :class:`AsyncServeClient`.
+
+    Owns a private event loop so a plain script (or the console-script
+    smoke test) can drive a session without touching asyncio; the
+    persistent connection lives across calls.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._loop = asyncio.new_event_loop()
+        self._client = AsyncServeClient(host, port)
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    @property
+    def stats(self) -> ClientStats:
+        return self._client.stats
+
+    @property
+    def session_id(self) -> str | None:
+        return self._client.session_id
+
+    def connect(self) -> "ServeClient":
+        self._run(self._client.connect())
+        return self
+
+    def ping(self) -> dict[str, Any]:
+        return self._run(self._client.ping())
+
+    def server_stats(self) -> dict[str, Any]:
+        return self._run(self._client.server_stats())
+
+    def open_session(self, **kwargs: Any) -> str:
+        return self._run(self._client.open_session(**kwargs))
+
+    def push(self, samples: np.ndarray) -> PushReply:
+        return self._run(self._client.push(samples))
+
+    def close_session(self) -> dict[str, Any]:
+        return self._run(self._client.close_session())
+
+    def close(self) -> None:
+        self._run(self._client.aclose())
+        self._loop.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

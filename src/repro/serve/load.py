@@ -1,0 +1,151 @@
+"""Load generator for the sensing service.
+
+Spins N concurrent sessions — each its own connection, so the server's
+micro-batching has real cross-session concurrency to exploit — and
+streams seeded complex-noise blocks for a fixed duration.  Reports the
+numbers the serving benchmark and the CI smoke step care about:
+aggregate columns/s, request-latency percentiles, error/shed counts,
+and the server's own scheduler snapshot (batch occupancy).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError, ServeOverloadError
+from repro.serve.client import AsyncServeClient
+
+#: Default seed; matches benchmarks/common.py (Wi-Vi's SIGCOMM 2013
+#: camera-ready date) without importing from outside the package.
+DEFAULT_SEED = 20130812
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    sessions: int = 0
+    seconds: float = 0.0
+    requests: int = 0
+    columns: int = 0
+    detections: int = 0
+    protocol_errors: int = 0
+    shed_requests: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def columns_per_s(self) -> float:
+        return self.columns / self.seconds if self.seconds > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Request latency percentile in milliseconds."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q * 100)) * 1e3
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "sessions": self.sessions,
+            "seconds": round(self.seconds, 3),
+            "requests": self.requests,
+            "columns": self.columns,
+            "columns_per_s": round(self.columns_per_s, 2),
+            "detections": self.detections,
+            "protocol_errors": self.protocol_errors,
+            "shed_requests": self.shed_requests,
+            "latency_p50_ms": round(self.latency_percentile(0.5), 3),
+            "latency_p99_ms": round(self.latency_percentile(0.99), 3),
+            "batch_occupancy_mean": self.server_stats.get("scheduler", {}).get(
+                "mean_batch_windows"
+            ),
+            "batch_occupancy_p99": self.server_stats.get("scheduler", {}).get(
+                "batch_p99"
+            ),
+        }
+
+
+async def _drive_session(
+    host: str,
+    port: int,
+    seconds: float,
+    block_size: int,
+    seed: int,
+    config: dict[str, Any] | None,
+    report: LoadReport,
+    stop: asyncio.Event,
+) -> None:
+    """One session's lifetime: open, push until the clock runs out, close."""
+    rng = np.random.default_rng(seed)
+    client = AsyncServeClient(host, port)
+    await client.connect()
+    try:
+        await client.open_session(config=config)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + seconds
+        while loop.time() < deadline and not stop.is_set():
+            block = rng.standard_normal(block_size) + 1j * rng.standard_normal(
+                block_size
+            )
+            try:
+                await client.push(block)
+            except ServeOverloadError:
+                report.shed_requests += 1
+                await asyncio.sleep(0.01)
+            except ReproError:
+                report.protocol_errors += 1
+                break
+        try:
+            await client.close_session()
+        except (ReproError, ConnectionError):  # pragma: no cover - teardown race
+            pass
+    finally:
+        report.requests += client.stats.requests
+        report.columns += client.stats.columns
+        report.detections += client.stats.detections
+        report.latencies_s.extend(client.stats.latencies_s)
+        await client.aclose()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    sessions: int = 8,
+    seconds: float = 5.0,
+    block_size: int = 400,
+    seed: int = DEFAULT_SEED,
+    config: dict[str, Any] | None = None,
+) -> LoadReport:
+    """Drive ``sessions`` concurrent clients for ``seconds``.
+
+    Each session streams independent seeded noise (seed + session
+    index), so runs are reproducible while sessions stay decorrelated.
+    """
+    report = LoadReport(sessions=sessions, seconds=seconds)
+    stop = asyncio.Event()
+    tasks = [
+        asyncio.create_task(
+            _drive_session(
+                host, port, seconds, block_size, seed + i, config, report, stop
+            ),
+            name=f"load-session-{i}",
+        )
+        for i in range(sessions)
+    ]
+    results = await asyncio.gather(*tasks, return_exceptions=True)
+    for outcome in results:
+        if isinstance(outcome, BaseException):
+            report.protocol_errors += 1
+    # One last connection for the server's own view of the run.
+    probe = AsyncServeClient(host, port)
+    try:
+        await probe.connect()
+        report.server_stats = await probe.server_stats()
+        await probe.aclose()
+    except (ConnectionError, OSError, ReproError):  # pragma: no cover
+        pass
+    return report

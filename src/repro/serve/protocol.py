@@ -1,0 +1,247 @@
+"""The newline-delimited-JSON wire protocol of the sensing service.
+
+One frame per line, one JSON object per frame, ``"type"`` names the
+frame.  The request/response pairs:
+
+==================  ======================  =======================
+client sends        server replies          purpose
+==================  ======================  =======================
+``open_session``    ``session_opened``      create a tracking session
+``push_blocks``     ``spectrogram_columns`` stream samples, get columns
+                                            + detections + health
+``close_session``   ``session_closed``      finish, get totals
+``ping``            ``pong``                liveness probe
+``server_stats``    ``server_stats_reply``  scheduler/occupancy stats
+==================  ======================  =======================
+
+Any request can instead draw an ``error`` frame carrying the
+:mod:`repro.errors` taxonomy: the frame names the exception class
+(``"error"``) and message, and :func:`raise_wire_error` re-raises the
+matching class on the client, so remote failures dispatch exactly like
+local ones.
+
+**Bit-exactness over JSON.**  Bulk float arrays — samples and
+spectral columns — cross the wire in either of two encodings, and the
+decoder accepts both:
+
+* **packed** (the default): base64 of the raw little-endian float64
+  bytes.  Bit-exact by construction, ~40% smaller than decimal text,
+  and three orders of magnitude cheaper to encode than per-float
+  ``repr`` — the difference between the JSON codec and the DSP
+  dominating a busy server's CPU.
+* **plain lists** of JSON numbers, for debuggability (a frame is
+  readable with ``jq``).  Still bit-exact: Python serializes floats
+  via ``repr``, the shortest decimal string that round-trips to the
+  identical IEEE-754 double (non-finite values ride the stdlib JSON
+  extension literals ``NaN``/``Infinity``).
+
+Either way the served-vs-offline ``np.array_equal`` contract holds
+across the socket.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any
+
+import numpy as np
+
+from repro import errors
+from repro.errors import ProtocolError, ReproError
+from repro.runtime.tracker import SpectrogramColumn
+
+# Frame types, client -> server.
+OPEN_SESSION = "open_session"
+PUSH_BLOCKS = "push_blocks"
+CLOSE_SESSION = "close_session"
+PING = "ping"
+SERVER_STATS = "server_stats"
+
+# Frame types, server -> client.
+SESSION_OPENED = "session_opened"
+SPECTROGRAM_COLUMNS = "spectrogram_columns"
+SESSION_CLOSED = "session_closed"
+PONG = "pong"
+SERVER_STATS_REPLY = "server_stats_reply"
+ERROR = "error"
+
+#: Hard ceiling on one encoded frame (bytes).  A push of
+#: ``max_push_samples`` complex samples stays far below this; anything
+#: larger is a protocol violation, not a bigger buffer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(frame: dict[str, Any]) -> bytes:
+    """Serialize one frame to its wire line (compact JSON + newline)."""
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line into a frame dict.
+
+    Raises:
+        ProtocolError: the line is not a JSON object with a string
+            ``"type"``, or exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        frame = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError("frame must be a JSON object")
+    kind = frame.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError('frame is missing a string "type"')
+    return frame
+
+
+def require_field(frame: dict[str, Any], name: str) -> Any:
+    """Fetch a required frame field or raise :class:`ProtocolError`."""
+    if name not in frame:
+        raise ProtocolError(f'{frame.get("type", "?")} frame is missing "{name}"')
+    return frame[name]
+
+
+def pack_floats(values: np.ndarray) -> str:
+    """Float64 array -> base64 of its little-endian bytes (bit-exact)."""
+    return base64.b64encode(
+        np.ascontiguousarray(values, dtype="<f8").tobytes()
+    ).decode("ascii")
+
+
+def unpack_floats(payload: str) -> np.ndarray:
+    """Inverse of :func:`pack_floats`.
+
+    Raises:
+        ProtocolError: not valid base64, or not whole float64s.
+    """
+    try:
+        raw = base64.b64decode(payload.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError):
+        raise ProtocolError("packed floats are not valid base64") from None
+    if len(raw) % 8 != 0:
+        raise ProtocolError("packed floats are not whole float64s")
+    return np.frombuffer(raw, dtype="<f8").astype(float)
+
+
+def _float_array_to_wire(values: np.ndarray, packed: bool) -> Any:
+    return pack_floats(values) if packed else values.tolist()
+
+
+def _float_array_from_wire(payload: Any, what: str) -> np.ndarray:
+    """Decode either encoding of a float array field."""
+    if isinstance(payload, str):
+        return unpack_floats(payload)
+    if not isinstance(payload, list):
+        raise ProtocolError(f"{what} must be a list of numbers or a packed string")
+    try:
+        values = np.asarray(payload, dtype=float)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"{what} must contain only numbers") from None
+    if values.ndim != 1:
+        raise ProtocolError(f"{what} must be a flat list")
+    return values
+
+
+def encode_samples(samples: np.ndarray, packed: bool = True) -> Any:
+    """Complex samples -> interleaved ``re, im`` pairs, packed or plain."""
+    samples = np.asarray(samples, dtype=complex)
+    if samples.ndim != 1:
+        raise ValueError("samples must be one-dimensional")
+    interleaved = np.empty(2 * len(samples), dtype=float)
+    interleaved[0::2] = samples.real
+    interleaved[1::2] = samples.imag
+    return _float_array_to_wire(interleaved, packed)
+
+
+def decode_samples(payload: Any) -> np.ndarray:
+    """Interleaved re/im floats (either encoding) -> complex128 samples.
+
+    Raises:
+        ProtocolError: the payload is not an even-length run of floats.
+    """
+    interleaved = _float_array_from_wire(payload, "samples")
+    if len(interleaved) % 2 != 0:
+        raise ProtocolError("samples must interleave an even run of floats")
+    # Assemble via the component views, not ``re + 1j * im``: the
+    # multiply turns an infinite imaginary part into a NaN real part,
+    # corrupting the non-finite samples fault injection relies on.
+    samples = np.empty(len(interleaved) // 2, dtype=complex)
+    samples.real = interleaved[0::2]
+    samples.imag = interleaved[1::2]
+    return samples
+
+
+def column_to_wire(
+    column: SpectrogramColumn, packed: bool = True
+) -> dict[str, Any]:
+    """One spectrogram column as its wire dict."""
+    return {
+        "index": column.index,
+        "start_sample": column.start_sample,
+        "time_s": column.time_s,
+        "power": _float_array_to_wire(
+            np.asarray(column.power, dtype=float), packed
+        ),
+        "num_sources": int(column.num_sources),
+        "estimator": column.estimator,
+    }
+
+
+def column_from_wire(payload: dict[str, Any]) -> SpectrogramColumn:
+    """Rebuild a :class:`SpectrogramColumn` from its wire dict."""
+    try:
+        return SpectrogramColumn(
+            index=int(payload["index"]),
+            start_sample=int(payload["start_sample"]),
+            time_s=float(payload["time_s"]),
+            power=_float_array_from_wire(payload["power"], "power"),
+            num_sources=int(payload["num_sources"]),
+            estimator=str(payload["estimator"]),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed column payload: {exc}") from None
+
+
+def error_frame(
+    exc: BaseException,
+    session: str | None = None,
+    seq: int | None = None,
+) -> dict[str, Any]:
+    """An ``error`` frame carrying the taxonomy class of ``exc``.
+
+    Non-:class:`~repro.errors.ReproError` exceptions are reported as
+    plain ``ReproError`` so a server bug never leaks an unmappable
+    class name to clients.
+    """
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "ReproError"
+    frame: dict[str, Any] = {"type": ERROR, "error": name, "message": str(exc)}
+    if session is not None:
+        frame["session"] = session
+    if seq is not None:
+        frame["seq"] = seq
+    return frame
+
+
+def raise_wire_error(frame: dict[str, Any]) -> None:
+    """Re-raise the taxonomy exception an ``error`` frame names.
+
+    Unknown class names (or names that are not ``ReproError``
+    subclasses exported by :mod:`repro.errors`) degrade to the base
+    :class:`~repro.errors.ReproError` rather than failing opaquely.
+    """
+    name = frame.get("error", "ReproError")
+    message = frame.get("message", "remote error")
+    cls = getattr(errors, str(name), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    try:
+        raise cls(str(message))
+    except TypeError:  # pragma: no cover - classes with extra args
+        raise ReproError(f"{name}: {message}") from None

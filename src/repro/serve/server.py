@@ -1,0 +1,421 @@
+"""The asyncio TCP front end of the multi-session sensing service.
+
+``SensingServer`` binds a socket, accepts any number of client
+connections, and multiplexes their sessions over one
+:class:`~repro.serve.scheduler.MicroBatchScheduler`.  Each connection
+is handled sequentially (read a frame, answer it, read the next) so
+per-session ordering is free; concurrency — and hence cross-session
+batches — comes from many connections awaiting their window futures
+at once.
+
+Sessions are connection-scoped: they die with their socket, and a
+session that walks its health machine to FAILED is closed alone — the
+degradation boundary the single-tenant pipeline never needed.
+
+Request telemetry follows the stack's conventions: with a telemetry
+session active every request runs inside a ``serve.<type>`` span,
+counters track requests/errors/sessions, and the scheduler feeds
+queue-depth and batch-occupancy instruments.  Always-on counters
+(:class:`ServerStats`, the scheduler's stats) keep the load benchmark
+and ``server_stats`` frame working with telemetry off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServeOverloadError,
+    SessionLimitError,
+)
+from repro.serve import protocol
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerConfig
+from repro.serve.session import ServeSession, config_from_wire
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.metrics import LATENCY_BUCKETS_MS, Histogram
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Deployment knobs of the sensing service."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_sessions: int = 64
+    max_push_samples: int = 16384
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        if self.max_push_samples < 1:
+            raise ValueError("max_push_samples must be positive")
+
+
+@dataclass
+class ServerStats:
+    """Always-on request accounting."""
+
+    requests: int = 0
+    errors: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_failed: int = 0
+    columns_served: int = 0
+    request_latency_ms: Histogram = field(
+        default_factory=lambda: Histogram(
+            "serve.request_latency_ms", LATENCY_BUCKETS_MS
+        )
+    )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_failed": self.sessions_failed,
+            "columns_served": self.columns_served,
+            "request_p50_ms": self.request_latency_ms.percentile(0.5),
+            "request_p99_ms": self.request_latency_ms.percentile(0.99),
+        }
+
+
+class SensingServer:
+    """Serve many concurrent Wi-Vi sessions over micro-batched DSP."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.scheduler = MicroBatchScheduler(self.config.scheduler)
+        self.stats = ServerStats()
+        self.sessions: dict[str, ServeSession] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._session_counter = 0
+        self._inflight_requests = 0
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> int:
+        """Bind, start the scheduler, return the bound port."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        self.scheduler.start()
+        return self.port
+
+    async def serve_until_stopped(self, duration_s: float | None = None) -> None:
+        """Block until :meth:`shutdown` (or for ``duration_s`` seconds)."""
+        if duration_s is None:
+            await self._stopped.wait()
+            return
+        try:
+            await asyncio.wait_for(self._stopped.wait(), timeout=duration_s)
+        except asyncio.TimeoutError:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, answer everything admitted.
+
+        Order matters: close the listener (no new connections), drain
+        the scheduler (every queued window completes, so in-flight
+        push requests get their columns), wait for those requests'
+        replies to reach the wire, then close the remaining client
+        connections.  Idempotent.
+        """
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.scheduler.drain()
+        # The drained windows resolved handler futures, but the
+        # handlers still need loop turns to serialize their replies —
+        # closing the sockets first would swallow them.
+        for _ in range(1000):
+            if self._inflight_requests == 0:
+                break
+            await asyncio.sleep(0.005)
+        for writer in list(self._connections):
+            writer.close()
+        for writer in list(self._connections):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown races
+                pass
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        owned: dict[str, ServeSession] = {}
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_frame(
+                                ProtocolError("frame exceeds the size limit")
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                try:
+                    frame = protocol.decode_frame(line)
+                except ProtocolError as exc:
+                    # Framing is untrustworthy after malformed JSON:
+                    # report and hang up.
+                    self._count_error()
+                    writer.write(protocol.encode_frame(protocol.error_frame(exc)))
+                    await writer.drain()
+                    break
+                self._inflight_requests += 1
+                try:
+                    reply = await self._handle_frame(frame, owned)
+                    writer.write(protocol.encode_frame(reply))
+                    await writer.drain()
+                finally:
+                    self._inflight_requests -= 1
+        except (ConnectionError, OSError):  # pragma: no cover - peer vanished
+            pass
+        finally:
+            for session_id in list(owned):
+                self._drop_session(session_id, owned)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _drop_session(self, session_id: str, owned: dict[str, ServeSession]) -> None:
+        owned.pop(session_id, None)
+        if self.sessions.pop(session_id, None) is not None:
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.metrics.gauge("serve.active_sessions").set(
+                    len(self.sessions)
+                )
+
+    def _count_error(self) -> None:
+        self.stats.errors += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("serve.errors").inc()
+
+    async def _handle_frame(
+        self, frame: dict[str, Any], owned: dict[str, ServeSession]
+    ) -> dict[str, Any]:
+        """Answer one request frame; errors become error frames."""
+        kind = frame["type"]
+        session_id = frame.get("session")
+        seq = frame.get("seq")
+        self.stats.requests += 1
+        start = time.perf_counter()
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("serve.requests").inc()
+            telemetry.metrics.counter(f"serve.requests.{kind}").inc()
+        try:
+            with telemetry.span(f"serve.{kind}", session=session_id):
+                if kind == protocol.PING:
+                    reply: dict[str, Any] = {"type": protocol.PONG}
+                elif kind == protocol.SERVER_STATS:
+                    reply = self._stats_reply()
+                elif kind == protocol.OPEN_SESSION:
+                    reply = self._open_session(frame, owned)
+                elif kind == protocol.PUSH_BLOCKS:
+                    reply = await self._push_blocks(frame, owned)
+                elif kind == protocol.CLOSE_SESSION:
+                    reply = self._close_session(frame, owned)
+                else:
+                    raise ProtocolError(f"unknown frame type {kind!r}")
+        except ReproError as exc:
+            self._count_error()
+            if isinstance(exc, (ServeOverloadError, ProtocolError)) and telemetry.enabled:
+                telemetry.events.emit(
+                    "serve.request_rejected",
+                    kind=kind,
+                    session=session_id,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+            reply = protocol.error_frame(exc, session=session_id, seq=seq)
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill the connection
+            self._count_error()
+            reply = protocol.error_frame(
+                ReproError(f"internal error: {exc}"), session=session_id, seq=seq
+            )
+        finally:
+            self.stats.request_latency_ms.observe(
+                (time.perf_counter() - start) * 1e3
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def _stats_reply(self) -> dict[str, Any]:
+        return {
+            "type": protocol.SERVER_STATS_REPLY,
+            "active_sessions": len(self.sessions),
+            "queue_depth": self.scheduler.queue_depth,
+            "server": self.stats.snapshot(),
+            "scheduler": self.scheduler.stats.snapshot(),
+        }
+
+    def _open_session(
+        self, frame: dict[str, Any], owned: dict[str, ServeSession]
+    ) -> dict[str, Any]:
+        if len(self.sessions) >= self.config.max_sessions:
+            raise SessionLimitError(
+                f"server is at its limit of {self.config.max_sessions} sessions"
+            )
+        config = config_from_wire(frame.get("config"))
+        use_music = frame.get("use_music", True)
+        if not isinstance(use_music, bool):
+            raise ProtocolError("use_music must be a boolean")
+        start_time_s = frame.get("start_time_s", 0.0)
+        if isinstance(start_time_s, bool) or not isinstance(start_time_s, (int, float)):
+            raise ProtocolError("start_time_s must be a number")
+        self._session_counter += 1
+        session = ServeSession(
+            session_id=f"s{self._session_counter}",
+            config=config,
+            use_music=use_music,
+            start_time_s=float(start_time_s),
+            max_push_samples=self.config.max_push_samples,
+        )
+        self.sessions[session.id] = session
+        owned[session.id] = session
+        self.stats.sessions_opened += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("serve.sessions_opened").inc()
+            telemetry.metrics.gauge("serve.active_sessions").set(len(self.sessions))
+        return {
+            "type": protocol.SESSION_OPENED,
+            "session": session.id,
+            "window_size": config.window_size,
+            "hop": config.hop,
+            "num_angles": len(config.theta_grid_deg),
+            "use_music": use_music,
+        }
+
+    def _owned_session(
+        self, frame: dict[str, Any], owned: dict[str, ServeSession]
+    ) -> ServeSession:
+        session_id = protocol.require_field(frame, "session")
+        session = owned.get(session_id)
+        if session is None:
+            raise ProtocolError(
+                f"no session {session_id!r} is open on this connection"
+            )
+        return session
+
+    async def _push_blocks(
+        self, frame: dict[str, Any], owned: dict[str, ServeSession]
+    ) -> dict[str, Any]:
+        session = self._owned_session(frame, owned)
+        samples = protocol.decode_samples(protocol.require_field(frame, "samples"))
+        num_windows = session.validate_push(samples)
+        if not self.scheduler.admit(num_windows):
+            session.stats.shed_requests += 1
+            raise self.scheduler.shed(num_windows)
+        try:
+            ingest = session.ingest(samples)
+        except ReproError:
+            # Health machine reached FAILED: this session alone dies.
+            self.stats.sessions_failed += 1
+            self._drop_session(session.id, owned)
+            raise
+        futures = [
+            self.scheduler.submit(session.config, session.use_music, pending)
+            for pending in ingest.pending
+        ]
+        frames = (
+            await asyncio.gather(*futures, return_exceptions=True) if futures else []
+        )
+        failure = next(
+            (f for f in frames if isinstance(f, BaseException)), None
+        )
+        if failure is not None:
+            # Every future was retrieved above; surface the first
+            # failure as a structured error for this request alone.
+            if isinstance(failure, ReproError):
+                raise failure
+            raise ReproError(f"batch estimation failed: {failure}") from failure
+        columns = []
+        detections = []
+        for pending, estimated in zip(ingest.pending, frames):
+            column, detection = session.resolve(pending, estimated)
+            columns.append(protocol.column_to_wire(column))
+            if detection is not None:
+                detections.append(
+                    {
+                        "column_index": detection.column_index,
+                        "time_s": detection.time_s,
+                        "angle_deg": detection.angle_deg,
+                        "strength_db": detection.strength_db,
+                    }
+                )
+        self.stats.columns_served += len(columns)
+        telemetry = get_telemetry()
+        if telemetry.enabled and columns:
+            telemetry.metrics.counter("serve.columns").inc(len(columns))
+        reply: dict[str, Any] = {
+            "type": protocol.SPECTROGRAM_COLUMNS,
+            "session": session.id,
+            "columns": columns,
+            "detections": detections,
+            "health": [
+                {"state": event.state.value, "reason": event.reason}
+                for event in ingest.health_events
+            ],
+        }
+        if "seq" in frame:
+            reply["seq"] = frame["seq"]
+        return reply
+
+    def _close_session(
+        self, frame: dict[str, Any], owned: dict[str, ServeSession]
+    ) -> dict[str, Any]:
+        session = self._owned_session(frame, owned)
+        body = session.close()
+        self._drop_session(session.id, owned)
+        self.stats.sessions_closed += 1
+        return {"type": protocol.SESSION_CLOSED, **body}

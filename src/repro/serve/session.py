@@ -1,0 +1,234 @@
+"""Per-client session state for the sensing service.
+
+Each connected client session owns the full single-tenant streaming
+stack in miniature: a PR-2 :class:`~repro.runtime.tracker.
+StreamingTracker` (window alignment + column bookkeeping), a PR-1
+health machine driven block by block through the runtime's
+:class:`~repro.runtime.pipeline.ConditionStage`, and a per-session
+:class:`~repro.runtime.pipeline.DetectStage`.  Faults therefore
+degrade *per session*: a client streaming NaN bursts walks its own
+machine to DEGRADED (and eventually FAILED, closing only that
+session) while every other session stays HEALTHY.
+
+What a session does **not** own is the estimator: completed windows
+are handed to the cross-session micro-batching scheduler
+(:mod:`repro.serve.scheduler`), and the frames come back through
+:meth:`ServeSession.resolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.monitoring import DeviceHealth
+from repro.core.tracking import TrackingConfig
+from repro.errors import DeviceFailedError, ProtocolError
+from repro.runtime.pipeline import (
+    ConditionStage,
+    DetectStage,
+    DetectionEvent,
+    HealthEvent,
+)
+from repro.runtime.ring import SampleBlock
+from repro.runtime.tracker import (
+    PendingWindow,
+    SpectrogramColumn,
+    StreamingTracker,
+)
+from repro.core.tracking import SpectrogramFrame
+
+#: TrackingConfig fields a client may override in ``open_session``.
+#: Geometry-level knobs only — wavelength/speed/grid stay server-side
+#: policy, like a real deployment's calibrated constants.
+CONFIGURABLE_FIELDS = (
+    "window_size",
+    "hop",
+    "subarray_size",
+    "max_sources",
+    "condition_limit",
+)
+
+
+def config_from_wire(overrides: dict[str, Any] | None) -> TrackingConfig:
+    """Build a session's :class:`TrackingConfig` from wire overrides.
+
+    Raises:
+        ProtocolError: unknown field, wrong type, or a combination the
+            config itself rejects.
+    """
+    overrides = overrides or {}
+    if not isinstance(overrides, dict):
+        raise ProtocolError("config must be a JSON object")
+    unknown = sorted(set(overrides) - set(CONFIGURABLE_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown config field(s) {', '.join(unknown)}; "
+            f"configurable: {', '.join(CONFIGURABLE_FIELDS)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in overrides.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(f"config field {name!r} must be a number")
+        kwargs[name] = float(value) if name == "condition_limit" else int(value)
+    try:
+        return TrackingConfig(**kwargs)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid session config: {exc}") from None
+
+
+@dataclass
+class SessionStats:
+    """Per-session accounting the close frame reports."""
+
+    pushes: int = 0
+    samples_in: int = 0
+    columns_out: int = 0
+    detections: int = 0
+    shed_requests: int = 0
+
+
+@dataclass
+class IngestResult:
+    """What one accepted push produced (before estimation)."""
+
+    pending: list[PendingWindow]
+    health_events: list[HealthEvent] = field(default_factory=list)
+
+
+class ServeSession:
+    """One client's sensing state inside the multi-session server."""
+
+    def __init__(
+        self,
+        session_id: str,
+        config: TrackingConfig,
+        use_music: bool = True,
+        start_time_s: float = 0.0,
+        max_push_samples: int = 16384,
+    ):
+        self.id = session_id
+        self.config = config
+        self.use_music = use_music
+        self.max_push_samples = max_push_samples
+        ring_capacity = max(4 * config.window_size, config.window_size + max_push_samples)
+        self.tracker = StreamingTracker(
+            config,
+            start_time_s=start_time_s,
+            use_music=use_music,
+            ring_capacity=ring_capacity,
+        )
+        self.condition = ConditionStage()
+        self.detector = DetectStage(theta_grid_deg=config.theta_grid_deg)
+        self.stats = SessionStats()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+
+    @property
+    def health(self) -> DeviceHealth:
+        return self.condition.machine.state
+
+    def _screen(self, samples: np.ndarray) -> list[HealthEvent]:
+        """Drive the session's health machine with this block.
+
+        A served session has no radio to re-run Algorithm 1 on, so a
+        machine that asks for RECALIBRATING cannot be obliged: each
+        *bad* block that lands in that state counts as a failed
+        recalibration, and the policy's failure budget walks the
+        session to FAILED instead of parking a faulty stream forever.
+        Clean blocks are not failures — a transient burst leaves the
+        session degraded but alive.
+
+        Raises:
+            DeviceFailedError: the machine just reached FAILED — the
+                session is dead (the server closes it), but only this
+                session.
+        """
+        block = SampleBlock(samples=samples, start_index=self.tracker.samples_seen)
+        machine = self.condition.machine
+        before = len(machine.transitions)
+        bad_before = self.condition.bad_block_count
+        self.condition.process(block)
+        if (
+            self.health is DeviceHealth.RECALIBRATING
+            and self.condition.bad_block_count > bad_before
+        ):
+            machine.recalibration_failed(
+                f"session {self.id} has no radio to recalibrate"
+            )
+        events = [
+            HealthEvent(
+                block_index=block.start_index,
+                state=transition.target,
+                reason=transition.reason,
+            )
+            for transition in machine.transitions[before:]
+        ]
+        if self.health is DeviceHealth.FAILED:
+            raise DeviceFailedError(
+                f"session {self.id} health machine reached FAILED"
+            )
+        return events
+
+    # ------------------------------------------------------------------
+    # Ingest / resolve
+    # ------------------------------------------------------------------
+
+    def validate_push(self, samples: np.ndarray) -> int:
+        """Pre-admission checks; returns the windows this push completes.
+
+        Nothing is buffered yet — the scheduler's admission decision
+        happens between this and :meth:`ingest`, so a shed push leaves
+        the session's window alignment untouched.
+
+        Raises:
+            ProtocolError: empty, oversized, or misshapen payload.
+        """
+        if samples.ndim != 1:
+            raise ProtocolError("samples must be one-dimensional")
+        if len(samples) == 0:
+            raise ProtocolError("push_blocks carried no samples")
+        if len(samples) > self.max_push_samples:
+            raise ProtocolError(
+                f"push of {len(samples)} samples exceeds the per-request "
+                f"limit of {self.max_push_samples}"
+            )
+        return self.tracker.expected_windows(len(samples))
+
+    def ingest(self, samples: np.ndarray) -> IngestResult:
+        """Screen + buffer an admitted block; drain its ready windows."""
+        health_events = self._screen(samples)
+        self.tracker.ingest(samples)
+        pending = self.tracker.poll_ready_windows()
+        self.stats.pushes += 1
+        self.stats.samples_in += len(samples)
+        return IngestResult(pending=pending, health_events=health_events)
+
+    def resolve(
+        self, pending: PendingWindow, frame: SpectrogramFrame
+    ) -> tuple[SpectrogramColumn, DetectionEvent | None]:
+        """Complete one scheduled window: column + optional detection."""
+        column = self.tracker.resolve(pending, frame)
+        detection = self.detector.process(column, self.config.theta_grid_deg)
+        self.stats.columns_out += 1
+        if detection is not None:
+            self.stats.detections += 1
+        return column, detection
+
+    def close(self) -> dict[str, Any]:
+        """Mark the session closed; return the ``session_closed`` body."""
+        self.closed = True
+        return {
+            "session": self.id,
+            "pushes": self.stats.pushes,
+            "samples_in": self.stats.samples_in,
+            "columns_out": self.stats.columns_out,
+            "detections": self.stats.detections,
+            "shed_requests": self.stats.shed_requests,
+            "health": self.health.value,
+        }

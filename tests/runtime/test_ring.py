@@ -102,6 +102,47 @@ class TestSampleRingBuffer:
         assert ring.push(np.array([], dtype=complex)) == 0
         assert len(ring) == 0 and ring.total_pushed == 0
 
+    def test_overflow_is_accounted_before_the_eviction(self):
+        # Regression: the drop counters must be bumped *before* the
+        # read pointer moves (and before any sample is overwritten).
+        # An observer reading the ring mid-push — exactly what the
+        # serving layer's stats endpoint does — must never see samples
+        # vanish while ``dropped_sample_count`` still reads low.
+        class InstrumentedRing(SampleRingBuffer):
+            """Records the drop counter at every eviction."""
+
+            def __init__(self, capacity):
+                self.counter_at_eviction = []
+                super().__init__(capacity)
+
+            @property
+            def _start(self):
+                return self.__dict__.get("_start_value", 0)
+
+            @_start.setter
+            def _start(self, value):
+                if self.__dict__.get("_start_value", 0) != value:
+                    self.counter_at_eviction.append(
+                        getattr(self, "dropped_sample_count", 0)
+                    )
+                self.__dict__["_start_value"] = value
+
+            def consume(self, n):
+                # Keep the instrument focused on push-time evictions.
+                self.counter_at_eviction, saved = [], self.counter_at_eviction
+                super().consume(n)
+                self.counter_at_eviction = saved
+
+        ring = InstrumentedRing(6)
+        ring.push(_arange_complex(0, 4))
+        assert ring.counter_at_eviction == []  # no eviction yet
+        dropped = ring.push(_arange_complex(4, 4))
+        assert dropped == 2
+        # The eviction observed the loss already counted.
+        assert ring.counter_at_eviction == [2]
+        assert ring.dropped_sample_count == 2
+        assert np.array_equal(ring.peek(6), _arange_complex(2, 6))
+
 
 class TestBlockSource:
     def test_reblocks_iterator_with_partial_tail(self):

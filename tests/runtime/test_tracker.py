@@ -173,3 +173,66 @@ class TestTrackerMechanics:
     def test_assemble_requires_columns(self, fast_tracking_config):
         with pytest.raises(ValueError, match="no columns"):
             StreamingTracker.assemble([], fast_tracking_config)
+
+
+class TestSchedulerHooks:
+    """The ingest/poll/resolve decomposition the serving layer drives."""
+
+    def test_expected_windows_predicts_every_push(self, rng, fast_tracking_config):
+        samples = _synthetic_trace(rng, num_samples=330)
+        tracker = StreamingTracker(fast_tracking_config)
+        for block_size in [10, 64, 16, 100, 3, 137]:
+            block, samples = samples[:block_size], samples[block_size:]
+            predicted = tracker.expected_windows(len(block))
+            assert len(tracker.push(block)) == predicted
+        # And the zero-incoming form reports what is already ready.
+        assert tracker.expected_windows(0) == 0
+
+    def test_ingest_poll_resolve_equals_push(self, rng, fast_tracking_config):
+        from repro.core.tracking import compute_spectrogram_frame
+
+        samples = _synthetic_trace(rng)
+        pushed = StreamingTracker(fast_tracking_config)
+        hooked = StreamingTracker(fast_tracking_config)
+        via_push, via_hooks = [], []
+        for offset in range(0, len(samples), 48):
+            block = samples[offset : offset + 48]
+            via_push.extend(pushed.push(block))
+            # The serving decomposition: buffer, drain ready windows,
+            # estimate elsewhere (here: inline), stamp the results back.
+            hooked.ingest(block)
+            for pending in hooked.poll_ready_windows():
+                frame = compute_spectrogram_frame(
+                    pending.samples, fast_tracking_config
+                )
+                via_hooks.append(StreamingTracker.resolve(pending, frame))
+        assert len(via_hooks) == len(via_push)
+        for a, b in zip(via_push, via_hooks):
+            assert a.index == b.index
+            assert a.start_sample == b.start_sample
+            assert a.time_s == b.time_s
+            assert np.array_equal(a.power, b.power)
+            assert a.num_sources == b.num_sources
+            assert a.estimator == b.estimator
+        assert hooked.columns_emitted == pushed.columns_emitted
+        assert hooked.samples_seen == pushed.samples_seen
+
+    def test_pending_windows_are_detached_copies(self, rng, fast_tracking_config):
+        # A pending window must stay valid after the ring moves on —
+        # the scheduler may estimate it long after later pushes landed.
+        samples = _synthetic_trace(rng, num_samples=200)
+        tracker = StreamingTracker(fast_tracking_config)
+        tracker.ingest(samples[:100])
+        pending = tracker.poll_ready_windows()
+        snapshots = [p.samples.copy() for p in pending]
+        tracker.ingest(samples[100:])
+        tracker.poll_ready_windows()
+        for p, snap in zip(pending, snapshots):
+            assert np.array_equal(p.samples, snap)
+
+    def test_ingest_validates_like_push(self, fast_tracking_config):
+        tracker = StreamingTracker(fast_tracking_config, ring_capacity=128)
+        with pytest.raises(ValueError, match="one-dimensional"):
+            tracker.ingest(np.zeros((4, 4), dtype=complex))
+        with pytest.raises(ValueError, match="cannot fit"):
+            tracker.ingest(np.zeros(129, dtype=complex))

@@ -1,0 +1,76 @@
+"""Console-script smoke paths: ``repro serve`` and ``repro load``.
+
+The serve process must print its bound port on one parseable line —
+that line is the contract scripts (and the CI smoke step) rely on when
+starting with ``--port 0``.
+"""
+
+import re
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient
+
+PORT_LINE = re.compile(r"^serve: listening on (\S+) port (\d+)$")
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    """A real ``repro serve --port 0`` subprocess; yields its port."""
+    log = tmp_path / "serve.log"
+    with log.open("w") as sink:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--duration", "30"],
+            stdout=sink,
+            stderr=subprocess.STDOUT,
+        )
+    try:
+        port = None
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            for line in log.read_text().splitlines():
+                match = PORT_LINE.match(line)
+                if match:
+                    port = int(match.group(2))
+                    break
+            if port is not None or process.poll() is not None:
+                break
+            time.sleep(0.1)
+        assert port is not None, f"no port line in: {log.read_text()!r}"
+        yield port
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+class TestConsoleScripts:
+    def test_serve_prints_bound_port_and_answers(self, serve_process):
+        port = serve_process
+        rng = np.random.default_rng(7)
+        with ServeClient("127.0.0.1", port) as client:
+            assert client.ping()["type"] == "pong"
+            client.open_session(
+                config={"window_size": 64, "hop": 16, "subarray_size": 24}
+            )
+            block = rng.standard_normal(96) + 1j * rng.standard_normal(96)
+            reply = client.push(block)
+            assert len(reply.columns) == 3
+            closed = client.close_session()
+            assert closed["columns_out"] == 3
+
+    def test_load_command_exits_zero_against_live_server(self, serve_process):
+        port = serve_process
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "load",
+             "--port", str(port), "--sessions", "3", "--seconds", "1"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "zero protocol errors" in result.stdout

@@ -1,0 +1,50 @@
+"""The load generator: reproducible traffic, honest reporting."""
+
+import asyncio
+
+from repro.serve import SensingServer, ServeConfig
+from repro.serve.load import run_load
+
+FAST = {"window_size": 64, "hop": 16, "subarray_size": 24}
+
+
+class TestRunLoad:
+    def test_reports_throughput_latency_and_occupancy(self):
+        async def run():
+            server = SensingServer(ServeConfig())
+            port = await server.start()
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    port,
+                    sessions=3,
+                    seconds=0.8,
+                    block_size=160,
+                    config=FAST,
+                )
+            finally:
+                await server.shutdown()
+
+        report = asyncio.run(run())
+        assert report.sessions == 3
+        assert report.protocol_errors == 0
+        assert report.columns > 0
+        assert report.columns_per_s > 0
+        assert report.requests >= report.sessions  # at least open per session
+        assert 0 < report.latency_percentile(0.5) <= report.latency_percentile(0.99)
+        summary = report.summary()
+        assert summary["protocol_errors"] == 0
+        assert summary["batch_occupancy_mean"] is not None
+        # The server saw the traffic the report claims.
+        assert report.server_stats["server"]["columns_served"] == report.columns
+
+    def test_unreachable_server_counts_errors_not_crashes(self):
+        async def run():
+            # A port nothing listens on: every session fails to connect.
+            return await run_load(
+                "127.0.0.1", 1, sessions=2, seconds=0.2, config=FAST
+            )
+
+        report = asyncio.run(run())
+        assert report.protocol_errors == 2
+        assert report.columns == 0

@@ -1,0 +1,199 @@
+"""The micro-batching scheduler: batching, grouping, shedding, drain.
+
+Run inside ``asyncio.run`` (the suite carries no async plugin); each
+test builds its own loop, scheduler, and windows.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import TrackingConfig, compute_spectrogram_frame
+from repro.errors import ServeOverloadError
+from repro.runtime.tracker import PendingWindow
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerConfig
+
+
+CONFIG = TrackingConfig(window_size=64, hop=16, subarray_size=24)
+
+
+def _pending(rng, config=CONFIG, index=0):
+    samples = rng.standard_normal(config.window_size) + 1j * rng.standard_normal(
+        config.window_size
+    )
+    return PendingWindow(
+        index=index,
+        start_sample=index * config.hop,
+        time_s=index * config.hop * config.sample_period_s,
+        samples=samples,
+    )
+
+
+class TestConfig:
+    def test_rejects_degenerate_knobs(self):
+        with pytest.raises(ValueError, match="positive"):
+            SchedulerConfig(max_batch_windows=0)
+        with pytest.raises(ValueError, match="full batch"):
+            SchedulerConfig(max_batch_windows=8, queue_capacity=4)
+
+
+class TestBatching:
+    def test_batched_frames_match_solo_estimation(self, rng):
+        """Windows submitted together come back bit-identical to solo runs."""
+        pendings = [_pending(rng, index=i) for i in range(6)]
+
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            futures = [
+                scheduler.submit(CONFIG, True, p) for p in pendings
+            ]
+            frames = await asyncio.gather(*futures)
+            await scheduler.drain()
+            return frames, scheduler
+
+        frames, scheduler = asyncio.run(run())
+        # All six were queued before the loop first ran: one tick.
+        assert scheduler.stats.ticks == 1
+        assert scheduler.stats.windows == 6
+        assert scheduler.stats.mean_batch_windows == 6.0
+        for pending, frame in zip(pendings, frames):
+            solo = compute_spectrogram_frame(pending.samples, CONFIG)
+            assert np.array_equal(frame.power, solo.power)
+            assert frame.num_sources == solo.num_sources
+            assert frame.estimator == solo.estimator
+
+    def test_incompatible_groups_never_share_a_batch(self, rng):
+        """Different configs (or estimators) split into separate ticks."""
+        other = TrackingConfig(window_size=64, hop=16, subarray_size=32)
+
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            futures = [
+                scheduler.submit(CONFIG, True, _pending(rng)),
+                scheduler.submit(other, True, _pending(rng, config=other)),
+                scheduler.submit(CONFIG, True, _pending(rng, index=1)),
+                scheduler.submit(CONFIG, False, _pending(rng, index=2)),
+            ]
+            await asyncio.gather(*futures)
+            await scheduler.drain()
+            return scheduler
+
+        scheduler = asyncio.run(run())
+        # Groups: (CONFIG, music) x2 swept into one tick despite the
+        # interleaved tenant, (other, music), (CONFIG, beamforming).
+        assert scheduler.stats.ticks == 3
+        assert scheduler.stats.windows == 4
+
+    def test_max_batch_windows_caps_a_tick(self, rng):
+        async def run():
+            scheduler = MicroBatchScheduler(
+                SchedulerConfig(max_batch_windows=4, queue_capacity=32)
+            )
+            scheduler.start()
+            futures = [
+                scheduler.submit(CONFIG, True, _pending(rng, index=i))
+                for i in range(10)
+            ]
+            await asyncio.gather(*futures)
+            await scheduler.drain()
+            return scheduler
+
+        scheduler = asyncio.run(run())
+        assert scheduler.stats.ticks == 3  # 4 + 4 + 2
+        assert scheduler.stats.occupancy.max == 4
+
+    def test_beamforming_batch_matches_solo(self, rng):
+        from repro.core.tracking import compute_beamformed_frame
+
+        pendings = [_pending(rng, index=i) for i in range(3)]
+
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            frames = await asyncio.gather(
+                *[scheduler.submit(CONFIG, False, p) for p in pendings]
+            )
+            await scheduler.drain()
+            return frames
+
+        frames = asyncio.run(run())
+        for pending, frame in zip(pendings, frames):
+            solo = compute_beamformed_frame(pending.samples, CONFIG)
+            assert np.array_equal(frame.power, solo.power)
+            assert frame.estimator == solo.estimator
+
+
+class TestAdmission:
+    def test_shed_when_queue_full(self, rng):
+        async def run():
+            scheduler = MicroBatchScheduler(
+                SchedulerConfig(max_batch_windows=2, queue_capacity=2)
+            )
+            # Not started: nothing drains, so the queue genuinely fills.
+            assert scheduler.admit(2)
+            f1 = scheduler.submit(CONFIG, True, _pending(rng))
+            f2 = scheduler.submit(CONFIG, True, _pending(rng, index=1))
+            assert not scheduler.admit(1)
+            with pytest.raises(ServeOverloadError, match="retry later"):
+                scheduler.submit(CONFIG, True, _pending(rng, index=2))
+            assert scheduler.stats.shed_windows == 1
+            # Draining completes the two admitted windows.
+            scheduler.start()
+            await scheduler.drain()
+            assert f1.done() and f2.done()
+            return scheduler
+
+        scheduler = asyncio.run(run())
+        assert scheduler.stats.windows == 2
+
+    def test_draining_scheduler_refuses_admission(self, rng):
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            await scheduler.drain()
+            assert not scheduler.admit(1)
+            with pytest.raises(ServeOverloadError):
+                scheduler.submit(CONFIG, True, _pending(rng))
+
+        asyncio.run(run())
+
+    def test_drain_is_idempotent(self):
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            await scheduler.drain()
+            await scheduler.drain()
+            assert not scheduler.running
+
+        asyncio.run(run())
+
+
+class TestFailureIsolation:
+    def test_estimation_failure_reaches_every_waiter(self, rng):
+        """A broken batch rejects its futures instead of hanging them."""
+        # Mismatched window lengths in one group: np.stack cannot form
+        # the batch, so the tick itself fails.
+        good = _pending(rng)
+        bad = PendingWindow(
+            index=1,
+            start_sample=16,
+            time_s=0.0,
+            samples=np.zeros(32, dtype=complex),
+        )
+
+        async def run():
+            scheduler = MicroBatchScheduler()
+            scheduler.start()
+            futures = [
+                scheduler.submit(CONFIG, True, good),
+                scheduler.submit(CONFIG, True, bad),
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            await scheduler.drain()
+            return results
+
+        results = asyncio.run(run())
+        assert all(isinstance(r, Exception) for r in results)

@@ -1,0 +1,285 @@
+"""The asyncio front end: session lifecycle, faults, shedding, limits.
+
+Each test runs a real server on an ephemeral port inside
+``asyncio.run`` (the suite carries no async plugin) and speaks to it
+through the programmatic client.
+"""
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceFailedError,
+    ProtocolError,
+    ReproError,
+    ServeOverloadError,
+    SessionLimitError,
+)
+from repro.serve import (
+    AsyncServeClient,
+    SchedulerConfig,
+    SensingServer,
+    ServeConfig,
+)
+from repro.serve import protocol
+
+FAST = {"window_size": 64, "hop": 16, "subarray_size": 24}
+
+
+@asynccontextmanager
+async def running_server(config=None):
+    server = SensingServer(config or ServeConfig())
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.shutdown()
+
+
+async def _client(server):
+    client = AsyncServeClient("127.0.0.1", server.port)
+    await client.connect()
+    return client
+
+
+def _noise(rng, n):
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestLifecycle:
+    def test_ping_and_stats(self):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                assert (await client.ping())["type"] == protocol.PONG
+                stats = await client.server_stats()
+                assert stats["active_sessions"] == 0
+                # The ping plus the stats request itself.
+                assert stats["server"]["requests"] == 2
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_open_push_close(self, rng):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                session = await client.open_session(config=FAST)
+                assert session == "s1"
+                reply = await client.push(_noise(rng, 200))
+                # 200 samples, window 64, hop 16 -> 9 columns.
+                assert len(reply.columns) == 9
+                assert [c.index for c in reply.columns] == list(range(9))
+                closed = await client.close_session()
+                assert closed["columns_out"] == 9
+                assert closed["samples_in"] == 200
+                assert closed["health"] == "healthy"
+                assert server.stats.sessions_closed == 1
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_sessions_are_connection_scoped(self, rng):
+        async def run():
+            async with running_server() as server:
+                a = await _client(server)
+                b = await _client(server)
+                session = await a.open_session(config=FAST)
+                b.session_id = session  # impersonate on the wrong socket
+                with pytest.raises(ProtocolError, match="no session"):
+                    await b.push(_noise(rng, 64))
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(run())
+
+    def test_disconnect_reaps_sessions(self):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                await client.open_session(config=FAST)
+                assert len(server.sessions) == 1
+                await client.aclose()
+                for _ in range(50):
+                    if not server.sessions:
+                        break
+                    await asyncio.sleep(0.01)
+                assert not server.sessions
+
+        asyncio.run(run())
+
+    def test_session_limit(self):
+        async def run():
+            async with running_server(ServeConfig(max_sessions=1)) as server:
+                a = await _client(server)
+                b = await _client(server)
+                await a.open_session(config=FAST)
+                with pytest.raises(SessionLimitError):
+                    await b.open_session(config=FAST)
+                # Closing frees the slot.
+                await a.close_session()
+                await b.open_session(config=FAST)
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(run())
+
+
+class TestProtocolErrors:
+    def test_unknown_frame_type(self):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                with pytest.raises(ProtocolError, match="unknown frame type"):
+                    await client.request({"type": "teleport"})
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_malformed_json_answers_then_hangs_up(self):
+        async def run():
+            async with running_server() as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                frame = protocol.decode_frame(await reader.readline())
+                assert frame["type"] == protocol.ERROR
+                assert frame["error"] == "ProtocolError"
+                assert await reader.readline() == b""  # connection closed
+                writer.close()
+
+        asyncio.run(run())
+
+    def test_bad_session_config_rejected(self):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                with pytest.raises(ProtocolError, match="unknown config field"):
+                    await client.open_session(config={"wavelength_m": 0.1})
+                with pytest.raises(ProtocolError, match="must be a number"):
+                    await client.open_session(config={"window_size": "big"})
+                with pytest.raises(ProtocolError, match="invalid session config"):
+                    await client.open_session(config={"window_size": 16, "hop": 32})
+                # The connection survived all three rejections.
+                await client.open_session(config=FAST)
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_oversize_push_rejected_without_desync(self, rng):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                await client.open_session(config=FAST)
+                too_big = server.config.max_push_samples + 1
+                with pytest.raises(ProtocolError, match="per-request limit"):
+                    await client.push(_noise(rng, too_big))
+                # Alignment intact: the rejected block left nothing behind.
+                reply = await client.push(_noise(rng, 64))
+                assert len(reply.columns) == 1
+                assert reply.columns[0].start_sample == 0
+                await client.aclose()
+
+        asyncio.run(run())
+
+
+class TestOverloadAndFaults:
+    def test_overload_sheds_whole_pushes(self, rng):
+        config = ServeConfig(
+            scheduler=SchedulerConfig(max_batch_windows=1, queue_capacity=1)
+        )
+
+        async def run():
+            async with running_server(config) as server:
+                client = await _client(server)
+                await client.open_session(config=FAST)
+                # 4 windows in one push cannot fit a queue of capacity 1.
+                with pytest.raises(ServeOverloadError, match="retry later"):
+                    await client.push(_noise(rng, 112))
+                assert server.scheduler.stats.shed_windows == 4
+                # A smaller push still goes through, on the original
+                # alignment: the shed block never touched the tracker.
+                reply = await client.push(_noise(rng, 64))
+                assert len(reply.columns) == 1
+                assert reply.columns[0].start_sample == 0
+                closed = await client.close_session()
+                assert closed["shed_requests"] == 1
+                await client.aclose()
+
+        asyncio.run(run())
+
+    def test_failing_session_dies_alone(self, rng):
+        async def run():
+            async with running_server() as server:
+                sick = await _client(server)
+                healthy = await _client(server)
+                await sick.open_session(config=FAST)
+                await healthy.open_session(config=FAST)
+                nan_block = np.full(64, complex(np.nan, np.nan))
+                # Push garbage until the health machine gives up.
+                with pytest.raises((DeviceFailedError, ReproError)):
+                    for _ in range(50):
+                        await sick.push(nan_block)
+                assert server.stats.sessions_failed == 1
+                # The failed session is gone...
+                with pytest.raises(ProtocolError, match="no session"):
+                    await sick.push(_noise(rng, 64))
+                # ...while its neighbour never noticed.
+                reply = await healthy.push(_noise(rng, 64))
+                assert len(reply.columns) == 1
+                await sick.aclose()
+                await healthy.aclose()
+
+        asyncio.run(run())
+
+    def test_degraded_session_reports_health_events(self, rng):
+        async def run():
+            async with running_server() as server:
+                client = await _client(server)
+                await client.open_session(config=FAST)
+                corrupted = _noise(rng, 64)
+                corrupted[10:20] = complex(np.nan, np.nan)
+                reply = await client.push(corrupted)
+                states = [event["state"] for event in reply.health]
+                assert "degraded" in states
+                await client.aclose()
+
+        asyncio.run(run())
+
+
+class TestShutdown:
+    def test_graceful_drain_answers_inflight_pushes(self, rng):
+        async def run():
+            server = SensingServer(ServeConfig())
+            await server.start()
+            client = await _client(server)
+            await client.open_session(config=FAST)
+            push = asyncio.create_task(client.push(_noise(rng, 640)))
+            # Wait until the server has actually admitted the push's 37
+            # windows — the drain guarantee covers admitted work.
+            scheduler = server.scheduler
+            for _ in range(500):
+                if scheduler.stats.windows + scheduler.queue_depth >= 37:
+                    break
+                await asyncio.sleep(0.002)
+            await server.shutdown()
+            reply = await push
+            assert len(reply.columns) == 37
+            await client.aclose()
+
+        asyncio.run(run())
+
+    def test_shutdown_is_idempotent(self):
+        async def run():
+            server = SensingServer(ServeConfig())
+            await server.start()
+            await server.shutdown()
+            await server.shutdown()
+            assert not server.scheduler.running
+
+        asyncio.run(run())
