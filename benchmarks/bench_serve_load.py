@@ -13,14 +13,23 @@ gives CI a generous absolute floor on top.
 """
 
 import asyncio
+import json
 
-from common import SEED, emit, format_table, trial_count, write_bench_json
+from common import OUTPUT_DIR, SEED, emit, format_table, trial_count, write_bench_json
+from repro.chaos import ChaosScheduleConfig
 from repro.serve import SchedulerConfig, SensingServer, ServeConfig
-from repro.serve.load import run_load
+from repro.serve.load import run_chaos_load, run_load
 
 SESSIONS = 8
 BLOCK_SIZE = 400
 MIN_BATCHED_SPEEDUP = 2.0
+#: Chaos-mode knobs: enough sessions and faults that the recovery
+#: percentiles are measured over dozens of reconnects, small enough to
+#: stay in the CI time budget.
+CHAOS_SEED = 7
+CHAOS_SESSIONS = 6
+CHAOS_BLOCK_SIZE = 200
+CHAOS_SESSION_CONFIG = {"window_size": 64, "hop": 16, "subarray_size": 16}
 #: Sessions run the 16-element subarray configuration: many small eigh
 #: problems per tick is precisely the dispatch-bound regime the batched
 #: DSP layer (PR 4) accelerates most, so it is the honest showcase for
@@ -120,3 +129,112 @@ def bench_serve_load_batched_vs_serial():
         f"cross-session batching speedup {speedup:.2f}x is below the "
         f"{MIN_BATCHED_SPEEDUP:.1f}x gate"
     )
+
+
+def _run_chaos_case(pushes: int):
+    """One chaos-mode run: hardened server + resilient clients."""
+
+    async def run():
+        server = SensingServer(ServeConfig(idle_timeout_s=5.0))
+        port = await server.start()
+        try:
+            return await run_chaos_load(
+                "127.0.0.1",
+                port,
+                sessions=CHAOS_SESSIONS,
+                pushes=pushes,
+                block_size=CHAOS_BLOCK_SIZE,
+                seed=SEED + 53,
+                chaos_seed=CHAOS_SEED,
+                chaos_config=ChaosScheduleConfig(rate_scale=1.5),
+                config=CHAOS_SESSION_CONFIG,
+            )
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(run())
+
+
+def bench_serve_load_chaos_recovery():
+    """Chaos mode: reconnect-to-first-column recovery latency.
+
+    Runs the seeded chaos load against a hardened in-process server and
+    reports how long a killed-and-resumed session takes from the start
+    of its reconnect to its first served column.  The correctness gates
+    (zero divergence, defined terminal states) are asserted here too —
+    a fast recovery that serves wrong columns is not a recovery.
+    """
+    pushes = trial_count(12, 32)
+    report = _run_chaos_case(pushes)
+
+    p50 = report.recovery_percentile(0.5)
+    p99 = report.recovery_percentile(0.99)
+    reconnects = sum(o.reconnects for o in report.outcomes)
+    resumes = sum(o.resumes for o in report.outcomes)
+
+    rows = [
+        [
+            f"chaos (seed {CHAOS_SEED})",
+            report.total_chaos_events,
+            reconnects,
+            resumes,
+            len(report.recovery_latencies_s),
+            f"{p50:.1f}",
+            f"{p99:.1f}",
+        ]
+    ]
+    table = format_table(
+        ["case", "events", "reconnects", "resumes", "samples", "p50 ms", "p99 ms"],
+        rows,
+    )
+    lines = [
+        f"{CHAOS_SESSIONS} chaos sessions, {pushes} pushes of "
+        f"{CHAOS_BLOCK_SIZE} samples each:",
+        table,
+        "",
+        f"diverged columns: {report.diverged_columns} (gate: 0), "
+        f"all outcomes defined: {report.all_defined}",
+    ]
+    emit("serve_load_chaos", "\n".join(lines))
+
+    # ``write_bench_json`` overwrites, so fold the chaos numbers into
+    # the throughput bench's file rather than clobbering it.
+    result_path = OUTPUT_DIR / "BENCH_serve_load.json"
+    merged = json.loads(result_path.read_text()) if result_path.exists() else {}
+    merged.pop("git_sha", None)
+    merged.update(
+        {
+            "chaos_seed": CHAOS_SEED,
+            "chaos_sessions": CHAOS_SESSIONS,
+            "chaos_pushes": pushes,
+            "chaos_events": report.total_chaos_events,
+            "chaos_reconnects": reconnects,
+            "chaos_recovery_samples": len(report.recovery_latencies_s),
+            "chaos_recovery_p50_ms": p50,
+            "chaos_recovery_p99_ms": p99,
+            "chaos_diverged_columns": report.diverged_columns,
+        }
+    )
+    write_bench_json("serve_load", merged)
+
+    assert report.all_defined, "a chaos session ended in an undefined state"
+    assert report.diverged_columns == 0, "chaos run diverged from the reference"
+    assert report.total_chaos_events > 0, "chaos run injected no faults"
+    assert report.recovery_latencies_s, "no reconnect recovered a column"
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="serve load benchmarks")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run only the chaos recovery-latency bench",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.chaos:
+        bench_serve_load_chaos_recovery()
+    else:
+        bench_serve_load_batched_vs_serial()
+        bench_serve_load_chaos_recovery()

@@ -91,6 +91,17 @@ def _check_serve_load(failures: list[str]) -> None:
             f"serve load hit {result['protocol_errors']} protocol errors"
         )
 
+    if "chaos_recovery_p50_ms" in result:
+        print(
+            f"serve chaos recovery: p50 {result['chaos_recovery_p50_ms']:.1f} ms, "
+            f"p99 {result['chaos_recovery_p99_ms']:.1f} ms over "
+            f"{result.get('chaos_reconnects', 0)} reconnects"
+        )
+        if result.get("chaos_diverged_columns", 0):
+            failures.append(
+                f"chaos run diverged on {result['chaos_diverged_columns']} columns"
+            )
+
 
 def main() -> int:
     """Exit 0 when every present benchmark clears its baseline gates."""

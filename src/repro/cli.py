@@ -359,14 +359,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
+        write_timeout_s=args.write_timeout if args.write_timeout > 0 else None,
         scheduler=SchedulerConfig(
             max_batch_windows=args.max_batch_windows,
             queue_capacity=args.queue_capacity,
         ),
     )
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.chaos import ChaosSchedule, ChaosScheduleConfig, ServerChaos
+
+        schedule = ChaosSchedule.generate(
+            ChaosScheduleConfig(), horizon_ops=100, seed=args.chaos_seed
+        )
+        chaos = ServerChaos(schedule)
 
     async def run() -> int:
-        server = SensingServer(config)
+        server = SensingServer(config, chaos=chaos)
         port = await server.start()
         # One parseable line, immediately on bind: scripts (and the CI
         # smoke step) read the port from it when --port 0 was asked.
@@ -397,7 +407,52 @@ def cmd_load(args: argparse.Namespace) -> int:
     """Drive a running ``serve`` instance with concurrent sessions."""
     import asyncio
 
-    from repro.serve import run_load
+    from repro.serve import run_chaos_load, run_load
+
+    if args.chaos:
+        report = asyncio.run(
+            run_chaos_load(
+                host=args.host,
+                port=args.port,
+                sessions=args.sessions,
+                pushes=args.pushes,
+                block_size=args.block_size,
+                seed=args.seed,
+                chaos_seed=args.chaos_seed,
+                config={"window_size": 64, "hop": 16, "subarray_size": 16},
+            )
+        )
+        for key, value in report.summary().items():
+            out(f"  {key}: {value}")
+        if args.chaos_log is not None:
+            with open(args.chaos_log, "w", encoding="utf-8") as handle:
+                for line in report.chaos_log_lines():
+                    handle.write(line + "\n")
+            out(f"load: chaos log written to {args.chaos_log}")
+        failed = False
+        if report.diverged_columns:
+            out.error(f"load: {report.diverged_columns} diverged column(s)")
+            failed = True
+        if not report.all_defined:
+            bad = [o.outcome for o in report.outcomes if not o.defined]
+            out.error(f"load: undefined session outcome(s): {bad}")
+            failed = True
+        incomplete = [
+            o.session
+            for o in report.outcomes
+            if o.outcome == "complete" and o.columns != o.expected_columns
+        ]
+        if incomplete:
+            out.error(f"load: incomplete column stream in session(s) {incomplete}")
+            failed = True
+        if failed:
+            return 1
+        out(
+            "load: chaos run survived — zero divergence, "
+            f"{report.total_chaos_events} chaos events, "
+            f"{sum(o.reconnects for o in report.outcomes)} reconnects"
+        )
+        return 0
 
     report = asyncio.run(
         run_load(
@@ -564,6 +619,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="admission bound: queued windows before pushes are shed",
     )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="per-connection read deadline in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        help="per-reply write deadline in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="inject seeded server-side chaos (stalled ticks, slow replies)",
+    )
     _add_seed(serve)
     _add_observability(serve)
     serve.set_defaults(handler=cmd_serve)
@@ -580,6 +653,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=400,
         help="complex samples per push request",
+    )
+    load.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the seeded chaos harness instead of the timed load",
+    )
+    load.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=7,
+        help="seed of the per-session chaos schedules (chaos mode)",
+    )
+    load.add_argument(
+        "--pushes",
+        type=int,
+        default=24,
+        help="pushes per session in chaos mode (fixed, for determinism)",
+    )
+    load.add_argument(
+        "--chaos-log",
+        default=None,
+        metavar="FILE",
+        help="write the deterministic chaos event log to FILE",
     )
     _add_seed(load)
     _add_observability(load)

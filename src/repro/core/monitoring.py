@@ -384,6 +384,56 @@ class HealthStateMachine:
     def fail(self, reason: str) -> None:
         self._move(DeviceHealth.FAILED, reason)
 
+    def snapshot_state(self) -> dict:
+        """JSON-able machine state for serving-session checkpoints.
+
+        Captures everything the transition logic depends on — state,
+        streaks, failure budget, counters — but not the transition
+        *history*: a resumed machine records only the transitions it
+        makes from here on, against the same policy thresholds.
+        """
+        return {
+            "state": self.state.value,
+            "capture_index": self.capture_index,
+            "recovery_count": self.recovery_count,
+            "recalibration_count": self.recalibration_count,
+            "good_streak": self._good_streak,
+            "bad_streak": self._bad_streak,
+            "recalibration_failures": self._recalibration_failures,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Load a :meth:`snapshot_state` dict into this machine.
+
+        Raises:
+            ValueError: unknown state name, missing field, or a
+                negative counter.
+        """
+        try:
+            state = DeviceHealth(snapshot["state"])
+            counters = {
+                name: int(snapshot[name])
+                for name in (
+                    "capture_index",
+                    "recovery_count",
+                    "recalibration_count",
+                    "good_streak",
+                    "bad_streak",
+                    "recalibration_failures",
+                )
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed health snapshot: {exc}") from None
+        if any(value < 0 for value in counters.values()):
+            raise ValueError("health snapshot counters cannot be negative")
+        self.state = state
+        self.capture_index = counters["capture_index"]
+        self.recovery_count = counters["recovery_count"]
+        self.recalibration_count = counters["recalibration_count"]
+        self._good_streak = counters["good_streak"]
+        self._bad_streak = counters["bad_streak"]
+        self._recalibration_failures = counters["recalibration_failures"]
+
     def _assert_live(self) -> None:
         if self.state is DeviceHealth.FAILED:
             raise DeviceFailedError("device health machine is FAILED")

@@ -21,6 +21,9 @@ Hierarchy::
     ├── CaptureQualityError    (a screened capture was rejected)
     ├── DeviceFailedError      (the health machine gave up)
     ├── ProtocolError          (a serving wire frame was invalid)
+    │   ├── SequenceError          (a push arrived out of order)
+    │   └── SessionResumeError     (a resume checkpoint was rejected)
+    ├── ServeTimeoutError      (a serving deadline expired)
     └── ServeOverloadError     (the serving layer shed the request)
         └── SessionLimitError  (no capacity for another session)
 
@@ -98,6 +101,37 @@ class ProtocolError(ReproError):
     to a session this connection never opened, or a payload beyond the
     configured limits.  Protocol errors are the *client's* fault and
     are never retryable as-is.
+    """
+
+
+class SequenceError(ProtocolError):
+    """A sequence-numbered push arrived out of order.
+
+    The server tracks the last sequence number each session applied; a
+    push that skips ahead is refused without touching the tracker, so
+    the client can re-send its pushes in order (duplicates — a seq at
+    or below the last applied — are acknowledged idempotently instead
+    of raising).
+    """
+
+
+class SessionResumeError(ProtocolError):
+    """An ``open_session`` resume checkpoint could not be restored.
+
+    The checkpoint is malformed, internally inconsistent, or
+    incompatible with the session config it was presented with.  The
+    client must fall back to opening a fresh session.
+    """
+
+
+class ServeTimeoutError(ReproError):
+    """A serving-layer deadline expired.
+
+    Raised (and sent as an error frame where the socket still works)
+    when a connection exhausts its read/idle deadline — a stalled or
+    slow-loris client — or a reply write exceeds the write timeout.
+    The connection is closed afterwards; a resumable client should
+    reconnect and resume from its last checkpoint.
     """
 
 

@@ -33,7 +33,12 @@ from repro.runtime.pipeline import (
     screen_block,
 )
 from repro.runtime.ring import BlockSource, SampleBlock, SampleRingBuffer
-from repro.runtime.tracker import PendingWindow, SpectrogramColumn, StreamingTracker
+from repro.runtime.tracker import (
+    PendingWindow,
+    SpectrogramColumn,
+    StreamingTracker,
+    TrackerCheckpoint,
+)
 
 __all__ = [
     "BlockHealth",
@@ -56,6 +61,7 @@ __all__ = [
     "StreamResult",
     "StreamingPipeline",
     "StreamingTracker",
+    "TrackerCheckpoint",
     "merge_condition_metrics",
     "run_campaign_parallel",
     "screen_block",

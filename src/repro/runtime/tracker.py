@@ -53,6 +53,33 @@ class PendingWindow:
 
 
 @dataclass(frozen=True)
+class TrackerCheckpoint:
+    """The complete ingest state of a :class:`StreamingTracker`.
+
+    Everything the resume path needs to rebuild a tracker that will
+    emit *exactly* the columns the original would have: the samples
+    still buffered (window carry), where the next window starts, and
+    the column/sample counters.  Deliberately excludes metrics — a
+    resumed tracker's observability restarts, its math does not.
+
+    Attributes:
+        buffered: the ring's current contents, oldest first.
+        next_start: stream index of the next window's first sample.
+        column_index: index the next emitted column will carry.
+        samples_seen: total samples ever ingested.
+        start_time_s: the tracker's time origin.
+        use_music: which estimator family the tracker runs.
+    """
+
+    buffered: np.ndarray
+    next_start: int
+    column_index: int
+    samples_seen: int
+    start_time_s: float
+    use_music: bool
+
+
+@dataclass(frozen=True)
 class SpectrogramColumn:
     """One online column of the A'[theta, n] image.
 
@@ -231,6 +258,59 @@ class StreamingTracker:
                 columns.append(self.resolve(pending, self._estimate(pending.samples)))
             timer.items_out = len(columns)
         return columns
+
+    def checkpoint(self) -> TrackerCheckpoint:
+        """Snapshot the ingest state for deterministic resume.
+
+        The checkpoint is a pure function of the samples ingested so
+        far (metrics aside), so a tracker restored from it emits
+        columns ``np.array_equal`` to the ones this tracker would have
+        emitted — the serving layer's resume-equivalence contract.
+        Take it *between* pushes: windows already drained by
+        :meth:`poll_ready_windows` are the caller's to finish.
+        """
+        return TrackerCheckpoint(
+            buffered=self.ring.peek(len(self.ring)),
+            next_start=self._next_start,
+            column_index=self._column_index,
+            samples_seen=self._samples_seen,
+            start_time_s=self.start_time_s,
+            use_music=self.use_music,
+        )
+
+    def restore(self, checkpoint: TrackerCheckpoint) -> None:
+        """Load a checkpoint into this (freshly constructed) tracker.
+
+        Raises:
+            ValueError: the tracker already ingested samples, the
+                buffered carry cannot fit its ring, or the checkpoint's
+                counters are inconsistent.
+        """
+        if self._samples_seen or len(self.ring):
+            raise ValueError("restore requires a fresh tracker")
+        buffered = np.asarray(checkpoint.buffered, dtype=complex)
+        if buffered.ndim != 1:
+            raise ValueError("checkpoint buffer must be one-dimensional")
+        if len(buffered) > self.ring.capacity:
+            raise ValueError(
+                f"checkpoint carries {len(buffered)} buffered samples; "
+                f"ring capacity is {self.ring.capacity}"
+            )
+        for name in ("next_start", "column_index", "samples_seen"):
+            if getattr(checkpoint, name) < 0:
+                raise ValueError(f"checkpoint {name} cannot be negative")
+        if checkpoint.next_start + len(buffered) > checkpoint.samples_seen:
+            raise ValueError(
+                "checkpoint counters are inconsistent: buffered carry "
+                "extends past samples_seen"
+            )
+        if checkpoint.use_music != self.use_music:
+            raise ValueError("checkpoint estimator family does not match")
+        self.start_time_s = checkpoint.start_time_s
+        self.ring.push(buffered)
+        self._next_start = checkpoint.next_start
+        self._column_index = checkpoint.column_index
+        self._samples_seen = checkpoint.samples_seen
 
     def reset(self, next_start: int | None = None) -> None:
         """Drop buffered state after a stream gap (phase continuity is

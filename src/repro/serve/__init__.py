@@ -9,10 +9,28 @@ scheduler (:mod:`repro.serve.scheduler`) that turns concurrent load
 into large stacked :mod:`repro.dsp` passes — the continuous-batching
 pattern from inference serving, correctness-free here thanks to the
 PR-4 batch-stability contract.
+
+The resilience layer (PR 6) makes the whole stack survivable: typed
+error frames for malformed input, read/write deadlines and a scheduler
+watchdog on the server, and a reconnecting, checkpoint-resuming client
+(:mod:`repro.serve.resilient`) whose served columns stay bit-equal to
+an uninterrupted run under the seeded chaos harness
+(:mod:`repro.chaos`, driven by :func:`run_chaos_load`).
 """
 
 from repro.serve.client import AsyncServeClient, ClientStats, PushReply, ServeClient
-from repro.serve.load import LoadReport, run_load
+from repro.serve.load import (
+    ChaosLoadReport,
+    ChaosSessionOutcome,
+    LoadReport,
+    run_chaos_load,
+    run_load,
+)
+from repro.serve.resilient import (
+    BackoffPolicy,
+    ResilienceStats,
+    ResilientServeClient,
+)
 from repro.serve.scheduler import MicroBatchScheduler, SchedulerConfig, SchedulerStats
 from repro.serve.session import (
     CONFIGURABLE_FIELDS,
@@ -24,11 +42,16 @@ from repro.serve.server import SensingServer, ServeConfig, ServerStats
 
 __all__ = [
     "AsyncServeClient",
+    "BackoffPolicy",
     "CONFIGURABLE_FIELDS",
+    "ChaosLoadReport",
+    "ChaosSessionOutcome",
     "ClientStats",
     "LoadReport",
     "MicroBatchScheduler",
     "PushReply",
+    "ResilienceStats",
+    "ResilientServeClient",
     "SchedulerConfig",
     "SchedulerStats",
     "SensingServer",
@@ -38,5 +61,6 @@ __all__ = [
     "ServerStats",
     "SessionStats",
     "config_from_wire",
+    "run_chaos_load",
     "run_load",
 ]

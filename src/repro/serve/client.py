@@ -29,12 +29,19 @@ from repro.serve import protocol
 
 @dataclass(frozen=True)
 class PushReply:
-    """One ``push_blocks`` round trip, decoded."""
+    """One ``push_blocks`` round trip, decoded.
+
+    ``checkpoint`` is the server's resume checkpoint (only on sessions
+    opened ``resumable=True``); ``duplicate`` marks the idempotent ack
+    of a re-sent seq — its columns rode the original reply.
+    """
 
     columns: list[SpectrogramColumn]
     detections: list[dict[str, Any]]
     health: list[dict[str, Any]]
     latency_s: float
+    checkpoint: dict[str, Any] | None = None
+    duplicate: bool = False
 
 
 @dataclass
@@ -77,16 +84,33 @@ class AsyncServeClient:
             self._writer = None
             self._reader = None
 
-    async def request(self, frame: dict[str, Any]) -> dict[str, Any]:
-        """One request/response round trip; error frames raise."""
-        if self._reader is None or self._writer is None:
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the wire (the chaos client's torn frames)."""
+        if self._writer is None:
             raise RuntimeError("client is not connected")
-        self._writer.write(protocol.encode_frame(frame))
+        self._writer.write(data)
         await self._writer.drain()
+
+    async def read_reply(self) -> dict[str, Any]:
+        """Read one reply frame without raising on ``error`` frames."""
+        if self._reader is None:
+            raise RuntimeError("client is not connected")
         line = await self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        reply = protocol.decode_frame(line)
+        return protocol.decode_frame(line)
+
+    async def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round trip; error frames raise."""
+        if self._writer is None:
+            raise RuntimeError("client is not connected")
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        reply = await self.read_reply()
         self.stats.requests += 1
         if reply.get("type") == protocol.ERROR:
             self.stats.errors += 1
@@ -108,6 +132,8 @@ class AsyncServeClient:
         config: dict[str, Any] | None = None,
         use_music: bool = True,
         start_time_s: float = 0.0,
+        resumable: bool = False,
+        resume: dict[str, Any] | None = None,
     ) -> str:
         if self.session_id is not None:
             raise RuntimeError(f"session {self.session_id} is already open")
@@ -118,9 +144,51 @@ class AsyncServeClient:
         }
         if config is not None:
             frame["config"] = config
+        if resumable or resume is not None:
+            frame["resumable"] = True
+        if resume is not None:
+            frame["resume"] = resume
         reply = await self.request(frame)
         self.session_id = protocol.require_field(reply, "session")
+        # A resumed session continues its seq stream where the
+        # checkpoint left it, so blind re-sends stay idempotent.
+        last_seq = reply.get("last_seq", 0)
+        if isinstance(last_seq, int) and not isinstance(last_seq, bool):
+            self._seq = max(self._seq, last_seq)
         return self.session_id
+
+    def push_frame(self, samples: np.ndarray, seq: int) -> dict[str, Any]:
+        """Build (but do not send) one ``push_blocks`` frame."""
+        if self.session_id is None:
+            raise RuntimeError("no session is open")
+        return {
+            "type": protocol.PUSH_BLOCKS,
+            "session": self.session_id,
+            "seq": seq,
+            "samples": protocol.encode_samples(np.asarray(samples, dtype=complex)),
+        }
+
+    def decode_push_reply(
+        self, reply: dict[str, Any], latency_s: float = 0.0
+    ) -> PushReply:
+        """Decode a ``spectrogram_columns`` frame into a :class:`PushReply`."""
+        if reply.get("type") != protocol.SPECTROGRAM_COLUMNS:
+            raise ProtocolError(f"unexpected reply type {reply.get('type')!r}")
+        columns = [
+            protocol.column_from_wire(payload)
+            for payload in reply.get("columns", [])
+        ]
+        detections = reply.get("detections", [])
+        self.stats.columns += len(columns)
+        self.stats.detections += len(detections)
+        return PushReply(
+            columns=columns,
+            detections=detections,
+            health=reply.get("health", []),
+            latency_s=latency_s,
+            checkpoint=reply.get("checkpoint"),
+            duplicate=bool(reply.get("duplicate", False)),
+        )
 
     async def push(self, samples: np.ndarray) -> PushReply:
         """Stream one sample block; returns the columns it completed.
@@ -131,31 +199,19 @@ class AsyncServeClient:
         if self.session_id is None:
             raise RuntimeError("no session is open")
         self._seq += 1
-        frame = {
-            "type": protocol.PUSH_BLOCKS,
-            "session": self.session_id,
-            "seq": self._seq,
-            "samples": protocol.encode_samples(np.asarray(samples, dtype=complex)),
-        }
+        frame = self.push_frame(samples, self._seq)
         start = time.perf_counter()
-        reply = await self.request(frame)
+        try:
+            reply = await self.request(frame)
+        except Exception:
+            # A rejected push never advanced the server's last_seq, so
+            # the number is not burnt: reusing it keeps the next push
+            # in sequence instead of drawing a SequenceError.
+            self._seq -= 1
+            raise
         latency = time.perf_counter() - start
-        if reply.get("type") != protocol.SPECTROGRAM_COLUMNS:
-            raise ProtocolError(f"unexpected reply type {reply.get('type')!r}")
-        columns = [
-            protocol.column_from_wire(payload)
-            for payload in reply.get("columns", [])
-        ]
-        detections = reply.get("detections", [])
-        self.stats.columns += len(columns)
-        self.stats.detections += len(detections)
         self.stats.latencies_s.append(latency)
-        return PushReply(
-            columns=columns,
-            detections=detections,
-            health=reply.get("health", []),
-            latency_s=latency,
-        )
+        return self.decode_push_reply(reply, latency_s=latency)
 
     async def close_session(self) -> dict[str, Any]:
         if self.session_id is None:

@@ -16,8 +16,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.chaos import ChaosSchedule, ChaosScheduleConfig, ClientChaos
+from repro.core.tracking import compute_spectrogram
 from repro.errors import ReproError, ServeOverloadError
 from repro.serve.client import AsyncServeClient
+from repro.serve.resilient import BackoffPolicy, ResilientServeClient
+from repro.serve.session import config_from_wire
 
 #: Default seed; matches benchmarks/common.py (Wi-Vi's SIGCOMM 2013
 #: camera-ready date) without importing from outside the package.
@@ -141,6 +145,252 @@ async def run_load(
         if isinstance(outcome, BaseException):
             report.protocol_errors += 1
     # One last connection for the server's own view of the run.
+    probe = AsyncServeClient(host, port)
+    try:
+        await probe.connect()
+        report.server_stats = await probe.server_stats()
+        await probe.aclose()
+    except (ConnectionError, OSError, ReproError):  # pragma: no cover
+        pass
+    return report
+
+
+# ----------------------------------------------------------------------
+# Chaos mode
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaosSessionOutcome:
+    """How one chaos-driven session ended."""
+
+    session: int
+    outcome: str  # "complete" or "error:<TaxonomyClass>"
+    columns: int = 0
+    expected_columns: int = 0
+    diverged_columns: int = 0
+    reconnects: int = 0
+    resumes: int = 0
+    duplicate_acks: int = 0
+    chaos_events_applied: int = 0
+
+    @property
+    def defined(self) -> bool:
+        """Terminal state the failure model allows: done, or typed."""
+        return self.outcome == "complete" or self.outcome.startswith("error:")
+
+
+@dataclass
+class ChaosLoadReport:
+    """Aggregate outcome of one seeded chaos load run.
+
+    The two gates the soak enforces: :attr:`diverged_columns` must be
+    zero (every served column bit-equal to the offline reference), and
+    every session outcome must be *defined* — either ``complete`` or a
+    typed taxonomy error, never a hang or an unhandled exception.
+    """
+
+    sessions: int = 0
+    pushes_per_session: int = 0
+    chaos_seed: int = 0
+    outcomes: list[ChaosSessionOutcome] = field(default_factory=list)
+    recovery_latencies_s: list[float] = field(default_factory=list)
+    chaos_log: list[str] = field(default_factory=list)
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def diverged_columns(self) -> int:
+        return sum(outcome.diverged_columns for outcome in self.outcomes)
+
+    @property
+    def all_defined(self) -> bool:
+        return all(outcome.defined for outcome in self.outcomes)
+
+    @property
+    def total_chaos_events(self) -> int:
+        return sum(o.chaos_events_applied for o in self.outcomes)
+
+    def recovery_percentile(self, q: float) -> float:
+        """Reconnect-to-first-column latency percentile, milliseconds."""
+        if not self.recovery_latencies_s:
+            return 0.0
+        return float(
+            np.percentile(np.asarray(self.recovery_latencies_s), q * 100)
+        ) * 1e3
+
+    def chaos_log_lines(self) -> list[str]:
+        """The deterministic chaos record: plans + client-side logs.
+
+        Bit-for-bit identical across runs of the same seeds — the
+        property the CI soak diffs.  Server-side STALL_TICK and
+        REPLY_LATENCY application is timing-dependent (tick counts vary
+        with load), so it is deliberately excluded; see DESIGN.md §11.
+        """
+        return list(self.chaos_log)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "sessions": self.sessions,
+            "pushes_per_session": self.pushes_per_session,
+            "chaos_seed": self.chaos_seed,
+            "chaos_events_applied": self.total_chaos_events,
+            "columns": sum(o.columns for o in self.outcomes),
+            "diverged_columns": self.diverged_columns,
+            "all_outcomes_defined": self.all_defined,
+            "outcomes": [o.outcome for o in self.outcomes],
+            "reconnects": sum(o.reconnects for o in self.outcomes),
+            "resumes": sum(o.resumes for o in self.outcomes),
+            "duplicate_acks": sum(o.duplicate_acks for o in self.outcomes),
+            "recovery_p50_ms": round(self.recovery_percentile(0.5), 3),
+            "recovery_p99_ms": round(self.recovery_percentile(0.99), 3),
+        }
+
+
+def _chaos_trace(seed: int, pushes: int, block_size: int) -> np.ndarray:
+    """One session's full seeded trace, generated up front.
+
+    Pre-generating (rather than drawing inside the push loop) is what
+    makes the offline reference and the re-sent pushes bit-identical.
+    """
+    rng = np.random.default_rng(seed)
+    n = np.arange(pushes * block_size)
+    return (
+        np.exp(1j * 0.12 * n)
+        + 0.4 * np.exp(-1j * 0.05 * n)
+        + 0.25 * (rng.standard_normal(len(n)) + 1j * rng.standard_normal(len(n)))
+        + 0.6
+    )
+
+
+async def _drive_chaos_session(
+    index: int,
+    host: str,
+    port: int,
+    trace: np.ndarray,
+    block_size: int,
+    pushes: int,
+    chaos: ClientChaos,
+    backoff: BackoffPolicy,
+    config: dict[str, Any] | None,
+    expected_power: np.ndarray,
+) -> tuple[ChaosSessionOutcome, list[float]]:
+    """One session's chaos-ridden lifetime; never raises."""
+    client = ResilientServeClient(
+        host,
+        port,
+        session_config=config,
+        chaos=chaos,
+        backoff=backoff,
+        seed=chaos.seed,
+    )
+    outcome = "complete"
+    try:
+        await client.start()
+        for push in range(pushes):
+            block = trace[push * block_size : (push + 1) * block_size]
+            await client.push(block)
+        await client.close_session()
+    except ReproError as exc:
+        outcome = f"error:{type(exc).__name__}"
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        outcome = "error:ConnectionError"
+    finally:
+        await client.aclose()
+    served = client.served_columns()
+    diverged = 0
+    for column in served:
+        if column.index >= len(expected_power) or not np.array_equal(
+            column.power, expected_power[column.index]
+        ):
+            diverged += 1
+    if outcome == "complete" and len(served) != len(expected_power):
+        outcome = "error:IncompleteStream"
+    return ChaosSessionOutcome(
+        session=index,
+        outcome=outcome,
+        columns=len(served),
+        expected_columns=len(expected_power),
+        diverged_columns=diverged,
+        reconnects=client.stats.reconnects,
+        resumes=client.stats.resumes,
+        duplicate_acks=client.stats.duplicate_acks,
+        chaos_events_applied=client.stats.chaos_events_applied,
+    ), client.stats.recovery_latencies_s
+
+
+async def run_chaos_load(
+    host: str,
+    port: int,
+    sessions: int = 8,
+    pushes: int = 24,
+    block_size: int = 200,
+    seed: int = DEFAULT_SEED,
+    chaos_seed: int = 7,
+    chaos_config: ChaosScheduleConfig | None = None,
+    config: dict[str, Any] | None = None,
+    backoff: BackoffPolicy | None = None,
+) -> ChaosLoadReport:
+    """Drive N resilient sessions through seeded chaos; verify columns.
+
+    Each session gets its own trace (``seed + i``) and its own chaos
+    schedule (``chaos_seed + i``, horizon = its push count), applied by
+    :class:`ResilientServeClient`.  Every served column is checked
+    bit-for-bit against the offline ``compute_spectrogram`` of the same
+    trace, so a recovery bug that drops, re-orders, or re-computes a
+    window differently is a counted divergence, not a silent pass.
+    """
+    chaos_config = chaos_config or ChaosScheduleConfig()
+    backoff = backoff or BackoffPolicy()
+    report = ChaosLoadReport(
+        sessions=sessions, pushes_per_session=pushes, chaos_seed=chaos_seed
+    )
+    tracking = config_from_wire(dict(config) if config else None)
+    plans: list[ClientChaos] = []
+    traces: list[np.ndarray] = []
+    references: list[np.ndarray] = []
+    for i in range(sessions):
+        schedule = ChaosSchedule.generate(chaos_config, pushes, chaos_seed + i)
+        plans.append(ClientChaos(schedule, seed=chaos_seed + i))
+        trace = _chaos_trace(seed + i, pushes, block_size)
+        traces.append(trace)
+        references.append(compute_spectrogram(trace, tracking).power)
+    results = await asyncio.gather(
+        *[
+            _drive_chaos_session(
+                i,
+                host,
+                port,
+                traces[i],
+                block_size,
+                pushes,
+                plans[i],
+                backoff,
+                config,
+                references[i],
+            )
+            for i in range(sessions)
+        ],
+        return_exceptions=True,
+    )
+    for i, result in enumerate(results):
+        if isinstance(result, BaseException):
+            # A driver bug, not a protocol outcome: record it as an
+            # *undefined* terminal state so the gate fails loudly.
+            report.outcomes.append(
+                ChaosSessionOutcome(
+                    session=i, outcome=f"undefined:{type(result).__name__}"
+                )
+            )
+            continue
+        outcome, recoveries = result
+        report.outcomes.append(outcome)
+        report.recovery_latencies_s.extend(recoveries)
+    # The deterministic chaos record: per-session plan + applied log.
+    for i, plan in enumerate(plans):
+        for line in plan.schedule.describe():
+            report.chaos_log.append(f"s{i} plan {line}")
+        for entry in plan.log:
+            report.chaos_log.append(f"s{i} applied {entry.describe()}")
     probe = AsyncServeClient(host, port)
     try:
         await probe.connect()

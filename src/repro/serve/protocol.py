@@ -20,6 +20,19 @@ Any request can instead draw an ``error`` frame carrying the
 matching class on the client, so remote failures dispatch exactly like
 local ones.
 
+**Resilience extensions** (PR 6).  ``push_blocks`` may carry a
+1-based ``seq``; the server applies each sequence number at most once
+(a duplicate draws an idempotent empty-columns ack flagged
+``"duplicate": true``, a skip draws a typed ``SequenceError``), so a
+client may blindly re-send after a lost reply.  ``open_session``
+accepts ``"resumable": true`` — replies to that session's pushes then
+carry a ``"checkpoint"``: the serialized tracker ingest state
+(:func:`tracker_checkpoint_to_wire`), health-machine snapshot, session
+stats, and last applied seq.  A later ``open_session`` with
+``"resume": <checkpoint>`` rebuilds the session deterministically, so
+columns served across a killed-and-resumed connection are
+``np.array_equal`` to an uninterrupted run.
+
 **Bit-exactness over JSON.**  Bulk float arrays — samples and
 spectral columns — cross the wire in either of two encodings, and the
 decoder accepts both:
@@ -50,7 +63,7 @@ import numpy as np
 
 from repro import errors
 from repro.errors import ProtocolError, ReproError
-from repro.runtime.tracker import SpectrogramColumn
+from repro.runtime.tracker import SpectrogramColumn, TrackerCheckpoint
 
 # Frame types, client -> server.
 OPEN_SESSION = "open_session"
@@ -78,15 +91,25 @@ def encode_frame(frame: dict[str, Any]) -> bytes:
     return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-def decode_frame(line: bytes | str) -> dict[str, Any]:
+def decode_frame(
+    line: bytes | str, max_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any]:
     """Parse one wire line into a frame dict.
 
     Raises:
-        ProtocolError: the line is not a JSON object with a string
-            ``"type"``, or exceeds :data:`MAX_FRAME_BYTES`.
+        ProtocolError: the line is not valid UTF-8, not a JSON object
+            with a string ``"type"``, or exceeds ``max_bytes``.
     """
-    if len(line) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}")
+    if len(line) > max_bytes:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds {max_bytes}")
+    if isinstance(line, (bytes, bytearray)):
+        # Decode explicitly so a corrupted frame draws a *typed* error
+        # naming the actual violation instead of raising through the
+        # reader loop.
+        try:
+            line = bytes(line).decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("frame is not valid UTF-8") from None
     try:
         frame = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -207,6 +230,43 @@ def column_from_wire(payload: dict[str, Any]) -> SpectrogramColumn:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed column payload: {exc}") from None
+
+
+def tracker_checkpoint_to_wire(
+    checkpoint: TrackerCheckpoint, packed: bool = True
+) -> dict[str, Any]:
+    """A :class:`TrackerCheckpoint` as its wire dict (bit-exact)."""
+    return {
+        "buffered": encode_samples(checkpoint.buffered, packed),
+        "next_start": int(checkpoint.next_start),
+        "column_index": int(checkpoint.column_index),
+        "samples_seen": int(checkpoint.samples_seen),
+        "start_time_s": float(checkpoint.start_time_s),
+        "use_music": bool(checkpoint.use_music),
+    }
+
+
+def tracker_checkpoint_from_wire(payload: Any) -> TrackerCheckpoint:
+    """Rebuild a :class:`TrackerCheckpoint` from its wire dict.
+
+    Raises:
+        ProtocolError: the payload is not a well-formed checkpoint.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("tracker checkpoint must be a JSON object")
+    try:
+        return TrackerCheckpoint(
+            buffered=decode_samples(payload["buffered"]),
+            next_start=int(payload["next_start"]),
+            column_index=int(payload["column_index"]),
+            samples_seen=int(payload["samples_seen"]),
+            start_time_s=float(payload["start_time_s"]),
+            use_music=bool(payload["use_music"]),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed tracker checkpoint: {exc}") from None
 
 
 def error_frame(

@@ -35,6 +35,7 @@ Three policies round out the serving story:
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -69,16 +70,28 @@ class SchedulerConfig:
             load benchmark compares against).
         queue_capacity: admission bound — total windows that may wait
             across all sessions before pushes are shed.
+        watchdog_timeout_s: windows waiting longer than this with no
+            tick completing trip the watchdog, which degrades to
+            per-session serial DSP compute (one window per pass) until
+            batch ticks resume — the PR-1 degraded-mode philosophy
+            applied to the scheduler.  ``None`` disables the watchdog.
+            The watchdog shares the event loop, so it covers ticks
+            stalled *at an await* (injected chaos stalls, wakeup bugs);
+            a tick stalled inside a blocking numpy call stalls the
+            whole loop and no in-process watchdog can help.
     """
 
     max_batch_windows: int = 64
     queue_capacity: int = 512
+    watchdog_timeout_s: float | None = 2.0
 
     def __post_init__(self) -> None:
         if self.max_batch_windows < 1:
             raise ValueError("max_batch_windows must be positive")
         if self.queue_capacity < self.max_batch_windows:
             raise ValueError("queue_capacity must hold at least one full batch")
+        if self.watchdog_timeout_s is not None and self.watchdog_timeout_s <= 0:
+            raise ValueError("watchdog_timeout_s must be positive (or None)")
 
 
 @dataclass
@@ -100,6 +113,8 @@ class SchedulerStats:
     windows: int = 0
     shed_windows: int = 0
     max_queue_depth: int = 0
+    watchdog_activations: int = 0
+    serial_windows: int = 0
     occupancy: Histogram = field(
         default_factory=lambda: Histogram("serve.batch_windows", OCCUPANCY_BUCKETS)
     )
@@ -114,6 +129,8 @@ class SchedulerStats:
             "windows": self.windows,
             "shed_windows": self.shed_windows,
             "max_queue_depth": self.max_queue_depth,
+            "watchdog_activations": self.watchdog_activations,
+            "serial_windows": self.serial_windows,
             "mean_batch_windows": self.mean_batch_windows,
             "batch_p50": self.occupancy.percentile(0.5),
             "batch_p99": self.occupancy.percentile(0.99),
@@ -133,12 +150,18 @@ class MicroBatchScheduler:
     because one session maps to exactly one key.
     """
 
-    def __init__(self, config: SchedulerConfig | None = None):
+    def __init__(self, config: SchedulerConfig | None = None, chaos=None):
         self.config = config if config is not None else SchedulerConfig()
+        #: Optional :class:`repro.chaos.ServerChaos`; its ``before_tick``
+        #: hook runs (and may stall) ahead of every batch tick.
+        self.chaos = chaos
         self.stats = SchedulerStats()
         self._queue: list[_Entry] = []
         self._wakeup = asyncio.Event()
         self._task: asyncio.Task | None = None
+        self._watchdog_task: asyncio.Task | None = None
+        self._watchdog_stop: asyncio.Event | None = None
+        self._last_progress = 0.0
         self._draining = False
 
     # ------------------------------------------------------------------
@@ -154,11 +177,17 @@ class MicroBatchScheduler:
         return self._task is not None and not self._task.done()
 
     def start(self) -> None:
-        """Launch the tick loop on the running event loop."""
+        """Launch the tick loop (and watchdog) on the running event loop."""
         if self.running:
             raise RuntimeError("scheduler is already running")
         self._draining = False
+        self._last_progress = time.monotonic()
         self._task = asyncio.create_task(self._run(), name="serve-scheduler")
+        if self.config.watchdog_timeout_s is not None:
+            self._watchdog_stop = asyncio.Event()
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog(), name="serve-scheduler-watchdog"
+            )
 
     async def drain(self) -> None:
         """Graceful shutdown: refuse new work, finish everything queued.
@@ -171,6 +200,13 @@ class MicroBatchScheduler:
         if self._task is not None:
             await self._task
             self._task = None
+        if self._watchdog_task is not None:
+            # Ask, don't cancel: the watchdog may be mid serial-drain
+            # and owns futures it must complete before exiting.
+            self._watchdog_stop.set()
+            await self._watchdog_task
+            self._watchdog_task = None
+            self._watchdog_stop = None
 
     # ------------------------------------------------------------------
     # Admission
@@ -276,6 +312,10 @@ class MicroBatchScheduler:
 
     def _tick(self) -> None:
         """Drain one batch and complete its futures."""
+        if not self._queue:
+            # The watchdog (or a drain) emptied the queue while this
+            # tick was stalled at an await; nothing left to do.
+            return
         batch = self._take_batch()
         try:
             frames = self._estimate_batch(batch)
@@ -290,6 +330,7 @@ class MicroBatchScheduler:
         self.stats.ticks += 1
         self.stats.windows += len(batch)
         self.stats.occupancy.observe(len(batch))
+        self._last_progress = time.monotonic()
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.counter("serve.ticks").inc()
@@ -305,10 +346,79 @@ class MicroBatchScheduler:
                 if self._draining:
                     return
                 self._wakeup.clear()
+                # Even with an empty queue, progress is "now": a quiet
+                # scheduler is idle, not stalled.
+                self._last_progress = time.monotonic()
                 await self._wakeup.wait()
                 continue
+            if self.chaos is not None:
+                # Chaos may stall here — exactly the window in which
+                # the watchdog's serial degraded path takes over.
+                await self.chaos.before_tick()
             self._tick()
             # Yield one loop turn: handlers consume the frames just
             # completed and the reader callbacks that piled up during
             # the tick enqueue the next wave of windows.
             await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # The watchdog
+    # ------------------------------------------------------------------
+
+    async def _serial_drain(self) -> None:
+        """Degraded mode: complete queued windows one at a time.
+
+        Each window is estimated as its own batch of one — by the PR-4
+        batch-stability contract that is bit-identical to any stacked
+        pass, so degrading costs throughput, never correctness.  A
+        loop turn is yielded per window so waiting handlers stream
+        their replies out while the drain proceeds.
+        """
+        while self._queue:
+            entry = self._queue.pop(0)
+            try:
+                frames = self._estimate_batch([entry])
+            except Exception as exc:  # noqa: BLE001 - forwarded to the waiter
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+                continue
+            if not entry.future.done():
+                entry.future.set_result(frames[0])
+            self.stats.serial_windows += 1
+            self._last_progress = time.monotonic()
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.metrics.counter("serve.serial_windows").inc()
+            await asyncio.sleep(0)
+
+    async def _watchdog(self) -> None:
+        """Degrade to serial compute when batch ticks stall.
+
+        Fires when windows sit queued past ``watchdog_timeout_s`` with
+        no tick completing — a stalled tick loop (chaos stall, a bug
+        holding the wakeup) would otherwise wedge every waiting push.
+        """
+        timeout = self.config.watchdog_timeout_s
+        poll = min(timeout / 4.0, 0.05)
+        while True:
+            try:
+                await asyncio.wait_for(self._watchdog_stop.wait(), timeout=poll)
+                return
+            except asyncio.TimeoutError:
+                pass
+            if (
+                self._queue
+                and time.monotonic() - self._last_progress > timeout
+            ):
+                self.stats.watchdog_activations += 1
+                telemetry = get_telemetry()
+                if telemetry.enabled:
+                    telemetry.metrics.counter("serve.watchdog_activations").inc()
+                    telemetry.events.emit(
+                        "serve.watchdog_degraded",
+                        queued_windows=len(self._queue),
+                        stalled_s=round(
+                            time.monotonic() - self._last_progress, 3
+                        ),
+                    )
+                await self._serial_drain()

@@ -30,7 +30,9 @@ from typing import Any
 from repro.errors import (
     ProtocolError,
     ReproError,
+    SequenceError,
     ServeOverloadError,
+    ServeTimeoutError,
     SessionLimitError,
 )
 from repro.serve import protocol
@@ -42,12 +44,28 @@ from repro.telemetry.metrics import LATENCY_BUCKETS_MS, Histogram
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Deployment knobs of the sensing service."""
+    """Deployment knobs of the sensing service.
+
+    Attributes:
+        idle_timeout_s: per-connection read deadline — the longest the
+            server waits for one complete frame (covers both idle
+            connections and slow-loris partial lines).  On expiry the
+            client draws a typed :class:`ServeTimeoutError` frame and
+            the connection closes; ``None`` disables the deadline.
+        write_timeout_s: the longest one reply write may take to drain
+            before the connection is declared dead (a client that
+            stopped reading).  ``None`` disables the deadline.
+        max_frame_bytes: bounded-read ceiling on one wire line; longer
+            frames draw a typed error, never a bigger buffer.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
     max_sessions: int = 64
     max_push_samples: int = 16384
+    idle_timeout_s: float | None = 30.0
+    write_timeout_s: float | None = 10.0
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
     def __post_init__(self) -> None:
@@ -55,6 +73,12 @@ class ServeConfig:
             raise ValueError("max_sessions must be positive")
         if self.max_push_samples < 1:
             raise ValueError("max_push_samples must be positive")
+        for name in ("idle_timeout_s", "write_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if self.max_frame_bytes < 4096:
+            raise ValueError("max_frame_bytes must hold a control frame")
 
 
 @dataclass
@@ -66,7 +90,14 @@ class ServerStats:
     sessions_opened: int = 0
     sessions_closed: int = 0
     sessions_failed: int = 0
+    sessions_resumed: int = 0
     columns_served: int = 0
+    disconnects: int = 0
+    read_timeouts: int = 0
+    write_timeouts: int = 0
+    malformed_frames: int = 0
+    duplicate_pushes: int = 0
+    sequence_errors: int = 0
     request_latency_ms: Histogram = field(
         default_factory=lambda: Histogram(
             "serve.request_latency_ms", LATENCY_BUCKETS_MS
@@ -80,7 +111,14 @@ class ServerStats:
             "sessions_opened": self.sessions_opened,
             "sessions_closed": self.sessions_closed,
             "sessions_failed": self.sessions_failed,
+            "sessions_resumed": self.sessions_resumed,
             "columns_served": self.columns_served,
+            "disconnects": self.disconnects,
+            "read_timeouts": self.read_timeouts,
+            "write_timeouts": self.write_timeouts,
+            "malformed_frames": self.malformed_frames,
+            "duplicate_pushes": self.duplicate_pushes,
+            "sequence_errors": self.sequence_errors,
             "request_p50_ms": self.request_latency_ms.percentile(0.5),
             "request_p99_ms": self.request_latency_ms.percentile(0.99),
         }
@@ -89,9 +127,12 @@ class ServerStats:
 class SensingServer:
     """Serve many concurrent Wi-Vi sessions over micro-batched DSP."""
 
-    def __init__(self, config: ServeConfig | None = None):
+    def __init__(self, config: ServeConfig | None = None, chaos: Any = None):
         self.config = config if config is not None else ServeConfig()
-        self.scheduler = MicroBatchScheduler(self.config.scheduler)
+        #: Optional :class:`repro.chaos.ServerChaos` — injects stalled
+        #: ticks (inside the scheduler) and delayed replies (here).
+        self.chaos = chaos
+        self.scheduler = MicroBatchScheduler(self.config.scheduler, chaos=chaos)
         self.stats = ServerStats()
         self.sessions: dict[str, ServeSession] = {}
         self._server: asyncio.AbstractServer | None = None
@@ -119,7 +160,7 @@ class SensingServer:
             self._handle_connection,
             host=self.config.host,
             port=self.config.port,
-            limit=protocol.MAX_FRAME_BYTES,
+            limit=self.config.max_frame_bytes,
         )
         self.scheduler.start()
         return self.port
@@ -170,6 +211,40 @@ class SensingServer:
     # Connection handling
     # ------------------------------------------------------------------
 
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        """One wire line, bounded by the idle deadline when configured."""
+        if self.config.idle_timeout_s is None:
+            return await reader.readline()
+        return await asyncio.wait_for(
+            reader.readline(), timeout=self.config.idle_timeout_s
+        )
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: dict[str, Any]) -> bool:
+        """Write one reply frame; ``False`` means the peer is gone.
+
+        A reset/broken-pipe mid-write must not raise through the
+        handler — the caller tears the connection (and its sessions)
+        down cleanly with the disconnect accounted for.
+        """
+        if self.chaos is not None:
+            await self.chaos.before_reply()
+        try:
+            writer.write(protocol.encode_frame(frame))
+            if self.config.write_timeout_s is None:
+                await writer.drain()
+            else:
+                await asyncio.wait_for(
+                    writer.drain(), timeout=self.config.write_timeout_s
+                )
+        except asyncio.TimeoutError:
+            self.stats.write_timeouts += 1
+            self._count_disconnect("reply write exceeded write_timeout_s")
+            return False
+        except (ConnectionError, OSError):
+            self._count_disconnect("peer vanished during reply write")
+            return False
+        return True
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -178,39 +253,55 @@ class SensingServer:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(
-                        protocol.encode_frame(
-                            protocol.error_frame(
-                                ProtocolError("frame exceeds the size limit")
+                    line = await self._read_line(reader)
+                except asyncio.TimeoutError:
+                    self.stats.read_timeouts += 1
+                    self._count_error()
+                    await self._send(
+                        writer,
+                        protocol.error_frame(
+                            ServeTimeoutError(
+                                "no complete frame within the "
+                                f"{self.config.idle_timeout_s}s idle deadline"
                             )
-                        )
+                        ),
                     )
-                    await writer.drain()
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._count_error()
+                    await self._send(
+                        writer,
+                        protocol.error_frame(
+                            ProtocolError("frame exceeds the size limit")
+                        ),
+                    )
                     break
                 if not line:
                     break
                 if line.strip() == b"":
                     continue
                 try:
-                    frame = protocol.decode_frame(line)
+                    frame = protocol.decode_frame(line, self.config.max_frame_bytes)
                 except ProtocolError as exc:
-                    # Framing is untrustworthy after malformed JSON:
-                    # report and hang up.
+                    # The newline framing survives one corrupt line, so
+                    # a torn or mangled frame costs the client a typed
+                    # error — not the connection and its sessions.
+                    self.stats.malformed_frames += 1
                     self._count_error()
-                    writer.write(protocol.encode_frame(protocol.error_frame(exc)))
-                    await writer.drain()
-                    break
+                    if not await self._send(writer, protocol.error_frame(exc)):
+                        break
+                    continue
                 self._inflight_requests += 1
+                delivered = False
                 try:
                     reply = await self._handle_frame(frame, owned)
-                    writer.write(protocol.encode_frame(reply))
-                    await writer.drain()
+                    delivered = await self._send(writer, reply)
                 finally:
                     self._inflight_requests -= 1
-        except (ConnectionError, OSError):  # pragma: no cover - peer vanished
-            pass
+                if not delivered:
+                    break
+        except (ConnectionError, OSError):
+            self._count_disconnect("connection reset mid-request")
         finally:
             for session_id in list(owned):
                 self._drop_session(session_id, owned)
@@ -235,6 +326,13 @@ class SensingServer:
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.counter("serve.errors").inc()
+
+    def _count_disconnect(self, reason: str) -> None:
+        self.stats.disconnects += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.counter("serve.disconnects").inc()
+            telemetry.events.emit("serve.disconnect", reason=reason)
 
     async def _handle_frame(
         self, frame: dict[str, Any], owned: dict[str, ServeSession]
@@ -312,20 +410,39 @@ class SensingServer:
         start_time_s = frame.get("start_time_s", 0.0)
         if isinstance(start_time_s, bool) or not isinstance(start_time_s, (int, float)):
             raise ProtocolError("start_time_s must be a number")
+        resumable = frame.get("resumable", False)
+        if not isinstance(resumable, bool):
+            raise ProtocolError("resumable must be a boolean")
+        checkpoint = frame.get("resume")
         self._session_counter += 1
-        session = ServeSession(
-            session_id=f"s{self._session_counter}",
-            config=config,
-            use_music=use_music,
-            start_time_s=float(start_time_s),
-            max_push_samples=self.config.max_push_samples,
-        )
+        session_id = f"s{self._session_counter}"
+        if checkpoint is not None:
+            session = ServeSession.resume(
+                session_id=session_id,
+                config=config,
+                checkpoint=checkpoint,
+                use_music=use_music,
+                start_time_s=float(start_time_s),
+                max_push_samples=self.config.max_push_samples,
+            )
+            self.stats.sessions_resumed += 1
+        else:
+            session = ServeSession(
+                session_id=session_id,
+                config=config,
+                use_music=use_music,
+                start_time_s=float(start_time_s),
+                max_push_samples=self.config.max_push_samples,
+                resumable=resumable,
+            )
         self.sessions[session.id] = session
         owned[session.id] = session
         self.stats.sessions_opened += 1
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.counter("serve.sessions_opened").inc()
+            if checkpoint is not None:
+                telemetry.metrics.counter("serve.sessions_resumed").inc()
             telemetry.metrics.gauge("serve.active_sessions").set(len(self.sessions))
         return {
             "type": protocol.SESSION_OPENED,
@@ -334,6 +451,8 @@ class SensingServer:
             "hop": config.hop,
             "num_angles": len(config.theta_grid_deg),
             "use_music": use_music,
+            "resumed": checkpoint is not None,
+            "last_seq": session.last_seq,
         }
 
     def _owned_session(
@@ -351,6 +470,30 @@ class SensingServer:
         self, frame: dict[str, Any], owned: dict[str, ServeSession]
     ) -> dict[str, Any]:
         session = self._owned_session(frame, owned)
+        seq = frame.get("seq")
+        if seq is not None:
+            try:
+                apply_push = session.check_seq(seq)
+            except SequenceError:
+                self.stats.sequence_errors += 1
+                raise
+            if not apply_push:
+                # Duplicate of an already-applied push: acknowledge
+                # idempotently, touch nothing.  The columns it produced
+                # the first time rode the original reply.
+                self.stats.duplicate_pushes += 1
+                reply = {
+                    "type": protocol.SPECTROGRAM_COLUMNS,
+                    "session": session.id,
+                    "columns": [],
+                    "detections": [],
+                    "health": [],
+                    "duplicate": True,
+                    "seq": seq,
+                }
+                if session.resumable:
+                    reply["checkpoint"] = session.checkpoint()
+                return reply
         samples = protocol.decode_samples(protocol.require_field(frame, "samples"))
         num_windows = session.validate_push(samples)
         if not self.scheduler.admit(num_windows):
@@ -407,8 +550,11 @@ class SensingServer:
                 for event in ingest.health_events
             ],
         }
-        if "seq" in frame:
-            reply["seq"] = frame["seq"]
+        if seq is not None:
+            session.advance_seq(seq)
+            reply["seq"] = seq
+        if session.resumable:
+            reply["checkpoint"] = session.checkpoint()
         return reply
 
     def _close_session(

@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.core.monitoring import DeviceHealth
 from repro.core.tracking import TrackingConfig
-from repro.errors import DeviceFailedError, ProtocolError
+from repro.errors import (
+    DeviceFailedError,
+    ProtocolError,
+    SequenceError,
+    SessionResumeError,
+)
 from repro.runtime.pipeline import (
     ConditionStage,
     DetectStage,
@@ -39,6 +44,7 @@ from repro.runtime.tracker import (
     StreamingTracker,
 )
 from repro.core.tracking import SpectrogramFrame
+from repro.serve import protocol
 
 #: TrackingConfig fields a client may override in ``open_session``.
 #: Geometry-level knobs only — wavelength/speed/grid stay server-side
@@ -108,11 +114,13 @@ class ServeSession:
         use_music: bool = True,
         start_time_s: float = 0.0,
         max_push_samples: int = 16384,
+        resumable: bool = False,
     ):
         self.id = session_id
         self.config = config
         self.use_music = use_music
         self.max_push_samples = max_push_samples
+        self.resumable = resumable
         ring_capacity = max(4 * config.window_size, config.window_size + max_push_samples)
         self.tracker = StreamingTracker(
             config,
@@ -124,6 +132,121 @@ class ServeSession:
         self.detector = DetectStage(theta_grid_deg=config.theta_grid_deg)
         self.stats = SessionStats()
         self.closed = False
+        #: Highest ``seq`` applied to the tracker (0 before any push).
+        self.last_seq = 0
+
+    # ------------------------------------------------------------------
+    # Idempotent sequencing
+    # ------------------------------------------------------------------
+
+    def check_seq(self, seq: Any) -> bool:
+        """Classify a push's sequence number before any buffering.
+
+        Returns ``True`` for the next in-order seq (apply the push and
+        call :meth:`advance_seq` once it lands), ``False`` for a
+        duplicate (already applied — acknowledge idempotently, touch
+        nothing).
+
+        Raises:
+            ProtocolError: ``seq`` is not a positive integer.
+            SequenceError: ``seq`` skips ahead of the next expected
+                number — the push is refused whole, tracker untouched.
+        """
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+            raise ProtocolError("seq must be a positive integer")
+        if seq <= self.last_seq:
+            return False
+        if seq > self.last_seq + 1:
+            raise SequenceError(
+                f"push seq {seq} skips ahead of expected {self.last_seq + 1}; "
+                "re-send pushes in order"
+            )
+        return True
+
+    def advance_seq(self, seq: int) -> None:
+        self.last_seq = seq
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict[str, Any]:
+        """The session's resume checkpoint as a wire-ready dict.
+
+        Deterministic: a session restored from it (same config, same
+        subsequent pushes) serves columns ``np.array_equal`` to this
+        one's.  Taken between pushes — the push handler attaches it to
+        each reply *after* resolving that push's windows.
+        """
+        return {
+            "tracker": protocol.tracker_checkpoint_to_wire(self.tracker.checkpoint()),
+            "health": self.condition.machine.snapshot_state(),
+            "bad_blocks": self.condition.bad_block_count,
+            "stats": {
+                "pushes": self.stats.pushes,
+                "samples_in": self.stats.samples_in,
+                "columns_out": self.stats.columns_out,
+                "detections": self.stats.detections,
+                "shed_requests": self.stats.shed_requests,
+            },
+            "last_seq": self.last_seq,
+        }
+
+    @classmethod
+    def resume(
+        cls,
+        session_id: str,
+        config: TrackingConfig,
+        checkpoint: dict[str, Any],
+        use_music: bool = True,
+        start_time_s: float = 0.0,
+        max_push_samples: int = 16384,
+    ) -> "ServeSession":
+        """Rebuild a session from a client-presented checkpoint.
+
+        Raises:
+            SessionResumeError: the checkpoint is malformed or
+                inconsistent with the presented config.
+        """
+        if not isinstance(checkpoint, dict):
+            raise SessionResumeError("resume checkpoint must be a JSON object")
+        session = cls(
+            session_id=session_id,
+            config=config,
+            use_music=use_music,
+            start_time_s=start_time_s,
+            max_push_samples=max_push_samples,
+            resumable=True,
+        )
+        try:
+            tracker_cp = protocol.tracker_checkpoint_from_wire(
+                checkpoint.get("tracker")
+            )
+            session.tracker.restore(tracker_cp)
+            session.condition.machine.restore_state(checkpoint.get("health", {}))
+            session.condition.bad_block_count = int(checkpoint.get("bad_blocks", 0))
+            stats = checkpoint.get("stats", {})
+            if not isinstance(stats, dict):
+                raise ValueError("stats must be a JSON object")
+            for name in (
+                "pushes",
+                "samples_in",
+                "columns_out",
+                "detections",
+                "shed_requests",
+            ):
+                setattr(session.stats, name, int(stats.get(name, 0)))
+            last_seq = checkpoint.get("last_seq", 0)
+            if isinstance(last_seq, bool) or not isinstance(last_seq, int):
+                raise ValueError("last_seq must be an integer")
+            session.last_seq = max(0, last_seq)
+        except (ProtocolError, TypeError, ValueError) as exc:
+            raise SessionResumeError(f"cannot resume session: {exc}") from None
+        if session.health is DeviceHealth.FAILED:
+            raise SessionResumeError(
+                "checkpoint health state is FAILED; the session cannot resume"
+            )
+        return session
 
     # ------------------------------------------------------------------
     # Health

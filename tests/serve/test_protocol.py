@@ -41,10 +41,59 @@ class TestFrames:
         with pytest.raises(ProtocolError, match="exceeds"):
             protocol.decode_frame(line)
 
+    def test_oversize_check_respects_custom_limit(self):
+        line = protocol.encode_frame({"type": "ping", "pad": "a" * 600})
+        assert protocol.decode_frame(line, max_bytes=4096)["type"] == "ping"
+        with pytest.raises(ProtocolError, match="exceeds 512"):
+            protocol.decode_frame(line, max_bytes=512)
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"\xff\xfe\n", b'{"type": "ping\x80"}\n', b"\xc3\x28\n"],
+    )
+    def test_non_utf8_frames_draw_a_typed_error(self, line):
+        """Bytes that are not UTF-8 must raise ProtocolError, never
+        UnicodeDecodeError through the reader loop."""
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            protocol.decode_frame(line)
+
     def test_require_field(self):
         assert protocol.require_field({"type": "t", "x": 0}, "x") == 0
         with pytest.raises(ProtocolError, match='missing "x"'):
             protocol.require_field({"type": "t"}, "x")
+
+
+class TestTrackerCheckpointWire:
+    @pytest.mark.parametrize("packed", [True, False])
+    def test_checkpoint_roundtrip_is_bit_exact(self, rng, packed):
+        from repro.runtime.tracker import TrackerCheckpoint
+
+        buffered = rng.standard_normal(48) + 1j * rng.standard_normal(48)
+        buffered[3] = complex(np.nan, np.inf)  # non-finite survives too
+        checkpoint = TrackerCheckpoint(
+            buffered=buffered,
+            next_start=160,
+            column_index=7,
+            samples_seen=208,
+            start_time_s=0.5,
+            use_music=True,
+        )
+        wire = protocol.tracker_checkpoint_to_wire(checkpoint, packed=packed)
+        back = protocol.tracker_checkpoint_from_wire(wire)
+        assert np.array_equal(back.buffered, checkpoint.buffered, equal_nan=True)
+        assert back.next_start == checkpoint.next_start
+        assert back.column_index == checkpoint.column_index
+        assert back.samples_seen == checkpoint.samples_seen
+        assert back.start_time_s == checkpoint.start_time_s
+        assert back.use_music is True
+
+    @pytest.mark.parametrize(
+        "payload",
+        [None, "x", 42, {}, {"buffered": "!!", "next_start": 0}],
+    )
+    def test_malformed_checkpoints_raise(self, payload):
+        with pytest.raises(ProtocolError):
+            protocol.tracker_checkpoint_from_wire(payload)
 
 
 class TestSamples:

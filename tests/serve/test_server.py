@@ -139,7 +139,10 @@ class TestProtocolErrors:
 
         asyncio.run(run())
 
-    def test_malformed_json_answers_then_hangs_up(self):
+    def test_malformed_json_answers_and_connection_survives(self):
+        """A corrupt line draws a typed error but does not hang up:
+        the reader recovers at the next newline."""
+
         async def run():
             async with running_server() as server:
                 reader, writer = await asyncio.open_connection(
@@ -150,7 +153,10 @@ class TestProtocolErrors:
                 frame = protocol.decode_frame(await reader.readline())
                 assert frame["type"] == protocol.ERROR
                 assert frame["error"] == "ProtocolError"
-                assert await reader.readline() == b""  # connection closed
+                writer.write(protocol.encode_frame({"type": protocol.PING}))
+                await writer.drain()
+                pong = protocol.decode_frame(await reader.readline())
+                assert pong["type"] == protocol.PONG
                 writer.close()
 
         asyncio.run(run())
