@@ -13,6 +13,7 @@ Two operational numbers the offline benches cannot produce:
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -46,13 +47,60 @@ def _stream_once(samples: np.ndarray, config: TrackingConfig):
     return result, tracker
 
 
-def bench_streaming_throughput(benchmark):
-    rng = np.random.default_rng(SEED + 50)
-    duration_s = 25.0 if trial_count(0, 1) else 8.0
-    pool = make_subject_pool(rng)
-    trial = tracking_trial(stata_conference_room_small(), 1, duration_s, rng, pool)
-    samples = trial.series.samples
-    config = TrackingConfig()
+def _open_corpus(spec: str):
+    """Resolve ``--corpus`` to a sealed capture reader.
+
+    Accepts a capture store directory (the newest sealed capture is
+    benched), a single capture directory, or a frozen bundle file.
+    """
+    from repro.capture import BUNDLE_SUFFIX, CaptureReader, CaptureStore
+    from repro.capture.format import HEADER_FILE
+
+    path = Path(spec)
+    if path.is_file() and path.name.endswith(BUNDLE_SUFFIX):
+        return CaptureReader(path)
+    if (path / HEADER_FILE).is_file():
+        return CaptureReader(path)
+    store = CaptureStore(path)
+    sealed = [info for info in store.list_captures(audit=False) if info.sealed]
+    if not sealed:
+        raise ValueError(f"corpus store {path} has no sealed captures")
+    return store.open(sealed[-1].capture_id)
+
+
+def bench_streaming_throughput(benchmark, corpus_spec):
+    corpus = None
+    if corpus_spec is not None:
+        from repro.capture import verify_capture
+
+        reader = _open_corpus(corpus_spec)
+        header = reader.header
+        chunks = list(reader.iter_chunks())
+        assert chunks, f"corpus capture {header.capture_id} has no sample chunks"
+        samples = np.concatenate([chunk.samples for chunk in chunks])
+        config = header.tracking_config()
+        duration_s = len(samples) / header.sample_rate_hz
+        verification = verify_capture(reader)
+        assert verification.ok, (
+            f"corpus capture {header.capture_id} failed the determinism "
+            f"gate: {verification.mismatches} mismatched columns"
+        )
+        corpus = {
+            "capture_id": header.capture_id,
+            "format_version": header.format_version,
+            "source": header.source,
+            "num_chunks": len(chunks),
+            "replay_columns": verification.num_columns,
+        }
+        trace_label = f"recorded capture {header.capture_id}"
+    else:
+        rng = np.random.default_rng(SEED + 50)
+        duration_s = 25.0 if trial_count(0, 1) else 8.0
+        pool = make_subject_pool(rng)
+        trial = tracking_trial(stata_conference_room_small(), 1, duration_s, rng, pool)
+        samples = trial.series.samples
+        config = TrackingConfig()
+        trace_label = "synthetic trace"
 
     start = time.perf_counter()
     result, tracker = _stream_once(samples, config)
@@ -67,7 +115,7 @@ def bench_streaming_throughput(benchmark):
     )
 
     lines = [
-        f"Online engine over a {duration_s:.0f} s trace "
+        f"Online engine over a {duration_s:.0f} s {trace_label} "
         f"({len(samples)} samples, blocks of {BLOCK_SIZE}):",
         f"  columns emitted:      {len(result.columns)}",
         f"  throughput:           {columns_per_s:.1f} columns/s",
@@ -79,6 +127,13 @@ def bench_streaming_throughput(benchmark):
         "Per-stage accounting:",
     ]
     lines += [f"  {line}" for line in result.metrics.describe()]
+    if corpus is not None:
+        lines += [
+            "",
+            f"Corpus: capture {corpus['capture_id']} "
+            f"(format v{corpus['format_version']}, source {corpus['source']}), "
+            f"replay gate: {corpus['replay_columns']} columns bit-identical",
+        ]
     emit("runtime_streaming_throughput", "\n".join(lines))
     write_bench_json(
         "runtime_streaming",
@@ -91,6 +146,7 @@ def bench_streaming_throughput(benchmark):
             "realtime_margin": margin,
             "matches_offline": matches,
         },
+        corpus=corpus,
     )
 
     assert columns_per_s > 0.0, "streaming engine emitted no columns"

@@ -60,16 +60,29 @@ def git_sha() -> str:
         return "unknown"
 
 
-def write_bench_json(name: str, payload: dict) -> Path:
+def write_bench_json(name: str, payload: dict, corpus: dict | None = None) -> Path:
     """Persist machine-readable bench results.
 
     Writes ``benchmarks/output/BENCH_<name>.json`` with the current git
     SHA merged in; the CI perf-smoke step compares these files against
     the committed baselines and uploads them as artifacts.
+
+    Args:
+        corpus: provenance of the recorded capture a bench ran against
+            (at least ``capture_id`` and ``format_version``), recorded
+            under a ``"corpus"`` key so a result can be traced back to
+            the exact input corpus.  ``None`` (the default) means the
+            bench ran on synthetic data and no key is written.
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps({"git_sha": git_sha(), **payload}, indent=2) + "\n")
+    record = {"git_sha": git_sha(), **payload}
+    if corpus is not None:
+        for field in ("capture_id", "format_version"):
+            if field not in corpus:
+                raise ValueError(f"corpus provenance is missing {field!r}")
+        record["corpus"] = dict(corpus)
+    path.write_text(json.dumps(record, indent=2) + "\n")
     return path
 
 

@@ -11,8 +11,17 @@ Subcommands, one per headline capability:
 * ``nulling``   — run Algorithm 1 and report the achieved depth.
 * ``serve``     — the multi-session sensing service: an asyncio TCP
   server micro-batching MUSIC windows across sessions (`repro.serve`).
+  ``--record DIR`` taps every fresh session into a capture store.
 * ``load``      — drive a running ``serve`` with N concurrent sessions
   and report throughput, latency percentiles, and batch occupancy.
+* ``record``    — run the streaming pipeline and record exactly what
+  the tracker saw into a retention-managed capture store
+  (`repro.capture`).
+* ``replay``    — feed a capture back through a rebuilt tracker (or,
+  with ``--port``, a live serve session) and prove the replayed
+  columns bit-identical to the originals; ``--promote`` freezes a
+  passing capture into a regression fixture bundle.
+* ``captures``  — list or prune the capture store.
 * ``telemetry-report`` — summarize a ``--telemetry`` run directory.
 
 Every command accepts ``--seed`` for reproducibility and prints ASCII
@@ -365,6 +374,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch_windows=args.max_batch_windows,
             queue_capacity=args.queue_capacity,
         ),
+        record_dir=args.record,
     )
     chaos = None
     if args.chaos_seed is not None:
@@ -470,6 +480,168 @@ def cmd_load(args: argparse.Namespace) -> int:
         out.error(f"load: {report.protocol_errors} protocol error(s)")
         return 1
     out("load: completed with zero protocol errors")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    """Record a streaming run into the capture store, bit-exactly."""
+    from repro.capture import CaptureRecorder, CaptureStore, RecordingBlockSource
+    from repro.runtime import (
+        BlockSource,
+        DetectStage,
+        StreamingPipeline,
+        StreamingTracker,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    room = stata_conference_room_small()
+    scene = build_tracking_scene(room, args.humans, args.duration, rng)
+    device = WiViDevice(scene, rng)
+    nulling = device.calibrate()
+    out(f"calibrated: {nulling.nulling_db:.1f} dB of nulling")
+    series = device.capture(args.duration)
+    fault_schedule = None
+    if args.inject_faults:
+        from repro.faults import FaultInjector, FaultSchedule, FaultScheduleConfig
+
+        fault_schedule = FaultSchedule.generate(
+            FaultScheduleConfig(), duration_s=args.duration + 2.0, seed=args.fault_seed
+        )
+        out(f"fault schedule (seed {args.fault_seed}): {fault_schedule.describe()}")
+        series = FaultInjector(fault_schedule).corrupt_series(series, 0.0)
+
+    samples = series.samples
+    chunks = [
+        samples[offset : offset + args.block_size]
+        for offset in range(0, len(samples), args.block_size)
+    ]
+    store = CaptureStore(args.store)
+    config = device.config.tracking
+    writer = store.create(
+        source="stream",
+        config=config,
+        sample_rate_hz=device.config.timeseries.sample_rate_hz,
+        seed=args.seed,
+        use_music=True,
+        extra={
+            "humans": args.humans,
+            "duration_s": args.duration,
+            "block_size": args.block_size,
+            "fault_seed": args.fault_seed if args.inject_faults else None,
+        },
+    )
+    recorder = CaptureRecorder(writer)
+    source = RecordingBlockSource(
+        BlockSource(iter(chunks), block_size=args.block_size), recorder
+    )
+    tracker = StreamingTracker(config)
+    pipeline = StreamingPipeline(source, tracker, detector=DetectStage())
+    with recorder:
+        if fault_schedule is not None:
+            recorder.record_fault_schedule(fault_schedule)
+        with get_telemetry().span("record.run", samples=len(samples)):
+            result = pipeline.run()
+        for column in result.columns:
+            recorder.record_column(column)
+        for detection in result.detections:
+            recorder.record_detection(detection)
+        for event in result.health_events:
+            recorder.record_health(event)
+    # One parseable line, like serve's port line: scripts (and the CI
+    # smoke step) read the capture id from it.
+    out(f"record: capture {writer.header.capture_id} sealed in {store.root}")
+    out(
+        f"record: {writer.num_chunks} chunks, {writer.num_samples} samples, "
+        f"{len(result.columns)} columns, {len(result.gaps)} gaps, "
+        f"final health {pipeline.health.value}"
+    )
+    return 0
+
+
+def _open_capture(args: argparse.Namespace):
+    """Resolve the replay target: a bundle path or a store capture id."""
+    from pathlib import Path
+
+    from repro.capture import BUNDLE_SUFFIX, CaptureReader, CaptureStore
+
+    if args.capture.endswith(BUNDLE_SUFFIX) and Path(args.capture).is_file():
+        return CaptureReader(args.capture)
+    return CaptureStore(args.store).open(args.capture)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a capture and prove the columns bit-identical."""
+    from repro.capture import promote_to_fixture, verify_capture, verify_serve
+    from repro.errors import CaptureError, ReproError
+
+    try:
+        reader = _open_capture(args)
+        if args.port is not None:
+            verification = verify_serve(reader, args.host, args.port)
+            mode = f"live serve session at {args.host}:{args.port}"
+        else:
+            verification = verify_capture(reader)
+            mode = "offline tracker"
+    except (CaptureError, ReproError, OSError) as exc:
+        out.error(f"replay: {exc}")
+        return 1
+    if not verification.ok:
+        out.error(
+            f"replay: capture {verification.capture_id} DIVERGED via {mode}:"
+        )
+        for line in verification.mismatches:
+            out.error(f"  {line}")
+        return 1
+    out(
+        f"replay: capture {verification.capture_id} verified via {mode}: "
+        f"{verification.num_columns} columns bit-identical"
+    )
+    if args.promote is not None:
+        bundle = promote_to_fixture(reader, dest_dir=args.promote)
+        out(f"replay: promoted to fixture {bundle}")
+    return 0
+
+
+def cmd_captures(args: argparse.Namespace) -> int:
+    """List or prune the capture store."""
+    import time as _time
+
+    from repro.capture import CaptureStore, RetentionPolicy
+
+    store = CaptureStore(args.store)
+    if args.action == "list":
+        infos = store.list_captures()
+        if not infos:
+            out(f"captures: store {store.root} is empty")
+            return 0
+        out(f"{'capture':>24} {'source':>8} {'sealed':>7} {'bytes':>10} {'age s':>8}")
+        now = _time.time()
+        for info in infos:
+            out(
+                f"{info.capture_id:>24} {info.source:>8} "
+                f"{'yes' if info.sealed else 'NO':>7} {info.num_bytes:>10} "
+                f"{max(now - info.created_ts, 0.0):>8.0f}"
+            )
+        out(f"captures: {len(infos)} capture(s), {store.total_bytes()} bytes total")
+        return 0
+    policy = RetentionPolicy(
+        max_captures=args.max_captures,
+        max_total_bytes=args.max_bytes,
+        max_age_s=args.max_age,
+    )
+    if policy.unbounded:
+        out.error(
+            "captures prune: give at least one bound "
+            "(--max-captures / --max-bytes / --max-age)"
+        )
+        return 2
+    removed = store.prune(policy)
+    for info in removed:
+        out(f"captures: pruned {info.capture_id} ({info.num_bytes} bytes)")
+    out(
+        f"captures: pruned {len(removed)} capture(s); "
+        f"{len(store.list_captures())} remain, {store.total_bytes()} bytes"
+    )
     return 0
 
 
@@ -637,6 +809,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inject seeded server-side chaos (stalled ticks, slow replies)",
     )
+    serve.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="record every fresh session into a capture store at DIR",
+    )
     _add_seed(serve)
     _add_observability(serve)
     serve.set_defaults(handler=cmd_serve)
@@ -680,6 +858,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(load)
     _add_observability(load)
     load.set_defaults(handler=cmd_load)
+
+    record = commands.add_parser(
+        "record", help="record a streaming run into the capture store"
+    )
+    record.add_argument(
+        "--store", default="captures", help="capture store directory"
+    )
+    record.add_argument("--humans", type=int, default=1)
+    record.add_argument("--duration", type=float, default=8.0)
+    record.add_argument(
+        "--block-size", type=int, default=64, help="samples per streamed block"
+    )
+    record.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="corrupt the stream with the deterministic fault schedule",
+    )
+    record.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault schedule",
+    )
+    _add_seed(record)
+    _add_observability(record)
+    record.set_defaults(handler=cmd_record)
+
+    replay = commands.add_parser(
+        "replay", help="replay a capture and verify bit-identical columns"
+    )
+    replay.add_argument(
+        "capture", help="capture id in the store, or a .capture.ndjson.gz bundle"
+    )
+    replay.add_argument(
+        "--store", default="captures", help="capture store directory"
+    )
+    replay.add_argument("--host", default="127.0.0.1")
+    replay.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="replay through a live serve session at --host:--port "
+        "(default: offline through a rebuilt tracker)",
+    )
+    replay.add_argument(
+        "--promote",
+        metavar="DIR",
+        default=None,
+        help="after a clean verify, freeze the capture as a fixture bundle in DIR",
+    )
+    _add_seed(replay)
+    _add_observability(replay)
+    replay.set_defaults(handler=cmd_replay)
+
+    captures = commands.add_parser(
+        "captures", help="list or prune the capture store"
+    )
+    captures.add_argument("action", choices=["list", "prune"])
+    captures.add_argument(
+        "--store", default="captures", help="capture store directory"
+    )
+    captures.add_argument(
+        "--max-captures",
+        type=int,
+        default=None,
+        help="prune: keep at most this many sealed captures",
+    )
+    captures.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: keep the store under this many bytes",
+    )
+    captures.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        help="prune: drop sealed captures older than this many seconds",
+    )
+    _add_seed(captures)
+    _add_observability(captures)
+    captures.set_defaults(handler=cmd_captures)
 
     report = commands.add_parser(
         "telemetry-report",

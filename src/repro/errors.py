@@ -24,8 +24,12 @@ Hierarchy::
     │   ├── SequenceError          (a push arrived out of order)
     │   └── SessionResumeError     (a resume checkpoint was rejected)
     ├── ServeTimeoutError      (a serving deadline expired)
-    └── ServeOverloadError     (the serving layer shed the request)
-        └── SessionLimitError  (no capacity for another session)
+    ├── ServeOverloadError     (the serving layer shed the request)
+    │   └── SessionLimitError  (no capacity for another session)
+    └── CaptureError           (a recorded capture misbehaved)
+        ├── CaptureFormatError     (malformed or unsupported layout)
+        ├── CaptureIntegrityError  (CRC mismatch / truncation)
+        └── CaptureNotFoundError   (no such capture in the store)
 
 The serving layer (:mod:`repro.serve`) transports this taxonomy over
 the wire: an error frame names the exception class, and the client
@@ -149,3 +153,33 @@ class ServeOverloadError(ReproError):
 
 class SessionLimitError(ServeOverloadError):
     """The server is at its concurrent-session limit."""
+
+
+class CaptureError(ReproError):
+    """A recorded capture could not be written, read, or replayed."""
+
+
+class CaptureFormatError(CaptureError):
+    """A capture's on-disk layout is malformed or unsupported.
+
+    A missing or unparsable header, an unknown format version, a
+    record that is not the JSON object its file promises, or a capture
+    whose recorded configuration cannot be replayed in the requested
+    mode (e.g. a gapped capture pushed through a live serve session,
+    which has no mid-stream reset hook).
+    """
+
+
+class CaptureIntegrityError(CaptureError):
+    """A capture's stored bytes do not survive verification.
+
+    A chunk whose CRC32 does not match its payload, a payload that is
+    not valid packed float64s, an out-of-order chunk sequence, or a
+    capture cut off before its footer was written (an unsealed capture
+    read as if complete).  Integrity errors name the first offending
+    record so a corrupt archive is diagnosable, not just rejected.
+    """
+
+
+class CaptureNotFoundError(CaptureError):
+    """The capture store has no capture under the requested id."""

@@ -34,36 +34,49 @@ columns served across a killed-and-resumed connection are
 ``np.array_equal`` to an uninterrupted run.
 
 **Bit-exactness over JSON.**  Bulk float arrays — samples and
-spectral columns — cross the wire in either of two encodings, and the
-decoder accepts both:
-
-* **packed** (the default): base64 of the raw little-endian float64
-  bytes.  Bit-exact by construction, ~40% smaller than decimal text,
-  and three orders of magnitude cheaper to encode than per-float
-  ``repr`` — the difference between the JSON codec and the DSP
-  dominating a busy server's CPU.
-* **plain lists** of JSON numbers, for debuggability (a frame is
-  readable with ``jq``).  Still bit-exact: Python serializes floats
-  via ``repr``, the shortest decimal string that round-trips to the
-  identical IEEE-754 double (non-finite values ride the stdlib JSON
-  extension literals ``NaN``/``Infinity``).
-
-Either way the served-vs-offline ``np.array_equal`` contract holds
-across the socket.
+spectral columns — cross the wire in either of two encodings (packed
+base64 little-endian float64, or plain number lists), and the decoder
+accepts both.  The codec itself lives in :mod:`repro.encoding`, shared
+with the on-disk capture format (:mod:`repro.capture`), and is
+re-exported here unchanged — same wire format, same bit-exactness
+guarantees.  Either way the served-vs-offline ``np.array_equal``
+contract holds across the socket.
 """
 
 from __future__ import annotations
 
-import base64
-import binascii
 import json
 from typing import Any
 
 import numpy as np
 
 from repro import errors
+from repro.encoding import (
+    decode_samples,
+    encode_samples,
+    float_array_from_wire as _float_array_from_wire,
+    float_array_to_wire as _float_array_to_wire,
+    pack_floats,
+    unpack_floats,
+)
 from repro.errors import ProtocolError, ReproError
 from repro.runtime.tracker import SpectrogramColumn, TrackerCheckpoint
+
+__all__ = [  # noqa: F822 - the codec names are re-exported imports
+    "encode_frame",
+    "decode_frame",
+    "require_field",
+    "pack_floats",
+    "unpack_floats",
+    "encode_samples",
+    "decode_samples",
+    "column_to_wire",
+    "column_from_wire",
+    "tracker_checkpoint_to_wire",
+    "tracker_checkpoint_from_wire",
+    "error_frame",
+    "raise_wire_error",
+]
 
 # Frame types, client -> server.
 OPEN_SESSION = "open_session"
@@ -127,76 +140,6 @@ def require_field(frame: dict[str, Any], name: str) -> Any:
     if name not in frame:
         raise ProtocolError(f'{frame.get("type", "?")} frame is missing "{name}"')
     return frame[name]
-
-
-def pack_floats(values: np.ndarray) -> str:
-    """Float64 array -> base64 of its little-endian bytes (bit-exact)."""
-    return base64.b64encode(
-        np.ascontiguousarray(values, dtype="<f8").tobytes()
-    ).decode("ascii")
-
-
-def unpack_floats(payload: str) -> np.ndarray:
-    """Inverse of :func:`pack_floats`.
-
-    Raises:
-        ProtocolError: not valid base64, or not whole float64s.
-    """
-    try:
-        raw = base64.b64decode(payload.encode("ascii"), validate=True)
-    except (binascii.Error, UnicodeEncodeError):
-        raise ProtocolError("packed floats are not valid base64") from None
-    if len(raw) % 8 != 0:
-        raise ProtocolError("packed floats are not whole float64s")
-    return np.frombuffer(raw, dtype="<f8").astype(float)
-
-
-def _float_array_to_wire(values: np.ndarray, packed: bool) -> Any:
-    return pack_floats(values) if packed else values.tolist()
-
-
-def _float_array_from_wire(payload: Any, what: str) -> np.ndarray:
-    """Decode either encoding of a float array field."""
-    if isinstance(payload, str):
-        return unpack_floats(payload)
-    if not isinstance(payload, list):
-        raise ProtocolError(f"{what} must be a list of numbers or a packed string")
-    try:
-        values = np.asarray(payload, dtype=float)
-    except (TypeError, ValueError):
-        raise ProtocolError(f"{what} must contain only numbers") from None
-    if values.ndim != 1:
-        raise ProtocolError(f"{what} must be a flat list")
-    return values
-
-
-def encode_samples(samples: np.ndarray, packed: bool = True) -> Any:
-    """Complex samples -> interleaved ``re, im`` pairs, packed or plain."""
-    samples = np.asarray(samples, dtype=complex)
-    if samples.ndim != 1:
-        raise ValueError("samples must be one-dimensional")
-    interleaved = np.empty(2 * len(samples), dtype=float)
-    interleaved[0::2] = samples.real
-    interleaved[1::2] = samples.imag
-    return _float_array_to_wire(interleaved, packed)
-
-
-def decode_samples(payload: Any) -> np.ndarray:
-    """Interleaved re/im floats (either encoding) -> complex128 samples.
-
-    Raises:
-        ProtocolError: the payload is not an even-length run of floats.
-    """
-    interleaved = _float_array_from_wire(payload, "samples")
-    if len(interleaved) % 2 != 0:
-        raise ProtocolError("samples must interleave an even run of floats")
-    # Assemble via the component views, not ``re + 1j * im``: the
-    # multiply turns an infinite imaginary part into a NaN real part,
-    # corrupting the non-finite samples fault injection relies on.
-    samples = np.empty(len(interleaved) // 2, dtype=complex)
-    samples.real = interleaved[0::2]
-    samples.imag = interleaved[1::2]
-    return samples
 
 
 def column_to_wire(

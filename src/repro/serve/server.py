@@ -57,6 +57,13 @@ class ServeConfig:
             stopped reading).  ``None`` disables the deadline.
         max_frame_bytes: bounded-read ceiling on one wire line; longer
             frames draw a typed error, never a bigger buffer.
+        record_dir: when set, the server opens a
+            :class:`repro.capture.store.CaptureStore` there and records
+            every *fresh* session (resumed sessions start mid-stream,
+            so their captures could never pass the determinism gate):
+            exactly the blocks each session's tracker ingested, its
+            health events, and its served columns.  The capture seals
+            when the session ends — cleanly or not.
     """
 
     host: str = "127.0.0.1"
@@ -67,6 +74,7 @@ class ServeConfig:
     write_timeout_s: float | None = 10.0
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    record_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -134,6 +142,14 @@ class SensingServer:
         self.chaos = chaos
         self.scheduler = MicroBatchScheduler(self.config.scheduler, chaos=chaos)
         self.stats = ServerStats()
+        self.capture_store = None
+        if self.config.record_dir is not None:
+            # Imported here, not at module top: repro.capture's replay
+            # side imports the serve client, and a top-level import in
+            # both directions would tie the packages into a knot.
+            from repro.capture.store import CaptureStore
+
+            self.capture_store = CaptureStore(self.config.record_dir)
         self.sessions: dict[str, ServeSession] = {}
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -314,12 +330,23 @@ class SensingServer:
 
     def _drop_session(self, session_id: str, owned: dict[str, ServeSession]) -> None:
         owned.pop(session_id, None)
-        if self.sessions.pop(session_id, None) is not None:
-            telemetry = get_telemetry()
-            if telemetry.enabled:
-                telemetry.metrics.gauge("serve.active_sessions").set(
-                    len(self.sessions)
-                )
+        session = self.sessions.pop(session_id, None)
+        if session is None:
+            return
+        if session.recorder is not None and not session.recorder.writer.sealed:
+            # Seal whatever the session lived to see — a clean close, a
+            # FAILED health machine, and a vanished connection all leave
+            # a complete (replayable) record of the blocks ingested.
+            session.recorder.seal(
+                session=session.id,
+                health=session.health.value,
+                columns_out=session.stats.columns_out,
+            )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.gauge("serve.active_sessions").set(
+                len(self.sessions)
+            )
 
     def _count_error(self) -> None:
         self.stats.errors += 1
@@ -435,6 +462,19 @@ class SensingServer:
                 max_push_samples=self.config.max_push_samples,
                 resumable=resumable,
             )
+        if self.capture_store is not None and checkpoint is None:
+            from repro.capture.recorder import CaptureRecorder
+
+            writer = self.capture_store.create(
+                source="serve",
+                config=config,
+                sample_rate_hz=1.0 / config.sample_period_s,
+                use_music=use_music,
+                start_time_s=float(start_time_s),
+                ring_capacity=session.tracker.ring.capacity,
+                extra={"session": session.id},
+            )
+            session.recorder = CaptureRecorder(writer)
         self.sessions[session.id] = session
         owned[session.id] = session
         self.stats.sessions_opened += 1

@@ -19,7 +19,7 @@ are handed to the cross-session micro-batching scheduler
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -45,6 +45,9 @@ from repro.runtime.tracker import (
 )
 from repro.core.tracking import SpectrogramFrame
 from repro.serve import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.capture.recorder import CaptureRecorder
 
 #: TrackingConfig fields a client may override in ``open_session``.
 #: Geometry-level knobs only — wavelength/speed/grid stay server-side
@@ -134,6 +137,11 @@ class ServeSession:
         self.closed = False
         #: Highest ``seq`` applied to the tracker (0 before any push).
         self.last_seq = 0
+        #: Optional capture tap (``repro serve --record DIR``): when
+        #: set, every block the tracker ingests, every health event,
+        #: and every resolved column is recorded through it — exactly
+        #: what this session saw, nothing the admission layer refused.
+        self.recorder: CaptureRecorder | None = None
 
     # ------------------------------------------------------------------
     # Idempotent sequencing
@@ -326,6 +334,16 @@ class ServeSession:
     def ingest(self, samples: np.ndarray) -> IngestResult:
         """Screen + buffer an admitted block; drain its ready windows."""
         health_events = self._screen(samples)
+        if self.recorder is not None:
+            # Record at the tracker boundary: the block passed
+            # screening (one that killed the session raised above and
+            # never reached the tracker), and ``samples_seen`` is its
+            # delivered-stream start index — a shed or duplicate push
+            # never gets here, so the capture holds exactly the blocks
+            # the tracker consumed, in order.
+            self.recorder.record_block(samples, self.tracker.samples_seen)
+            for event in health_events:
+                self.recorder.record_health(event)
         self.tracker.ingest(samples)
         pending = self.tracker.poll_ready_windows()
         self.stats.pushes += 1
@@ -341,6 +359,10 @@ class ServeSession:
         self.stats.columns_out += 1
         if detection is not None:
             self.stats.detections += 1
+        if self.recorder is not None:
+            self.recorder.record_column(column)
+            if detection is not None:
+                self.recorder.record_detection(detection)
         return column, detection
 
     def close(self) -> dict[str, Any]:

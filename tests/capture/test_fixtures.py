@@ -1,0 +1,34 @@
+"""Replay every committed capture fixture — the corpus flywheel's payoff.
+
+Bundles under ``tests/fixtures/captures/`` were promoted through
+:func:`repro.capture.promote_to_fixture`, which only accepts captures
+whose replay is bit-identical.  This test keeps that promise honest
+release after release: any change to the tracker, the pipeline, the
+codec, or the format that alters a single column bit fails here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture import CaptureReader, recorded_columns, verify_capture
+from repro.capture.replayer import DEFAULT_FIXTURE_DIR
+
+BUNDLES = sorted(DEFAULT_FIXTURE_DIR.glob("*.capture.ndjson.gz"))
+
+
+def test_fixture_corpus_is_not_empty():
+    assert BUNDLES, f"no capture fixtures under {DEFAULT_FIXTURE_DIR}"
+
+
+@pytest.mark.parametrize(
+    "bundle", BUNDLES, ids=[bundle.name for bundle in BUNDLES]
+)
+def test_fixture_replays_bit_identically(bundle):
+    reader = CaptureReader(bundle)
+    verification = verify_capture(reader)
+    assert verification.ok, (
+        f"fixture {bundle.name} no longer replays bit-identically: "
+        + "; ".join(verification.mismatches)
+    )
+    assert verification.num_columns == len(recorded_columns(reader)) > 0

@@ -1,0 +1,258 @@
+"""On-disk capture format: round-trip fidelity and typed rejection.
+
+The property test drives the writer/reader with the pathological
+block shapes the fault injector produces — NaN bursts, ADC-saturated
+rails, clock jumps — because the format's whole point is that a
+capture holds *exactly* what the tracker saw, damage included.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.capture import (
+    CAPTURE_FORMAT_VERSION,
+    CaptureHeader,
+    CaptureReader,
+    CaptureWriter,
+    config_from_snapshot,
+    config_to_snapshot,
+    write_bundle,
+)
+from repro.capture.format import FOOTER_FILE, SAMPLES_FILE, git_sha
+from repro.core.tracking import TrackingConfig
+from repro.errors import CaptureFormatError, CaptureIntegrityError
+
+_dirs = itertools.count()
+
+
+def _header(capture_id: str = "cap-test", **overrides) -> CaptureHeader:
+    fields = dict(
+        capture_id=capture_id,
+        created_ts=1700000000.5,
+        git_sha=git_sha(),
+        seed=7,
+        sample_rate_hz=312.5,
+        source="test",
+        config=config_to_snapshot(TrackingConfig()),
+    )
+    fields.update(overrides)
+    return CaptureHeader(**fields)
+
+
+def _write_capture(root, blocks, events=()):
+    path = root / f"cap-{next(_dirs):04d}"
+    with CaptureWriter(path, _header(path.name)) as writer:
+        index = 0
+        for block in blocks:
+            writer.append_chunk(block, index)
+            index += len(block)
+        for kind, fields in events:
+            writer.append_event(kind, **fields)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Pathological sample blocks (the fault injector's vocabulary)
+# ----------------------------------------------------------------------
+
+_finite = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e6, max_value=1e6
+)
+
+
+@st.composite
+def fault_blocks(draw) -> np.ndarray:
+    """One sample block, possibly damaged the way real faults damage it."""
+    n = draw(st.integers(min_value=1, max_value=48))
+    re = np.array(draw(st.lists(_finite, min_size=n, max_size=n)))
+    im = np.array(draw(st.lists(_finite, min_size=n, max_size=n)))
+    block = re + 1j * im
+    kind = draw(st.sampled_from(["clean", "nan-burst", "saturated", "clock-jump"]))
+    if kind == "nan-burst":
+        start = draw(st.integers(0, n - 1))
+        stop = draw(st.integers(start, n))
+        block[start:stop] = np.nan + 1j * np.nan
+    elif kind == "saturated":
+        rail = draw(st.floats(min_value=0.1, max_value=0.9))
+        block = np.clip(block.real, -rail, rail) + 1j * np.clip(block.imag, -rail, rail)
+    elif kind == "clock-jump":
+        position = draw(st.integers(0, n - 1))
+        phase = draw(st.floats(min_value=-np.pi, max_value=np.pi))
+        block[position:] = block[position:] * np.exp(1j * phase)
+    return block
+
+
+class TestRoundTrip:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(blocks=st.lists(fault_blocks(), min_size=1, max_size=6))
+    def test_chunks_roundtrip_bit_exactly(self, tmp_path, blocks):
+        path = _write_capture(tmp_path, blocks)
+        reader = CaptureReader(path)
+        read = list(reader.iter_chunks())
+        assert len(read) == len(blocks)
+        index = 0
+        for chunk, original in zip(read, blocks):
+            original = np.asarray(original, dtype=complex)
+            # Byte-level equality: NaN payloads and signed zeros must
+            # survive the trip, not merely compare np.isclose.
+            assert chunk.samples.tobytes() == original.tobytes()
+            assert chunk.start_index == index
+            index += len(original)
+        assert reader.verify()["num_chunks"] == len(blocks)
+
+    def test_header_roundtrip(self):
+        header = _header(extra={"fault_seed": 3})
+        rebuilt = CaptureHeader.from_dict(header.to_dict())
+        assert rebuilt == header
+        assert rebuilt.tracking_config() == TrackingConfig()
+
+    def test_events_roundtrip_in_order(self, tmp_path):
+        events = [("gap", {"block_index": 50, "dropped_samples": 12}),
+                  ("health", {"block_index": 2, "state": "degraded", "reason": "x"}),
+                  ("gap", {"block_index": 100, "dropped_samples": 3})]
+        path = _write_capture(tmp_path, [np.ones(4, dtype=complex)], events)
+        reader = CaptureReader(path)
+        assert [e["kind"] for e in reader.events()] == ["gap", "health", "gap"]
+        gaps = reader.events("gap")
+        assert [e["block_index"] for e in gaps] == [50, 100]
+        assert [e["seq"] for e in reader.events()] == [0, 1, 2]
+
+
+class TestTypedRejection:
+    def test_truncated_capture_is_typed(self, tmp_path):
+        path = tmp_path / "cap-trunc"
+        writer = CaptureWriter(path, _header("cap-trunc"))
+        writer.append_chunk(np.ones(8, dtype=complex), 0)
+        writer.abort()  # recorder died: no footer
+        reader = CaptureReader(path)
+        assert not reader.sealed
+        with pytest.raises(CaptureIntegrityError, match="truncated"):
+            reader.require_sealed()
+        with pytest.raises(CaptureIntegrityError):
+            reader.verify()
+
+    def test_writer_context_manager_leaves_crashed_capture_unsealed(self, tmp_path):
+        path = tmp_path / "cap-crash"
+        with pytest.raises(RuntimeError):
+            with CaptureWriter(path, _header("cap-crash")) as writer:
+                writer.append_chunk(np.ones(8, dtype=complex), 0)
+                raise RuntimeError("recorder died")
+        assert not CaptureReader(path).sealed
+
+    def test_corrupt_chunk_payload_fails_crc(self, tmp_path):
+        path = _write_capture(tmp_path, [np.arange(8) + 0j])
+        samples_file = path / SAMPLES_FILE
+        record = json.loads(samples_file.read_text())
+        payload = record["samples"]
+        # Swap two distinct base64 characters: still valid base64,
+        # different bytes -> the CRC must catch it.
+        flipped = payload.replace(payload[0], "A", 1) if payload[0] != "A" else \
+            payload.replace("A", "B", 1)
+        record["samples"] = flipped
+        samples_file.write_text(json.dumps(record) + "\n")
+        with pytest.raises(CaptureIntegrityError, match="CRC32"):
+            list(CaptureReader(path).iter_chunks())
+
+    def test_invalid_base64_is_integrity_error(self, tmp_path):
+        path = _write_capture(tmp_path, [np.arange(8) + 0j])
+        samples_file = path / SAMPLES_FILE
+        record = json.loads(samples_file.read_text())
+        record["samples"] = "!!! not base64 !!!"
+        samples_file.write_text(json.dumps(record) + "\n")
+        with pytest.raises(CaptureIntegrityError, match="base64"):
+            list(CaptureReader(path).iter_chunks())
+
+    def test_missing_field_is_format_error(self, tmp_path):
+        path = _write_capture(tmp_path, [np.arange(8) + 0j])
+        samples_file = path / SAMPLES_FILE
+        record = json.loads(samples_file.read_text())
+        del record["crc32"]
+        samples_file.write_text(json.dumps(record) + "\n")
+        with pytest.raises(CaptureFormatError, match="malformed chunk"):
+            list(CaptureReader(path).iter_chunks())
+
+    def test_dropped_line_breaks_sequence(self, tmp_path):
+        blocks = [np.full(4, k, dtype=complex) for k in range(3)]
+        path = _write_capture(tmp_path, blocks)
+        samples_file = path / SAMPLES_FILE
+        lines = samples_file.read_text().splitlines()
+        samples_file.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with pytest.raises(CaptureIntegrityError, match="sequence jumps"):
+            list(CaptureReader(path).iter_chunks())
+
+    def test_footer_total_mismatch(self, tmp_path):
+        path = _write_capture(tmp_path, [np.arange(8) + 0j])
+        footer_file = path / FOOTER_FILE
+        footer = json.loads(footer_file.read_text())
+        footer["num_chunks"] = 99
+        footer_file.write_text(json.dumps(footer))
+        with pytest.raises(CaptureIntegrityError, match="footer claims"):
+            CaptureReader(path).verify()
+
+    def test_unsupported_format_version(self):
+        payload = _header().to_dict()
+        payload["format_version"] = CAPTURE_FORMAT_VERSION + 1
+        with pytest.raises(CaptureFormatError, match="format version"):
+            CaptureHeader.from_dict(payload)
+
+    def test_config_snapshot_rejects_unknown_and_missing_fields(self):
+        snapshot = config_to_snapshot(TrackingConfig())
+        assert config_from_snapshot(snapshot) == TrackingConfig()
+        with pytest.raises(CaptureFormatError, match="unknown"):
+            config_from_snapshot({**snapshot, "bogus": 1})
+        broken = dict(snapshot)
+        del broken["hop"]
+        with pytest.raises(CaptureFormatError, match="missing"):
+            config_from_snapshot(broken)
+
+    def test_writer_refuses_existing_path(self, tmp_path):
+        path = _write_capture(tmp_path, [np.ones(4, dtype=complex)])
+        with pytest.raises(CaptureFormatError, match="already exists"):
+            CaptureWriter(path, _header(path.name))
+
+
+class TestBundle:
+    def test_bundle_equals_directory(self, tmp_path, rng):
+        block = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        path = _write_capture(
+            tmp_path, [block], [("gap", {"block_index": 0, "dropped_samples": 5})]
+        )
+        source = CaptureReader(path)
+        bundle = write_bundle(source, tmp_path / f"{path.name}.capture.ndjson.gz")
+        frozen = CaptureReader(bundle)
+        assert frozen.header == source.header
+        assert frozen.sealed
+        (src_chunk,) = source.iter_chunks()
+        (dst_chunk,) = frozen.iter_chunks()
+        assert dst_chunk.samples.tobytes() == src_chunk.samples.tobytes()
+        assert frozen.events() == source.events()
+        assert frozen.verify() == source.verify()
+
+    def test_bundle_bytes_are_reproducible(self, tmp_path):
+        path = _write_capture(tmp_path, [np.arange(16) + 0j])
+        reader = CaptureReader(path)
+        first = write_bundle(reader, tmp_path / "a.capture.ndjson.gz")
+        second = write_bundle(reader, tmp_path / "b.capture.ndjson.gz")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_bundle_requires_suffix_and_seal(self, tmp_path):
+        path = _write_capture(tmp_path, [np.ones(4, dtype=complex)])
+        with pytest.raises(CaptureFormatError, match="bundle name"):
+            write_bundle(CaptureReader(path), tmp_path / "bad.gz")
+        unsealed = tmp_path / "cap-open"
+        writer = CaptureWriter(unsealed, _header("cap-open"))
+        writer.append_chunk(np.ones(4, dtype=complex), 0)
+        writer.abort()
+        with pytest.raises(CaptureIntegrityError):
+            write_bundle(CaptureReader(unsealed), tmp_path / "x.capture.ndjson.gz")

@@ -1,0 +1,162 @@
+"""CaptureStore: retention enforcement and the audit trail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.capture import CaptureStore, RetentionPolicy
+from repro.core.tracking import TrackingConfig
+from repro.errors import CaptureNotFoundError
+from repro.telemetry import Telemetry
+from repro.telemetry.context import get_telemetry, set_telemetry
+
+
+class FakeClock:
+    """Injectable wall clock so retention tests age captures instantly."""
+
+    def __init__(self, start: float = 1_700_000_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def aged_store(tmp_path, clock) -> CaptureStore:
+    return CaptureStore(tmp_path / "store", clock=clock)
+
+
+def _record(store: CaptureStore, num_blocks: int = 1, seal: bool = True) -> str:
+    writer = store.create(
+        source="test", config=TrackingConfig(), sample_rate_hz=312.5
+    )
+    for k in range(num_blocks):
+        writer.append_chunk(np.full(32, k, dtype=complex), k * 32)
+    if seal:
+        writer.seal()
+    else:
+        writer.abort()
+    return writer.header.capture_id
+
+
+class TestRetention:
+    def test_age_bound_drops_only_expired_captures(self, aged_store, clock):
+        old = _record(aged_store)
+        clock.tick(3600.0)
+        fresh = _record(aged_store)
+        removed = aged_store.prune(RetentionPolicy(max_age_s=600.0))
+        assert [info.capture_id for info in removed] == [old]
+        assert [i.capture_id for i in aged_store.list_captures(audit=False)] == [fresh]
+
+    def test_count_bound_removes_oldest_first(self, aged_store, clock):
+        ids = []
+        for _ in range(4):
+            ids.append(_record(aged_store))
+            clock.tick(10.0)
+        removed = aged_store.prune(RetentionPolicy(max_captures=2))
+        assert [info.capture_id for info in removed] == ids[:2]
+        survivors = [i.capture_id for i in aged_store.list_captures(audit=False)]
+        assert survivors == ids[2:]
+
+    def test_byte_bound_trims_until_under_budget(self, aged_store, clock):
+        ids = []
+        for _ in range(3):
+            ids.append(_record(aged_store, num_blocks=4))
+            clock.tick(10.0)
+        per_capture = aged_store.total_bytes() // 3
+        removed = aged_store.prune(
+            RetentionPolicy(max_total_bytes=2 * per_capture + per_capture // 2)
+        )
+        assert [info.capture_id for info in removed] == [ids[0]]
+        assert aged_store.total_bytes() <= 2 * per_capture + per_capture // 2
+
+    def test_unsealed_captures_are_never_pruned(self, aged_store, clock):
+        open_id = _record(aged_store, seal=False)
+        clock.tick(3600.0)
+        removed = aged_store.prune(
+            RetentionPolicy(max_captures=0, max_age_s=1.0, max_total_bytes=0)
+        )
+        assert removed == []
+        assert [i.capture_id for i in aged_store.list_captures(audit=False)] == [open_id]
+
+    def test_age_reason_wins_over_count(self, aged_store, clock):
+        expired = _record(aged_store)
+        clock.tick(3600.0)
+        for _ in range(2):
+            _record(aged_store)
+            clock.tick(1.0)
+        removed = aged_store.prune(RetentionPolicy(max_age_s=600.0, max_captures=1))
+        reasons = {
+            record["capture_id"]: record["reason"]
+            for record in aged_store.audit_records()
+            if record["action"] == "prune"
+        }
+        assert reasons[expired] == "age"
+        assert list(reasons.values()).count("count") == 1
+        assert len(removed) == 2
+
+    def test_unbounded_policy_is_a_no_op(self, aged_store):
+        _record(aged_store)
+        assert aged_store.prune() == []
+
+    def test_tombstones_are_swept(self, aged_store):
+        _record(aged_store)
+        leftover = aged_store.root / ".prune-cap-9999999999999-000"
+        leftover.mkdir()
+        aged_store.prune(RetentionPolicy(max_captures=10))
+        assert not leftover.exists()
+
+
+class TestAudit:
+    def test_every_access_is_audited(self, aged_store, clock):
+        capture_id = _record(aged_store)
+        aged_store.open(capture_id)
+        aged_store.list_captures()
+        clock.tick(100.0)
+        aged_store.prune(RetentionPolicy(max_captures=0))
+        actions = [record["action"] for record in aged_store.audit_records()]
+        assert actions == ["create", "read", "list", "prune"]
+        prune = aged_store.audit_records()[-1]
+        assert prune["capture_id"] == capture_id
+        assert prune["reason"] == "count"
+        assert prune["num_bytes"] > 0
+
+    def test_audit_mirrors_through_telemetry_when_enabled(self, aged_store):
+        set_telemetry(Telemetry(enabled=True))
+        capture_id = _record(aged_store)
+        aged_store.open(capture_id)
+        mirrored = [
+            record
+            for record in get_telemetry().events.records
+            if record["kind"] == "capture.audit"
+        ]
+        assert [record["action"] for record in mirrored] == ["create", "read"]
+        assert mirrored[-1]["capture_id"] == capture_id
+
+    def test_disabled_telemetry_still_writes_the_file(self, aged_store):
+        _record(aged_store)
+        assert (aged_store.root / "audit.ndjson").is_file()
+        assert not list(get_telemetry().events.records)
+
+
+class TestLookup:
+    def test_open_missing_capture_is_typed(self, aged_store):
+        with pytest.raises(CaptureNotFoundError, match="no capture"):
+            aged_store.open("cap-0000000000000-000")
+
+    def test_listing_is_oldest_first_and_flags_sealed(self, aged_store, clock):
+        first = _record(aged_store)
+        clock.tick(5.0)
+        second = _record(aged_store, seal=False)
+        infos = aged_store.list_captures(audit=False)
+        assert [info.capture_id for info in infos] == [first, second]
+        assert [info.sealed for info in infos] == [True, False]
