@@ -17,6 +17,9 @@ import json
 
 from common import OUTPUT_DIR, SEED, emit, format_table, trial_count, write_bench_json
 from repro.chaos import ChaosScheduleConfig
+from repro.observe import ObserveConfig, ObserveGateway, TelemetryHub
+from repro.observe.prometheus import parse_exposition
+from repro.observe.wsclient import collect_live
 from repro.serve import SchedulerConfig, SensingServer, ServeConfig
 from repro.serve.load import run_chaos_load, run_load
 
@@ -223,6 +226,143 @@ def bench_serve_load_chaos_recovery():
     assert report.recovery_latencies_s, "no reconnect recovered a column"
 
 
+#: The observability tax the dashboard mode may charge the serve path.
+MAX_DASHBOARD_OVERHEAD_PCT = 5.0
+
+
+async def _scrape_metrics(port: int) -> str:
+    """One raw in-loop ``GET /metrics`` (no threads, no blocking I/O)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    _, _, body = raw.partition(b"\r\n\r\n")
+    return body.decode("utf-8", errors="replace")
+
+
+def _run_observed_case(seconds: float):
+    """The dashboard-mode run: gateway + scraper + WebSocket consumer.
+
+    The same 8-session load as the plain case, but with the hub tapped
+    the whole time — a subscriber streaming every column over
+    ``/ws/live`` and a Prometheus scraper polling ``/metrics`` — so the
+    measured columns/s carries the full observability tax.
+    """
+
+    async def run():
+        hub = TelemetryHub()
+        server = SensingServer(
+            ServeConfig(scheduler=SchedulerConfig(max_batch_windows=64)),
+            hub=hub,
+        )
+        port = await server.start()
+        gateway = ObserveGateway(
+            hub, server=server, config=ObserveConfig(port=0, interval_s=0.25)
+        )
+        observe_port = await gateway.start()
+        consumer = asyncio.create_task(
+            collect_live("127.0.0.1", observe_port, seconds=seconds + 5.0)
+        )
+        scrapes: list[dict[str, float]] = []
+
+        async def scraper():
+            while True:
+                scrapes.append(parse_exposition(await _scrape_metrics(observe_port)))
+                await asyncio.sleep(0.25)
+
+        scraper_task = asyncio.create_task(scraper())
+        try:
+            report = await run_load(
+                "127.0.0.1",
+                port,
+                sessions=SESSIONS,
+                seconds=seconds,
+                block_size=BLOCK_SIZE,
+                seed=SEED + 52,
+                config=SESSION_CONFIG,
+            )
+        finally:
+            scraper_task.cancel()
+            consumer.cancel()
+            try:
+                summary = await consumer
+            except asyncio.CancelledError:
+                summary = {"columns": 0, "events": 0}
+            await gateway.shutdown()
+            await server.shutdown()
+        return report, summary, scrapes
+
+    return asyncio.run(run())
+
+
+def bench_serve_load_dashboard_overhead():
+    """``--dashboard`` mode must cost the serve path < 5% columns/s.
+
+    Two plain runs bracket one observed run (averaging out drift on a
+    shared machine); the observed run carries an attached gateway with
+    a live ``/ws/live`` subscriber and a 4 Hz ``/metrics`` scraper.
+    """
+    seconds = float(trial_count(3, 8))
+    plain_first = _run_load_case(max_batch_windows=64, seconds=seconds)
+    observed, ws_summary, scrapes = _run_observed_case(seconds=seconds)
+    plain_second = _run_load_case(max_batch_windows=64, seconds=seconds)
+
+    plain_columns_per_s = (
+        plain_first.columns_per_s + plain_second.columns_per_s
+    ) / 2.0
+    overhead_pct = 100.0 * (1.0 - observed.columns_per_s / plain_columns_per_s)
+
+    columns_key = "repro_server_columns_served"
+    served_counts = [s[columns_key] for s in scrapes if columns_key in s]
+    monotone = all(b <= a for b, a in zip(served_counts, served_counts[1:]))
+
+    rows = [
+        ["plain (mean of 2)", f"{plain_columns_per_s:.0f}", "-", "-"],
+        [
+            "observed",
+            f"{observed.columns_per_s:.0f}",
+            ws_summary["columns"],
+            len(scrapes),
+        ],
+    ]
+    table = format_table(["case", "cols/s", "ws columns", "scrapes"], rows)
+    lines = [
+        f"{SESSIONS} sessions, {BLOCK_SIZE}-sample pushes, {seconds:.0f} s per case,"
+        " gateway + /ws/live consumer + 4 Hz /metrics scraper attached:",
+        table,
+        "",
+        f"dashboard overhead: {overhead_pct:.2f}% "
+        f"(gate: < {MAX_DASHBOARD_OVERHEAD_PCT:.0f}%)",
+        f"scraped counters monotone: {monotone}",
+    ]
+    emit("serve_load_dashboard", "\n".join(lines))
+
+    result_path = OUTPUT_DIR / "BENCH_serve_load.json"
+    merged = json.loads(result_path.read_text()) if result_path.exists() else {}
+    merged.pop("git_sha", None)
+    merged.update(
+        {
+            "dashboard_overhead_pct": overhead_pct,
+            "dashboard_columns_per_s": observed.columns_per_s,
+            "dashboard_plain_columns_per_s": plain_columns_per_s,
+            "dashboard_ws_columns": ws_summary["columns"],
+            "dashboard_metrics_scrapes": len(scrapes),
+        }
+    )
+    write_bench_json("serve_load", merged)
+
+    assert observed.protocol_errors == 0, "observed run hit protocol errors"
+    assert ws_summary["columns"] > 0, "the live consumer received no columns"
+    assert len(scrapes) >= 2, "the scraper never completed two scrapes"
+    assert monotone, "scraped columns_served went backwards between scrapes"
+    assert overhead_pct < MAX_DASHBOARD_OVERHEAD_PCT, (
+        f"dashboard overhead {overhead_pct:.2f}% breaches the "
+        f"{MAX_DASHBOARD_OVERHEAD_PCT:.0f}% gate"
+    )
+
+
 if __name__ == "__main__":
     import argparse
 
@@ -232,9 +372,17 @@ if __name__ == "__main__":
         action="store_true",
         help="run only the chaos recovery-latency bench",
     )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="run only the dashboard-overhead bench",
+    )
     cli_args = parser.parse_args()
     if cli_args.chaos:
         bench_serve_load_chaos_recovery()
+    elif cli_args.dashboard:
+        bench_serve_load_dashboard_overhead()
     else:
         bench_serve_load_batched_vs_serial()
         bench_serve_load_chaos_recovery()
+        bench_serve_load_dashboard_overhead()

@@ -102,6 +102,23 @@ def _check_serve_load(failures: list[str]) -> None:
                 f"chaos run diverged on {result['chaos_diverged_columns']} columns"
             )
 
+    if "dashboard_overhead_pct" in result:
+        max_overhead = baseline.get("max_dashboard_overhead_pct", 5.0)
+        overhead = result["dashboard_overhead_pct"]
+        print(
+            f"serve dashboard overhead: {overhead:.2f}% "
+            f"(gate < {max_overhead:.0f}%, ws columns "
+            f"{result.get('dashboard_ws_columns', 0)}, metrics scrapes "
+            f"{result.get('dashboard_metrics_scrapes', 0)})"
+        )
+        if overhead >= max_overhead:
+            failures.append(
+                f"dashboard overhead {overhead:.2f}% breaches the "
+                f"{max_overhead:.0f}% gate"
+            )
+        if not result.get("dashboard_ws_columns", 0):
+            failures.append("dashboard bench: the live consumer received no columns")
+
 
 def main() -> int:
     """Exit 0 when every present benchmark clears its baseline gates."""

@@ -11,7 +11,12 @@ Subcommands, one per headline capability:
 * ``nulling``   — run Algorithm 1 and report the achieved depth.
 * ``serve``     — the multi-session sensing service: an asyncio TCP
   server micro-batching MUSIC windows across sessions (`repro.serve`).
-  ``--record DIR`` taps every fresh session into a capture store.
+  ``--record DIR`` taps every fresh session into a capture store;
+  ``--dashboard`` co-hosts the ``repro.observe`` HTTP/WebSocket
+  gateway (Prometheus ``/metrics``, live dashboard at ``/``).
+* ``observe``   — serve the same gateway over a *recorded*
+  ``--telemetry`` run directory: replayed events on ``/ws/live``, the
+  recorded metrics snapshot on ``/metrics``.
 * ``load``      — drive a running ``serve`` with N concurrent sessions
   and report throughput, latency percentiles, and batch occupancy.
 * ``record``    — run the streaming pipeline and record exactly what
@@ -386,14 +391,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         chaos = ServerChaos(schedule)
 
     async def run() -> int:
-        server = SensingServer(config, chaos=chaos)
+        hub = None
+        gateway = None
+        if args.dashboard:
+            from repro.observe import ObserveConfig, ObserveGateway, TelemetryHub
+
+            hub = TelemetryHub()
+        server = SensingServer(config, chaos=chaos, hub=hub)
         port = await server.start()
         # One parseable line, immediately on bind: scripts (and the CI
         # smoke step) read the port from it when --port 0 was asked.
         out(f"serve: listening on {config.host} port {port}")
+        if hub is not None:
+            gateway = ObserveGateway(
+                hub,
+                server=server,
+                config=ObserveConfig(
+                    host=args.dashboard_host, port=args.dashboard_port
+                ),
+            )
+            dashboard_port = await gateway.start()
+            # Same parseable convention as the serve line above.
+            out(
+                f"observe: listening on {args.dashboard_host} "
+                f"port {dashboard_port}"
+            )
         try:
             await server.serve_until_stopped(args.duration)
         finally:
+            if gateway is not None:
+                await gateway.shutdown()
             await server.shutdown()
         snapshot = server.stats.snapshot()
         scheduler = server.scheduler.stats.snapshot()
@@ -410,6 +437,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:
         out("serve: interrupted, shut down")
+        return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """Serve the observe gateway over a recorded telemetry directory."""
+    import asyncio
+
+    from repro.observe import ObserveConfig, ObserveGateway, TelemetryHub
+    from repro.observe.replay import load_telemetry_replay
+
+    try:
+        replay = load_telemetry_replay(args.directory)
+    except FileNotFoundError as exc:
+        out.error(str(exc))
+        return 2
+
+    async def run() -> int:
+        hub = TelemetryHub()
+        gateway = ObserveGateway(
+            hub,
+            replay=replay,
+            config=ObserveConfig(
+                host=args.host, port=args.port, replay_rate=args.rate
+            ),
+        )
+        port = await gateway.start()
+        # One parseable line, matching the serve convention: scripts
+        # read the bound port from it when --port 0 was asked.
+        out(f"observe: listening on {args.host} port {port}")
+        detail = f"observe: replaying {len(replay.events)} events from {args.directory}"
+        if replay.skipped_lines:
+            detail += f" ({replay.skipped_lines} truncated line(s) skipped)"
+        out(detail)
+        try:
+            if args.duration is None:
+                await asyncio.Event().wait()
+            else:
+                await asyncio.sleep(args.duration)
+        finally:
+            await gateway.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        out("observe: interrupted, shut down")
         return 0
 
 
@@ -815,9 +888,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record every fresh session into a capture store at DIR",
     )
+    serve.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="co-host the observe gateway (/metrics, /ws/live, dashboard at /)",
+    )
+    serve.add_argument(
+        "--dashboard-host", default="127.0.0.1", help="gateway bind host"
+    )
+    serve.add_argument(
+        "--dashboard-port",
+        type=int,
+        default=0,
+        help="gateway TCP port (0 picks a free one; printed on bind)",
+    )
     _add_seed(serve)
     _add_observability(serve)
     serve.set_defaults(handler=cmd_serve)
+
+    observe = commands.add_parser(
+        "observe", help="serve the gateway over a recorded telemetry run"
+    )
+    observe.add_argument(
+        "--telemetry",
+        dest="directory",
+        metavar="DIR",
+        required=True,
+        help="telemetry run directory to replay (a --telemetry output)",
+    )
+    observe.add_argument("--host", default="127.0.0.1")
+    observe.add_argument(
+        "--port", type=int, default=9362, help="TCP port (0 picks a free one)"
+    )
+    observe.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="self-terminate after this many seconds (default: run forever)",
+    )
+    observe.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="recorded events streamed per second on /ws/live (0 = unpaced)",
+    )
+    observe.add_argument(
+        "--quiet", action="store_true", help="suppress informational output"
+    )
+    observe.set_defaults(handler=cmd_observe)
 
     load = commands.add_parser(
         "load", help="load-generate against a running serve instance"

@@ -1,0 +1,25 @@
+"""repro.observe — the operator surface over the sensing service.
+
+A zero-dependency HTTP/WebSocket gateway (:class:`ObserveGateway`) fed
+by an in-process :class:`TelemetryHub`: Prometheus ``/metrics``,
+drain-aware ``/healthz``/``/readyz``, session and capture inspection
+APIs, a live ``/ws/live`` event stream, and a single-file canvas
+dashboard at ``/``.  Attach it to a live
+:class:`~repro.serve.server.SensingServer` (``repro serve
+--dashboard``) or replay a recorded telemetry directory
+(``repro observe --telemetry DIR``).
+"""
+
+from repro.observe.gateway import ObserveConfig, ObserveGateway
+from repro.observe.hub import HubStats, Subscription, TelemetryHub
+from repro.observe.replay import TelemetryReplay, load_telemetry_replay
+
+__all__ = [
+    "HubStats",
+    "ObserveConfig",
+    "ObserveGateway",
+    "Subscription",
+    "TelemetryHub",
+    "TelemetryReplay",
+    "load_telemetry_replay",
+]

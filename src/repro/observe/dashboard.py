@@ -1,0 +1,329 @@
+"""The single-file operator dashboard served at ``/``.
+
+Vanilla JS + canvas, no build step and no network dependencies: the
+page subscribes to ``/ws/live``, decodes the packed-base64 float64
+spectrogram columns exactly as a serve client would, and renders one
+waterfall strip per session, a health timeline, and counter sparklines
+fed by the periodic ``server.stats``/``metrics.delta`` events.  The
+palette (dark surface, sequential blue ramp for magnitude, reserved
+status colors always paired with a text label) follows the repo's
+validated reference palette.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro observe</title>
+<style>
+  :root {
+    color-scheme: dark;
+    --page: #0d0d0d;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --status-good: #0ca30c;
+    --status-warning: #fab219;
+    --status-serious: #ec835a;
+    --status-critical: #d03b3b;
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 16px; background: var(--page);
+    color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-muted); font-size: 12px; margin-bottom: 14px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 10px; margin-bottom: 14px; }
+  .tile {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 10px 14px; min-width: 128px;
+  }
+  .tile .v { font-size: 22px; font-weight: 600; }
+  .tile .k { color: var(--text-muted); font-size: 11px; text-transform: uppercase;
+             letter-spacing: 0.04em; }
+  .panel {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 14px; margin-bottom: 14px;
+  }
+  .panel h2 { font-size: 12px; font-weight: 600; margin: 0 0 8px;
+              color: var(--text-secondary); text-transform: uppercase;
+              letter-spacing: 0.04em; }
+  canvas { display: block; background: var(--surface-1); }
+  .strip { margin-bottom: 10px; }
+  .strip .label { color: var(--text-secondary); font-size: 12px; margin-bottom: 3px;
+                  display: flex; gap: 8px; align-items: baseline; }
+  .strip .label .meta { color: var(--text-muted); font-size: 11px; }
+  .chip { display: inline-block; padding: 0 7px; border-radius: 999px;
+          font-size: 11px; line-height: 17px; border: 1px solid var(--border);
+          color: var(--text-primary); }
+  .legend { color: var(--text-muted); font-size: 11px; margin-top: 6px; }
+  .legend .swatch { display: inline-block; width: 9px; height: 9px;
+                    border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
+  table { border-collapse: collapse; width: 100%;
+          font-variant-numeric: tabular-nums; }
+  th, td { text-align: right; padding: 3px 10px; font-size: 12px;
+           border-bottom: 1px solid var(--gridline); }
+  th { color: var(--text-muted); font-weight: 500; }
+  th:first-child, td:first-child { text-align: left; }
+  td { color: var(--text-secondary); }
+  #conn { font-size: 12px; }
+</style>
+</head>
+<body>
+<h1>repro observe</h1>
+<div class="sub">
+  <span id="conn">connecting&hellip;</span>
+  <span id="mode"></span>
+</div>
+<div class="tiles">
+  <div class="tile"><div class="v" id="t-sessions">&ndash;</div><div class="k">active sessions</div></div>
+  <div class="tile"><div class="v" id="t-columns">&ndash;</div><div class="k">columns served</div></div>
+  <div class="tile"><div class="v" id="t-rate">&ndash;</div><div class="k">columns / s</div></div>
+  <div class="tile"><div class="v" id="t-queue">&ndash;</div><div class="k">queue depth</div></div>
+  <div class="tile"><div class="v" id="t-dropped">&ndash;</div><div class="k">hub drops</div></div>
+</div>
+<div class="panel">
+  <h2>Live spectrogram waterfalls</h2>
+  <div id="strips"></div>
+  <div class="legend">
+    column magnitude, per-column normalized:
+    <span class="swatch" style="background:#0d366b"></span>low &rarr;
+    <span class="swatch" style="background:#cde2fb"></span>high
+  </div>
+</div>
+<div class="panel">
+  <h2>Counter sparklines</h2>
+  <div class="strip"><div class="label">columns / s</div>
+    <canvas id="spark-columns" width="900" height="42"></canvas></div>
+  <div class="strip"><div class="label">requests / s</div>
+    <canvas id="spark-requests" width="900" height="42"></canvas></div>
+  <div class="strip"><div class="label">scheduler queue depth</div>
+    <canvas id="spark-queue" width="900" height="42"></canvas></div>
+</div>
+<div class="panel">
+  <h2>Health timeline</h2>
+  <div id="health"></div>
+</div>
+<div class="panel">
+  <h2>Sessions</h2>
+  <table id="sessions-table">
+    <thead><tr><th>session</th><th>health</th><th>seq</th><th>pushes</th>
+      <th>columns</th><th>detections</th><th>shed</th><th>bad blocks</th></tr></thead>
+    <tbody></tbody>
+  </table>
+</div>
+<script>
+"use strict";
+// ---- palette (validated reference values) --------------------------------
+const RAMP = ["#0d366b","#104281","#184f95","#1c5cab","#256abf","#2a78d6",
+              "#3987e5","#5598e7","#6da7ec","#86b6ef","#9ec5f4","#b7d3f6",
+              "#cde2fb"]; // dark -> light: low magnitude recedes to surface
+const STATUS = {
+  HEALTHY: "var(--status-good)",
+  DEGRADED: "var(--status-warning)",
+  RECALIBRATING: "var(--status-serious)",
+  FAILED: "var(--status-critical)",
+};
+const rampRGB = RAMP.map(h => [1, 3, 5].map(i => parseInt(h.slice(i, i + 2), 16)));
+function rampColor(t) {
+  const x = Math.min(1, Math.max(0, t)) * (rampRGB.length - 1);
+  const i = Math.min(rampRGB.length - 2, Math.floor(x)), f = x - i;
+  const c = rampRGB[i].map((v, k) => Math.round(v + f * (rampRGB[i + 1][k] - v)));
+  return c;
+}
+// ---- packed column decoding (matches repro.encoding) ---------------------
+function unpackFloats(b64) {
+  const raw = atob(b64);
+  const bytes = new Uint8Array(raw.length);
+  for (let i = 0; i < raw.length; i++) bytes[i] = raw.charCodeAt(i);
+  const view = new DataView(bytes.buffer);
+  const out = new Float64Array(bytes.length / 8);
+  for (let i = 0; i < out.length; i++) out[i] = view.getFloat64(i * 8, true);
+  return out;
+}
+function columnPower(col) {
+  if (typeof col.power === "string") return unpackFloats(col.power);
+  return Float64Array.from(col.power); // unpacked wire fallback
+}
+// ---- waterfalls ----------------------------------------------------------
+const STRIP_W = 900, STRIP_H = 72;
+const strips = new Map(); // session -> {canvas, ctx, x, meta}
+function stripFor(session) {
+  let s = strips.get(session);
+  if (s) return s;
+  const holder = document.createElement("div");
+  holder.className = "strip";
+  const label = document.createElement("div");
+  label.className = "label";
+  label.innerHTML = `<span>session ${session}</span>` +
+                    `<span class="meta"></span>`;
+  const canvas = document.createElement("canvas");
+  canvas.width = STRIP_W; canvas.height = STRIP_H;
+  holder.appendChild(label); holder.appendChild(canvas);
+  document.getElementById("strips").appendChild(holder);
+  const ctx = canvas.getContext("2d");
+  ctx.fillStyle = "#1a1a19"; ctx.fillRect(0, 0, STRIP_W, STRIP_H);
+  s = { canvas, ctx, x: 0, meta: label.querySelector(".meta"), columns: 0 };
+  strips.set(session, s);
+  return s;
+}
+function drawColumn(strip, power) {
+  const ctx = strip.ctx, n = power.length;
+  let lo = Infinity, hi = -Infinity;
+  for (const v of power) { if (v < lo) lo = v; if (v > hi) hi = v; }
+  const span = hi - lo || 1;
+  const img = ctx.createImageData(1, STRIP_H);
+  for (let y = 0; y < STRIP_H; y++) {
+    // y=0 at the top = last angle bin; flip so angle axis ascends upward
+    const bin = Math.min(n - 1, Math.floor((1 - y / STRIP_H) * n));
+    const c = rampColor((power[bin] - lo) / span);
+    const o = y * 4;
+    img.data[o] = c[0]; img.data[o + 1] = c[1]; img.data[o + 2] = c[2];
+    img.data[o + 3] = 255;
+  }
+  if (strip.x >= STRIP_W) { // scroll left by one column
+    ctx.drawImage(strip.canvas, 1, 0, STRIP_W - 1, STRIP_H, 0, 0, STRIP_W - 1, STRIP_H);
+    strip.x = STRIP_W - 1;
+  }
+  ctx.putImageData(img, strip.x, 0);
+  strip.x += 1;
+}
+// ---- sparklines ----------------------------------------------------------
+const sparks = {
+  columns: { el: document.getElementById("spark-columns"), data: [] },
+  requests: { el: document.getElementById("spark-requests"), data: [] },
+  queue: { el: document.getElementById("spark-queue"), data: [] },
+};
+function pushSpark(name, value) {
+  const s = sparks[name];
+  s.data.push(value);
+  if (s.data.length > 180) s.data.shift();
+  const ctx = s.el.getContext("2d"), W = s.el.width, H = s.el.height;
+  ctx.fillStyle = "#1a1a19"; ctx.fillRect(0, 0, W, H);
+  ctx.strokeStyle = "#2c2c2a"; ctx.lineWidth = 1;
+  ctx.beginPath(); ctx.moveTo(0, H - 0.5); ctx.lineTo(W, H - 0.5); ctx.stroke();
+  const hi = Math.max(1e-9, ...s.data);
+  ctx.strokeStyle = "#3987e5"; ctx.lineWidth = 2;
+  ctx.beginPath();
+  s.data.forEach((v, i) => {
+    const x = (i / 179) * (W - 4) + 2;
+    const y = H - 3 - (v / hi) * (H - 8);
+    if (i === 0) ctx.moveTo(x, y); else ctx.lineTo(x, y);
+  });
+  ctx.stroke();
+}
+// ---- health timeline -----------------------------------------------------
+const healthLog = [];
+function pushHealth(session, state, reason) {
+  healthLog.push({ session, state, reason, at: new Date() });
+  if (healthLog.length > 40) healthLog.shift();
+  const el = document.getElementById("health");
+  el.innerHTML = healthLog.slice().reverse().map(h => {
+    const color = STATUS[h.state] || "var(--text-muted)";
+    return `<div style="margin:2px 0">` +
+      `<span class="chip" style="border-color:${color};color:${color}">` +
+      `${h.state}</span> <span style="color:var(--text-secondary)">` +
+      `${h.session}</span> <span style="color:var(--text-muted)">` +
+      `${h.reason || ""}</span></div>`;
+  }).join("");
+}
+// ---- stat tiles + sessions table -----------------------------------------
+let lastStats = null, lastStatsAt = 0;
+function setTile(id, v) { document.getElementById(id).textContent = v; }
+function onServerStats(ev) {
+  const now = performance.now() / 1000;
+  setTile("t-sessions", ev.active_sessions);
+  setTile("t-queue", ev.queue_depth);
+  setTile("t-columns", ev.server.columns_served);
+  setTile("t-dropped", ev.hub ? ev.hub.events_dropped : 0);
+  if (lastStats) {
+    const dt = now - lastStatsAt || 1;
+    const colRate = (ev.server.columns_served - lastStats.server.columns_served) / dt;
+    const reqRate = (ev.server.requests - lastStats.server.requests) / dt;
+    setTile("t-rate", colRate.toFixed(0));
+    pushSpark("columns", Math.max(0, colRate));
+    pushSpark("requests", Math.max(0, reqRate));
+    pushSpark("queue", ev.queue_depth);
+  }
+  lastStats = ev; lastStatsAt = now;
+}
+async function refreshSessions() {
+  try {
+    const res = await fetch("/api/sessions");
+    const body = await res.json();
+    const rows = (body.sessions || []).map(s =>
+      `<tr><td>${s.session}</td><td>${s.health || "?"}</td>` +
+      `<td>${s.last_seq ?? ""}</td><td>${s.pushes ?? ""}</td>` +
+      `<td>${s.columns_out ?? s.events ?? ""}</td><td>${s.detections ?? ""}</td>` +
+      `<td>${s.shed_requests ?? ""}</td><td>${s.bad_blocks ?? ""}</td></tr>`);
+    document.querySelector("#sessions-table tbody").innerHTML = rows.join("");
+  } catch (err) { /* gateway restarting; retry on the next beat */ }
+}
+setInterval(refreshSessions, 2000);
+refreshSessions();
+// ---- the live stream -----------------------------------------------------
+let totalColumns = 0;
+function onEvent(ev) {
+  switch (ev.kind) {
+    case "hello":
+      document.getElementById("mode").textContent = " · mode: " + ev.mode;
+      break;
+    case "columns": {
+      const strip = stripFor(ev.session);
+      for (const col of ev.columns) drawColumn(strip, columnPower(col));
+      strip.columns += ev.columns.length;
+      totalColumns += ev.columns.length;
+      strip.meta.textContent = `${strip.columns} columns`;
+      if (!lastStats) setTile("t-columns", totalColumns);
+      break;
+    }
+    case "health":
+      for (const e of (ev.events || [ev]))
+        pushHealth(ev.session || "?", e.state, e.reason);
+      break;
+    case "session.opened":
+      stripFor(ev.session);
+      setTile("t-sessions", ev.active_sessions);
+      break;
+    case "session.closed":
+      setTile("t-sessions", ev.active_sessions);
+      break;
+    case "server.stats":
+      onServerStats(ev);
+      break;
+    case "serve.shed":
+    case "serve.watchdog":
+    case "gap":
+    case "fault":
+      pushHealth(ev.session || "server", ev.kind.toUpperCase(), JSON.stringify(ev));
+      break;
+    case "replay.end":
+      document.getElementById("conn").textContent =
+        `replay complete (${ev.events} events)`;
+      break;
+  }
+}
+function connect() {
+  const proto = location.protocol === "https:" ? "wss:" : "ws:";
+  const ws = new WebSocket(`${proto}//${location.host}/ws/live`);
+  ws.onopen = () => { document.getElementById("conn").textContent = "live"; };
+  ws.onmessage = (msg) => onEvent(JSON.parse(msg.data));
+  ws.onclose = () => {
+    document.getElementById("conn").textContent = "disconnected — retrying";
+    setTimeout(connect, 2000);
+  };
+}
+connect();
+</script>
+</body>
+</html>
+"""

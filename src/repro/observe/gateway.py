@@ -1,0 +1,482 @@
+"""The operator gateway: HTTP routes + ``/ws/live`` over a TelemetryHub.
+
+One asyncio listener serves two kinds of consumers:
+
+* **Scrapers** — ``/healthz``, ``/readyz`` (drain-aware: 503 once the
+  attached server began shutting down), ``/metrics`` in Prometheus text
+  exposition (the process-global telemetry registry, the always-on
+  ``ServerStats``/``SchedulerStats``, and the hub's own accounting),
+  ``/api/sessions[/{id}]``, and ``/api/captures``.
+* **Live subscribers** — ``/ws/live`` upgrades to a WebSocket fed by a
+  hub :class:`~repro.observe.hub.Subscription`: spectrogram columns
+  (packed base64, byte-identical to the serving wire format), health
+  transitions, detections, shed/watchdog/disconnect events, periodic
+  ``server.stats`` and ``metrics.delta`` frames.  A consumer that
+  cannot keep up is shed by the hub and its transport aborted — the
+  abort is what frees a sender parked in ``drain()`` against a stalled
+  peer, so slow dashboards cost the serve path nothing.
+
+The same gateway also fronts a recorded run (``repro observe
+--telemetry DIR``): a :class:`~repro.observe.replay.TelemetryReplay`
+takes the server's place and ``/ws/live`` streams the recorded events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.observe.dashboard import DASHBOARD_HTML
+from repro.observe.http import (
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    encode_ws_frame,
+    http_response,
+    json_response,
+    read_request,
+    read_ws_frame,
+    websocket_handshake_response,
+)
+from repro.observe.hub import Subscription, TelemetryHub
+from repro.observe.prometheus import render_prometheus
+from repro.telemetry.context import get_telemetry
+
+
+@dataclass(frozen=True)
+class ObserveConfig:
+    """Deployment knobs of the observe gateway.
+
+    Attributes:
+        interval_s: period of the gateway's one housekeeping task —
+            each beat publishes a ``metrics.delta`` (when the registry
+            changed) and, with a server attached and subscribers
+            present, a ``server.stats`` event.
+        ws_max_queue: per-subscriber unread-event bound (hub default
+            when ``None``).
+        shed_after_drops: drops before a slow subscriber is shed.
+        replay_rate: recorded events streamed per second in replay
+            mode; ``0`` streams the whole log unpaced.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    interval_s: float = 0.5
+    ws_max_queue: int | None = None
+    shed_after_drops: int | None = None
+    replay_rate: float = 500.0
+    max_ws_frame_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.replay_rate < 0:
+            raise ValueError("replay_rate cannot be negative")
+
+
+def _server_metric_snapshots(server: Any) -> dict[str, dict[str, Any]]:
+    """``ServerStats``/``SchedulerStats`` as registry-snapshot dicts."""
+    snaps: dict[str, dict[str, Any]] = {}
+    server_snap = server.stats.snapshot()
+    for name, value in server_snap.items():
+        if name in ("request_p50_ms", "request_p99_ms"):
+            continue  # percentiles ride the full histogram below
+        snaps[f"server.{name}"] = {"type": "counter", "value": float(value)}
+    snaps["server.request_latency_ms"] = server.stats.request_latency_ms.snapshot()
+    snaps["server.active_sessions"] = {
+        "type": "gauge",
+        "value": float(len(server.sessions)),
+    }
+    scheduler = server.scheduler
+    sched_snap = scheduler.stats.snapshot()
+    for name in ("ticks", "windows", "shed_windows", "serial_windows",
+                 "watchdog_activations"):
+        snaps[f"scheduler.{name}"] = {
+            "type": "counter",
+            "value": float(sched_snap[name]),
+        }
+    snaps["scheduler.max_queue_depth"] = {
+        "type": "gauge",
+        "value": float(sched_snap["max_queue_depth"]),
+    }
+    snaps["scheduler.queue_depth"] = {
+        "type": "gauge",
+        "value": float(scheduler.queue_depth),
+    }
+    snaps["scheduler.batch_windows"] = scheduler.stats.occupancy.snapshot()
+    return snaps
+
+
+class ObserveGateway:
+    """Serve the operator surface for a live server or a recorded run."""
+
+    def __init__(
+        self,
+        hub: TelemetryHub,
+        server: Any = None,
+        capture_store: Any = None,
+        replay: Any = None,
+        config: ObserveConfig | None = None,
+    ):
+        if server is not None and replay is not None:
+            raise ValueError("attach a live server or a replay, not both")
+        self.hub = hub
+        self.server = server
+        self.capture_store = capture_store
+        self.replay = replay
+        self.config = config if config is not None else ObserveConfig()
+        #: Gateway-level accounting, exported under ``repro_observe_*``.
+        self.http_requests = 0
+        self.http_errors = 0
+        self.ws_connections = 0
+        self._listener: asyncio.AbstractServer | None = None
+        self._periodic_task: asyncio.Task | None = None
+        self._ws_writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._listener is None or not self._listener.sockets:
+            raise RuntimeError("gateway is not started")
+        return self._listener.sockets[0].getsockname()[1]
+
+    @property
+    def mode(self) -> str:
+        if self.server is not None:
+            return "serve"
+        if self.replay is not None:
+            return "replay"
+        return "hub"
+
+    async def start(self) -> int:
+        if self._listener is not None:
+            raise RuntimeError("gateway is already started")
+        self._listener = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_ws_frame_bytes,
+        )
+        self._periodic_task = asyncio.create_task(
+            self._periodic_loop(), name="observe-periodic"
+        )
+        return self.port
+
+    async def shutdown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        if self._periodic_task is not None:
+            self._periodic_task.cancel()
+            try:
+                await self._periodic_task
+            except asyncio.CancelledError:
+                pass
+            self._periodic_task = None
+        for writer in list(self._ws_writers):
+            writer.close()
+        self._ws_writers.clear()
+
+    async def _periodic_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.interval_s)
+            try:
+                self.hub.metrics_delta()
+            except ValueError:
+                # A registry reconfigured mid-run (tests swapping
+                # telemetry sessions) resets the delta chain.
+                self.hub._last_snapshot = {}
+            if self.server is not None and self.hub.has_subscribers:
+                self.hub.publish(
+                    "server.stats",
+                    active_sessions=len(self.server.sessions),
+                    queue_depth=self.server.scheduler.queue_depth,
+                    draining=self.server.draining,
+                    server=self.server.stats.snapshot(),
+                    scheduler=self.server.scheduler.stats.snapshot(),
+                    hub=self.hub.stats.snapshot(),
+                )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except (ProtocolError, asyncio.IncompleteReadError):
+                self.http_errors += 1
+                writer.write(http_response(400, json.dumps({"error": "bad request"})))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            self.http_requests += 1
+            if request.path == "/ws/live":
+                await self._ws_live(request, reader, writer)
+                return
+            try:
+                response = self._route(request)
+            except Exception as exc:  # noqa: BLE001 - a route bug must answer 500
+                self.http_errors += 1
+                response = json_response(500, {"error": f"internal error: {exc}"})
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown races
+                pass
+
+    # ------------------------------------------------------------------
+    # HTTP routes
+    # ------------------------------------------------------------------
+
+    def _route(self, request: Any) -> bytes:
+        if request.method != "GET":
+            return json_response(405, {"error": f"method {request.method} not allowed"})
+        path = request.path
+        if path == "/":
+            return http_response(200, DASHBOARD_HTML, content_type="text/html")
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/readyz":
+            return self._readyz()
+        if path == "/metrics":
+            return http_response(
+                200, self.render_metrics(), content_type="text/plain; version=0.0.4"
+            )
+        if path == "/api/sessions":
+            return json_response(200, {"sessions": self._session_list()})
+        if path.startswith("/api/sessions/"):
+            return self._session_detail(path[len("/api/sessions/") :])
+        if path == "/api/captures":
+            return self._captures()
+        return json_response(404, {"error": f"no route for {path}"})
+
+    def _healthz(self) -> bytes:
+        return json_response(
+            200,
+            {
+                "status": "ok",
+                "mode": self.mode,
+                "subscribers": self.hub.subscriber_count,
+            },
+        )
+
+    def _readyz(self) -> bytes:
+        if self.server is not None and self.server.draining:
+            return json_response(503, {"ready": False, "reason": "draining"})
+        body: dict[str, Any] = {"ready": True, "mode": self.mode}
+        if self.server is not None:
+            body["active_sessions"] = len(self.server.sessions)
+            body["queue_depth"] = self.server.scheduler.queue_depth
+        return json_response(200, body)
+
+    def render_metrics(self) -> str:
+        """The full ``/metrics`` exposition text.
+
+        The telemetry section renders the *live* process-global
+        registry — the same object ``Telemetry.flush()`` snapshots
+        into ``metrics.json`` — so gateway aggregates equal the
+        offline ``telemetry-report`` aggregates by construction, and
+        monotone instruments scrape monotone.  In replay mode the
+        recorded ``metrics.json`` takes that section's place.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        if self.replay is not None:
+            merged.update(self.replay.metrics)
+        else:
+            merged.update(get_telemetry().metrics.snapshot())
+        if self.server is not None:
+            merged.update(_server_metric_snapshots(self.server))
+        for name, value in self.hub.stats.snapshot().items():
+            merged[f"observe.{name}"] = {"type": "counter", "value": float(value)}
+        merged["observe.subscribers"] = {
+            "type": "gauge",
+            "value": float(self.hub.subscriber_count),
+        }
+        merged["observe.http_requests"] = {
+            "type": "counter",
+            "value": float(self.http_requests),
+        }
+        merged["observe.http_errors"] = {
+            "type": "counter",
+            "value": float(self.http_errors),
+        }
+        merged["observe.ws_connections"] = {
+            "type": "counter",
+            "value": float(self.ws_connections),
+        }
+        return render_prometheus(merged)
+
+    def _session_list(self) -> list[dict[str, Any]]:
+        if self.server is not None:
+            return self.server.session_snapshots()
+        if self.replay is not None:
+            return self.replay.session_summaries()
+        return []
+
+    def _session_detail(self, session_id: str) -> bytes:
+        for snap in self._session_list():
+            if snap.get("session") == session_id:
+                return json_response(200, snap)
+        return json_response(404, {"error": f"no session {session_id!r}"})
+
+    def _captures(self) -> bytes:
+        store = self.capture_store
+        if store is None and self.server is not None:
+            store = self.server.capture_store
+        if store is None:
+            return json_response(200, {"captures": [], "total_bytes": 0})
+        captures = [
+            {
+                "capture_id": info.capture_id,
+                "created_ts": info.created_ts,
+                "num_bytes": info.num_bytes,
+                "sealed": info.sealed,
+                "source": info.source,
+            }
+            for info in store.list_captures()
+        ]
+        return json_response(
+            200, {"captures": captures, "total_bytes": store.total_bytes()}
+        )
+
+    # ------------------------------------------------------------------
+    # /ws/live
+    # ------------------------------------------------------------------
+
+    async def _ws_live(
+        self,
+        request: Any,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if not request.wants_websocket:
+            writer.write(
+                http_response(426, json.dumps({"error": "upgrade to websocket"}))
+            )
+            await writer.drain()
+            return
+        writer.write(
+            websocket_handshake_response(request.headers["sec-websocket-key"])
+        )
+        await writer.drain()
+        self.ws_connections += 1
+        self._ws_writers.add(writer)
+        transport = writer.transport
+        subscription = self.hub.subscribe(
+            max_queue=self.config.ws_max_queue,
+            on_shed=transport.abort,
+        )
+        if self.config.shed_after_drops is not None:
+            subscription.shed_after_drops = self.config.shed_after_drops
+        closed = asyncio.Event()
+        reader_task = asyncio.create_task(
+            self._ws_reader(reader, writer, closed), name="observe-ws-reader"
+        )
+        try:
+            await self._ws_send(
+                writer,
+                {
+                    "kind": "hello",
+                    "mode": self.mode,
+                    "interval_s": self.config.interval_s,
+                },
+            )
+            if self.replay is not None:
+                await self._ws_stream_replay(writer, closed)
+            else:
+                await self._ws_stream_live(subscription, writer, closed)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            subscription.close()
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001 - teardown
+                pass
+            self._ws_writers.discard(writer)
+
+    async def _ws_send(self, writer: asyncio.StreamWriter, event: dict[str, Any]) -> None:
+        writer.write(encode_ws_frame(json.dumps(event)))
+        await writer.drain()
+
+    async def _ws_stream_live(
+        self,
+        subscription: Subscription,
+        writer: asyncio.StreamWriter,
+        closed: asyncio.Event,
+    ) -> None:
+        closed_wait = asyncio.create_task(closed.wait())
+        try:
+            while not subscription.shed and not closed.is_set():
+                get = asyncio.create_task(subscription.get())
+                done, _ = await asyncio.wait(
+                    {get, closed_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if get not in done:
+                    get.cancel()
+                    break
+                await self._ws_send(writer, get.result())
+        finally:
+            closed_wait.cancel()
+
+    async def _ws_stream_replay(
+        self, writer: asyncio.StreamWriter, closed: asyncio.Event
+    ) -> None:
+        rate = self.config.replay_rate
+        pace_every = 32
+        for index, event in enumerate(self.replay.events):
+            if closed.is_set():
+                return
+            await self._ws_send(writer, event)
+            if rate > 0 and (index + 1) % pace_every == 0:
+                await asyncio.sleep(pace_every / rate)
+        await self._ws_send(
+            writer, {"kind": "replay.end", "events": len(self.replay.events)}
+        )
+        writer.write(encode_ws_frame(b"", opcode=WS_CLOSE))
+        await writer.drain()
+
+    async def _ws_reader(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        closed: asyncio.Event,
+    ) -> None:
+        """Drain client frames: answer pings, notice the close."""
+        try:
+            while True:
+                opcode, payload = await read_ws_frame(
+                    reader, self.config.max_ws_frame_bytes
+                )
+                if opcode == WS_CLOSE:
+                    break
+                if opcode == WS_PING:
+                    writer.write(encode_ws_frame(payload, opcode=WS_PONG))
+                    await writer.drain()
+        except (
+            ProtocolError,
+            ConnectionError,
+            OSError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            closed.set()

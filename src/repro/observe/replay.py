@@ -1,0 +1,105 @@
+"""Replay a recorded telemetry directory through the observe gateway.
+
+``repro observe --telemetry DIR`` points the gateway at the files a
+``Telemetry.flush()`` wrote instead of a live server: ``/metrics``
+renders the recorded ``metrics.json`` snapshot, ``/api/sessions``
+summarizes the sessions the event log mentions, and ``/ws/live``
+streams the recorded events (normalized to the hub's live event kinds,
+so the dashboard renders either source identically) followed by a
+``replay.end`` marker.
+
+Reading is tolerant by the same rule as ``telemetry-report``: torn
+JSONL lines from an unflushed writer are skipped and counted, never
+fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.events import read_jsonl_tolerant
+from repro.telemetry.session import EVENTS_FILE, METRICS_FILE, SPANS_FILE, TRACE_FILE
+
+#: Recorded event kind -> the hub's live kind (everything else passes
+#: through under its recorded kind).
+_KIND_MAP = {
+    "health.transition": "health",
+    "stream.detection": "detection",
+    "stream.gap": "gap",
+    "fault.injected": "fault",
+    "serve.watchdog_degraded": "serve.watchdog",
+}
+
+
+@dataclass
+class TelemetryReplay:
+    """One loaded run: hub-shaped events plus the metrics snapshot."""
+
+    directory: Path
+    events: list[dict[str, Any]] = field(default_factory=list)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    skipped_lines: int = 0
+
+    def session_summaries(self) -> list[dict[str, Any]]:
+        """A per-session event rollup standing in for live snapshots."""
+        sessions: dict[str, dict[str, Any]] = {}
+        for event in self.events:
+            session_id = str(event.get("session", "replay"))
+            summary = sessions.setdefault(
+                session_id,
+                {"session": session_id, "events": 0, "health": None, "detections": 0},
+            )
+            summary["events"] += 1
+            kind = event.get("kind")
+            if kind == "health":
+                summary["health"] = event.get("state")
+            elif kind == "detection":
+                summary["detections"] += 1
+        return [sessions[key] for key in sorted(sessions)]
+
+
+def _normalize(record: dict[str, Any]) -> dict[str, Any]:
+    event = dict(record)
+    kind = str(event.pop("kind", "event"))
+    event["kind"] = _KIND_MAP.get(kind, kind)
+    if event["kind"] == "health" and "state" not in event:
+        event["state"] = event.get("target")
+    return event
+
+
+def load_telemetry_replay(directory: str | Path) -> TelemetryReplay:
+    """Load a telemetry directory for gateway replay.
+
+    Raises:
+        FileNotFoundError: the directory does not exist or holds none
+            of the telemetry files (same contract as
+            ``telemetry-report``).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"telemetry directory {directory} does not exist")
+    known = (SPANS_FILE, TRACE_FILE, EVENTS_FILE, METRICS_FILE)
+    if not any((directory / name).exists() for name in known):
+        raise FileNotFoundError(
+            f"{directory} contains no telemetry files ({', '.join(known)})"
+        )
+    replay = TelemetryReplay(directory=directory)
+    events_path = directory / EVENTS_FILE
+    if events_path.exists():
+        records, skipped = read_jsonl_tolerant(events_path)
+        replay.skipped_lines += skipped
+        replay.events = [_normalize(record) for record in records]
+    metrics_path = directory / METRICS_FILE
+    if metrics_path.exists():
+        try:
+            metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        except ValueError:
+            metrics = None
+        if isinstance(metrics, dict):
+            replay.metrics = metrics
+        else:
+            replay.skipped_lines += 1
+    return replay

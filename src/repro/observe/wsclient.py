@@ -1,0 +1,162 @@
+"""A minimal WebSocket client for tests, benches, and the CI smoke.
+
+Just enough RFC 6455 to consume the gateway's ``/ws/live`` stream:
+the upgrade handshake (with ``Sec-WebSocket-Accept`` verification),
+masked client frames, and text/ping/pong/close handling.  Shares the
+framing code in :mod:`repro.observe.http`, so the client exercises the
+exact bytes the server parses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import os
+import time
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.observe.http import (
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    WS_TEXT,
+    encode_ws_frame,
+    read_ws_frame,
+    websocket_accept,
+)
+
+
+class AsyncWebSocketClient:
+    """One ``/ws/live`` consumer; use as an async context manager."""
+
+    def __init__(self, host: str, port: int, path: str = "/ws/live"):
+        self.host = host
+        self.port = port
+        self.path = path
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "AsyncWebSocketClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=1 << 21
+        )
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        request = (
+            f"GET {self.path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        self._writer.write(request.encode("ascii"))
+        await self._writer.drain()
+        status = await self._reader.readline()
+        if b"101" not in status:
+            raise ProtocolError(f"websocket upgrade refused: {status!r}")
+        accept = None
+        while True:
+            line = await self._reader.readline()
+            stripped = line.strip()
+            if not stripped:
+                break
+            name, _, value = stripped.decode("latin-1").partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != websocket_accept(key):
+            raise ProtocolError("websocket handshake accept key mismatch")
+
+    async def recv(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """The next JSON event, or ``None`` once the server closed.
+
+        Pings are answered transparently; binary frames are skipped.
+        """
+        if self._reader is None:
+            raise RuntimeError("client is not connected")
+        while True:
+            if timeout is None:
+                opcode, payload = await read_ws_frame(self._reader)
+            else:
+                opcode, payload = await asyncio.wait_for(
+                    read_ws_frame(self._reader), timeout=timeout
+                )
+            if opcode == WS_TEXT:
+                return json.loads(payload.decode("utf-8"))
+            if opcode == WS_CLOSE:
+                return None
+            if opcode == WS_PING:
+                self._writer.write(
+                    encode_ws_frame(payload, opcode=WS_PONG, mask=True)
+                )
+                await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        try:
+            self._writer.write(encode_ws_frame(b"", opcode=WS_CLOSE, mask=True))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader = None
+        self._writer = None
+
+
+async def collect_live(
+    host: str,
+    port: int,
+    seconds: float,
+    min_columns: int = 0,
+) -> dict[str, Any]:
+    """Consume ``/ws/live`` for a while; summarize what arrived.
+
+    Returns ``{"events": n, "columns": n, "column_events": [...],
+    "kinds": {...}}`` where ``column_events`` keeps the raw ``columns``
+    events (wire-format dicts, packed power intact) for bit-exactness
+    checks.  Stops early once ``min_columns`` columns arrived (when
+    positive) so callers can bound CI wait time.
+    """
+    summary: dict[str, Any] = {
+        "events": 0,
+        "columns": 0,
+        "column_events": [],
+        "kinds": {},
+    }
+    deadline = time.monotonic() + seconds
+    async with AsyncWebSocketClient(host, port) as client:
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                event = await client.recv(timeout=remaining)
+            except asyncio.TimeoutError:
+                break
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                break
+            if event is None:
+                break
+            summary["events"] += 1
+            kind = event.get("kind", "?")
+            summary["kinds"][kind] = summary["kinds"].get(kind, 0) + 1
+            if kind == "columns":
+                summary["columns"] += len(event.get("columns", []))
+                summary["column_events"].append(event)
+            if min_columns and summary["columns"] >= min_columns:
+                break
+    return summary

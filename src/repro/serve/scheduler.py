@@ -150,11 +150,14 @@ class MicroBatchScheduler:
     because one session maps to exactly one key.
     """
 
-    def __init__(self, config: SchedulerConfig | None = None, chaos=None):
+    def __init__(self, config: SchedulerConfig | None = None, chaos=None, hub=None):
         self.config = config if config is not None else SchedulerConfig()
         #: Optional :class:`repro.chaos.ServerChaos`; its ``before_tick``
         #: hook runs (and may stall) ahead of every batch tick.
         self.chaos = chaos
+        #: Optional :class:`repro.observe.hub.TelemetryHub` tap for
+        #: shed pushes and watchdog degradations; never blocks.
+        self.hub = hub
         self.stats = SchedulerStats()
         self._queue: list[_Entry] = []
         self._wakeup = asyncio.Event()
@@ -224,6 +227,10 @@ class MicroBatchScheduler:
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.metrics.counter("serve.shed_windows").inc(num_windows)
+        if self.hub is not None:
+            self.hub.publish(
+                "serve.shed", windows=num_windows, queue_depth=len(self._queue)
+            )
         return ServeOverloadError(
             f"admission queue at {len(self._queue)}/{self.config.queue_capacity} "
             f"windows cannot absorb {num_windows} more; retry later"
@@ -420,5 +427,11 @@ class MicroBatchScheduler:
                         stalled_s=round(
                             time.monotonic() - self._last_progress, 3
                         ),
+                    )
+                if self.hub is not None:
+                    self.hub.publish(
+                        "serve.watchdog",
+                        queued_windows=len(self._queue),
+                        stalled_s=round(time.monotonic() - self._last_progress, 3),
                     )
                 await self._serial_drain()

@@ -135,12 +135,19 @@ class ServerStats:
 class SensingServer:
     """Serve many concurrent Wi-Vi sessions over micro-batched DSP."""
 
-    def __init__(self, config: ServeConfig | None = None, chaos: Any = None):
+    def __init__(
+        self, config: ServeConfig | None = None, chaos: Any = None, hub: Any = None
+    ):
         self.config = config if config is not None else ServeConfig()
         #: Optional :class:`repro.chaos.ServerChaos` — injects stalled
         #: ticks (inside the scheduler) and delayed replies (here).
         self.chaos = chaos
-        self.scheduler = MicroBatchScheduler(self.config.scheduler, chaos=chaos)
+        #: Optional :class:`repro.observe.hub.TelemetryHub` — the live
+        #: operator tap.  Publishing never blocks: with no dashboard
+        #: subscribed each tap costs one list check, and a slow
+        #: subscriber is shed by the hub, never felt here.
+        self.hub = hub
+        self.scheduler = MicroBatchScheduler(self.config.scheduler, chaos=chaos, hub=hub)
         self.stats = ServerStats()
         self.capture_store = None
         if self.config.record_dir is not None:
@@ -167,6 +174,20 @@ class SensingServer:
         if self._server is None or not self._server.sockets:
             raise RuntimeError("server is not started")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun (drives ``/readyz``)."""
+        return self._stopped.is_set()
+
+    def session_snapshots(self) -> list[dict[str, Any]]:
+        """Every live session's :meth:`~ServeSession.snapshot`, sorted."""
+        return [
+            self.sessions[session_id].snapshot()
+            for session_id in sorted(
+                self.sessions, key=lambda s: (len(s), s)
+            )
+        ]
 
     async def start(self) -> int:
         """Bind, start the scheduler, return the bound port."""
@@ -347,6 +368,14 @@ class SensingServer:
             telemetry.metrics.gauge("serve.active_sessions").set(
                 len(self.sessions)
             )
+        if self.hub is not None:
+            self.hub.publish(
+                "session.closed",
+                session=session_id,
+                health=session.health.value,
+                columns_out=session.stats.columns_out,
+                active_sessions=len(self.sessions),
+            )
 
     def _count_error(self) -> None:
         self.stats.errors += 1
@@ -360,6 +389,8 @@ class SensingServer:
         if telemetry.enabled:
             telemetry.metrics.counter("serve.disconnects").inc()
             telemetry.events.emit("serve.disconnect", reason=reason)
+        if self.hub is not None:
+            self.hub.publish("serve.disconnect", reason=reason)
 
     async def _handle_frame(
         self, frame: dict[str, Any], owned: dict[str, ServeSession]
@@ -484,6 +515,16 @@ class SensingServer:
             if checkpoint is not None:
                 telemetry.metrics.counter("serve.sessions_resumed").inc()
             telemetry.metrics.gauge("serve.active_sessions").set(len(self.sessions))
+        if self.hub is not None:
+            self.hub.publish(
+                "session.opened",
+                session=session.id,
+                resumed=checkpoint is not None,
+                use_music=use_music,
+                window_size=config.window_size,
+                hop=config.hop,
+                active_sessions=len(self.sessions),
+            )
         return {
             "type": protocol.SESSION_OPENED,
             "session": session.id,
@@ -580,15 +621,28 @@ class SensingServer:
         telemetry = get_telemetry()
         if telemetry.enabled and columns:
             telemetry.metrics.counter("serve.columns").inc(len(columns))
+        health_events = [
+            {"state": event.state.value, "reason": event.reason}
+            for event in ingest.health_events
+        ]
+        if self.hub is not None:
+            # One batched event per push (not per column): the wire
+            # dicts already built for the reply are shared as-is, so a
+            # subscribed dashboard costs no extra encoding on this path.
+            if columns:
+                self.hub.publish("columns", session=session.id, columns=columns)
+            if detections:
+                self.hub.publish(
+                    "detections", session=session.id, detections=detections
+                )
+            if health_events:
+                self.hub.publish("health", session=session.id, events=health_events)
         reply: dict[str, Any] = {
             "type": protocol.SPECTROGRAM_COLUMNS,
             "session": session.id,
             "columns": columns,
             "detections": detections,
-            "health": [
-                {"state": event.state.value, "reason": event.reason}
-                for event in ingest.health_events
-            ],
+            "health": health_events,
         }
         if seq is not None:
             session.advance_seq(seq)

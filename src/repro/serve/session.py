@@ -365,6 +365,33 @@ class ServeSession:
                 self.recorder.record_detection(detection)
         return column, detection
 
+    def snapshot(self) -> dict[str, Any]:
+        """The session as the observe gateway's ``/api/sessions`` reports it.
+
+        Read-only operator view: health-machine state, idempotent-seq
+        progress, throughput accounting, and the drop/degradation
+        counters (ring overwrites, screened-bad blocks, shed pushes)
+        an operator triages a session with.
+        """
+        return {
+            "session": self.id,
+            "health": self.health.value,
+            "closed": self.closed,
+            "resumable": self.resumable,
+            "use_music": self.use_music,
+            "window_size": self.config.window_size,
+            "hop": self.config.hop,
+            "last_seq": self.last_seq,
+            "pushes": self.stats.pushes,
+            "samples_in": self.stats.samples_in,
+            "columns_out": self.stats.columns_out,
+            "detections": self.stats.detections,
+            "shed_requests": self.stats.shed_requests,
+            "bad_blocks": self.condition.bad_block_count,
+            "ring_dropped_samples": self.tracker.ring.dropped_sample_count,
+            "recording": self.recorder is not None,
+        }
+
     def close(self) -> dict[str, Any]:
         """Mark the session closed; return the ``session_closed`` body."""
         self.closed = True

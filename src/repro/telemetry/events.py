@@ -114,3 +114,31 @@ def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def read_jsonl_tolerant(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Load a JSONL file, skipping lines that do not parse.
+
+    A writer that has not flushed (or died mid-write) leaves a torn
+    line — usually the last one, but crash-truncated files can tear
+    anywhere.  Returns ``(records, skipped)`` where ``skipped`` counts
+    the unparseable lines, so report tooling can surface the loss
+    instead of refusing the whole file.
+    """
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped

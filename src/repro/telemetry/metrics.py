@@ -240,6 +240,58 @@ class MetricsRegistry:
         return path
 
 
+def diff_snapshot(
+    prev: dict[str, dict[str, Any]], cur: dict[str, dict[str, Any]]
+) -> dict[str, dict[str, Any]]:
+    """The delta between two registry snapshots, in merge form.
+
+    Feeding every delta of a snapshot chain (starting from ``{}``) to
+    :meth:`MetricsRegistry.merge` reproduces the final snapshot: counter
+    values and histogram bucket counts are integer-valued in practice so
+    their subtract-then-add round trip is exact; histogram ``min``/``max``
+    carry the running extrema (merge keeps extrema, so cumulative values
+    merge exactly); gauges carry the current value (last write wins).
+    Histogram ``sum`` telescopes up to float rounding.  Metrics that did
+    not change since ``prev`` are omitted; metrics never shrink, so a
+    name present in ``prev`` but not ``cur`` cannot happen with a live
+    registry and is ignored.
+    """
+    delta: dict[str, dict[str, Any]] = {}
+    for name, snap in cur.items():
+        kind = snap["type"]
+        before = prev.get(name)
+        if before is not None and before["type"] != kind:
+            raise ValueError(
+                f"metric {name!r} changed type {before['type']!r} -> {kind!r}"
+            )
+        if kind == "counter":
+            base = before["value"] if before else 0.0
+            if snap["value"] != base:
+                delta[name] = {"type": "counter", "value": snap["value"] - base}
+        elif kind == "gauge":
+            if before is None or before["value"] != snap["value"]:
+                delta[name] = {"type": "gauge", "value": snap["value"]}
+        elif kind == "histogram":
+            if before is not None and list(before["buckets"]) != list(snap["buckets"]):
+                raise ValueError(f"histogram {name!r} bucket edges changed")
+            base_count = before["count"] if before else 0
+            if snap["count"] == base_count:
+                continue
+            base_counts = before["counts"] if before else [0] * len(snap["counts"])
+            delta[name] = {
+                "type": "histogram",
+                "buckets": list(snap["buckets"]),
+                "counts": [c - b for c, b in zip(snap["counts"], base_counts)],
+                "count": snap["count"] - base_count,
+                "sum": snap["sum"] - (before["sum"] if before else 0.0),
+                "min": snap["min"],
+                "max": snap["max"],
+            }
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return delta
+
+
 # ----------------------------------------------------------------------
 # Stage accounting (absorbed from the retired runtime metrics module)
 # ----------------------------------------------------------------------

@@ -18,7 +18,7 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Any
 
-from repro.telemetry.events import read_jsonl
+from repro.telemetry.events import read_jsonl_tolerant
 from repro.telemetry.metrics import Histogram
 from repro.telemetry.session import EVENTS_FILE, METRICS_FILE, SPANS_FILE, TRACE_FILE
 
@@ -42,11 +42,18 @@ def _sparkline(values: list[float]) -> str:
     )
 
 
-def _load_metrics(directory: Path) -> dict[str, dict[str, Any]]:
+def _load_metrics(directory: Path) -> tuple[dict[str, dict[str, Any]], bool]:
+    """``(metrics, unreadable)`` — a torn metrics.json drops its section."""
     path = directory / METRICS_FILE
     if not path.exists():
-        return {}
-    return json.loads(path.read_text(encoding="utf-8"))
+        return {}, False
+    try:
+        metrics = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return {}, True
+    if not isinstance(metrics, dict):
+        return {}, True
+    return metrics, False
 
 
 def _histogram_from_snapshot(name: str, snap: dict[str, Any]) -> Histogram:
@@ -55,14 +62,14 @@ def _histogram_from_snapshot(name: str, snap: dict[str, Any]) -> Histogram:
     return histogram
 
 
-def _span_section(directory: Path, lines: list[str]) -> None:
+def _span_section(directory: Path, lines: list[str]) -> int:
     path = directory / SPANS_FILE
     if not path.exists():
-        return
-    spans = read_jsonl(path)
+        return 0
+    spans, skipped = read_jsonl_tolerant(path)
     lines.append(f"spans: {len(spans)} recorded")
     if not spans:
-        return
+        return skipped
     by_name: dict[str, list[float]] = defaultdict(list)
     for span in spans:
         by_name[span["name"]].append(span["duration_us"] / 1e3)
@@ -73,6 +80,7 @@ def _span_section(directory: Path, lines: list[str]) -> None:
             f"  {name:<28} {len(durations):>6} {sum(durations):>10.2f} "
             f"{sum(durations) / len(durations):>9.3f}"
         )
+    return skipped
 
 
 def _stage_section(metrics: dict[str, dict[str, Any]], lines: list[str]) -> None:
@@ -179,11 +187,14 @@ def summarize_run(directory: str | Path) -> str:
             f"{directory} contains no telemetry files ({', '.join(known)})"
         )
     lines = [f"telemetry report: {directory}", f"files: {', '.join(present)}", ""]
-    _span_section(directory, lines)
-    metrics = _load_metrics(directory)
+    skipped_lines = _span_section(directory, lines)
+    metrics, metrics_unreadable = _load_metrics(directory)
     _stage_section(metrics, lines)
     events_path = directory / EVENTS_FILE
-    events = read_jsonl(events_path) if events_path.exists() else []
+    events: list[dict[str, Any]] = []
+    if events_path.exists():
+        events, skipped_events = read_jsonl_tolerant(events_path)
+        skipped_lines += skipped_events
     _health_section(events, lines)
     _nulling_section(events, lines)
     _event_counts_section(events, lines)
@@ -196,4 +207,11 @@ def summarize_run(directory: str | Path) -> str:
         lines.append("counters:")
         for name, value in counters:
             lines.append(f"  {name:<28} {value:g}")
+    if skipped_lines:
+        lines.append(
+            f"skipped {skipped_lines} truncated/partial JSONL line(s) "
+            "(unflushed or interrupted writer)"
+        )
+    if metrics_unreadable:
+        lines.append(f"{METRICS_FILE} was unreadable (truncated write?); skipped")
     return "\n".join(lines)

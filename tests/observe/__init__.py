@@ -1,0 +1,1 @@
+"""The operator surface: hub fan-out, HTTP/WS gateway, replay."""

@@ -1,0 +1,12 @@
+"""Observe tests touch the process-global telemetry slot; keep it clean."""
+
+import pytest
+
+from repro.telemetry.context import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    reset_telemetry()
+    yield
+    reset_telemetry()

@@ -1,0 +1,110 @@
+"""Console smoke for the operator surface: ``--dashboard`` and ``observe``.
+
+Both listeners honor ``--port 0`` and print the bound port on one
+parseable line following the ``serve`` convention — the contract the
+CI gateway smoke step greps for.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.telemetry import Telemetry
+
+SERVE_LINE = re.compile(r"^serve: listening on (\S+) port (\d+)$", re.MULTILINE)
+OBSERVE_LINE = re.compile(r"^observe: listening on (\S+) port (\d+)$", re.MULTILINE)
+
+
+def _wait_for(log, pattern, process, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        match = pattern.search(log.read_text())
+        if match:
+            return match
+        if process.poll() is not None:
+            break
+        time.sleep(0.1)
+    raise AssertionError(f"no {pattern.pattern!r} line in: {log.read_text()!r}")
+
+
+@pytest.fixture
+def _spawn(tmp_path):
+    processes = []
+
+    def spawn(*argv):
+        log = tmp_path / f"console-{len(processes)}.log"
+        with log.open("w") as sink:
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", *argv],
+                stdout=sink,
+                stderr=subprocess.STDOUT,
+            )
+        processes.append(process)
+        return process, log
+
+    yield spawn
+    for process in processes:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def _get_json(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+class TestServeDashboard:
+    def test_dashboard_port_zero_prints_parseable_line(self, _spawn):
+        process, log = _spawn(
+            "serve", "--port", "0", "--duration", "30",
+            "--dashboard", "--dashboard-port", "0",
+        )
+        assert _wait_for(log, SERVE_LINE, process) is not None
+        match = _wait_for(log, OBSERVE_LINE, process)
+        port = int(match.group(2))
+        payload = _get_json(port, "/healthz")
+        assert payload["status"] == "ok"
+        assert payload["mode"] == "serve"
+        assert _get_json(port, "/readyz")["ready"] is True
+
+
+class TestObserveReplay:
+    def test_observe_replays_a_recorded_directory(self, _spawn, tmp_path):
+        run_dir = tmp_path / "run"
+        telemetry = Telemetry(enabled=True, out_dir=run_dir)
+        telemetry.events.emit(
+            "stream.detection", session="s1", time_s=1.0, angle_deg=12.0,
+            strength_db=4.0,
+        )
+        telemetry.metrics.counter("music.windows").inc(3)
+        telemetry.flush()
+
+        process, log = _spawn(
+            "observe", "--telemetry", str(run_dir), "--port", "0",
+            "--duration", "30",
+        )
+        match = _wait_for(log, OBSERVE_LINE, process)
+        port = int(match.group(2))
+        assert _wait_for(
+            log, re.compile(r"^observe: replaying 1 events", re.MULTILINE), process
+        )
+        assert _get_json(port, "/healthz")["mode"] == "replay"
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10
+        ) as resp:
+            assert b"repro_music_windows 3" in resp.read()
+
+    def test_observe_missing_directory_exits_2(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "observe",
+             "--telemetry", str(tmp_path / "nope")],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2

@@ -91,3 +91,36 @@ class TestSparkline:
     def test_flat_and_empty_series(self):
         assert _sparkline([]) == ""
         assert _sparkline([2.0, 2.0]) == "@@"
+
+
+class TestTruncatedTelemetry:
+    """A writer killed mid-line leaves torn JSONL; reporting must not die."""
+
+    def test_torn_event_line_is_skipped_and_counted(self, tmp_path):
+        _write_run(tmp_path)
+        with (tmp_path / "events.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "stream.gap", "block_index": 9, "dro')
+        report = summarize_run(tmp_path)
+        assert "skipped 1 truncated/partial JSONL line(s)" in report
+        # The intact lines still summarize in full.
+        assert "stream gaps: 1 (64 samples lost)" in report
+        assert "detections: 1" in report
+
+    def test_torn_lines_in_spans_and_events_both_count(self, tmp_path):
+        _write_run(tmp_path)
+        with (tmp_path / "spans.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn.span", "durat')
+        with (tmp_path / "events.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"kind": "half')
+        report = summarize_run(tmp_path)
+        assert "skipped 3 truncated/partial JSONL line(s)" in report
+        assert "spans: 1 recorded" in report
+
+    def test_unreadable_metrics_json_is_noted_not_fatal(self, tmp_path):
+        _write_run(tmp_path)
+        (tmp_path / "metrics.json").write_text('{"stage.track.la', encoding="utf-8")
+        report = summarize_run(tmp_path)
+        assert "metrics.json was unreadable" in report
+        # The metrics-fed sections are simply absent.
+        assert "music.windows" not in report
