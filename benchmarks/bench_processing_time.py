@@ -7,6 +7,13 @@ same length, times the frozen per-window reference loop on the same
 trace, asserts the two agree to <= 1e-12 with identical estimator
 decisions, and writes ``BENCH_processing_time.json`` for the CI
 perf-smoke step.
+
+It then re-times the same trace on every available non-default DSP
+backend (``--backend NAME`` restricts the sweep) and merges a
+per-backend entry — throughput, speedup over the float64 kernels,
+guard/count agreement, and the measured Eq. 5.3 denominator error —
+under the ``"backends"`` key of the same JSON, where
+``check_perf.py`` gates the float32 fast path.
 """
 
 import time
@@ -15,12 +22,13 @@ import numpy as np
 
 from common import SEED, emit, write_bench_json
 from repro.core.tracking import TrackingConfig, compute_spectrogram
+from repro.dsp import DEFAULT_BACKEND, backend_infos, get_backend, use_backend
 from repro.dsp.reference import spectrogram_reference
 from repro.environment.walls import stata_conference_room_small
 from repro.simulator.experiment import make_subject_pool, tracking_trial
 
 
-def bench_processing_time(benchmark):
+def bench_processing_time(benchmark, bench_backend):
     rng = np.random.default_rng(SEED + 30)
     pool = make_subject_pool(rng)
     trial = tracking_trial(stata_conference_room_small(), 2, 25.0, rng, pool)
@@ -66,6 +74,62 @@ def bench_processing_time(benchmark):
         "",
         "Outputs agree to <= 1e-12 with identical estimator decisions.",
     ]
+    # -- the backend sweep: same trace, every available fast path -------
+    if bench_backend is not None:
+        sweep = [bench_backend]
+    else:
+        sweep = [
+            info.name
+            for info in backend_infos()
+            if info.available and info.name != DEFAULT_BACKEND
+        ]
+    backends = {}
+    for name in sweep:
+        backend = get_backend(name)
+        with use_backend(name):
+            # Warm this backend's steering/transform memo off the clock.
+            compute_spectrogram(samples, config)
+            backend_s, fast = best_of(
+                3, lambda: compute_spectrogram(samples, config)
+            )
+
+        # Guard parity end to end: estimator and count decisions must
+        # be backend-invariant before any speedup means anything.
+        assert np.array_equal(fast.estimators, spectrogram.estimators), (
+            f"backend {name} changed estimator decisions"
+        )
+        count_agreement = float(
+            np.mean(fast.source_counts == spectrogram.source_counts)
+        )
+        assert count_agreement == 1.0, (
+            f"backend {name} changed source counts"
+        )
+        music = spectrogram.estimators == "music"
+        with np.errstate(divide="ignore"):
+            den = 1.0 / np.square(fast.power[music])
+            den_ref = 1.0 / np.square(spectrogram.power[music])
+        max_den_err = float(np.max(np.abs(den - den_ref))) if music.any() else 0.0
+        max_den_err_per_m = max_den_err / config.subarray_size
+        if backend.den_budget_per_m is not None:
+            assert max_den_err_per_m <= backend.den_budget_per_m, (
+                f"backend {name}: denominator error {max_den_err_per_m:.3g}/m "
+                f"over its {backend.den_budget_per_m:.3g}/m budget"
+            )
+        backends[name] = {
+            "batched_s": backend_s,
+            "windows_per_s": num_windows / backend_s,
+            "speedup_vs_float64": batched_s / backend_s,
+            "speedup_vs_reference": reference_s / backend_s,
+            "count_agreement": count_agreement,
+            "max_den_err_per_m": max_den_err_per_m,
+        }
+        lines.append(
+            f"  backend {name}:  {backend_s:.3f} s "
+            f"({num_windows / backend_s:.0f} windows/s, "
+            f"{batched_s / backend_s:.2f}x vs float64, "
+            f"den err {max_den_err_per_m:.2e}/m)"
+        )
+
     emit("processing_time_25s", "\n".join(lines))
     write_bench_json(
         "processing_time",
@@ -79,6 +143,7 @@ def bench_processing_time(benchmark):
             "columns_per_s": columns_per_s,
             "reference_windows_per_s": reference_windows_per_s,
             "speedup_vs_reference": speedup,
+            "backends": backends,
         },
     )
 

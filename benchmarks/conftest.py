@@ -28,7 +28,30 @@ def pytest_addoption(parser):
     )
 
 
+    parser.addoption(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "Restrict the DSP-backend comparison section of "
+            "bench_processing_time to one registered backend (default: "
+            "every available non-default backend). Defaults to the "
+            "REPRO_BENCH_BACKEND environment variable when unset."
+        ),
+    )
+
+
 @pytest.fixture
 def corpus_spec(pytestconfig) -> str | None:
     """The ``--corpus`` path, or ``REPRO_CORPUS``, or ``None``."""
     return pytestconfig.getoption("--corpus") or os.environ.get("REPRO_CORPUS") or None
+
+
+@pytest.fixture
+def bench_backend(pytestconfig) -> str | None:
+    """The ``--backend`` name, or ``REPRO_BENCH_BACKEND``, or ``None``."""
+    return (
+        pytestconfig.getoption("--backend")
+        or os.environ.get("REPRO_BENCH_BACKEND")
+        or None
+    )

@@ -148,6 +148,11 @@ class CaptureHeader:
         start_time_s: the tracker's time origin.
         ring_capacity: tracker ring sizing of the original run (replay
             rebuilds the same tracker; None = the tracker default).
+        dsp_backend: name of the DSP backend the recording process was
+            running — replay on the same backend reproduces columns
+            bit for bit; a different backend reproduces them within
+            that backend's budget.  None on captures recorded before
+            backends existed (treated as the float64 default).
         extra: free-form provenance (fault seed, session id, ...).
         format_version: on-disk layout version.
     """
@@ -162,6 +167,7 @@ class CaptureHeader:
     use_music: bool = True
     start_time_s: float = 0.0
     ring_capacity: int | None = None
+    dsp_backend: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
     format_version: int = CAPTURE_FORMAT_VERSION
 
@@ -181,6 +187,7 @@ class CaptureHeader:
             "use_music": self.use_music,
             "start_time_s": self.start_time_s,
             "ring_capacity": self.ring_capacity,
+            "dsp_backend": self.dsp_backend,
             "extra": jsonable(self.extra),
         }
 
@@ -216,6 +223,9 @@ class CaptureHeader:
             extra = payload.get("extra", {})
             if not isinstance(extra, dict):
                 raise ValueError("extra must be a JSON object")
+            dsp_backend = payload.get("dsp_backend")
+            if dsp_backend is not None:
+                dsp_backend = str(dsp_backend)
             return cls(
                 capture_id=capture_id,
                 created_ts=float(payload["created_ts"]),
@@ -227,6 +237,7 @@ class CaptureHeader:
                 use_music=bool(payload.get("use_music", True)),
                 start_time_s=float(payload.get("start_time_s", 0.0)),
                 ring_capacity=ring_capacity,
+                dsp_backend=dsp_backend,
                 extra=extra,
             )
         except (KeyError, TypeError, ValueError) as exc:

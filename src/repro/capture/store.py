@@ -40,6 +40,7 @@ from repro.capture.format import (
 )
 from repro.core.tracking import TrackingConfig
 from repro.capture.format import config_to_snapshot
+from repro.dsp.backend import active_backend_name
 from repro.errors import CaptureFormatError, CaptureNotFoundError
 from repro.telemetry.context import get_telemetry
 
@@ -168,14 +169,16 @@ class CaptureStore:
         use_music: bool = True,
         start_time_s: float = 0.0,
         ring_capacity: int | None = None,
+        dsp_backend: str | None = None,
         extra: dict[str, Any] | None = None,
         capture_id: str | None = None,
     ) -> CaptureWriter:
         """Mint a capture and return its streaming writer.
 
         The header is stamped here — id, creation time, git SHA,
-        config snapshot — so every recording tap writes provenance
-        without knowing about the store.
+        config snapshot, active DSP backend — so every recording tap
+        writes provenance without knowing about the store.
+        ``dsp_backend`` defaults to the process-wide active backend.
         """
         if capture_id is None:
             capture_id = self.new_capture_id()
@@ -192,6 +195,9 @@ class CaptureStore:
             use_music=use_music,
             start_time_s=start_time_s,
             ring_capacity=ring_capacity,
+            dsp_backend=(
+                dsp_backend if dsp_backend is not None else active_backend_name()
+            ),
             extra=dict(extra or {}),
         )
         writer = CaptureWriter(self.root / capture_id, header)

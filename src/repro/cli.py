@@ -53,6 +53,8 @@ import numpy as np
 from repro.analysis.plots import render_heatmap, render_series
 from repro.core.counting import SpatialVarianceClassifier, trace_spatial_variance
 from repro.core.gestures import GestureDecoder
+from repro.dsp.backend import backend_infos, quick_conformance, set_active_backend
+from repro.errors import DspBackendError
 from repro.environment.geometry import Point
 from repro.environment.human import Human
 from repro.environment.trajectories import GestureTrajectory
@@ -718,6 +720,36 @@ def cmd_captures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    """List DSP backends: availability, role, and conformance status.
+
+    One parseable line per backend —
+
+        ``name=numpy-float32 available=yes default=no active=no
+        dtype=complex64 conformance=pass(max_den_err=...)``
+
+    — so scripts (and the CI backend matrix) can grep a backend's
+    status without JSON plumbing.  Unavailable backends report the
+    import failure instead of a conformance verdict.
+    """
+    for info in backend_infos():
+        if not info.available:
+            status = f"unavailable({info.reason})"
+        elif args.no_check:
+            status = "skipped"
+        else:
+            status = quick_conformance(info.name)
+        out(
+            f"name={info.name} "
+            f"available={'yes' if info.available else 'no'} "
+            f"default={'yes' if info.default else 'no'} "
+            f"active={'yes' if info.active else 'no'} "
+            f"dtype={info.dtype} "
+            f"conformance={status}"
+        )
+    return 0
+
+
 def cmd_telemetry_report(args: argparse.Namespace) -> int:
     """Summarize a telemetry run directory (see ``--telemetry``)."""
     from repro.telemetry.report import summarize_run
@@ -736,6 +768,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Wi-Vi reproduction: see through walls with Wi-Fi",
+    )
+    parser.add_argument(
+        "--dsp-backend",
+        metavar="NAME",
+        default=None,
+        help="DSP backend for this process (overrides REPRO_DSP_BACKEND; "
+        "see `repro backends` for the registered names)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -1069,6 +1108,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(handler=cmd_telemetry_report)
 
+    backends = commands.add_parser(
+        "backends",
+        help="list DSP backends and their conformance status",
+    )
+    backends.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the conformance check (listing only)",
+    )
+    backends.add_argument(
+        "--quiet", action="store_true", help="suppress informational output"
+    )
+    backends.set_defaults(handler=cmd_backends)
+
     return parser
 
 
@@ -1083,6 +1136,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_cli_logging(quiet=getattr(args, "quiet", False))
+    if args.dsp_backend is not None:
+        try:
+            set_active_backend(args.dsp_backend)
+        except DspBackendError as exc:
+            out.error(str(exc))
+            return 2
     telemetry = None
     out_dir = getattr(args, "telemetry", None)
     trace_file = getattr(args, "trace", None)

@@ -25,14 +25,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import WAVELENGTH_M
+from repro.dsp.backend import DspBackend, active_backend
 from repro.dsp.covariance import smoothed_covariance_batch
 from repro.dsp.eig import (
     REASON_OK,
     classify_covariance_batch,
-    eigh_descending_batch,
     estimate_source_counts_batch,
 )
-from repro.dsp.spectrum import music_pseudospectra_batch
 from repro.dsp.steering import steering_matrix
 from repro.errors import DegenerateCovarianceError
 from repro.telemetry.context import get_telemetry
@@ -186,6 +185,7 @@ def smoothed_music_spectrum(
     wavelength_m: float = WAVELENGTH_M,
     forward_backward: bool = True,
     condition_limit: float | None = None,
+    backend: DspBackend | None = None,
 ) -> MusicResult:
     """Run smoothed MUSIC on one emulated-array window.
 
@@ -206,11 +206,20 @@ def smoothed_music_spectrum(
             (default) preserves the unguarded behaviour for synthetic
             noise-free inputs, whose rank-deficient covariances are
             legitimate.
+        backend: route the kernels through an explicit
+            :class:`~repro.dsp.backend.DspBackend` instead of the
+            process-wide active one.  This analytic API exposes the
+            intermediate covariance/eigenvector objects, so under a
+            budgeted backend it carries that backend's error budget;
+            only the fused batched path
+            (:func:`repro.core.tracking.estimate_windows_batch`)
+            additionally guarantees exact guard-decision parity.
 
     Raises:
         DegenerateCovarianceError: the window contains non-finite
             samples, or ``condition_limit`` is set and tripped.
     """
+    backend = backend if backend is not None else active_backend()
     window = np.asarray(window, dtype=complex)
     if window.ndim != 1:
         raise ValueError("window must be one-dimensional")
@@ -221,10 +230,10 @@ def smoothed_music_spectrum(
     w = len(window)
     if subarray_size is None:
         subarray_size = max(w // 2, 2)
-    covariance = smoothed_covariance_batch(
+    covariance = backend.smoothed_covariance_batch(
         window[np.newaxis, :], subarray_size, forward_backward
     )
-    values, vectors = eigh_descending_batch(covariance)
+    values, vectors = backend.eigh_descending_batch(covariance)
     eigenvalues = values[0]
     telemetry = get_telemetry()
     if telemetry.enabled:
@@ -248,8 +257,14 @@ def smoothed_music_spectrum(
 
     # Eq. 5.3: 1 / sum_j || u_j^H a(theta) ||^2 over noise eigenvectors —
     # dips to zero where a(theta) lies in the signal subspace.
-    steering = steering_matrix(theta_grid_deg, subarray_size, spacing_m, wavelength_m)
-    pseudospectrum = music_pseudospectra_batch(
+    steering = steering_matrix(
+        theta_grid_deg,
+        subarray_size,
+        spacing_m,
+        wavelength_m,
+        dtype=backend.steering_dtype,
+    )
+    pseudospectrum = backend.music_pseudospectra_batch(
         steering, vectors, np.array([num_sources])
     )[0]
     return MusicResult(

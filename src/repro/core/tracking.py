@@ -27,18 +27,9 @@ from repro.core.beamforming import (
     element_spacing_m,
     inverse_aoa_spectrum,
 )
-from repro.core.music import smoothed_music_spectrum
-from repro.dsp.covariance import smoothed_covariance_batch
-from repro.dsp.eig import (
-    REASON_OK,
-    classify_covariance_batch,
-    eigh_descending_batch,
-    estimate_source_counts_batch,
-)
-from repro.dsp.spectrum import beamform_batch, music_pseudospectra_batch
-from repro.dsp.steering import steering_matrix
+from repro.dsp.backend import DspBackend, active_backend
+from repro.dsp.eig import REASON_OK
 from repro.dsp.windows import sliding_windows
-from repro.errors import DegenerateCovarianceError
 from repro.telemetry.context import get_telemetry
 
 #: Estimator labels recorded per spectrogram frame.
@@ -236,32 +227,21 @@ def compute_diversity_spectrogram(
 
 
 def _beamformed_fallback_rows(
-    windows: np.ndarray, config: TrackingConfig
+    windows: np.ndarray,
+    config: TrackingConfig,
+    backend: DspBackend | None = None,
 ) -> np.ndarray:
     """Plain Eq. 5.1 spectra for a stack of windows MUSIC rejected.
 
     Non-finite samples (a NaN burst the screen let through) are zeroed
     first: beamforming degrades gracefully with missing elements,
     whereas a single NaN would poison the whole row.  The steering
-    table comes from the shared :mod:`repro.dsp.steering` cache, so
-    fallback-heavy fault-injection runs stop rebuilding it per window.
+    table comes from the shared :mod:`repro.dsp.steering` cache (in
+    the backend's dtype), so fallback-heavy fault-injection runs stop
+    rebuilding it per window.
     """
-    windows = np.asarray(windows, dtype=complex)
-    patched = np.where(np.isfinite(windows), windows, 0.0)
-    patched = patched - patched.mean(axis=1, keepdims=True)
-    steering = steering_matrix(
-        config.theta_grid_deg, windows.shape[1], config.spacing_m, config.wavelength_m
-    )
-    return beamform_batch(patched, steering)
-
-
-def _beamformed_fallback_row(
-    window: np.ndarray, config: TrackingConfig
-) -> np.ndarray:
-    """Single-window fallback: a batch of one through the same kernel,
-    so the streaming frame path matches the batched pipeline bit for
-    bit on rejected windows."""
-    return _beamformed_fallback_rows(np.asarray(window)[np.newaxis, :], config)[0]
+    backend = backend if backend is not None else active_backend()
+    return backend.beamform_fallback_batch(windows, config)
 
 
 @dataclass(frozen=True)
@@ -280,7 +260,9 @@ class SpectrogramFrame:
 
 
 def compute_spectrogram_frame(
-    window: np.ndarray, config: TrackingConfig
+    window: np.ndarray,
+    config: TrackingConfig,
+    backend: DspBackend | None = None,
 ) -> SpectrogramFrame:
     """Estimate a single emulated-array window under the degeneracy guard.
 
@@ -288,36 +270,22 @@ def compute_spectrogram_frame(
     saturated, dead, or corrupted — falls back to plain Eq. 5.1
     beamforming, with the chosen estimator recorded in the frame.
 
-    Delegates to the same batched kernels as the offline fast path (a
-    batch of one), so streaming columns stay bit-identical to
-    :func:`compute_spectrogram` rows over the same windows.
+    A batch of one through :func:`estimate_windows_batch` on the same
+    backend, so streaming columns stay bit-identical to
+    :func:`compute_spectrogram` rows over the same windows — per
+    backend, by the batch-stability contract.
     """
-    theta_grid = config.theta_grid_deg
-    try:
-        result = smoothed_music_spectrum(
-            window,
-            theta_grid,
-            config.spacing_m,
-            subarray_size=config.subarray_size,
-            max_sources=config.max_sources,
-            wavelength_m=config.wavelength_m,
-            condition_limit=config.condition_limit,
-        )
-        return SpectrogramFrame(
-            power=result.pseudospectrum,
-            num_sources=result.num_sources,
-            estimator=ESTIMATOR_MUSIC,
-        )
-    except DegenerateCovarianceError as exc:
-        telemetry = get_telemetry()
-        if telemetry.enabled:
-            telemetry.metrics.counter("music.fallbacks").inc()
-            telemetry.events.emit("music.fallback", reason=exc.reason)
-        return SpectrogramFrame(
-            power=_beamformed_fallback_row(window, config),
-            num_sources=0,
-            estimator=ESTIMATOR_BEAMFORMING,
-        )
+    window = np.asarray(window, dtype=complex)
+    if window.ndim != 1:
+        raise ValueError("window must be one-dimensional")
+    power, counts, estimators = estimate_windows_batch(
+        window[np.newaxis, :], config, backend=backend
+    )
+    return SpectrogramFrame(
+        power=power[0],
+        num_sources=int(counts[0]),
+        estimator=str(estimators[0]),
+    )
 
 
 def compute_beamformed_frame(
@@ -342,23 +310,30 @@ def compute_beamformed_frame(
 
 
 def estimate_windows_batch(
-    windows: np.ndarray, config: TrackingConfig
+    windows: np.ndarray,
+    config: TrackingConfig,
+    backend: DspBackend | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Estimate a whole stack of windows through the batched kernels.
 
-    The vectorized form of :func:`compute_spectrogram_frame`: one
-    smoothed-covariance einsum/matmul and one stacked ``eigh`` cover
-    every window that can attempt MUSIC; the degeneracy guard runs as a
-    vectorized screen, and the rejected windows are mask-and-patched
-    with batched Eq. 5.1 beamforming.  Because every kernel computes
-    each window independently of its batch, the rows here are
-    bit-identical to per-window :func:`compute_spectrogram_frame`
-    calls — the streaming tracker's golden-equivalence contract, and
+    The vectorized form of :func:`compute_spectrogram_frame`: the
+    active :class:`~repro.dsp.backend.DspBackend` (or an explicit
+    ``backend``) runs its fused smoothed-MUSIC pass over every window
+    that can attempt MUSIC; the degeneracy guard runs as a vectorized
+    screen, and the rejected windows are mask-and-patched with batched
+    Eq. 5.1 beamforming.  Because every backend computes each window
+    independently of its batch, the rows here are bit-identical to
+    per-window :func:`compute_spectrogram_frame` calls on the same
+    backend — the streaming tracker's golden-equivalence contract, and
     what lets the serving scheduler (:mod:`repro.serve.scheduler`)
     stack windows from *different* client sessions into one pass.
 
+    On the default ``numpy-float64`` backend the kernel sequence (and
+    its telemetry) is the exact pre-backend code path, bit for bit.
+
     Returns ``(power, source_counts, estimators)``.
     """
+    backend = backend if backend is not None else active_backend()
     windows = np.asarray(windows, dtype=complex)
     num_windows, window_size = windows.shape
     theta_grid = config.theta_grid_deg
@@ -374,13 +349,10 @@ def estimate_windows_batch(
     reasons = np.full(num_windows, "non-finite", dtype=object)
     music_rows = np.flatnonzero(finite)
     if music_rows.size:
-        covariance = smoothed_covariance_batch(
-            windows[music_rows], config.subarray_size
-        )
-        values, vectors = eigh_descending_batch(covariance)
+        result = backend.music_batch(windows[music_rows], config)
         if telemetry.enabled:
             windows_counter = telemetry.metrics.counter("music.windows")
-            for row_values in values:
+            for row_values in result.eigenvalues:
                 windows_counter.inc()
                 telemetry.events.emit(
                     "music.eigenvalues",
@@ -388,21 +360,12 @@ def estimate_windows_batch(
                     window_size=window_size,
                     subarray_size=config.subarray_size,
                 )
-        guard = classify_covariance_batch(values, config.condition_limit)
-        reasons[music_rows] = guard
-        passed = guard == REASON_OK
+        reasons[music_rows] = result.reasons
+        passed = result.reasons == REASON_OK
         ok_rows = music_rows[passed]
         if ok_rows.size:
-            source_counts = estimate_source_counts_batch(
-                values[passed], config.max_sources
-            )
-            steering = steering_matrix(
-                theta_grid, config.subarray_size, config.spacing_m, config.wavelength_m
-            )
-            power[ok_rows] = music_pseudospectra_batch(
-                steering, vectors[passed], source_counts
-            )
-            counts[ok_rows] = source_counts
+            power[ok_rows] = result.power[passed]
+            counts[ok_rows] = result.source_counts[passed]
             estimators[ok_rows] = ESTIMATOR_MUSIC
 
     fallback_rows = np.flatnonzero(reasons != REASON_OK)
@@ -413,7 +376,7 @@ def estimate_windows_batch(
                 fallback_counter.inc()
                 telemetry.events.emit("music.fallback", reason=reasons[row])
         power[fallback_rows] = _beamformed_fallback_rows(
-            windows[fallback_rows], config
+            windows[fallback_rows], config, backend=backend
         )
     return power, counts, estimators
 

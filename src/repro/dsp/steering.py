@@ -41,6 +41,7 @@ def compute_steering_matrix(
     array_size: int,
     spacing_m: float,
     wavelength_m: float = WAVELENGTH_M,
+    dtype: np.dtype | type = np.complex128,
 ) -> np.ndarray:
     """Uncached steering table a(theta) over a grid of angles.
 
@@ -50,6 +51,10 @@ def compute_steering_matrix(
     :func:`repro.core.beamforming.steering_vector`, which delegates
     here so both spellings share one formula).  Shape
     (num_angles, array_size); always freshly allocated and writable.
+
+    ``dtype`` narrows the table for reduced-precision backends; the
+    phases are always evaluated in float64 first, so the complex64
+    table is the correctly-rounded cast of the reference table.
     """
     if array_size < 1:
         raise ValueError("array size must be positive")
@@ -62,7 +67,10 @@ def compute_steering_matrix(
         * np.outer(np.sin(np.radians(thetas)), indices)
         * spacing_m
     )
-    return np.exp(-1j * phase)
+    table = np.exp(-1j * phase)
+    if np.dtype(dtype) != table.dtype:
+        table = table.astype(dtype)
+    return table
 
 
 def steering_matrix(
@@ -70,25 +78,37 @@ def steering_matrix(
     array_size: int,
     spacing_m: float,
     wavelength_m: float = WAVELENGTH_M,
+    dtype: np.dtype | type = np.complex128,
 ) -> np.ndarray:
     """Memoized steering table, shared process-wide.
 
     Returns the same **read-only** array for every call with the same
-    (theta grid, array size, spacing, wavelength); copy before
+    (theta grid, array size, spacing, wavelength, dtype); copy before
     mutating.  This is the hot-path entry point — the offline pipeline,
     the streaming tracker, the degeneracy fallback, and the diversity
     combiner all key into the same table.
+
+    The dtype is part of the cache key: a reduced-precision backend
+    (``repro.dsp.backend_f32``) caches its complex64 tables alongside
+    — never instead of — the float64 reference tables, so a float32
+    session can't poison the default backend's cache.
     """
     global _hits, _misses
     thetas = np.ascontiguousarray(np.atleast_1d(theta_grid_deg), dtype=float)
-    key = (int(array_size), float(spacing_m), float(wavelength_m), thetas.tobytes())
+    key = (
+        int(array_size),
+        float(spacing_m),
+        float(wavelength_m),
+        np.dtype(dtype).str,
+        thetas.tobytes(),
+    )
     with _lock:
         table = _cache.get(key)
         if table is not None:
             _hits += 1
             _cache.move_to_end(key)
             return table
-    table = compute_steering_matrix(thetas, array_size, spacing_m, wavelength_m)
+    table = compute_steering_matrix(thetas, array_size, spacing_m, wavelength_m, dtype)
     table.setflags(write=False)
     with _lock:
         _misses += 1

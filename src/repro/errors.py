@@ -18,6 +18,7 @@ Hierarchy::
     │   └── ClockFault
     ├── CalibrationError       (Algorithm 1 could not converge)
     ├── DegenerateCovarianceError  (MUSIC cannot run on this window)
+    ├── DspBackendError        (a DSP backend is unknown or unavailable)
     ├── CaptureQualityError    (a screened capture was rejected)
     ├── DeviceFailedError      (the health machine gave up)
     ├── ProtocolError          (a serving wire frame was invalid)
@@ -88,6 +89,16 @@ class DegenerateCovarianceError(ReproError):
     def __init__(self, message: str, reason: str = "ill-conditioned"):
         super().__init__(message)
         self.reason = reason
+
+
+class DspBackendError(ReproError):
+    """A DSP backend was requested that is unknown or unavailable.
+
+    Raised by the :mod:`repro.dsp.backend` registry when
+    ``REPRO_DSP_BACKEND``/``--dsp-backend`` names a backend that was
+    never registered, or one whose dependency (e.g. numba) cannot be
+    imported in this process.
+    """
 
 
 class CaptureQualityError(ReproError):

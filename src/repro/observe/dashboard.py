@@ -83,6 +83,7 @@ DASHBOARD_HTML = r"""<!DOCTYPE html>
 <div class="sub">
   <span id="conn">connecting&hellip;</span>
   <span id="mode"></span>
+  <span id="backend"></span>
 </div>
 <div class="tiles">
   <div class="tile"><div class="v" id="t-sessions">&ndash;</div><div class="k">active sessions</div></div>
@@ -276,6 +277,9 @@ function onEvent(ev) {
   switch (ev.kind) {
     case "hello":
       document.getElementById("mode").textContent = " · mode: " + ev.mode;
+      if (ev.dsp_backend)
+        document.getElementById("backend").textContent =
+          " · dsp: " + ev.dsp_backend;
       break;
     case "columns": {
       const strip = stripFor(ev.session);

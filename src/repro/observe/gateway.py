@@ -28,6 +28,7 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
+from repro.dsp.backend import active_backend_name
 from repro.errors import ProtocolError
 from repro.observe.dashboard import DASHBOARD_HTML
 from repro.observe.http import (
@@ -274,6 +275,7 @@ class ObserveGateway:
                 "status": "ok",
                 "mode": self.mode,
                 "subscribers": self.hub.subscriber_count,
+                "dsp_backend": active_backend_name(),
             },
         )
 
@@ -320,6 +322,13 @@ class ObserveGateway:
         merged["observe.ws_connections"] = {
             "type": "counter",
             "value": float(self.ws_connections),
+        }
+        # Info-style sample: the value is always 1, the identity rides
+        # the label — the Prometheus idiom for build/config facts.
+        merged["dsp.backend_info"] = {
+            "type": "gauge",
+            "value": 1.0,
+            "labels": {"backend": active_backend_name()},
         }
         return render_prometheus(merged)
 
@@ -396,6 +405,7 @@ class ObserveGateway:
                     "kind": "hello",
                     "mode": self.mode,
                     "interval_s": self.config.interval_s,
+                    "dsp_backend": active_backend_name(),
                 },
             )
             if self.replay is not None:

@@ -40,14 +40,32 @@ def format_value(value: Any) -> str:
     return repr(number)
 
 
+def _label_block(snap: dict[str, Any]) -> str:
+    """``{k="v",...}`` from an optional ``labels`` mapping on the snap.
+
+    Info-style samples (``repro_dsp_backend_info{backend="..."} 1``)
+    carry their identity in labels; ordinary instruments have none and
+    render unchanged.  Label values are sanitized to the same
+    no-escaping subset :func:`parse_exposition` reads back.
+    """
+    labels = snap.get("labels")
+    if not labels:
+        return ""
+    pairs = ",".join(
+        f'{_NAME_RE.sub("_", str(key))}="{str(value).replace(chr(34), "_")}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{{{pairs}}}"
+
+
 def _render_counter(name: str, snap: dict[str, Any], lines: list[str]) -> None:
     lines.append(f"# TYPE {name} counter")
-    lines.append(f"{name} {format_value(snap['value'])}")
+    lines.append(f"{name}{_label_block(snap)} {format_value(snap['value'])}")
 
 
 def _render_gauge(name: str, snap: dict[str, Any], lines: list[str]) -> None:
     lines.append(f"# TYPE {name} gauge")
-    lines.append(f"{name} {format_value(snap['value'])}")
+    lines.append(f"{name}{_label_block(snap)} {format_value(snap['value'])}")
 
 
 def _render_histogram(name: str, snap: dict[str, Any], lines: list[str]) -> None:

@@ -24,6 +24,7 @@ from repro.core.tracking import (
     compute_beamformed_frame,
     compute_spectrogram_frame,
 )
+from repro.dsp.backend import active_backend_name
 from repro.telemetry.metrics import StageMetrics, StageTimer
 from repro.runtime.ring import SampleRingBuffer
 
@@ -146,6 +147,18 @@ class StreamingTracker:
     @property
     def samples_seen(self) -> int:
         return self._samples_seen
+
+    @property
+    def dsp_backend(self) -> str:
+        """Name of the DSP backend this tracker's estimates run on.
+
+        Resolved per call from the process-wide selection
+        (:func:`repro.dsp.backend.active_backend`), because the tracker
+        delegates every estimate to the active backend at estimate
+        time — sessions surface this in their snapshots so an operator
+        can tell budgeted columns from bit-exact ones.
+        """
+        return active_backend_name()
 
     def _estimate(self, window: np.ndarray) -> SpectrogramFrame:
         if self.use_music:

@@ -47,6 +47,7 @@ from repro.core.tracking import (
     TrackingConfig,
     estimate_windows_batch,
 )
+from repro.dsp.backend import active_backend_name
 from repro.dsp.spectrum import beamform_batch
 from repro.dsp.steering import steering_matrix
 from repro.errors import ServeOverloadError
@@ -134,6 +135,7 @@ class SchedulerStats:
             "mean_batch_windows": self.mean_batch_windows,
             "batch_p50": self.occupancy.percentile(0.5),
             "batch_p99": self.occupancy.percentile(0.99),
+            "dsp_backend": active_backend_name(),
         }
 
 

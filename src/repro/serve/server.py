@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.dsp.backend import active_backend_name
 from repro.errors import (
     ProtocolError,
     ReproError,
@@ -450,6 +451,7 @@ class SensingServer:
             "type": protocol.SERVER_STATS_REPLY,
             "active_sessions": len(self.sessions),
             "queue_depth": self.scheduler.queue_depth,
+            "dsp_backend": active_backend_name(),
             "server": self.stats.snapshot(),
             "scheduler": self.scheduler.stats.snapshot(),
         }

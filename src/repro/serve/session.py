@@ -390,6 +390,7 @@ class ServeSession:
             "bad_blocks": self.condition.bad_block_count,
             "ring_dropped_samples": self.tracker.ring.dropped_sample_count,
             "recording": self.recorder is not None,
+            "dsp_backend": self.tracker.dsp_backend,
         }
 
     def close(self) -> dict[str, Any]:

@@ -117,6 +117,15 @@ class TestRoundTrip:
         assert rebuilt == header
         assert rebuilt.tracking_config() == TrackingConfig()
 
+    def test_header_carries_dsp_backend(self):
+        header = _header(dsp_backend="numpy-float32")
+        rebuilt = CaptureHeader.from_dict(header.to_dict())
+        assert rebuilt.dsp_backend == "numpy-float32"
+        # Pre-backend captures have no field; the reader defaults None.
+        payload = _header().to_dict()
+        del payload["dsp_backend"]
+        assert CaptureHeader.from_dict(payload).dsp_backend is None
+
     def test_events_roundtrip_in_order(self, tmp_path):
         events = [("gap", {"block_index": 50, "dropped_samples": 12}),
                   ("health", {"block_index": 2, "state": "degraded", "reason": "x"}),

@@ -48,6 +48,27 @@ def _record(store: CaptureStore, num_blocks: int = 1, seal: bool = True) -> str:
     return writer.header.capture_id
 
 
+class TestProvenance:
+    def test_create_stamps_the_active_dsp_backend(self, aged_store):
+        from repro.dsp import use_backend
+
+        default_id = _record(aged_store)
+        with use_backend("numpy-float32"):
+            f32_id = _record(aged_store)
+        assert aged_store.open(default_id).header.dsp_backend == "numpy-float64"
+        assert aged_store.open(f32_id).header.dsp_backend == "numpy-float32"
+
+    def test_create_accepts_explicit_dsp_backend(self, aged_store):
+        writer = aged_store.create(
+            source="test",
+            config=TrackingConfig(),
+            sample_rate_hz=312.5,
+            dsp_backend="numba",
+        )
+        writer.seal()
+        assert aged_store.open(writer.header.capture_id).header.dsp_backend == "numba"
+
+
 class TestRetention:
     def test_age_bound_drops_only_expired_captures(self, aged_store, clock):
         old = _record(aged_store)

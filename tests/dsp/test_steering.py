@@ -86,6 +86,26 @@ def test_compute_steering_matrix_validation():
         compute_steering_matrix(THETAS, 0, 0.05)
 
 
+def test_dtype_is_part_of_the_cache_key():
+    f64 = steering_matrix(THETAS, 32, 0.05)
+    f32 = steering_matrix(THETAS, 32, 0.05, dtype=np.complex64)
+    assert f64.dtype == np.complex128
+    assert f32.dtype == np.complex64
+    assert cache_info().entries == 2
+    # Re-requesting the float64 table after a float32 session returns
+    # the original object bit for bit — a reduced-precision backend
+    # can never poison the default backend's cache.
+    again = steering_matrix(THETAS, 32, 0.05)
+    assert again is f64
+    assert steering_matrix(THETAS, 32, 0.05, dtype=np.complex64) is f32
+
+
+def test_narrow_table_is_the_correctly_rounded_cast():
+    f64 = steering_matrix(THETAS, 32, 0.05)
+    f32 = steering_matrix(THETAS, 32, 0.05, dtype=np.complex64)
+    assert np.array_equal(f32, f64.astype(np.complex64))
+
+
 def test_formula_matches_core_steering_vector():
     from repro.core.beamforming import steering_vector
 

@@ -92,6 +92,7 @@ class TestRoutes:
                 assert status == 200
                 assert payload["status"] == "ok"
                 assert payload["mode"] == "hub"
+                assert payload["dsp_backend"] == "numpy-float64"
                 status, payload = await http_get_json(gateway.port, "/readyz")
                 assert status == 200
                 assert payload["ready"] is True
@@ -164,6 +165,7 @@ class TestLiveServer:
                 assert snap["health"] == "healthy"
                 assert snap["columns_out"] == 9
                 assert snap["samples_in"] == 200
+                assert snap["dsp_backend"] == "numpy-float64"
                 status, detail = await http_get_json(
                     gateway.port, f"/api/sessions/{session}"
                 )
@@ -195,6 +197,7 @@ class TestLiveServer:
                 hello = await ws.recv(timeout=5.0)
                 assert hello["kind"] == "hello"
                 assert hello["mode"] == "serve"
+                assert hello["dsp_backend"] == "numpy-float64"
 
                 client = AsyncServeClient("127.0.0.1", server.port)
                 await client.connect()

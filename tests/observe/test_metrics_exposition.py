@@ -48,6 +48,20 @@ class TestSanitizeAndFormat:
         assert format_value(None) == "NaN"
         assert format_value(float("inf")) == "+Inf"
 
+    def test_labelled_info_gauges_render_and_parse(self):
+        text = render_prometheus(
+            {
+                "dsp.backend_info": {
+                    "type": "gauge",
+                    "value": 1.0,
+                    "labels": {"backend": "numpy-float32"},
+                }
+            }
+        )
+        assert '# TYPE repro_dsp_backend_info gauge' in text
+        samples = parse_exposition(text)
+        assert samples['repro_dsp_backend_info{backend="numpy-float32"}'] == 1.0
+
 
 class TestBucketCumulativity:
     def test_buckets_are_cumulative_and_inf_equals_count(self):
@@ -79,6 +93,11 @@ class TestBucketCumulativity:
                 _, _, body = await http_get(gateway.port, "/metrics")
                 text = body.decode()
                 samples = parse_exposition(text)
+                # The backend identity rides an info-style sample.
+                assert (
+                    samples['repro_dsp_backend_info{backend="numpy-float64"}']
+                    == 1.0
+                )
                 for family, kind in _sample_types(text).items():
                     if kind != "histogram":
                         continue

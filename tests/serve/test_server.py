@@ -57,6 +57,8 @@ class TestLifecycle:
                 assert (await client.ping())["type"] == protocol.PONG
                 stats = await client.server_stats()
                 assert stats["active_sessions"] == 0
+                assert stats["dsp_backend"] == "numpy-float64"
+                assert stats["scheduler"]["dsp_backend"] == "numpy-float64"
                 # The ping plus the stats request itself.
                 assert stats["server"]["requests"] == 2
                 await client.aclose()

@@ -255,3 +255,48 @@ def test_telemetry_deactivated_after_run(tmp_path):
 
     main(["nulling", "--seed", "2", "--telemetry", str(tmp_path / "t")])
     assert get_telemetry().enabled is False
+
+
+def test_backends_command_lists_parseable_lines(capsys):
+    code = main(["backends"])
+    assert code == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.startswith("name=")]
+    rows = {}
+    for line in lines:
+        fields = dict(part.split("=", 1) for part in line.split(" ", 5))
+        rows[fields["name"]] = fields
+    assert rows["numpy-float64"]["default"] == "yes"
+    assert rows["numpy-float64"]["conformance"] == "exact"
+    assert rows["numpy-float32"]["dtype"] == "complex64"
+    assert rows["numpy-float32"]["conformance"].startswith(
+        ("pass(", "unavailable")
+    )
+    assert "numba" in rows  # registered even when not importable
+
+
+def test_backends_no_check_skips_conformance(capsys):
+    code = main(["backends", "--no-check"])
+    assert code == 0
+    out_text = capsys.readouterr().out
+    assert "conformance=skipped" in out_text
+
+
+def test_dsp_backend_flag_selects_and_restores(capsys):
+    from repro.dsp import DEFAULT_BACKEND, set_active_backend
+
+    try:
+        code = main(["--dsp-backend", "numpy-float32", "backends", "--no-check"])
+        assert code == 0
+        out_text = capsys.readouterr().out
+        assert "name=numpy-float32" in out_text
+        for line in out_text.splitlines():
+            if line.startswith("name=numpy-float32"):
+                assert "active=yes" in line
+    finally:
+        set_active_backend(DEFAULT_BACKEND)
+
+
+def test_dsp_backend_flag_rejects_unknown_name(capsys):
+    code = main(["--dsp-backend", "bogus", "backends", "--no-check"])
+    assert code == 2
+    assert "unknown DSP backend" in capsys.readouterr().err
