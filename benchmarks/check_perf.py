@@ -23,6 +23,12 @@ back to a per-window loop), not a microbenchmark:
   serve baseline's fraction floor, and ``speedup_vs_serial`` — the
   cross-session micro-batching win over the identical server with
   ``max_batch_windows=1`` — above ``min_speedup_vs_serial``.
+* ``bench_fleet.py`` (optional — gated only when ``BENCH_fleet.json``
+  exists): zero diverged columns always; the 2-worker-over-1-worker
+  scaling floor applies only when the bench recorded
+  ``multi_core: true`` — on a single-core runner both workers
+  time-share one CPU and the ratio is noise, so the scaling check is
+  skipped with a note.
 """
 
 from __future__ import annotations
@@ -189,11 +195,63 @@ def _check_serve_load(failures: list[str]) -> None:
             failures.append("dashboard bench: the live consumer received no columns")
 
 
+def _check_fleet(failures: list[str]) -> None:
+    result_path = OUTPUT / "BENCH_fleet.json"
+    if not result_path.exists():
+        print("fleet gate skipped: no BENCH_fleet.json")
+        return
+    result = json.loads(result_path.read_text())
+    baseline = json.loads((BASELINES / "fleet_baseline.json").read_text())
+
+    floor = (
+        baseline["columns_per_s_1_worker"] * baseline["min_fraction_of_baseline"]
+    )
+    one_worker = result["columns_per_s_1_worker"]
+    scaling = result["scaling_2_workers"]
+    min_scaling = baseline["min_scaling_2_workers"]
+
+    print(
+        f"fleet throughput: {one_worker:.0f} columns/s at 1 worker "
+        f"(baseline {baseline['columns_per_s_1_worker']:.0f}, floor {floor:.0f})"
+    )
+    if one_worker < floor:
+        failures.append(
+            f"fleet throughput {one_worker:.0f} columns/s below floor {floor:.0f}"
+        )
+
+    if result.get("multi_core"):
+        print(
+            f"fleet 2-worker scaling: {scaling:.2f}x (floor {min_scaling:.1f}x)"
+        )
+        if scaling < min_scaling:
+            failures.append(
+                f"fleet 2-worker scaling {scaling:.2f}x below floor "
+                f"{min_scaling:.1f}x"
+            )
+    else:
+        print(
+            f"fleet scaling gate skipped: single-core runner "
+            f"({result.get('cpu_count', 1)} cpu, measured {scaling:.2f}x)"
+        )
+
+    if result.get("diverged_columns", 0):
+        failures.append(
+            f"fleet load diverged on {result['diverged_columns']} columns"
+        )
+    if result.get("incomplete_sessions", 0):
+        failures.append(
+            f"fleet load left {result['incomplete_sessions']} sessions incomplete"
+        )
+    if not result.get("all_outcomes_defined", True):
+        failures.append("a fleet load session ended in an undefined state")
+
+
 def main() -> int:
     """Exit 0 when every present benchmark clears its baseline gates."""
     failures: list[str] = []
     _check_processing_time(failures)
     _check_serve_load(failures)
+    _check_fleet(failures)
     for failure in failures:
         print(f"PERF REGRESSION: {failure}")
     if not failures:

@@ -26,9 +26,15 @@ from __future__ import annotations
 import json
 import shutil
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.capture.format import (
     FOOTER_FILE,
@@ -45,6 +51,12 @@ from repro.errors import CaptureFormatError, CaptureNotFoundError
 from repro.telemetry.context import get_telemetry
 
 AUDIT_FILE = "audit.ndjson"
+
+#: Store-wide advisory lock file.  Every mutation that must be atomic
+#: across *processes* — capture-id mint + writer construction, audit
+#: appends, prune renames — runs under an exclusive ``flock`` on it,
+#: so N fleet shard workers can share one ``--record`` store.
+STORE_LOCK_FILE = ".store.lock"
 
 #: Tombstone prefix of a capture mid-removal (never listed, swept on
 #: the next prune).
@@ -115,6 +127,35 @@ class CaptureStore:
         self.policy = policy if policy is not None else RetentionPolicy()
         self._clock = clock
         self._id_counter = 0
+        self._lock_depth = 0
+
+    # ------------------------------------------------------------------
+    # Cross-process serialization
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Exclusive advisory lock over the store directory.
+
+        Reentrant within one store instance (``create`` audits while
+        already holding the lock; ``flock`` on a second fd of the same
+        file would self-deadlock).  Where ``fcntl`` is unavailable the
+        lock degrades to a no-op — single-writer stores are unaffected,
+        and multi-process recording is a POSIX deployment anyway.
+        """
+        self._lock_depth += 1
+        try:
+            if self._lock_depth > 1 or fcntl is None:
+                yield
+                return
+            with (self.root / STORE_LOCK_FILE).open("a") as handle:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            self._lock_depth -= 1
 
     # ------------------------------------------------------------------
     # Audit
@@ -128,8 +169,9 @@ class CaptureStore:
         if capture_id is not None:
             record["capture_id"] = capture_id
         record.update(fields)
-        with (self.root / AUDIT_FILE).open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        with self._lock():
+            with (self.root / AUDIT_FILE).open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.events.emit("capture.audit", **record)
@@ -180,28 +222,34 @@ class CaptureStore:
         writes provenance without knowing about the store.
         ``dsp_backend`` defaults to the process-wide active backend.
         """
-        if capture_id is None:
-            capture_id = self.new_capture_id()
-        if not capture_id or "/" in capture_id or capture_id.startswith("."):
-            raise CaptureFormatError(f"invalid capture id {capture_id!r}")
-        header = CaptureHeader(
-            capture_id=capture_id,
-            created_ts=float(self._clock()),
-            git_sha=git_sha(),
-            seed=seed,
-            sample_rate_hz=float(sample_rate_hz),
-            source=source,
-            config=config_to_snapshot(config),
-            use_music=use_music,
-            start_time_s=start_time_s,
-            ring_capacity=ring_capacity,
-            dsp_backend=(
-                dsp_backend if dsp_backend is not None else active_backend_name()
-            ),
-            extra=dict(extra or {}),
-        )
-        writer = CaptureWriter(self.root / capture_id, header)
-        self._audit("create", capture_id, source=source, seed=seed)
+        with self._lock():
+            # Mint and mkdir under one lock span: the id's uniqueness
+            # check is only meaningful if the directory exists before
+            # any concurrent writer re-runs the check.
+            if capture_id is None:
+                capture_id = self.new_capture_id()
+            if not capture_id or "/" in capture_id or capture_id.startswith("."):
+                raise CaptureFormatError(f"invalid capture id {capture_id!r}")
+            header = CaptureHeader(
+                capture_id=capture_id,
+                created_ts=float(self._clock()),
+                git_sha=git_sha(),
+                seed=seed,
+                sample_rate_hz=float(sample_rate_hz),
+                source=source,
+                config=config_to_snapshot(config),
+                use_music=use_music,
+                start_time_s=start_time_s,
+                ring_capacity=ring_capacity,
+                dsp_backend=(
+                    dsp_backend
+                    if dsp_backend is not None
+                    else active_backend_name()
+                ),
+                extra=dict(extra or {}),
+            )
+            writer = CaptureWriter(self.root / capture_id, header)
+            self._audit("create", capture_id, source=source, seed=seed)
         return writer
 
     # ------------------------------------------------------------------
@@ -295,6 +343,10 @@ class CaptureStore:
         cannot silently exempt the store from its budget.
         """
         policy = policy if policy is not None else self.policy
+        with self._lock():
+            return self._prune_locked(policy)
+
+    def _prune_locked(self, policy: RetentionPolicy) -> list[CaptureInfo]:
         self._sweep_tombstones()
         if policy.unbounded:
             return []

@@ -14,6 +14,11 @@ Subcommands, one per headline capability:
   ``--record DIR`` taps every fresh session into a capture store;
   ``--dashboard`` co-hosts the ``repro.observe`` HTTP/WebSocket
   gateway (Prometheus ``/metrics``, live dashboard at ``/``).
+* ``fleet``     — the sharded multi-worker service (`repro.fleet`): a
+  routing frontend over ``--workers N`` forked serve processes, with
+  consistent-hash session placement, shard drain, crash supervision,
+  and exactly-merged cross-process telemetry.  Takes the same
+  ``--record`` / ``--dashboard`` flags as ``serve``.
 * ``observe``   — serve the same gateway over a *recorded*
   ``--telemetry`` run directory: replayed events on ``/ws/live``, the
   recorded metrics snapshot on ``/metrics``.
@@ -442,6 +447,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the sharded multi-worker sensing fleet until stopped."""
+    import asyncio
+
+    from repro.fleet import FleetConfig, FleetServer
+    from repro.serve import SchedulerConfig, ServeConfig
+
+    config = FleetConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        serve=ServeConfig(
+            max_sessions=args.max_sessions,
+            write_timeout_s=args.write_timeout if args.write_timeout > 0 else None,
+            scheduler=SchedulerConfig(
+                max_batch_windows=args.max_batch_windows,
+                queue_capacity=args.queue_capacity,
+            ),
+        ),
+        client_idle_timeout_s=(
+            args.idle_timeout if args.idle_timeout > 0 else None
+        ),
+        drain_timeout_s=args.drain_timeout,
+        record_dir=args.record,
+        telemetry_dir=getattr(args, "telemetry", None),
+        dsp_backend=args.dsp_backend,
+    )
+
+    async def run() -> int:
+        hub = None
+        gateway = None
+        if args.dashboard:
+            from repro.observe import ObserveConfig, ObserveGateway, TelemetryHub
+
+            hub = TelemetryHub()
+        fleet = FleetServer(config, hub=hub)
+        port = await fleet.start()
+        # Same parseable convention as serve's bind line; the per-shard
+        # lines let scripts (and the CI smoke step) find worker pids.
+        out(f"fleet: listening on {config.host} port {port}")
+        for snap in fleet.shard_snapshots():
+            out(
+                f"fleet: shard {snap['shard']} pid {snap['pid']} "
+                f"port {snap['port']}"
+            )
+        if hub is not None:
+            gateway = ObserveGateway(
+                hub,
+                fleet=fleet,
+                config=ObserveConfig(
+                    host=args.dashboard_host, port=args.dashboard_port
+                ),
+            )
+            dashboard_port = await gateway.start()
+            out(
+                f"observe: listening on {args.dashboard_host} "
+                f"port {dashboard_port}"
+            )
+        try:
+            await fleet.serve_until_stopped(args.duration)
+        finally:
+            if gateway is not None:
+                await gateway.shutdown()
+            await fleet.shutdown()
+        stats = fleet.stats.snapshot()
+        out(
+            f"fleet: routed {stats['sessions_routed']} session(s) "
+            f"({stats['sessions_resumed']} resumed, "
+            f"{stats['shed_sessions']} shed) across {config.workers} "
+            f"worker(s); {stats['worker_restarts']} restart(s), "
+            f"{stats['requests_relayed']} requests relayed"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        out("fleet: interrupted, shut down")
+        return 0
+
+
 def cmd_observe(args: argparse.Namespace) -> int:
     """Serve the observe gateway over a recorded telemetry directory."""
     import asyncio
@@ -493,6 +579,47 @@ def cmd_load(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import run_chaos_load, run_load
+
+    if args.resilient:
+        from repro.fleet import run_fleet_load
+
+        report = asyncio.run(
+            run_fleet_load(
+                host=args.host,
+                port=args.port,
+                sessions=args.sessions,
+                pushes=args.pushes,
+                block_size=args.block_size,
+                seed=args.seed,
+                config={"window_size": 64, "hop": 16, "subarray_size": 16},
+            )
+        )
+        for key, value in report.summary().items():
+            out(f"  {key}: {value}")
+        failed = False
+        if report.diverged_columns:
+            out.error(f"load: {report.diverged_columns} diverged column(s)")
+            failed = True
+        if not report.all_defined:
+            bad = [o.outcome for o in report.outcomes if not o.defined]
+            out.error(f"load: undefined session outcome(s): {bad}")
+            failed = True
+        if report.incomplete_sessions:
+            bad = [
+                f"{o.session}:{o.outcome}"
+                for o in report.outcomes
+                if o.outcome != "complete"
+            ]
+            out.error(f"load: incomplete session(s): {bad}")
+            failed = True
+        if failed:
+            return 1
+        out(
+            "load: fleet run verified — zero divergence, "
+            f"{report.migrations} migration(s), "
+            f"{sum(o.resumes for o in report.outcomes)} resume(s)"
+        )
+        return 0
 
     if args.chaos:
         report = asyncio.run(
@@ -945,6 +1072,85 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability(serve)
     serve.set_defaults(handler=cmd_serve)
 
+    fleet = commands.add_parser(
+        "fleet", help="run the sharded multi-worker sensing service"
+    )
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument(
+        "--port", type=int, default=9360, help="TCP port (0 picks a free one)"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="shard worker processes behind the routing frontend",
+    )
+    fleet.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="self-terminate after this many seconds (default: run forever)",
+    )
+    fleet.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="session limit per shard worker",
+    )
+    fleet.add_argument(
+        "--max-batch-windows",
+        type=int,
+        default=64,
+        help="windows one scheduler tick may stack (per worker)",
+    )
+    fleet.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=512,
+        help="per-worker admission bound: queued windows before shedding",
+    )
+    fleet.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        help="client-connection read deadline in seconds (0 disables)",
+    )
+    fleet.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        help="per-reply write deadline in seconds (0 disables)",
+    )
+    fleet.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=15.0,
+        help="seconds a draining shard may wait for sessions to migrate",
+    )
+    fleet.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="record every fresh session into a shared capture store at DIR",
+    )
+    fleet.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="co-host the observe gateway (/metrics, /api/shards, dashboard)",
+    )
+    fleet.add_argument(
+        "--dashboard-host", default="127.0.0.1", help="gateway bind host"
+    )
+    fleet.add_argument(
+        "--dashboard-port",
+        type=int,
+        default=0,
+        help="gateway TCP port (0 picks a free one; printed on bind)",
+    )
+    _add_seed(fleet)
+    _add_observability(fleet)
+    fleet.set_defaults(handler=cmd_fleet)
+
     observe = commands.add_parser(
         "observe", help="serve the gateway over a recorded telemetry run"
     )
@@ -993,6 +1199,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos",
         action="store_true",
         help="run the seeded chaos harness instead of the timed load",
+    )
+    load.add_argument(
+        "--resilient",
+        action="store_true",
+        help="drive verifying resilient sessions (for a fleet frontend): "
+        "fixed --pushes per session, every column checked bit-for-bit "
+        "against offline compute",
     )
     load.add_argument(
         "--chaos-seed",

@@ -27,6 +27,9 @@ Hierarchy::
     ├── ServeTimeoutError      (a serving deadline expired)
     ├── ServeOverloadError     (the serving layer shed the request)
     │   └── SessionLimitError  (no capacity for another session)
+    ├── FleetError             (the sharded serving layer misbehaved)
+    │   ├── ShardDrainingError     (this shard is draining; resume elsewhere)
+    │   └── WorkerCrashedError     (the shard process died mid-session)
     └── CaptureError           (a recorded capture misbehaved)
         ├── CaptureFormatError     (malformed or unsupported layout)
         ├── CaptureIntegrityError  (CRC mismatch / truncation)
@@ -164,6 +167,38 @@ class ServeOverloadError(ReproError):
 
 class SessionLimitError(ServeOverloadError):
     """The server is at its concurrent-session limit."""
+
+
+class FleetError(ReproError):
+    """The sharded serving layer (:mod:`repro.fleet`) misbehaved.
+
+    Base class for conditions the routing frontend reports about its
+    worker shards.  Fleet errors are *migration signals*, not terminal
+    failures: a resumable client that holds a checkpoint should
+    reconnect and resume — the frontend will hash the session onto a
+    healthy shard.
+    """
+
+
+class ShardDrainingError(FleetError):
+    """The shard owning this session is draining.
+
+    Sent by the routing frontend when an operator drains a shard: the
+    shard stops admitting work, and every session still bound to it is
+    told to migrate.  A resumable client reconnects and presents its
+    freshest checkpoint; the session re-hashes onto the remaining
+    shards and continues bit-identically.
+    """
+
+
+class WorkerCrashedError(FleetError):
+    """The worker process owning this session died.
+
+    Sent by the routing frontend to every session orphaned by a shard
+    crash (and raised locally when the backend connection breaks
+    mid-request).  The supervisor restarts the shard; a resumable
+    client reconnects and resumes from its last checkpoint.
+    """
 
 
 class CaptureError(ReproError):

@@ -1,0 +1,234 @@
+"""Seeded, verifying load generator for the sharded fleet.
+
+The fleet counterpart of :func:`repro.serve.load.run_chaos_load`:
+N :class:`~repro.serve.resilient.ResilientServeClient` sessions each
+stream a pre-generated deterministic trace through the routing
+frontend for a *fixed push count*, and every served column is checked
+bit-for-bit against the offline ``compute_spectrogram`` of the same
+trace.  Because the push count (not a clock) bounds each session, the
+verification covers complete streams — including sessions that
+migrated shards mid-run through a drain or a worker crash, which is
+exactly the equivalence gate the fleet must hold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.tracking import compute_spectrogram
+from repro.errors import ReproError
+from repro.serve.client import AsyncServeClient
+from repro.serve.load import DEFAULT_SEED, _chaos_trace
+from repro.serve.resilient import BackoffPolicy, ResilientServeClient
+from repro.serve.session import config_from_wire
+
+__all__ = ["FleetLoadReport", "FleetSessionOutcome", "run_fleet_load"]
+
+
+@dataclass
+class FleetSessionOutcome:
+    """How one routed session ended."""
+
+    session: int
+    outcome: str  # "complete" or "error:<TaxonomyClass>"
+    shard: str | None = None
+    columns: int = 0
+    expected_columns: int = 0
+    diverged_columns: int = 0
+    reconnects: int = 0
+    resumes: int = 0
+    fleet_migrations: int = 0
+
+    @property
+    def defined(self) -> bool:
+        return self.outcome == "complete" or self.outcome.startswith("error:")
+
+
+@dataclass
+class FleetLoadReport:
+    """Aggregate outcome of one fleet load run.
+
+    Gates: :attr:`diverged_columns` must be zero (every served column
+    bit-equal to offline compute, through routing, drains, and
+    crashes), :attr:`incomplete_sessions` zero, and every outcome
+    *defined*.
+    """
+
+    sessions: int = 0
+    pushes_per_session: int = 0
+    seconds: float = 0.0
+    outcomes: list[FleetSessionOutcome] = field(default_factory=list)
+    server_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def columns(self) -> int:
+        return sum(outcome.columns for outcome in self.outcomes)
+
+    @property
+    def columns_per_s(self) -> float:
+        return self.columns / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def diverged_columns(self) -> int:
+        return sum(outcome.diverged_columns for outcome in self.outcomes)
+
+    @property
+    def incomplete_sessions(self) -> int:
+        return sum(
+            1 for outcome in self.outcomes if outcome.outcome != "complete"
+        )
+
+    @property
+    def all_defined(self) -> bool:
+        return all(outcome.defined for outcome in self.outcomes)
+
+    @property
+    def migrations(self) -> int:
+        return sum(outcome.fleet_migrations for outcome in self.outcomes)
+
+    def summary(self) -> dict[str, Any]:
+        shards = self.server_stats.get("shards", [])
+        return {
+            "sessions": self.sessions,
+            "pushes_per_session": self.pushes_per_session,
+            "seconds": round(self.seconds, 3),
+            "columns": self.columns,
+            "columns_per_s": round(self.columns_per_s, 2),
+            "diverged_columns": self.diverged_columns,
+            "incomplete_sessions": self.incomplete_sessions,
+            "all_outcomes_defined": self.all_defined,
+            "reconnects": sum(o.reconnects for o in self.outcomes),
+            "resumes": sum(o.resumes for o in self.outcomes),
+            "fleet_migrations": self.migrations,
+            "shards": [
+                {
+                    "shard": shard.get("shard"),
+                    "state": shard.get("state"),
+                    "columns_served": shard.get("columns_served"),
+                }
+                for shard in shards
+            ],
+        }
+
+
+async def _drive_fleet_session(
+    index: int,
+    host: str,
+    port: int,
+    trace: np.ndarray,
+    block_size: int,
+    pushes: int,
+    config: dict[str, Any] | None,
+    backoff: BackoffPolicy,
+    expected_power: np.ndarray,
+    seed: int,
+) -> FleetSessionOutcome:
+    """One routed session's lifetime; never raises."""
+    client = ResilientServeClient(
+        host,
+        port,
+        session_config=config,
+        backoff=backoff,
+        seed=seed,
+        routing_key=f"fleet-load-{index}",
+    )
+    outcome = "complete"
+    try:
+        await client.start()
+        for push in range(pushes):
+            block = trace[push * block_size : (push + 1) * block_size]
+            await client.push(block)
+        await client.close_session()
+    except ReproError as exc:
+        outcome = f"error:{type(exc).__name__}"
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        outcome = "error:ConnectionError"
+    finally:
+        await client.aclose()
+    served = client.served_columns()
+    diverged = 0
+    for column in served:
+        if column.index >= len(expected_power) or not np.array_equal(
+            column.power, expected_power[column.index]
+        ):
+            diverged += 1
+    if outcome == "complete" and len(served) != len(expected_power):
+        outcome = "error:IncompleteStream"
+    return FleetSessionOutcome(
+        session=index,
+        outcome=outcome,
+        columns=len(served),
+        expected_columns=len(expected_power),
+        diverged_columns=diverged,
+        reconnects=client.stats.reconnects,
+        resumes=client.stats.resumes,
+        fleet_migrations=client.stats.fleet_migrations,
+    )
+
+
+async def run_fleet_load(
+    host: str,
+    port: int,
+    sessions: int = 64,
+    pushes: int = 12,
+    block_size: int = 200,
+    seed: int = DEFAULT_SEED,
+    config: dict[str, Any] | None = None,
+    backoff: BackoffPolicy | None = None,
+) -> FleetLoadReport:
+    """Drive N resilient sessions through the frontend; verify columns.
+
+    Each session carries a stable ``routing_key`` and its own trace
+    (``seed + i``); served columns are verified against offline
+    compute, so a routing, migration, or relay bug is a counted
+    divergence, never a silent pass.
+    """
+    backoff = backoff or BackoffPolicy(max_attempts=12)
+    report = FleetLoadReport(sessions=sessions, pushes_per_session=pushes)
+    tracking = config_from_wire(dict(config) if config else None)
+    traces = [_chaos_trace(seed + i, pushes, block_size) for i in range(sessions)]
+    references = [
+        compute_spectrogram(trace, tracking).power for trace in traces
+    ]
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *[
+            _drive_fleet_session(
+                i,
+                host,
+                port,
+                traces[i],
+                block_size,
+                pushes,
+                config,
+                backoff,
+                references[i],
+                seed + i,
+            )
+            for i in range(sessions)
+        ],
+        return_exceptions=True,
+    )
+    report.seconds = time.perf_counter() - start
+    for i, result in enumerate(results):
+        if isinstance(result, BaseException):
+            report.outcomes.append(
+                FleetSessionOutcome(
+                    session=i, outcome=f"undefined:{type(result).__name__}"
+                )
+            )
+            continue
+        report.outcomes.append(result)
+    probe = AsyncServeClient(host, port)
+    try:
+        await probe.connect()
+        report.server_stats = await probe.server_stats()
+        await probe.aclose()
+    except (ConnectionError, OSError, ReproError):  # pragma: no cover
+        pass
+    return report

@@ -65,6 +65,19 @@ DASHBOARD_HTML = r"""<!DOCTYPE html>
   .chip { display: inline-block; padding: 0 7px; border-radius: 999px;
           font-size: 11px; line-height: 17px; border: 1px solid var(--border);
           color: var(--text-primary); }
+  .shards { display: flex; flex-wrap: wrap; gap: 10px; }
+  .shard {
+    background: var(--page); border: 1px solid var(--border);
+    border-radius: 8px; padding: 8px 12px; min-width: 150px;
+    font-variant-numeric: tabular-nums;
+  }
+  .shard .name { font-size: 12px; font-weight: 600; display: flex;
+                 gap: 8px; align-items: baseline; margin-bottom: 4px; }
+  .shard .dot { display: inline-block; width: 8px; height: 8px;
+                border-radius: 999px; vertical-align: 0; }
+  .shard .row { color: var(--text-secondary); font-size: 11px;
+                display: flex; justify-content: space-between; gap: 12px; }
+  .shard .row .k { color: var(--text-muted); }
   .legend { color: var(--text-muted); font-size: 11px; margin-top: 6px; }
   .legend .swatch { display: inline-block; width: 9px; height: 9px;
                     border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
@@ -91,6 +104,10 @@ DASHBOARD_HTML = r"""<!DOCTYPE html>
   <div class="tile"><div class="v" id="t-rate">&ndash;</div><div class="k">columns / s</div></div>
   <div class="tile"><div class="v" id="t-queue">&ndash;</div><div class="k">queue depth</div></div>
   <div class="tile"><div class="v" id="t-dropped">&ndash;</div><div class="k">hub drops</div></div>
+</div>
+<div class="panel" id="shards-panel" style="display:none">
+  <h2>Fleet shards</h2>
+  <div class="shards" id="shards"></div>
 </div>
 <div class="panel">
   <h2>Live spectrogram waterfalls</h2>
@@ -257,6 +274,34 @@ function onServerStats(ev) {
   }
   lastStats = ev; lastStatsAt = now;
 }
+// ---- fleet shard strip ---------------------------------------------------
+const SHARD_STATE = {
+  up: "var(--status-good)",
+  draining: "var(--status-warning)",
+  drained: "var(--text-muted)",
+  down: "var(--status-critical)",
+};
+function renderShards(shards) {
+  if (!shards || !shards.length) return;
+  document.getElementById("shards-panel").style.display = "";
+  const cards = shards.map(s => {
+    const color = SHARD_STATE[s.state] || "var(--text-muted)";
+    return `<div class="shard">` +
+      `<div class="name"><span class="dot" style="background:${color}"></span>` +
+      `${s.shard}<span class="meta" style="color:${color}">${s.state}</span></div>` +
+      `<div class="row"><span class="k">sessions</span>` +
+      `<span>${s.active_sessions ?? "?"}</span></div>` +
+      `<div class="row"><span class="k">queue</span>` +
+      `<span>${s.queue_depth ?? "?"}</span></div>` +
+      `<div class="row"><span class="k">columns</span>` +
+      `<span>${s.columns_served ?? "?"}</span></div>` +
+      `<div class="row"><span class="k">restarts</span>` +
+      `<span>${s.restarts ?? 0}</span></div>` +
+      `<div class="row"><span class="k">pid</span>` +
+      `<span>${s.pid ?? "-"}</span></div></div>`;
+  });
+  document.getElementById("shards").innerHTML = cards.join("");
+}
 async function refreshSessions() {
   try {
     const res = await fetch("/api/sessions");
@@ -303,6 +348,14 @@ function onEvent(ev) {
       break;
     case "server.stats":
       onServerStats(ev);
+      break;
+    case "fleet.shards":
+      renderShards(ev.shards);
+      break;
+    case "fleet.drain":
+    case "fleet.restart":
+      pushHealth(ev.shard || "fleet", ev.kind.toUpperCase(),
+                 JSON.stringify(ev));
       break;
     case "serve.shed":
     case "serve.watchdog":

@@ -111,6 +111,51 @@ def _server_metric_snapshots(server: Any) -> dict[str, dict[str, Any]]:
     return snaps
 
 
+def _fleet_metric_snapshots(fleet: Any) -> dict[str, dict[str, Any]]:
+    """Fleet-level snapshots: merged shard telemetry + labeled gauges.
+
+    The merged section folds the supervisor's cached per-shard
+    registry snapshots with the PR-3 exact merge, so the exposition's
+    fleet aggregates equal the sum of per-shard registries the same
+    way the single-server exposition equals ``telemetry-report``.  The
+    ``repro_fleet_shard_*`` families carry one sample per shard via
+    the labels support.
+    """
+    from repro.fleet.frontend import merge_snapshots
+
+    snaps: dict[str, dict[str, Any]] = dict(
+        merge_snapshots(list(fleet.metric_snapshots().values()))
+    )
+    for name, value in fleet.stats.snapshot().items():
+        snaps[f"fleet.{name}"] = {"type": "counter", "value": float(value)}
+    shards = fleet.shard_snapshots()
+    gauges = {
+        "fleet.shard_up": lambda s: 1.0 if s["state"] == "up" else 0.0,
+        "fleet.shard_active_sessions": lambda s: float(s["active_sessions"]),
+        "fleet.shard_queue_depth": lambda s: float(s["queue_depth"]),
+        "fleet.shard_restarts": lambda s: float(s["restarts"]),
+    }
+    for name, value_of in gauges.items():
+        snaps[name] = {
+            "type": "gauge",
+            "samples": [
+                {"labels": {"shard": shard["shard"]}, "value": value_of(shard)}
+                for shard in shards
+            ],
+        }
+    snaps["fleet.shard_columns_served"] = {
+        "type": "counter",
+        "samples": [
+            {
+                "labels": {"shard": shard["shard"]},
+                "value": float(shard["columns_served"]),
+            }
+            for shard in shards
+        ],
+    }
+    return snaps
+
+
 class ObserveGateway:
     """Serve the operator surface for a live server or a recorded run."""
 
@@ -121,11 +166,17 @@ class ObserveGateway:
         capture_store: Any = None,
         replay: Any = None,
         config: ObserveConfig | None = None,
+        fleet: Any = None,
     ):
-        if server is not None and replay is not None:
-            raise ValueError("attach a live server or a replay, not both")
+        if sum(x is not None for x in (server, replay, fleet)) > 1:
+            raise ValueError("attach one of: a live server, a fleet, a replay")
         self.hub = hub
         self.server = server
+        #: Optional :class:`repro.fleet.frontend.FleetServer` — adds
+        #: ``/api/shards``, per-shard labeled gauges, the merged fleet
+        #: telemetry section, and drain-aware ``/readyz``.  Routes read
+        #: only supervisor-refreshed caches (``_route`` is synchronous).
+        self.fleet = fleet
         self.capture_store = capture_store
         self.replay = replay
         self.config = config if config is not None else ObserveConfig()
@@ -151,6 +202,8 @@ class ObserveGateway:
     def mode(self) -> str:
         if self.server is not None:
             return "serve"
+        if self.fleet is not None:
+            return "fleet"
         if self.replay is not None:
             return "replay"
         return "hub"
@@ -202,6 +255,18 @@ class ObserveGateway:
                     draining=self.server.draining,
                     server=self.server.stats.snapshot(),
                     scheduler=self.server.scheduler.stats.snapshot(),
+                    hub=self.hub.stats.snapshot(),
+                )
+            if self.fleet is not None and self.hub.has_subscribers:
+                reply = self.fleet._stats_reply()
+                self.hub.publish(
+                    "server.stats",
+                    active_sessions=reply["active_sessions"],
+                    queue_depth=reply["queue_depth"],
+                    draining=self.fleet.draining,
+                    server=reply["server"],
+                    scheduler=reply["scheduler"],
+                    fleet=reply["fleet"],
                     hub=self.hub.stats.snapshot(),
                 )
 
@@ -260,6 +325,8 @@ class ObserveGateway:
             return http_response(
                 200, self.render_metrics(), content_type="text/plain; version=0.0.4"
             )
+        if path == "/api/shards":
+            return self._shards()
         if path == "/api/sessions":
             return json_response(200, {"sessions": self._session_list()})
         if path.startswith("/api/sessions/"):
@@ -282,11 +349,44 @@ class ObserveGateway:
     def _readyz(self) -> bytes:
         if self.server is not None and self.server.draining:
             return json_response(503, {"ready": False, "reason": "draining"})
+        if self.fleet is not None:
+            if self.fleet.draining:
+                return json_response(503, {"ready": False, "reason": "draining"})
+            shards = self.fleet.shard_snapshots()
+            routable = [s for s in shards if s["state"] == "up"]
+            if not routable:
+                return json_response(
+                    503, {"ready": False, "reason": "no routable shards"}
+                )
+            return json_response(
+                200,
+                {
+                    "ready": True,
+                    "mode": self.mode,
+                    "shards_up": len(routable),
+                    "shards_total": len(shards),
+                    "active_sessions": sum(
+                        s["active_sessions"] for s in shards
+                    ),
+                },
+            )
         body: dict[str, Any] = {"ready": True, "mode": self.mode}
         if self.server is not None:
             body["active_sessions"] = len(self.server.sessions)
             body["queue_depth"] = self.server.scheduler.queue_depth
         return json_response(200, body)
+
+    def _shards(self) -> bytes:
+        """Per-shard load views (the fleet operator's headroom page)."""
+        if self.fleet is None:
+            return json_response(200, {"shards": [], "fleet": None})
+        return json_response(
+            200,
+            {
+                "shards": self.fleet.shard_snapshots(),
+                "fleet": self.fleet.stats.snapshot(),
+            },
+        )
 
     def render_metrics(self) -> str:
         """The full ``/metrics`` exposition text.
@@ -305,6 +405,8 @@ class ObserveGateway:
             merged.update(get_telemetry().metrics.snapshot())
         if self.server is not None:
             merged.update(_server_metric_snapshots(self.server))
+        if self.fleet is not None:
+            merged.update(_fleet_metric_snapshots(self.fleet))
         for name, value in self.hub.stats.snapshot().items():
             merged[f"observe.{name}"] = {"type": "counter", "value": float(value)}
         merged["observe.subscribers"] = {

@@ -58,14 +58,32 @@ def _label_block(snap: dict[str, Any]) -> str:
     return f"{{{pairs}}}"
 
 
+def _sample_lines(name: str, snap: dict[str, Any], lines: list[str]) -> None:
+    """One sample line — or several, for a labeled family.
+
+    A snap carrying ``"samples": [{"labels": {...}, "value": v}, ...]``
+    is a *family*: one ``# TYPE`` line, one sample per entry (the shape
+    per-shard fleet gauges use, since a dict key can only name a family
+    once).  Ordinary single-value snaps render unchanged.
+    """
+    samples = snap.get("samples")
+    if samples is None:
+        lines.append(f"{name}{_label_block(snap)} {format_value(snap['value'])}")
+        return
+    for sample in samples:
+        lines.append(
+            f"{name}{_label_block(sample)} {format_value(sample['value'])}"
+        )
+
+
 def _render_counter(name: str, snap: dict[str, Any], lines: list[str]) -> None:
     lines.append(f"# TYPE {name} counter")
-    lines.append(f"{name}{_label_block(snap)} {format_value(snap['value'])}")
+    _sample_lines(name, snap, lines)
 
 
 def _render_gauge(name: str, snap: dict[str, Any], lines: list[str]) -> None:
     lines.append(f"# TYPE {name} gauge")
-    lines.append(f"{name}{_label_block(snap)} {format_value(snap['value'])}")
+    _sample_lines(name, snap, lines)
 
 
 def _render_histogram(name: str, snap: dict[str, Any], lines: list[str]) -> None:

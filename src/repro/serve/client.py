@@ -63,6 +63,7 @@ class AsyncServeClient:
         self.host = host
         self.port = port
         self.session_id: str | None = None
+        self.routing_key: str | None = None
         self.stats = ClientStats()
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -127,6 +128,10 @@ class AsyncServeClient:
     async def server_stats(self) -> dict[str, Any]:
         return await self.request({"type": protocol.SERVER_STATS})
 
+    async def telemetry_snapshot(self) -> dict[str, Any]:
+        """The serving process's exact metrics snapshot (merge form)."""
+        return await self.request({"type": protocol.TELEMETRY_SNAPSHOT})
+
     async def open_session(
         self,
         config: dict[str, Any] | None = None,
@@ -134,6 +139,7 @@ class AsyncServeClient:
         start_time_s: float = 0.0,
         resumable: bool = False,
         resume: dict[str, Any] | None = None,
+        routing_key: str | None = None,
     ) -> str:
         if self.session_id is not None:
             raise RuntimeError(f"session {self.session_id} is already open")
@@ -148,8 +154,17 @@ class AsyncServeClient:
             frame["resumable"] = True
         if resume is not None:
             frame["resume"] = resume
+        if routing_key is not None:
+            # Consumed by a fleet frontend (consistent-hash shard
+            # assignment); a plain server ignores unknown fields.
+            frame["routing_key"] = routing_key
         reply = await self.request(frame)
         self.session_id = protocol.require_field(reply, "session")
+        # A fleet frontend echoes the key it routed on (minting one for
+        # sessions that sent none) so a resuming client lands on the
+        # same shard.
+        key = reply.get("routing_key")
+        self.routing_key = key if isinstance(key, str) else routing_key
         # A resumed session continues its seq stream where the
         # checkpoint left it, so blind re-sends stay idempotent.
         last_seq = reply.get("last_seq", 0)

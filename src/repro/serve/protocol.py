@@ -12,6 +12,9 @@ client sends        server replies          purpose
 ``close_session``   ``session_closed``      finish, get totals
 ``ping``            ``pong``                liveness probe
 ``server_stats``    ``server_stats_reply``  scheduler/occupancy stats
+``telemetry_snapshot``  ``telemetry_snapshot_reply``  exact metrics
+                                            snapshot of the serving
+                                            process (fleet merge)
 ==================  ======================  =======================
 
 Any request can instead draw an ``error`` frame carrying the
@@ -84,6 +87,7 @@ PUSH_BLOCKS = "push_blocks"
 CLOSE_SESSION = "close_session"
 PING = "ping"
 SERVER_STATS = "server_stats"
+TELEMETRY_SNAPSHOT = "telemetry_snapshot"
 
 # Frame types, server -> client.
 SESSION_OPENED = "session_opened"
@@ -91,6 +95,7 @@ SPECTROGRAM_COLUMNS = "spectrogram_columns"
 SESSION_CLOSED = "session_closed"
 PONG = "pong"
 SERVER_STATS_REPLY = "server_stats_reply"
+TELEMETRY_SNAPSHOT_REPLY = "telemetry_snapshot_reply"
 ERROR = "error"
 
 #: Hard ceiling on one encoded frame (bytes).  A push of

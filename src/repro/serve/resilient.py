@@ -38,6 +38,7 @@ import numpy as np
 from repro.chaos.injector import ClientChaos
 from repro.chaos.schedule import ChaosEvent, ChaosKind
 from repro.errors import (
+    FleetError,
     ProtocolError,
     ReproError,
     SequenceError,
@@ -88,6 +89,8 @@ class ResilienceStats:
     duplicate_acks: int = 0
     chaos_events_applied: int = 0
     shed_retries: int = 0
+    #: Typed fleet migration signals absorbed (shard drain / crash).
+    fleet_migrations: int = 0
     #: Reconnect-begin to first post-resume column, per recovery.
     recovery_latencies_s: list[float] = field(default_factory=list)
 
@@ -108,12 +111,17 @@ class ResilientServeClient:
         seed: int = 0,
         slow_loris_chunk_bytes: int = 64,
         shed_retry_limit: int = 200,
+        routing_key: str | None = None,
     ):
         self.host = host
         self.port = port
         self.session_config = session_config
         self.use_music = use_music
         self.start_time_s = start_time_s
+        #: Stable shard-affinity key (fleet frontends route on it and
+        #: echo it back; a resume presents the same key, so the session
+        #: re-hashes deterministically).
+        self.routing_key = routing_key
         self.chaos = chaos
         self.backoff = backoff if backoff is not None else BackoffPolicy()
         self.slow_loris_chunk_bytes = slow_loris_chunk_bytes
@@ -153,6 +161,11 @@ class ResilientServeClient:
                     await self._reconnect(resume=True)
                 assert self._client is not None
                 return await self._client.close_session()
+            except FleetError:
+                # The shard drained/crashed out from under the close;
+                # resume on a healthy shard and close there.
+                self.stats.fleet_migrations += 1
+                await self._drop_connection()
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 await self._drop_connection()
         raise ConnectionError("could not close the session: server unreachable")
@@ -188,7 +201,12 @@ class ResilientServeClient:
                     start_time_s=self.start_time_s,
                     resumable=True,
                     resume=self._checkpoint if resume else None,
+                    routing_key=self.routing_key,
                 )
+                if client.routing_key is not None:
+                    # Keep whatever key the frontend minted/echoed so
+                    # later resumes hash to the same shard assignment.
+                    self.routing_key = client.routing_key
             except ReproError:
                 # A typed rejection (SessionResumeError, session limit,
                 # ...) will not get better with retries — surface it.
@@ -398,6 +416,16 @@ class ResilientServeClient:
                 except ServeTimeoutError:
                     # The idle deadline fired (a long stall on our
                     # side); the server is hanging up — reconnect.
+                    await self._drop_connection()
+                    self.stats.resends += 1
+                    continue
+                except FleetError:
+                    # A migration signal from the routing frontend: the
+                    # shard owning this session is draining or died.
+                    # Reconnect and resume from the freshest checkpoint
+                    # — the frontend hashes the session onto a healthy
+                    # shard, and the same seq is re-sent there.
+                    self.stats.fleet_migrations += 1
                     await self._drop_connection()
                     self.stats.resends += 1
                     continue

@@ -412,6 +412,8 @@ class SensingServer:
                     reply: dict[str, Any] = {"type": protocol.PONG}
                 elif kind == protocol.SERVER_STATS:
                     reply = self._stats_reply()
+                elif kind == protocol.TELEMETRY_SNAPSHOT:
+                    reply = self._telemetry_snapshot_reply()
                 elif kind == protocol.OPEN_SESSION:
                     reply = self._open_session(frame, owned)
                 elif kind == protocol.PUSH_BLOCKS:
@@ -454,6 +456,24 @@ class SensingServer:
             "dsp_backend": active_backend_name(),
             "server": self.stats.snapshot(),
             "scheduler": self.scheduler.stats.snapshot(),
+        }
+
+    def _telemetry_snapshot_reply(self) -> dict[str, Any]:
+        """This process's exact metrics snapshot (the fleet merge feed).
+
+        The snapshot is the PR-3 merge form: a fleet frontend folds one
+        per worker into a fresh registry with
+        :meth:`~repro.telemetry.metrics.MetricsRegistry.merge`, and the
+        result provably equals the sum of the per-process registries.
+        With telemetry disabled the reply is flagged and empty rather
+        than an error, so probing a bare server stays harmless.
+        """
+        telemetry = get_telemetry()
+        return {
+            "type": protocol.TELEMETRY_SNAPSHOT_REPLY,
+            "enabled": telemetry.enabled,
+            "dsp_backend": active_backend_name(),
+            "metrics": telemetry.metrics.snapshot() if telemetry.enabled else {},
         }
 
     def _open_session(

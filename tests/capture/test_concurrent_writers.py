@@ -1,0 +1,108 @@
+"""Concurrent multi-process writers against one capture store.
+
+The fleet's ``--record`` mode points every shard worker at the same
+store directory, so capture-id minting, directory creation, and audit
+appends race across processes.  The store's advisory ``flock`` must
+serialize them: ids stay unique, every capture lands sealed and
+readable, and the audit trail stays line-parseable.  The workers pin
+the store clock to one constant so every process mints from the same
+millisecond stamp — the exact collision the lock exists to prevent.
+"""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.capture import CaptureStore
+from repro.capture.store import AUDIT_FILE
+from repro.core.tracking import TrackingConfig
+
+WRITERS = 4
+CAPTURES_EACH = 3
+
+
+def _write_captures(root, index, barrier):
+    """One writer process: create+seal CAPTURES_EACH captures."""
+    # A constant clock forces identical time stamps across processes,
+    # so uniqueness rests entirely on the locked existence check.
+    store = CaptureStore(root, clock=lambda: 1_700_000_000.0)
+    config = TrackingConfig(window_size=64, hop=16, subarray_size=24)
+    barrier.wait(timeout=30)
+    for i in range(CAPTURES_EACH):
+        writer = store.create(
+            source=f"writer-{index}",
+            config=config,
+            sample_rate_hz=312.5,
+            seed=index * 100 + i,
+        )
+        with writer:
+            writer.append_chunk(
+                np.ones(32, dtype=complex) * (index + 1), start_index=0
+            )
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_share_one_store(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(WRITERS)
+        processes = [
+            context.Process(
+                target=_write_captures, args=(str(tmp_path), i, barrier)
+            )
+            for i in range(WRITERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+        store = CaptureStore(tmp_path)
+        infos = store.list_captures(audit=False)
+        # Every mint survived: no process lost a capture to an id
+        # collision or a half-made directory.
+        assert len(infos) == WRITERS * CAPTURES_EACH
+        assert len({info.capture_id for info in infos}) == len(infos)
+        assert all(info.sealed for info in infos)
+        for info in infos:
+            reader = store.open(info.capture_id)
+            chunks = list(reader.iter_chunks())
+            assert len(chunks) == 1
+
+    def test_audit_lines_stay_parseable_under_contention(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(WRITERS)
+        processes = [
+            context.Process(
+                target=_write_captures, args=(str(tmp_path), i, barrier)
+            )
+            for i in range(WRITERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+
+        # Every audit line is complete JSON (no interleaved writes) and
+        # every create got exactly one record.
+        lines = (tmp_path / AUDIT_FILE).read_text().splitlines()
+        records = [json.loads(line) for line in lines if line]
+        creates = [r for r in records if r["action"] == "create"]
+        assert len(creates) == WRITERS * CAPTURES_EACH
+        assert len({r["capture_id"] for r in creates}) == len(creates)
+
+    def test_lock_is_reentrant_within_one_store(self, tmp_path):
+        # create() audits while already holding the lock; a plain flock
+        # on a second descriptor would deadlock right here.
+        store = CaptureStore(tmp_path)
+        config = TrackingConfig(window_size=64, hop=16, subarray_size=24)
+        with store._lock():
+            writer = store.create(
+                source="nested", config=config, sample_rate_hz=312.5
+            )
+            writer.seal()
+        assert store._lock_depth == 0
+        assert len(store.list_captures(audit=False)) == 1

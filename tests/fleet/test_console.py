@@ -1,0 +1,68 @@
+"""Console smoke: ``repro fleet`` and ``repro load --resilient``.
+
+The fleet process must print its bound port and one line per shard in
+the same parseable convention as ``repro serve`` — scripts and the CI
+fleet smoke step rely on those lines when starting with ``--port 0``.
+"""
+
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+PORT_LINE = re.compile(r"^fleet: listening on (\S+) port (\d+)$")
+SHARD_LINE = re.compile(r"^fleet: shard (w\d+) pid (\d+) port (\d+)$")
+
+
+@pytest.fixture
+def fleet_process(tmp_path):
+    """A real ``repro fleet --port 0`` subprocess; yields (port, shards)."""
+    log = tmp_path / "fleet.log"
+    with log.open("w") as sink:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet", "--port", "0",
+             "--workers", "2", "--duration", "60"],
+            stdout=sink,
+            stderr=subprocess.STDOUT,
+        )
+    try:
+        port = None
+        shards = {}
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            for line in log.read_text().splitlines():
+                match = PORT_LINE.match(line)
+                if match:
+                    port = int(match.group(2))
+                match = SHARD_LINE.match(line)
+                if match:
+                    shards[match.group(1)] = int(match.group(3))
+            if (port is not None and len(shards) == 2) or (
+                process.poll() is not None
+            ):
+                break
+            time.sleep(0.1)
+        assert port is not None, f"no port line in: {log.read_text()!r}"
+        assert sorted(shards) == ["w0", "w1"], log.read_text()
+        yield port, shards
+    finally:
+        process.terminate()
+        process.wait(timeout=15)
+
+
+class TestFleetConsole:
+    def test_resilient_load_verifies_through_the_fleet(self, fleet_process):
+        port, _ = fleet_process
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "load", "--resilient",
+             "--port", str(port), "--sessions", "4", "--pushes", "4",
+             "--block-size", "200"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "zero divergence" in result.stdout
+        assert "diverged_columns: 0" in result.stdout

@@ -1,0 +1,78 @@
+"""The consistent-hash ring: determinism, coverage, minimal remap."""
+
+import pytest
+
+from repro.fleet.ring import HashRing, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_and_distinct(self):
+        # blake2b of the key bytes — not Python's per-process salted
+        # hash(), which would re-shard the whole fleet on restart.
+        assert stable_hash("w0#0") == stable_hash("w0#0")
+        assert stable_hash("w0#0") != stable_hash("w0#1")
+        assert stable_hash("session-a") != stable_hash("session-b")
+
+    def test_known_width(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+
+class TestHashRing:
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().lookup("key")
+
+    def test_lookup_is_deterministic(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        other = HashRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        for i in range(200):
+            key = f"session-{i}"
+            assert ring.lookup(key) == other.lookup(key)
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        owned = {name: 0 for name in ("w0", "w1", "w2")}
+        for i in range(1000):
+            owned[ring.lookup(f"session-{i}")] += 1
+        assert all(count > 0 for count in owned.values())
+        # Virtual replicas keep the spread sane (no shard starved or
+        # hoarding); the bound is loose on purpose — it guards against
+        # a broken point function, not statistical perfection.
+        assert max(owned.values()) < 3 * min(owned.values())
+
+    def test_removal_remaps_minimally(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {f"session-{i}": ring.lookup(f"session-{i}") for i in range(500)}
+        ring.remove("w1")
+        moved = 0
+        for key, owner in before.items():
+            after = ring.lookup(key)
+            if owner == "w1":
+                assert after != "w1"  # orphaned keys must re-home
+            elif after != owner:
+                moved += 1  # survivor-owned keys should not move at all
+        assert moved == 0
+
+    def test_readd_restores_exact_assignment(self):
+        # A restarted worker keeps its shard name, hence its ring
+        # points: sessions that hashed to it before the crash hash to
+        # it again — that is what makes resume-after-restart land home.
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {f"session-{i}": ring.lookup(f"session-{i}") for i in range(300)}
+        ring.remove("w2")
+        ring.add("w2")
+        for key, owner in before.items():
+            assert ring.lookup(key) == owner
+
+    def test_membership_helpers(self):
+        ring = HashRing(["w0"])
+        assert "w0" in ring
+        assert len(ring) == 1
+        assert ring.shards == ["w0"]
+        ring.add("w1")
+        ring.add("w1")  # idempotent
+        assert ring.shards == ["w0", "w1"]
+        ring.remove("w0")
+        ring.remove("w0")  # idempotent
+        assert "w0" not in ring
+        assert ring.shards == ["w1"]

@@ -274,6 +274,14 @@ class TestReplayMode:
         try:
             ObserveGateway(TelemetryHub(), server=object(), replay=replay)
         except ValueError as exc:
-            assert "not both" in str(exc)
+            assert "attach one of" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_rejects_server_and_fleet_together(self):
+        try:
+            ObserveGateway(TelemetryHub(), server=object(), fleet=object())
+        except ValueError as exc:
+            assert "attach one of" in str(exc)
         else:  # pragma: no cover
             raise AssertionError("expected ValueError")
